@@ -1,0 +1,704 @@
+//! The define-by-run tape and its backward engine.
+
+use crate::hooks::{Packed, SavedTensorHooks};
+use crate::observer::{ExecObserver, OpCost, Phase};
+use crate::scope::{stack_transition, ModuleHooks, ScopeFrame, ScopeInfo};
+use crate::value::{Source, Value};
+use crate::var::Var;
+use ssdtrain_tensor::{Device, MemClass, Prng, Tensor};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Result of one operator's backward computation.
+pub struct BackwardResult {
+    /// Gradient for each input, in input order (`None` for inputs that
+    /// need no gradient).
+    pub grads: Vec<Option<Tensor>>,
+    /// Modelled cost of the backward kernel(s).
+    pub cost: OpCost,
+}
+
+/// A differentiable operator recorded on the tape.
+///
+/// `saved` arrives in the order the forward pass passed tensors to
+/// [`Graph::record`]; grads arrive one per output.
+pub trait Op {
+    /// Stable kernel name (appears in observer callbacks and profiles).
+    fn name(&self) -> &'static str;
+
+    /// Computes input gradients from output gradients.
+    fn backward(
+        &self,
+        graph: &Graph,
+        saved: &[Tensor],
+        grads_out: &[Option<Tensor>],
+    ) -> BackwardResult;
+}
+
+struct Node {
+    op: Box<dyn Op>,
+    inputs: Vec<Source>,
+    saved: Vec<Packed>,
+    n_outputs: usize,
+    scope: Option<Arc<ScopeFrame>>,
+}
+
+struct GraphInner {
+    tape: RefCell<Vec<Node>>,
+    saved_hooks: RefCell<Option<Arc<dyn SavedTensorHooks>>>,
+    module_hooks: RefCell<Vec<Arc<dyn ModuleHooks>>>,
+    observer: RefCell<Option<Arc<dyn ExecObserver>>>,
+    rng: RefCell<Prng>,
+    phase: Cell<Phase>,
+    grad_enabled: Cell<bool>,
+    scope_top: RefCell<Option<Arc<ScopeFrame>>>,
+    seq: Rc<Cell<u64>>,
+    micro_batch: Cell<usize>,
+    device: Device,
+}
+
+/// A computation graph: records operators during forward and replays them
+/// in reverse for backward, firing module hooks and resolving saved
+/// tensors through the pack/unpack hooks.
+///
+/// `Graph` is a cheap-clone handle; it is deliberately single-threaded
+/// (`!Send`) like a PyTorch autograd engine instance, while the hooks it
+/// calls are shared thread-safe objects.
+#[derive(Clone)]
+pub struct Graph {
+    inner: Rc<GraphInner>,
+}
+
+impl Graph {
+    /// Creates a graph for `device` with a deterministic RNG seed.
+    pub fn new(device: &Device, seed: u64) -> Graph {
+        Graph {
+            inner: Rc::new(GraphInner {
+                tape: RefCell::new(Vec::new()),
+                saved_hooks: RefCell::new(None),
+                module_hooks: RefCell::new(Vec::new()),
+                observer: RefCell::new(None),
+                rng: RefCell::new(Prng::seed_from_u64(seed)),
+                phase: Cell::new(Phase::Forward),
+                grad_enabled: Cell::new(true),
+                scope_top: RefCell::new(None),
+                seq: Rc::new(Cell::new(0)),
+                micro_batch: Cell::new(0),
+                device: device.clone(),
+            }),
+        }
+    }
+
+    /// The device tensors of this graph live on.
+    pub fn device(&self) -> &Device {
+        &self.inner.device
+    }
+
+    // ------------------------------------------------------------------
+    // Configuration
+    // ------------------------------------------------------------------
+
+    /// Installs saved-tensor pack/unpack hooks (replaces any previous).
+    pub fn set_saved_tensor_hooks(&self, hooks: Arc<dyn SavedTensorHooks>) {
+        *self.inner.saved_hooks.borrow_mut() = Some(hooks);
+    }
+
+    /// Removes the saved-tensor hooks; tensors are kept on the graph.
+    pub fn clear_saved_tensor_hooks(&self) {
+        *self.inner.saved_hooks.borrow_mut() = None;
+    }
+
+    /// Registers a module-hooks listener (several may be registered).
+    pub fn add_module_hooks(&self, hooks: Arc<dyn ModuleHooks>) {
+        self.inner.module_hooks.borrow_mut().push(hooks);
+    }
+
+    /// Installs the execution observer (replaces any previous).
+    pub fn set_observer(&self, obs: Arc<dyn ExecObserver>) {
+        *self.inner.observer.borrow_mut() = Some(obs);
+    }
+
+    // ------------------------------------------------------------------
+    // Phase, RNG, micro-batches
+    // ------------------------------------------------------------------
+
+    /// Current execution phase.
+    pub fn phase(&self) -> Phase {
+        self.inner.phase.get()
+    }
+
+    /// Switches phase and notifies module hooks.
+    pub fn set_phase(&self, phase: Phase) {
+        self.inner.phase.set(phase);
+        for h in self.inner.module_hooks.borrow().iter() {
+            h.phase_changed(phase);
+        }
+    }
+
+    /// Snapshot of the RNG (used by checkpointing to replay dropout).
+    pub fn rng_snapshot(&self) -> Prng {
+        self.inner.rng.borrow().clone()
+    }
+
+    /// Replaces the RNG state.
+    pub fn set_rng(&self, rng: Prng) {
+        *self.inner.rng.borrow_mut() = rng;
+    }
+
+    /// Runs `f` with mutable access to the graph RNG.
+    pub fn with_rng<R>(&self, f: impl FnOnce(&mut Prng) -> R) -> R {
+        f(&mut self.inner.rng.borrow_mut())
+    }
+
+    /// Current micro-batch index (stamped into scope infos).
+    pub fn micro_batch(&self) -> usize {
+        self.inner.micro_batch.get()
+    }
+
+    /// Sets the micro-batch index for subsequent scopes.
+    pub fn set_micro_batch(&self, mb: usize) {
+        self.inner.micro_batch.set(mb);
+    }
+
+    /// Whether operators currently record nodes and save tensors.
+    pub fn grad_enabled(&self) -> bool {
+        self.inner.grad_enabled.get()
+    }
+
+    /// Runs `f` with gradient recording disabled (checkpoint forward).
+    pub fn with_grad_disabled<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = self.inner.grad_enabled.replace(false);
+        let r = f();
+        self.inner.grad_enabled.set(prev);
+        r
+    }
+
+    /// Number of nodes currently on the tape.
+    pub fn tape_len(&self) -> usize {
+        self.inner.tape.borrow().len()
+    }
+
+    /// Clears the tape for the next step; hooks, observer, RNG and scope
+    /// configuration are kept.
+    pub fn reset_tape(&self) {
+        self.inner.tape.borrow_mut().clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Values
+    // ------------------------------------------------------------------
+
+    /// Wraps a tensor as a non-differentiable input.
+    pub fn constant(&self, t: Tensor) -> Value {
+        Value::with_source(t, Source::Constant)
+    }
+
+    /// Wraps a parameter as a differentiable leaf.
+    pub fn leaf(&self, var: &Var) -> Value {
+        Value::with_source(var.tensor(), Source::Leaf(var.clone()))
+    }
+
+    /// Wraps a tensor as positional external input `i` of a checkpointed
+    /// segment.
+    pub fn external(&self, i: usize, t: Tensor) -> Value {
+        Value::with_source(t, Source::External(i))
+    }
+
+    // ------------------------------------------------------------------
+    // Module scopes
+    // ------------------------------------------------------------------
+
+    /// Enters a module scope named `name` (nested under the current one).
+    pub fn enter_module(&self, name: &str) {
+        let parent = self.inner.scope_top.borrow().clone();
+        let path = match &parent {
+            Some(p) => format!("{}/{}", p.info.path, name),
+            None => name.to_owned(),
+        };
+        let seq = self.inner.seq.get() + 1;
+        self.inner.seq.set(seq);
+        let info = ScopeInfo {
+            path,
+            seq,
+            micro_batch: self.inner.micro_batch.get(),
+        };
+        for h in self.inner.module_hooks.borrow().iter() {
+            h.forward_pre(&info);
+        }
+        let frame = Arc::new(ScopeFrame { info, parent });
+        *self.inner.scope_top.borrow_mut() = Some(frame);
+    }
+
+    /// Exits the innermost module scope.
+    ///
+    /// # Panics
+    /// Panics if no scope is open.
+    pub fn exit_module(&self) {
+        let top = self
+            .inner
+            .scope_top
+            .borrow()
+            .clone()
+            .expect("exit_module with no open scope");
+        for h in self.inner.module_hooks.borrow().iter() {
+            h.forward_post(&top.info);
+        }
+        *self.inner.scope_top.borrow_mut() = top.parent.clone();
+    }
+
+    /// Runs `f` inside a module scope.
+    pub fn scoped<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        self.enter_module(name);
+        let r = f();
+        self.exit_module();
+        r
+    }
+
+    /// The innermost open scope, if any.
+    pub fn current_scope(&self) -> Option<ScopeInfo> {
+        self.inner
+            .scope_top
+            .borrow()
+            .as_ref()
+            .map(|f| f.info.clone())
+    }
+
+    // ------------------------------------------------------------------
+    // Recording
+    // ------------------------------------------------------------------
+
+    /// Records an executed operator.
+    ///
+    /// Order of effects mirrors PyTorch: the observer sees the op (clock
+    /// advances to the op's completion), *then* saved tensors are packed
+    /// (offload jobs start at op completion, Figure 4 ①). With gradients
+    /// disabled nothing is recorded or packed and outputs are constants.
+    pub fn record(
+        &self,
+        op: Box<dyn Op>,
+        inputs: &[&Value],
+        outputs: Vec<Tensor>,
+        to_save: Vec<Tensor>,
+        cost: OpCost,
+    ) -> Vec<Value> {
+        let name = op.name();
+        if let Some(obs) = self.inner.observer.borrow().as_ref() {
+            obs.on_op(name, &cost, self.phase());
+        }
+        if !self.grad_enabled() {
+            return outputs
+                .into_iter()
+                .map(|t| Value::with_source(t, Source::Constant))
+                .collect();
+        }
+        let hooks = self.inner.saved_hooks.borrow().clone();
+        let saved: Vec<Packed> = to_save
+            .iter()
+            .map(|t| match &hooks {
+                Some(h) => h.pack(t),
+                None => Packed::Tensor(t.clone()),
+            })
+            .collect();
+        let node = Node {
+            op,
+            inputs: inputs.iter().map(|v| v.source().clone()).collect(),
+            saved,
+            n_outputs: outputs.len(),
+            scope: self.inner.scope_top.borrow().clone(),
+        };
+        let mut tape = self.inner.tape.borrow_mut();
+        let idx = tape.len();
+        tape.push(node);
+        outputs
+            .into_iter()
+            .enumerate()
+            .map(|(out, t)| Value::with_source(t, Source::Node { node: idx, out }))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Backward
+    // ------------------------------------------------------------------
+
+    /// Backpropagates from a scalar loss, accumulating into parameter
+    /// gradients. Sets the phase to [`Phase::Backward`].
+    ///
+    /// # Panics
+    /// Panics if `loss` is not scalar-shaped (one element).
+    pub fn backward(&self, loss: &Value) {
+        assert_eq!(loss.tensor().numel(), 1, "backward needs a scalar loss");
+        let dev = self.inner.device.clone();
+        let seed = dev.with_class(MemClass::Workspace, || {
+            if loss.tensor().has_data() {
+                Tensor::ones(loss.tensor().shape().clone(), &dev)
+            } else {
+                Tensor::symbolic(loss.tensor().shape().clone(), &dev)
+            }
+        });
+        self.set_phase(Phase::Backward);
+        self.backward_from(std::slice::from_ref(loss), vec![seed], 0);
+    }
+
+    /// Backpropagates given explicit output gradients; returns gradients
+    /// for [`Source::External`] inputs `0..n_externals`.
+    ///
+    /// Saved tensors and intermediate gradients are dropped as soon as
+    /// they are consumed, mirroring PyTorch's memory behaviour during
+    /// backward.
+    pub fn backward_from(
+        &self,
+        outputs: &[Value],
+        grad_outputs: Vec<Tensor>,
+        n_externals: usize,
+    ) -> Vec<Option<Tensor>> {
+        assert_eq!(outputs.len(), grad_outputs.len(), "one grad per output");
+        let mut grads: HashMap<(usize, usize), Tensor> = HashMap::new();
+        let mut ext_grads: Vec<Option<Tensor>> = vec![None; n_externals];
+        let mut start = None;
+
+        let sink = |source: &Source,
+                    g: Tensor,
+                    grads: &mut HashMap<(usize, usize), Tensor>,
+                    ext: &mut Vec<Option<Tensor>>| {
+            match source {
+                Source::Node { node, out } => match grads.get(&(*node, *out)) {
+                    Some(existing) => existing.accumulate(&g),
+                    None => {
+                        grads.insert((*node, *out), g);
+                    }
+                },
+                Source::Leaf(var) => var.accumulate_grad(&g),
+                Source::External(i) => match &ext[*i] {
+                    Some(existing) => existing.accumulate(&g),
+                    None => ext[*i] = Some(g),
+                },
+                Source::Constant => {}
+            }
+        };
+
+        for (v, g) in outputs.iter().zip(grad_outputs) {
+            if let Source::Node { node, .. } = v.source() {
+                start = Some(start.map_or(*node, |s: usize| s.max(*node)));
+            }
+            sink(v.source(), g, &mut grads, &mut ext_grads);
+        }
+
+        let Some(start) = start else {
+            // Loss does not depend on any recorded node (e.g. pure leaf).
+            return ext_grads;
+        };
+
+        let hooks = self.inner.saved_hooks.borrow().clone();
+        let observer = self.inner.observer.borrow().clone();
+        let mut open_stack: Vec<Arc<ScopeFrame>> = Vec::new();
+
+        for idx in (0..=start).rev() {
+            // Collect this node's output grads (consuming them).
+            let (n_outputs, has_grad) = {
+                let tape = self.inner.tape.borrow();
+                let node = &tape[idx];
+                let has = (0..node.n_outputs).any(|o| grads.contains_key(&(idx, o)));
+                (node.n_outputs, has)
+            };
+            if !has_grad {
+                continue;
+            }
+            let grads_out: Vec<Option<Tensor>> =
+                (0..n_outputs).map(|o| grads.remove(&(idx, o))).collect();
+
+            // Fire backward module hooks for scope transitions.
+            let target_stack = {
+                let tape = self.inner.tape.borrow();
+                tape[idx]
+                    .scope
+                    .as_ref()
+                    .map(|f| f.stack())
+                    .unwrap_or_default()
+            };
+            let (to_close, to_open) = stack_transition(&open_stack, &target_stack);
+            for f in &to_close {
+                for h in self.inner.module_hooks.borrow().iter() {
+                    h.backward_post(&f.info);
+                }
+            }
+            for f in &to_open {
+                for h in self.inner.module_hooks.borrow().iter() {
+                    h.backward_pre(&f.info);
+                }
+            }
+            open_stack = target_stack;
+
+            // Resolve saved tensors through the unpack hook, consuming the
+            // packed slots so their references die with this node.
+            let (saved_packed, op_taken): (Vec<Packed>, Box<dyn Op>) = {
+                let mut tape = self.inner.tape.borrow_mut();
+                let node = &mut tape[idx];
+                let packed = std::mem::take(&mut node.saved);
+                // Swap the op out so we can call it without holding the
+                // tape borrow (checkpoint backward re-enters the graph).
+                let op = std::mem::replace(&mut node.op, Box::new(TombstoneOp));
+                (packed, op)
+            };
+            let saved: Vec<Tensor> = saved_packed
+                .iter()
+                .map(|p| match &hooks {
+                    Some(h) => h.unpack(p),
+                    None => match p {
+                        Packed::Tensor(t) => t.clone(),
+                        Packed::Opaque(id) => {
+                            panic!("opaque saved value {id} without unpack hooks")
+                        }
+                    },
+                })
+                .collect();
+            drop(saved_packed);
+
+            let dev = self.inner.device.clone();
+            let result = dev.with_class(MemClass::Workspace, || {
+                op_taken.backward(self, &saved, &grads_out)
+            });
+            drop(saved);
+            drop(grads_out);
+
+            if let Some(obs) = &observer {
+                obs.on_op(op_taken.name(), &result.cost, Phase::Backward);
+            }
+
+            let input_sources: Vec<Source> = {
+                let tape = self.inner.tape.borrow();
+                tape[idx].inputs.clone()
+            };
+            assert_eq!(
+                result.grads.len(),
+                input_sources.len(),
+                "{} backward returned {} grads for {} inputs",
+                op_taken.name(),
+                result.grads.len(),
+                input_sources.len()
+            );
+            for (source, g) in input_sources.iter().zip(result.grads) {
+                if let Some(g) = g {
+                    sink(source, g, &mut grads, &mut ext_grads);
+                }
+            }
+        }
+
+        // Close whatever scopes remain open.
+        for f in open_stack.iter().rev() {
+            for h in self.inner.module_hooks.borrow().iter() {
+                h.backward_post(&f.info);
+            }
+        }
+
+        ext_grads
+    }
+
+    /// Creates a child graph for checkpoint recomputation: shares hooks,
+    /// observer, module hooks, scope-sequence counter and device; fresh
+    /// tape; phase [`Phase::Recompute`].
+    pub fn recompute_child(&self) -> Graph {
+        let child = Graph {
+            inner: Rc::new(GraphInner {
+                tape: RefCell::new(Vec::new()),
+                saved_hooks: RefCell::new(self.inner.saved_hooks.borrow().clone()),
+                module_hooks: RefCell::new(self.inner.module_hooks.borrow().clone()),
+                observer: RefCell::new(self.inner.observer.borrow().clone()),
+                rng: RefCell::new(self.inner.rng.borrow().clone()),
+                phase: Cell::new(Phase::Recompute),
+                grad_enabled: Cell::new(true),
+                scope_top: RefCell::new(None),
+                seq: self.inner.seq.clone(),
+                micro_batch: Cell::new(self.inner.micro_batch.get()),
+                device: self.inner.device.clone(),
+            }),
+        };
+        for h in child.inner.module_hooks.borrow().iter() {
+            h.phase_changed(Phase::Recompute);
+        }
+        child
+    }
+}
+
+/// Placeholder op left on the tape after a node's real op was consumed by
+/// backward; reaching it again means the tape was replayed, which this
+/// engine does not support (no `retain_graph`).
+struct TombstoneOp;
+
+impl Op for TombstoneOp {
+    fn name(&self) -> &'static str {
+        "tombstone"
+    }
+    fn backward(
+        &self,
+        _graph: &Graph,
+        _saved: &[Tensor],
+        _grads_out: &[Option<Tensor>],
+    ) -> BackwardResult {
+        panic!("backward reached a node twice (retain_graph is unsupported)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+    use parking_lot::Mutex;
+
+    fn dev() -> Device {
+        Device::cpu()
+    }
+
+    #[test]
+    fn linear_chain_gradients() {
+        let d = dev();
+        let g = Graph::new(&d, 1);
+        // y = (x*w) summed; dy/dw = x
+        let w = Var::new("w", Tensor::from_vec(vec![2.0, 3.0], [2], &d));
+        let x = g.constant(Tensor::from_vec(vec![5.0, 7.0], [2], &d));
+        let wx = ops::mul(&g, &x, &g.leaf(&w));
+        let loss = ops::sum_all(&g, &wx);
+        g.backward(&loss);
+        assert_eq!(w.grad().unwrap().to_vec(), vec![5.0, 7.0]);
+    }
+
+    #[test]
+    fn grad_accumulates_over_fanout() {
+        let d = dev();
+        let g = Graph::new(&d, 1);
+        let w = Var::new("w", Tensor::from_vec(vec![1.0], [1], &d));
+        let lw = g.leaf(&w);
+        let a = ops::scale(&g, &lw, 2.0);
+        let b = ops::scale(&g, &lw, 3.0);
+        let s = ops::add(&g, &a, &b);
+        let loss = ops::sum_all(&g, &s);
+        g.backward(&loss);
+        assert_eq!(w.grad().unwrap().to_vec(), vec![5.0]);
+    }
+
+    #[test]
+    fn backward_without_nodes_is_noop() {
+        let d = dev();
+        let g = Graph::new(&d, 1);
+        let w = Var::new("w", Tensor::from_vec(vec![1.0], [1], &d));
+        let loss = g.leaf(&w);
+        g.backward(&loss);
+        assert_eq!(w.grad().unwrap().to_vec(), vec![1.0]);
+    }
+
+    #[test]
+    fn grad_disabled_records_nothing() {
+        let d = dev();
+        let g = Graph::new(&d, 1);
+        let x = g.constant(Tensor::ones([2], &d));
+        let y = g.with_grad_disabled(|| ops::scale(&g, &x, 2.0));
+        assert!(matches!(y.source(), Source::Constant));
+        assert_eq!(g.tape_len(), 0);
+    }
+
+    #[derive(Default)]
+    struct EventLog(Mutex<Vec<String>>);
+
+    impl ModuleHooks for EventLog {
+        fn forward_pre(&self, s: &ScopeInfo) {
+            self.0.lock().push(format!("f+{}", s.path));
+        }
+        fn forward_post(&self, s: &ScopeInfo) {
+            self.0.lock().push(format!("f-{}", s.path));
+        }
+        fn backward_pre(&self, s: &ScopeInfo) {
+            self.0.lock().push(format!("b+{}", s.path));
+        }
+        fn backward_post(&self, s: &ScopeInfo) {
+            self.0.lock().push(format!("b-{}", s.path));
+        }
+    }
+
+    #[test]
+    fn module_hooks_fire_in_both_directions() {
+        let d = dev();
+        let g = Graph::new(&d, 1);
+        let log = Arc::new(EventLog::default());
+        g.add_module_hooks(log.clone());
+        let w1 = Var::new("w1", Tensor::from_vec(vec![2.0], [1], &d));
+        let w2 = Var::new("w2", Tensor::from_vec(vec![3.0], [1], &d));
+        let x = g.constant(Tensor::ones([1], &d));
+        let h1 = g.scoped("l0", || ops::mul(&g, &x, &g.leaf(&w1)));
+        let h2 = g.scoped("l1", || ops::mul(&g, &h1, &g.leaf(&w2)));
+        let loss = ops::sum_all(&g, &h2);
+        g.backward(&loss);
+        let events = log.0.lock().clone();
+        // Forward order l0 then l1; backward enters l1 first, then l0.
+        let fwd: Vec<_> = events.iter().filter(|e| e.starts_with('f')).collect();
+        assert_eq!(fwd, ["f+l0", "f-l0", "f+l1", "f-l1"]);
+        let bwd: Vec<_> = events.iter().filter(|e| e.starts_with('b')).collect();
+        assert_eq!(bwd, ["b+l1", "b-l1", "b+l0", "b-l0"]);
+        assert_eq!(w1.grad().unwrap().to_vec(), vec![3.0]);
+        assert_eq!(w2.grad().unwrap().to_vec(), vec![2.0]);
+    }
+
+    struct CountingHooks {
+        packs: Mutex<u64>,
+        unpacks: Mutex<u64>,
+    }
+
+    impl SavedTensorHooks for CountingHooks {
+        fn pack(&self, tensor: &Tensor) -> Packed {
+            *self.packs.lock() += 1;
+            Packed::Tensor(tensor.clone())
+        }
+        fn unpack(&self, packed: &Packed) -> Tensor {
+            *self.unpacks.lock() += 1;
+            match packed {
+                Packed::Tensor(t) => t.clone(),
+                Packed::Opaque(_) => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn saved_tensor_hooks_are_called() {
+        let d = dev();
+        let g = Graph::new(&d, 1);
+        let hooks = Arc::new(CountingHooks {
+            packs: Mutex::new(0),
+            unpacks: Mutex::new(0),
+        });
+        g.set_saved_tensor_hooks(hooks.clone());
+        let w = Var::new("w", Tensor::from_vec(vec![2.0], [1], &d));
+        let x = g.constant(Tensor::from_vec(vec![4.0], [1], &d));
+        let y = ops::mul(&g, &x, &g.leaf(&w)); // mul saves both inputs
+        let loss = ops::sum_all(&g, &y);
+        g.backward(&loss);
+        assert_eq!(*hooks.packs.lock(), 2);
+        assert_eq!(*hooks.unpacks.lock(), 2);
+        assert_eq!(w.grad().unwrap().to_vec(), vec![4.0]);
+    }
+
+    #[test]
+    fn scope_seq_is_unique_per_invocation() {
+        let d = dev();
+        let g = Graph::new(&d, 1);
+        g.enter_module("a");
+        let s1 = g.current_scope().unwrap();
+        g.exit_module();
+        g.enter_module("a");
+        let s2 = g.current_scope().unwrap();
+        g.exit_module();
+        assert_eq!(s1.path, s2.path);
+        assert_ne!(s1.seq, s2.seq);
+    }
+
+    #[test]
+    fn nested_scope_paths_compose() {
+        let d = dev();
+        let g = Graph::new(&d, 1);
+        g.enter_module("model");
+        g.enter_module("layer0");
+        assert_eq!(g.current_scope().unwrap().path, "model/layer0");
+        g.exit_module();
+        g.exit_module();
+        assert!(g.current_scope().is_none());
+    }
+}

@@ -1,0 +1,89 @@
+//! Saved-tensor pack/unpack hooks — the graph's extension point.
+//!
+//! When an operator saves a tensor for backward, the engine calls
+//! [`SavedTensorHooks::pack`] and registers the *returned value* on the
+//! computation graph instead of the tensor. When backward needs the tensor
+//! again it calls [`SavedTensorHooks::unpack`]. The SSDTrain tensor cache
+//! returns an opaque identifier from `pack` (releasing the tensor's memory
+//! once offloading completes) and blocks in `unpack` until the reload
+//! finishes — see Figure 6 of the paper.
+
+use ssdtrain_tensor::Tensor;
+
+/// The value an operator registers on the graph in place of a saved
+/// tensor.
+#[derive(Debug, Clone)]
+pub enum Packed {
+    /// The tensor itself (pack declined to intercept — parameters, small
+    /// tensors, CPU tensors; paper Algorithm 2 line 12).
+    Tensor(Tensor),
+    /// An opaque handle the hooks can resolve back to the tensor.
+    Opaque(u64),
+}
+
+impl Packed {
+    /// Returns the tensor if this packed value holds one directly.
+    pub fn as_tensor(&self) -> Option<&Tensor> {
+        match self {
+            Packed::Tensor(t) => Some(t),
+            Packed::Opaque(_) => None,
+        }
+    }
+}
+
+/// Pack/unpack hook pair, mirroring
+/// `torch.autograd.graph.saved_tensors_hooks`.
+pub trait SavedTensorHooks: Send + Sync {
+    /// Decides what to register on the graph for a tensor being saved.
+    fn pack(&self, tensor: &Tensor) -> Packed;
+
+    /// Resolves a packed value back to its tensor.
+    ///
+    /// For [`Packed::Tensor`] implementations must return the contained
+    /// tensor unchanged (paper Algorithm 2 line 20).
+    fn unpack(&self, packed: &Packed) -> Tensor;
+}
+
+/// Identity hooks: tensors stay on the graph, nothing is intercepted.
+/// This is the "keep activations in GPU memory" placement strategy.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct KeepHooks;
+
+impl SavedTensorHooks for KeepHooks {
+    fn pack(&self, tensor: &Tensor) -> Packed {
+        Packed::Tensor(tensor.clone())
+    }
+
+    fn unpack(&self, packed: &Packed) -> Tensor {
+        match packed {
+            Packed::Tensor(t) => t.clone(),
+            Packed::Opaque(id) => {
+                panic!("KeepHooks cannot resolve an opaque handle ({id})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssdtrain_tensor::Device;
+
+    #[test]
+    fn keep_hooks_round_trip() {
+        let dev = Device::cpu();
+        let t = Tensor::from_vec(vec![1.0, 2.0], [2], &dev);
+        let hooks = KeepHooks;
+        let packed = hooks.pack(&t);
+        let back = hooks.unpack(&packed);
+        assert!(back.storage().ptr_eq(t.storage()));
+    }
+
+    #[test]
+    fn packed_as_tensor() {
+        let dev = Device::cpu();
+        let t = Tensor::zeros([1], &dev);
+        assert!(Packed::Tensor(t).as_tensor().is_some());
+        assert!(Packed::Opaque(3).as_tensor().is_none());
+    }
+}

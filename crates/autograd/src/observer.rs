@@ -1,0 +1,172 @@
+//! Execution observation: per-operator cost reporting.
+//!
+//! The training-step engine implements [`ExecObserver`] to advance the
+//! simulated GPU clock by each operator's modelled kernel time; the same
+//! channel reports execution phases so the tensor cache knows when
+//! backward (and checkpoint recomputation) is in progress.
+
+use std::fmt;
+
+/// Phase of step execution an operator runs in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Forward propagation of a micro-batch.
+    Forward,
+    /// Backward propagation.
+    Backward,
+    /// Forward recomputation inside backward (activation checkpointing).
+    /// The SSDTrain cache must *not* offload activations produced here
+    /// (paper Algorithm 2, line 15).
+    Recompute,
+}
+
+impl Phase {
+    /// True for phases executing inside backward propagation.
+    pub fn in_backward(self) -> bool {
+        matches!(self, Phase::Backward | Phase::Recompute)
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Phase::Forward => "forward",
+            Phase::Backward => "backward",
+            Phase::Recompute => "recompute",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Modelled cost of one kernel launch.
+///
+/// Derived from tensor shapes, so it is exact in both numeric and symbolic
+/// execution modes. The GPU roofline in `ssdtrain-simhw` converts it to a
+/// duration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCost {
+    /// Floating-point operations.
+    pub flops: u64,
+    /// Bytes read from device memory (at accounted dtype width).
+    pub bytes_read: u64,
+    /// Bytes written to device memory.
+    pub bytes_written: u64,
+}
+
+impl OpCost {
+    /// A cost with the given fields.
+    pub fn new(flops: u64, bytes_read: u64, bytes_written: u64) -> OpCost {
+        OpCost {
+            flops,
+            bytes_read,
+            bytes_written,
+        }
+    }
+
+    /// Total device-memory traffic.
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Component-wise sum.
+    pub fn plus(&self, other: &OpCost) -> OpCost {
+        OpCost {
+            flops: self.flops + other.flops,
+            bytes_read: self.bytes_read + other.bytes_read,
+            bytes_written: self.bytes_written + other.bytes_written,
+        }
+    }
+}
+
+/// Observer of operator execution.
+///
+/// `on_op` is called once per executed operator, *after* its outputs are
+/// materialised and *before* its saved tensors are packed — so a pack-hook
+/// driven offload starts at the operator's completion time, matching the
+/// paper's Figure 4 (offloading of an activation starts once the operator
+/// producing it finishes).
+pub trait ExecObserver: Send + Sync {
+    /// One operator ran.
+    fn on_op(&self, name: &str, cost: &OpCost, phase: Phase);
+}
+
+/// Observer that accumulates totals; handy in tests and profiling.
+#[derive(Debug, Default)]
+pub struct CostTotals {
+    inner: parking_lot::Mutex<TotalsInner>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct TotalsInner {
+    forward: OpCost,
+    backward: OpCost,
+    recompute: OpCost,
+    ops: u64,
+}
+
+impl CostTotals {
+    /// An empty accumulator.
+    pub fn new() -> CostTotals {
+        CostTotals::default()
+    }
+
+    /// Accumulated cost of the given phase.
+    pub fn phase_cost(&self, phase: Phase) -> OpCost {
+        let g = self.inner.lock();
+        match phase {
+            Phase::Forward => g.forward,
+            Phase::Backward => g.backward,
+            Phase::Recompute => g.recompute,
+        }
+    }
+
+    /// Total number of operators observed.
+    pub fn op_count(&self) -> u64 {
+        self.inner.lock().ops
+    }
+}
+
+impl ExecObserver for CostTotals {
+    fn on_op(&self, _name: &str, cost: &OpCost, phase: Phase) {
+        let mut g = self.inner.lock();
+        g.ops += 1;
+        let slot = match phase {
+            Phase::Forward => &mut g.forward,
+            Phase::Backward => &mut g.backward,
+            Phase::Recompute => &mut g.recompute,
+        };
+        *slot = slot.plus(cost);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_plus_adds_fields() {
+        let a = OpCost::new(1, 2, 3);
+        let b = OpCost::new(10, 20, 30);
+        let c = a.plus(&b);
+        assert_eq!(c, OpCost::new(11, 22, 33));
+        assert_eq!(c.bytes_moved(), 55);
+    }
+
+    #[test]
+    fn phase_in_backward() {
+        assert!(!Phase::Forward.in_backward());
+        assert!(Phase::Backward.in_backward());
+        assert!(Phase::Recompute.in_backward());
+    }
+
+    #[test]
+    fn totals_accumulate_per_phase() {
+        let t = CostTotals::new();
+        t.on_op("a", &OpCost::new(5, 0, 0), Phase::Forward);
+        t.on_op("b", &OpCost::new(7, 0, 0), Phase::Backward);
+        t.on_op("c", &OpCost::new(11, 0, 0), Phase::Forward);
+        assert_eq!(t.phase_cost(Phase::Forward).flops, 16);
+        assert_eq!(t.phase_cost(Phase::Backward).flops, 7);
+        assert_eq!(t.op_count(), 3);
+    }
+}

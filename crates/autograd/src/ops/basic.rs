@@ -1,0 +1,318 @@
+//! Elementwise, reduction, view and communication operators.
+
+use crate::graph::{BackwardResult, Graph, Op};
+use crate::observer::OpCost;
+use crate::value::Value;
+use ssdtrain_tensor::{Shape, Tensor};
+
+fn w(t: &Tensor) -> u64 {
+    t.dtype().byte_size()
+}
+
+// ---------------------------------------------------------------------
+// add
+// ---------------------------------------------------------------------
+
+struct AddOp;
+
+impl Op for AddOp {
+    fn name(&self) -> &'static str {
+        "add"
+    }
+    fn backward(&self, _g: &Graph, _saved: &[Tensor], grads: &[Option<Tensor>]) -> BackwardResult {
+        let dy = grads[0].as_ref().expect("add grad");
+        let cost = OpCost::new(0, dy.bytes(), 2 * dy.bytes());
+        BackwardResult {
+            grads: vec![Some(dy.clone()), Some(dy.clone())],
+            cost,
+        }
+    }
+}
+
+/// Elementwise sum `a + b`.
+pub fn add(g: &Graph, a: &Value, b: &Value) -> Value {
+    let out = a.tensor().add(b.tensor());
+    let n = out.numel() as u64;
+    let cost = OpCost::new(n, 2 * n * w(&out), n * w(&out));
+    g.record(Box::new(AddOp), &[a, b], vec![out], vec![], cost)
+        .remove(0)
+}
+
+// ---------------------------------------------------------------------
+// mul
+// ---------------------------------------------------------------------
+
+struct MulOp;
+
+impl Op for MulOp {
+    fn name(&self) -> &'static str {
+        "mul"
+    }
+    fn backward(&self, _g: &Graph, saved: &[Tensor], grads: &[Option<Tensor>]) -> BackwardResult {
+        let dy = grads[0].as_ref().expect("mul grad");
+        let (a, b) = (&saved[0], &saved[1]);
+        let cost = OpCost::new(2 * dy.numel() as u64, 3 * dy.bytes(), 2 * dy.bytes());
+        BackwardResult {
+            grads: vec![Some(dy.mul(b)), Some(dy.mul(a))],
+            cost,
+        }
+    }
+}
+
+/// Elementwise product `a * b`; saves both inputs for backward.
+pub fn mul(g: &Graph, a: &Value, b: &Value) -> Value {
+    let out = a.tensor().mul(b.tensor());
+    let n = out.numel() as u64;
+    let cost = OpCost::new(n, 2 * n * w(&out), n * w(&out));
+    g.record(
+        Box::new(MulOp),
+        &[a, b],
+        vec![out],
+        vec![a.tensor().clone(), b.tensor().clone()],
+        cost,
+    )
+    .remove(0)
+}
+
+// ---------------------------------------------------------------------
+// scale
+// ---------------------------------------------------------------------
+
+struct ScaleOp {
+    s: f32,
+}
+
+impl Op for ScaleOp {
+    fn name(&self) -> &'static str {
+        "scale"
+    }
+    fn backward(&self, _g: &Graph, _saved: &[Tensor], grads: &[Option<Tensor>]) -> BackwardResult {
+        let dy = grads[0].as_ref().expect("scale grad");
+        let cost = OpCost::new(dy.numel() as u64, dy.bytes(), dy.bytes());
+        BackwardResult {
+            grads: vec![Some(dy.scale(self.s))],
+            cost,
+        }
+    }
+}
+
+/// Multiplies by a compile-time constant scalar.
+pub fn scale(g: &Graph, x: &Value, s: f32) -> Value {
+    let out = x.tensor().scale(s);
+    let n = out.numel() as u64;
+    let cost = OpCost::new(n, n * w(&out), n * w(&out));
+    g.record(Box::new(ScaleOp { s }), &[x], vec![out], vec![], cost)
+        .remove(0)
+}
+
+// ---------------------------------------------------------------------
+// sum_all / mean_all
+// ---------------------------------------------------------------------
+
+struct SumAllOp {
+    in_shape: Shape,
+    scale: f32,
+}
+
+impl Op for SumAllOp {
+    fn name(&self) -> &'static str {
+        "sum_all"
+    }
+    fn backward(&self, g: &Graph, _saved: &[Tensor], grads: &[Option<Tensor>]) -> BackwardResult {
+        let dy = grads[0].as_ref().expect("sum grad");
+        let n = self.in_shape.numel() as u64;
+        let dev = g.device().clone();
+        let grad = if dy.has_data() {
+            Tensor::full(self.in_shape.clone(), dy.item() * self.scale, &dev)
+        } else {
+            Tensor::symbolic(self.in_shape.clone(), &dev)
+        };
+        let cost = OpCost::new(n, 0, n * grad.dtype().byte_size());
+        BackwardResult {
+            grads: vec![Some(grad)],
+            cost,
+        }
+    }
+}
+
+/// Sum of all elements to a scalar.
+pub fn sum_all(g: &Graph, x: &Value) -> Value {
+    let out = x.tensor().sum_all();
+    let n = x.tensor().numel() as u64;
+    let cost = OpCost::new(n, n * w(x.tensor()), 4);
+    g.record(
+        Box::new(SumAllOp {
+            in_shape: x.tensor().shape().clone(),
+            scale: 1.0,
+        }),
+        &[x],
+        vec![out],
+        vec![],
+        cost,
+    )
+    .remove(0)
+}
+
+/// Mean of all elements to a scalar.
+pub fn mean_all(g: &Graph, x: &Value) -> Value {
+    let out = x.tensor().mean_all();
+    let n = x.tensor().numel() as u64;
+    let cost = OpCost::new(n, n * w(x.tensor()), 4);
+    g.record(
+        Box::new(SumAllOp {
+            in_shape: x.tensor().shape().clone(),
+            scale: 1.0 / n as f32,
+        }),
+        &[x],
+        vec![out],
+        vec![],
+        cost,
+    )
+    .remove(0)
+}
+
+// ---------------------------------------------------------------------
+// reshape (view)
+// ---------------------------------------------------------------------
+
+struct ReshapeOp {
+    in_shape: Shape,
+}
+
+impl Op for ReshapeOp {
+    fn name(&self) -> &'static str {
+        "reshape"
+    }
+    fn backward(&self, _g: &Graph, _saved: &[Tensor], grads: &[Option<Tensor>]) -> BackwardResult {
+        let dy = grads[0].as_ref().expect("reshape grad");
+        BackwardResult {
+            grads: vec![Some(dy.contiguous().reshape(self.in_shape.clone()))],
+            cost: OpCost::default(),
+        }
+    }
+}
+
+/// Shape-changing view (zero-cost; storage is shared).
+///
+/// # Panics
+/// Panics if the input view is not contiguous.
+pub fn reshape(g: &Graph, x: &Value, shape: impl Into<Shape>) -> Value {
+    let shape = shape.into();
+    let out = x.tensor().reshape(shape);
+    g.record(
+        Box::new(ReshapeOp {
+            in_shape: x.tensor().shape().clone(),
+        }),
+        &[x],
+        vec![out],
+        vec![],
+        OpCost::default(),
+    )
+    .remove(0)
+}
+
+// ---------------------------------------------------------------------
+// allreduce (simulated collective)
+// ---------------------------------------------------------------------
+
+struct AllreduceOp {
+    comm_bytes: u64,
+}
+
+impl Op for AllreduceOp {
+    fn name(&self) -> &'static str {
+        "allreduce"
+    }
+    fn backward(&self, _g: &Graph, _saved: &[Tensor], grads: &[Option<Tensor>]) -> BackwardResult {
+        let dy = grads[0].as_ref().expect("allreduce grad");
+        // The backward of an allreduce is an allreduce of the gradients,
+        // with the same communication volume.
+        BackwardResult {
+            grads: vec![Some(dy.clone())],
+            cost: OpCost::new(0, self.comm_bytes, self.comm_bytes),
+        }
+    }
+}
+
+/// Identity operator carrying the communication volume of a
+/// tensor-parallel allreduce; the step scheduler recognises the
+/// `"allreduce"` kernel name and times it on the interconnect instead of
+/// the GPU roofline.
+pub fn allreduce(g: &Graph, x: &Value, comm_bytes: u64) -> Value {
+    let out = x.tensor().contiguous();
+    g.record(
+        Box::new(AllreduceOp { comm_bytes }),
+        &[x],
+        vec![out],
+        vec![],
+        OpCost::new(0, comm_bytes, comm_bytes),
+    )
+    .remove(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::var::Var;
+    use ssdtrain_tensor::Device;
+
+    fn setup() -> (Device, Graph) {
+        let d = Device::cpu();
+        let g = Graph::new(&d, 1);
+        (d, g)
+    }
+
+    #[test]
+    fn add_grads_are_identity() {
+        let (d, g) = setup();
+        let a = Var::new("a", Tensor::from_vec(vec![1.0, 2.0], [2], &d));
+        let b = Var::new("b", Tensor::from_vec(vec![3.0, 4.0], [2], &d));
+        let s = add(&g, &g.leaf(&a), &g.leaf(&b));
+        let loss = sum_all(&g, &s);
+        g.backward(&loss);
+        assert_eq!(a.grad().unwrap().to_vec(), vec![1.0, 1.0]);
+        assert_eq!(b.grad().unwrap().to_vec(), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn mean_all_divides_gradient() {
+        let (d, g) = setup();
+        let a = Var::new("a", Tensor::from_vec(vec![2.0, 4.0, 6.0, 8.0], [4], &d));
+        let m = mean_all(&g, &g.leaf(&a));
+        assert_eq!(m.tensor().item(), 5.0);
+        g.backward(&m);
+        assert_eq!(a.grad().unwrap().to_vec(), vec![0.25; 4]);
+    }
+
+    #[test]
+    fn reshape_backward_restores_shape() {
+        let (d, g) = setup();
+        let a = Var::new("a", Tensor::from_vec(vec![1., 2., 3., 4.], [2, 2], &d));
+        let r = reshape(&g, &g.leaf(&a), [4]);
+        assert_eq!(r.dims(), &[4]);
+        let loss = sum_all(&g, &r);
+        g.backward(&loss);
+        assert_eq!(a.grad().unwrap().dims(), &[2, 2]);
+    }
+
+    #[test]
+    fn allreduce_is_identity_with_comm_cost() {
+        let (d, g) = setup();
+        let a = Var::new("a", Tensor::from_vec(vec![1.0], [1], &d));
+        let y = allreduce(&g, &g.leaf(&a), 1 << 20);
+        assert_eq!(y.tensor().to_vec(), vec![1.0]);
+        let loss = sum_all(&g, &y);
+        g.backward(&loss);
+        assert_eq!(a.grad().unwrap().to_vec(), vec![1.0]);
+    }
+
+    #[test]
+    fn scale_chain_multiplies_gradient() {
+        let (d, g) = setup();
+        let a = Var::new("a", Tensor::from_vec(vec![1.0], [1], &d));
+        let y = scale(&g, &scale(&g, &g.leaf(&a), 3.0), 4.0);
+        let loss = sum_all(&g, &y);
+        g.backward(&loss);
+        assert_eq!(a.grad().unwrap().to_vec(), vec![12.0]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Optimizers.
+//!
+//! The paper's evaluation uses plain SGD (Section 4.1) precisely because
+//! it keeps optimizer state at zero bytes, isolating activation memory;
+//! we provide SGD (with optional momentum, which *does* allocate state
+//! tagged [`MemClass::OptimizerState`] so memory reports attribute it
+//! correctly).
+
+use crate::var::Var;
+use ssdtrain_tensor::{MemClass, Tensor};
+
+/// Stochastic gradient descent over a set of parameters.
+#[derive(Debug)]
+pub struct Sgd {
+    params: Vec<Var>,
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Option<Tensor>>,
+}
+
+impl Sgd {
+    /// Plain SGD (`momentum = 0`, no optimizer state — the paper's
+    /// configuration).
+    pub fn new(params: Vec<Var>, lr: f32) -> Sgd {
+        Sgd::with_momentum(params, lr, 0.0)
+    }
+
+    /// SGD with classical momentum; allocates one velocity tensor per
+    /// parameter on first step.
+    pub fn with_momentum(params: Vec<Var>, lr: f32, momentum: f32) -> Sgd {
+        let n = params.len();
+        Sgd {
+            params,
+            lr,
+            momentum,
+            velocity: vec![None; n],
+        }
+    }
+
+    /// Parameters managed by this optimizer.
+    pub fn params(&self) -> &[Var] {
+        &self.params
+    }
+
+    /// Learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Applies one update from the accumulated gradients **in place** —
+    /// the parameter's storage identity is preserved across steps, just
+    /// like `torch.optim.SGD`, which is what keeps the SSDTrain cache's
+    /// parameter registration valid for the whole run. Parameters with
+    /// no gradient are skipped. Symbolic parameters are left untouched
+    /// (their update cost is a constant offset, paper Section 4.1).
+    pub fn step(&mut self) {
+        let lr = self.lr;
+        for (i, p) in self.params.iter().enumerate() {
+            let Some(grad) = p.grad() else { continue };
+            let t = p.tensor();
+            if !t.has_data() || !grad.has_data() {
+                continue;
+            }
+            let update = if self.momentum > 0.0 {
+                let v_new = match &self.velocity[i] {
+                    Some(v) => v.scale(self.momentum).add(&grad),
+                    None => grad.deep_clone_as(MemClass::OptimizerState),
+                };
+                let v_new = v_new.deep_clone_as(MemClass::OptimizerState);
+                self.velocity[i] = Some(v_new.clone());
+                v_new
+            } else {
+                grad
+            };
+            let u = update.to_vec();
+            t.storage().with_data_mut(|w| {
+                for (wi, gi) in w.iter_mut().zip(&u) {
+                    *wi -= lr * gi;
+                }
+            });
+        }
+    }
+
+    /// Clears every parameter's gradient.
+    pub fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssdtrain_tensor::Device;
+
+    #[test]
+    fn sgd_moves_against_gradient() {
+        let d = Device::cpu();
+        let w = Var::new("w", Tensor::from_vec(vec![1.0, -1.0], [2], &d));
+        w.accumulate_grad(&Tensor::from_vec(vec![0.5, -0.5], [2], &d));
+        let mut opt = Sgd::new(vec![w.clone()], 0.1);
+        opt.step();
+        let t = w.tensor().to_vec();
+        assert!((t[0] - 0.95).abs() < 1e-6);
+        assert!((t[1] + 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let d = Device::cpu();
+        let w = Var::new("w", Tensor::from_vec(vec![0.0], [1], &d));
+        let mut opt = Sgd::with_momentum(vec![w.clone()], 1.0, 0.5);
+        w.accumulate_grad(&Tensor::from_vec(vec![1.0], [1], &d));
+        opt.step();
+        assert!((w.tensor().to_vec()[0] + 1.0).abs() < 1e-6);
+        opt.zero_grad();
+        w.accumulate_grad(&Tensor::from_vec(vec![1.0], [1], &d));
+        opt.step();
+        // v = 0.5 * 1 + 1 = 1.5 -> w = -1 - 1.5 = -2.5
+        assert!((w.tensor().to_vec()[0] + 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn params_without_grad_are_skipped() {
+        let d = Device::cpu();
+        let w = Var::new("w", Tensor::from_vec(vec![3.0], [1], &d));
+        let mut opt = Sgd::new(vec![w.clone()], 0.1);
+        opt.step();
+        assert_eq!(w.tensor().to_vec(), vec![3.0]);
+    }
+
+    #[test]
+    fn momentum_state_is_tagged_optimizer_state() {
+        let d = Device::cpu();
+        let w = Var::new("w", Tensor::from_vec(vec![0.0], [1], &d));
+        let mut opt = Sgd::with_momentum(vec![w.clone()], 1.0, 0.9);
+        w.accumulate_grad(&Tensor::ones([1], &d));
+        opt.step();
+        assert_eq!(
+            opt.velocity[0].as_ref().unwrap().mem_class(),
+            MemClass::OptimizerState
+        );
+    }
+}

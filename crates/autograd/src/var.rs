@@ -1,0 +1,163 @@
+//! Trainable leaf variables (parameters).
+
+use parking_lot::Mutex;
+use ssdtrain_tensor::{MemClass, Tensor};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Unique identity of a leaf variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(u64);
+
+impl VarId {
+    fn next() -> VarId {
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        VarId(NEXT.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Raw value for logs.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+struct VarInner {
+    id: VarId,
+    name: String,
+    tensor: Mutex<Tensor>,
+    grad: Mutex<Option<Tensor>>,
+}
+
+/// A trainable parameter: a tensor plus an accumulated gradient slot.
+///
+/// Cloning shares the parameter (like `torch.nn.Parameter` handles).
+///
+/// ```
+/// use ssdtrain_autograd::Var;
+/// use ssdtrain_tensor::{Device, Tensor};
+/// let dev = Device::cpu();
+/// let w = Var::new("w", Tensor::zeros([2, 2], &dev));
+/// assert!(w.grad().is_none());
+/// ```
+#[derive(Clone)]
+pub struct Var {
+    inner: Arc<VarInner>,
+}
+
+impl Var {
+    /// Creates a parameter from an initial tensor.
+    pub fn new(name: impl Into<String>, tensor: Tensor) -> Var {
+        Var {
+            inner: Arc::new(VarInner {
+                id: VarId::next(),
+                name: name.into(),
+                tensor: Mutex::new(tensor),
+                grad: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Identity of this parameter.
+    pub fn id(&self) -> VarId {
+        self.inner.id
+    }
+
+    /// Name given at construction.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Snapshot of the current tensor (cheap storage-sharing clone).
+    pub fn tensor(&self) -> Tensor {
+        self.inner.tensor.lock().clone()
+    }
+
+    /// Replaces the parameter tensor (used by optimizers).
+    pub fn set_tensor(&self, t: Tensor) {
+        *self.inner.tensor.lock() = t;
+    }
+
+    /// Number of elements.
+    pub fn numel(&self) -> usize {
+        self.inner.tensor.lock().numel()
+    }
+
+    /// Current accumulated gradient, if any.
+    pub fn grad(&self) -> Option<Tensor> {
+        self.inner.grad.lock().clone()
+    }
+
+    /// Adds `g` into the gradient slot (allocating it on first use with
+    /// [`MemClass::Gradient`]).
+    ///
+    /// # Panics
+    /// Panics if `g`'s shape differs from the parameter's.
+    pub fn accumulate_grad(&self, g: &Tensor) {
+        let mut slot = self.inner.grad.lock();
+        match &*slot {
+            Some(existing) => existing.accumulate(g),
+            None => {
+                *slot = Some(g.deep_clone_as(MemClass::Gradient));
+            }
+        }
+    }
+
+    /// Clears the gradient slot.
+    pub fn zero_grad(&self) {
+        *self.inner.grad.lock() = None;
+    }
+
+    /// True if both handles denote the same parameter.
+    pub fn same(&self, other: &Var) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Var")
+            .field("id", &self.inner.id)
+            .field("name", &self.inner.name)
+            .field("shape", &self.tensor().shape().to_string())
+            .field("has_grad", &self.grad().is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssdtrain_tensor::Device;
+
+    #[test]
+    fn grad_accumulates_across_calls() {
+        let dev = Device::cpu();
+        let v = Var::new("v", Tensor::zeros([2], &dev));
+        let g = Tensor::from_vec(vec![1.0, 2.0], [2], &dev);
+        v.accumulate_grad(&g);
+        v.accumulate_grad(&g);
+        assert_eq!(v.grad().unwrap().to_vec(), vec![2.0, 4.0]);
+        assert_eq!(v.grad().unwrap().mem_class(), MemClass::Gradient);
+        v.zero_grad();
+        assert!(v.grad().is_none());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let dev = Device::cpu();
+        let v = Var::new("v", Tensor::zeros([1], &dev));
+        let c = v.clone();
+        c.accumulate_grad(&Tensor::ones([1], &dev));
+        assert!(v.grad().is_some());
+        assert!(v.same(&c));
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let dev = Device::cpu();
+        let a = Var::new("a", Tensor::zeros([1], &dev));
+        let b = Var::new("b", Tensor::zeros([1], &dev));
+        assert_ne!(a.id(), b.id());
+    }
+}

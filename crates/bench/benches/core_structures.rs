@@ -1,0 +1,161 @@
+//! Criterion micro-benchmarks of the hot data structures: tensor
+//! identity stamping, the cancellable store queue, the transfer channel,
+//! memory-timeline reconstruction, pack/unpack round trips through the
+//! tensor cache and the FP16 serialisation path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssdtrain::{CpuTarget, IoEngine, TensorCache, TensorCacheConfig};
+use ssdtrain_autograd::SavedTensorHooks;
+use ssdtrain_simhw::{Channel, GpuMemory, SimClock, SimTime};
+use ssdtrain_tensor::{storage::f32_to_f16_bits, Device, Tensor};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_tensor_key(c: &mut Criterion) {
+    let dev = Device::cpu();
+    let t = Tensor::zeros([64, 64], &dev);
+    c.bench_function("id/tensor_key", |b| {
+        b.iter(|| black_box(ssdtrain::id::tensor_key(black_box(&t))))
+    });
+}
+
+fn bench_write_queue(c: &mut Criterion) {
+    c.bench_function("io/submit_store_1k", |b| {
+        b.iter(|| {
+            let clock = SimClock::new();
+            let io = IoEngine::new(clock, 1e9, 1e9);
+            for _ in 0..1000 {
+                black_box(io.submit_store(1 << 20));
+            }
+        })
+    });
+    c.bench_function("io/cancel_reflow_1k", |b| {
+        b.iter(|| {
+            let clock = SimClock::new();
+            let io = IoEngine::new(clock, 1e9, 1e9);
+            let jobs: Vec<_> = (0..1000).map(|_| io.submit_store(1 << 20)).collect();
+            for j in jobs.into_iter().rev() {
+                black_box(io.try_cancel_store(j, SimTime::ZERO));
+            }
+        })
+    });
+}
+
+fn bench_channel(c: &mut Criterion) {
+    c.bench_function("channel/submit_10k", |b| {
+        b.iter(|| {
+            let ch = Channel::new("bench", 1e9);
+            for i in 0..10_000u64 {
+                black_box(ch.submit(SimTime::from_secs(i as f64 * 1e-6), 4096));
+            }
+        })
+    });
+}
+
+fn bench_memory_timeline(c: &mut Criterion) {
+    c.bench_function("memory/timeline_10k_events", |b| {
+        let clock = SimClock::new();
+        let mem = GpuMemory::new(clock.clone(), 1 << 40);
+        for _ in 0..5000 {
+            use ssdtrain_tensor::{MemClass, MemTracker};
+            clock.advance_by(1e-6);
+            mem.on_alloc(4096, MemClass::Activation);
+            mem.on_free(1024, MemClass::Activation);
+        }
+        b.iter(|| black_box(mem.peak_activations()))
+    });
+}
+
+fn bench_cache_roundtrip(c: &mut Criterion) {
+    c.bench_function("cache/pack_unpack_roundtrip", |b| {
+        let clock = SimClock::new();
+        let mem = Arc::new(GpuMemory::new(clock.clone(), 1 << 40));
+        let dev = Device::cpu();
+        dev.set_tracker(mem.clone());
+        let io = IoEngine::new(clock.clone(), 1e12, 1e12);
+        let cache = TensorCache::new(
+            TensorCacheConfig::offload_everything(),
+            Arc::new(CpuTarget::new(1 << 40)),
+            io,
+            mem,
+        );
+        b.iter(|| {
+            cache.begin_step();
+            let t = Tensor::zeros([32, 32], &dev);
+            let packed = cache.pack(&t);
+            clock.advance_by(1.0);
+            let back = cache.unpack(&packed);
+            black_box(back);
+            cache.flush();
+        })
+    });
+}
+
+fn bench_f16(c: &mut Criterion) {
+    let values: Vec<f32> = (0..4096).map(|i| i as f32 * 0.37 - 512.0).collect();
+    c.bench_function("storage/f16_convert_4k", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for v in &values {
+                acc = acc.wrapping_add(f32_to_f16_bits(*v) as u32);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let dev = Device::cpu();
+    let a = Tensor::ones([64, 64], &dev);
+    let w = Tensor::ones([64, 64], &dev);
+    c.bench_function("kernels/matmul_64", |b| {
+        b.iter(|| black_box(a.matmul(black_box(&w))))
+    });
+}
+
+fn bench_adaptive_planner(c: &mut Criterion) {
+    use ssdtrain::adaptive::{AdaptivePlan, ModuleProfile, StepProfile};
+    let profile = StepProfile {
+        modules: (0..64)
+            .map(|i| ModuleProfile {
+                path: format!("layer{}/{}", i / 2, if i % 2 == 0 { "attn" } else { "mlp" }),
+                offload_bytes: 1 << 30,
+                fwd_secs: 0.05,
+            })
+            .collect(),
+        fwd_total_secs: 3.2,
+        fwd_io_bytes: 64 << 30,
+        fwd_io_secs: 2.8,
+    };
+    c.bench_function("adaptive/decide_64_modules", |b| {
+        b.iter(|| black_box(AdaptivePlan::decide(black_box(&profile), 24.4e9, 2.0)))
+    });
+}
+
+fn bench_pipeline_sim(c: &mut Criterion) {
+    use ssdtrain_train::PipelineSim;
+    let sim = PipelineSim {
+        pp: 8,
+        micro_batches: 64,
+        fwd_secs: 0.02,
+        bwd_secs: 0.04,
+        act_bytes_per_mb: 1 << 30,
+        offload_resident_bytes: 1 << 28,
+        send_secs: 0.001,
+    };
+    c.bench_function("pipeline/1f1b_8x64", |b| b.iter(|| black_box(sim.run())));
+}
+
+criterion_group!(
+    benches,
+    bench_tensor_key,
+    bench_write_queue,
+    bench_channel,
+    bench_memory_timeline,
+    bench_cache_roundtrip,
+    bench_f16,
+    bench_matmul,
+    bench_adaptive_planner,
+    bench_pipeline_sim
+);
+criterion_main!(benches);

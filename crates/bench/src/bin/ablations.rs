@@ -1,0 +1,161 @@
+//! Ablations of the design choices DESIGN.md calls out: tensor
+//! deduplication, data forwarding, prefetching, the adaptive plan and
+//! the prefetch depth — each toggled off individually on the Figure 10
+//! BERT H8192 L4 B16 workload.
+
+use ssdtrain::{PlacementStrategy, TensorCacheConfig};
+use ssdtrain_bench::{gb, gib, print_table};
+use ssdtrain_models::{Arch, ModelConfig};
+use ssdtrain_simhw::SystemConfig;
+use ssdtrain_train::{SessionConfig, StepMetrics, TargetKind, TrainSession};
+
+fn run_on(system: SystemConfig, cache: TensorCacheConfig) -> StepMetrics {
+    let mut s = TrainSession::new(SessionConfig {
+        system,
+        model: ModelConfig::paper_scale(Arch::Bert, 8192, 4).with_tp(2),
+        batch_size: 16,
+        micro_batches: 1,
+        strategy: PlacementStrategy::Offload,
+        cache,
+        symbolic: true,
+        seed: 42,
+        target: TargetKind::Ssd,
+    })
+    .expect("session");
+    let _ = s.profile_step();
+    s.run_step()
+}
+
+fn run(cache: TensorCacheConfig) -> StepMetrics {
+    run_on(SystemConfig::dac_testbed(), cache)
+}
+
+fn main() {
+    let base = TensorCacheConfig::default();
+    let variants: Vec<(&str, TensorCacheConfig)> = vec![
+        ("full system", base.clone()),
+        (
+            "no dedup",
+            TensorCacheConfig {
+                dedup: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no forwarding",
+            TensorCacheConfig {
+                forwarding: false,
+                cancel_forwarded_stores: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no store cancel",
+            TensorCacheConfig {
+                cancel_forwarded_stores: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no prefetch (sync loads)",
+            TensorCacheConfig {
+                prefetch: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no adaptive plan",
+            TensorCacheConfig {
+                adaptive: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "prefetch depth 2",
+            TensorCacheConfig {
+                prefetch_depth: 2,
+                ..base.clone()
+            },
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, cfg) in variants {
+        let m = run(cfg);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.3}", m.step_secs),
+            format!("{:.4}", m.offload.stall_secs),
+            format!("{:.2}", gib(m.act_peak_bytes)),
+            format!("{:.2}", gb(m.offload.offloaded_bytes)),
+            format!("{:.2}", gb(m.offload.reloaded_bytes)),
+            format!("{:.2}", gb(m.offload.dedup_avoided_bytes)),
+            format!("{:.2}", gb(m.offload.cancelled_bytes)),
+            m.offload.forwarded.to_string(),
+            m.offload.sync_loads.to_string(),
+        ]);
+    }
+    print_table(
+        "Ablations — BERT H8192 L4 B16, TBA offloading",
+        &[
+            "variant",
+            "step s",
+            "stall s",
+            "peak GiB",
+            "stored GB",
+            "reloaded GB",
+            "dedup GB",
+            "cancel GB",
+            "fwd",
+            "sync",
+        ],
+        &rows,
+    );
+
+    // The adaptive planner earns its keep when bandwidth is scarce: one
+    // Optane drive per GPU instead of the testbed's four.
+    let slow = {
+        let mut sys = SystemConfig::dac_testbed();
+        sys.ssd_array.n = 1;
+        sys
+    };
+    let mut rows = Vec::new();
+    for (name, cfg) in [
+        ("adaptive plan on", base.clone()),
+        (
+            "adaptive plan off",
+            TensorCacheConfig {
+                adaptive: false,
+                ..base.clone()
+            },
+        ),
+    ] {
+        let m = run_on(slow.clone(), cfg);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.3}", m.step_secs),
+            format!("{:.4}", m.offload.stall_secs),
+            format!("{:.2}", gib(m.act_peak_bytes)),
+            format!("{:.2}", gb(m.offload.offloaded_bytes)),
+            m.offload.kept.to_string(),
+        ]);
+    }
+    print_table(
+        "Adaptive offloading under scarce bandwidth (1x P5800X, 6.1 GB/s)",
+        &[
+            "variant",
+            "step s",
+            "stall s",
+            "peak GiB",
+            "stored GB",
+            "kept",
+        ],
+        &rows,
+    );
+    println!(
+        "\nexpected: dedup avoids re-storing duplicate saves (dedup GB > 0); disabling\n\
+         prefetch exposes every reload on the critical path (stall > 0); under scarce\n\
+         bandwidth the adaptive plan keeps enough tail modules to stay off the critical\n\
+         path, where the non-adaptive keep-last-only policy stalls."
+    );
+}

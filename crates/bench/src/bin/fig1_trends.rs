@@ -1,0 +1,99 @@
+//! Figure 1 — the growth of GPU FP16 throughput, LLM sizes and GPU
+//! memory capacity. Prints the trend points and the fitted growth rates,
+//! and checks the paper's claim that memory capacity grows slower than
+//! the square root of throughput.
+
+use ssdtrain_analysis::scaling::{fit_exponential, FIGURE1_WINDOW_END};
+use ssdtrain_bench::print_table;
+use ssdtrain_simhw::catalog::{accelerators, llms};
+
+fn main() {
+    let rows: Vec<Vec<String>> = accelerators()
+        .iter()
+        .map(|a| {
+            vec![
+                a.name.clone(),
+                format!("{:.1}", a.year),
+                format!("{:.0}", a.fp16_tflops),
+                format!("{:.0}", a.memory_gb),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 1a — accelerators (FP16 TFLOP/s, memory GB)",
+        &["device", "year", "tflops", "mem GB"],
+        &rows,
+    );
+
+    let rows: Vec<Vec<String>> = llms()
+        .iter()
+        .map(|l| {
+            vec![
+                l.name.clone(),
+                format!("{:.1}", l.year),
+                format!("{:.3}", l.params_b),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 1b — LLM sizes (B params)",
+        &["model", "year", "params"],
+        &rows,
+    );
+
+    let window =
+        |f: &dyn Fn(&ssdtrain_simhw::catalog::AcceleratorPoint) -> f64| -> Vec<(f64, f64)> {
+            accelerators()
+                .iter()
+                .filter(|a| a.year <= FIGURE1_WINDOW_END)
+                .map(|a| (a.year, f(a)))
+                .collect()
+        };
+    let flops_fit = fit_exponential(&window(&|a| a.fp16_tflops));
+    let mem_fit = fit_exponential(&window(&|a| a.memory_gb));
+    let llm_fit = fit_exponential(
+        &llms()
+            .iter()
+            .map(|l| (l.year, l.params_b))
+            .collect::<Vec<_>>(),
+    );
+
+    print_table(
+        "Figure 1 — fitted growth (within the paper's observation window)",
+        &["series", "CAGR %/yr", "doubling (yr)"],
+        &[
+            vec![
+                "FP16 throughput".into(),
+                format!("{:.0}", flops_fit.cagr() * 100.0),
+                format!("{:.2}", flops_fit.doubling_years()),
+            ],
+            vec![
+                "LLM parameters".into(),
+                format!("{:.0}", llm_fit.cagr() * 100.0),
+                format!("{:.2}", llm_fit.doubling_years()),
+            ],
+            vec![
+                "sqrt(throughput)".into(),
+                format!("{:.0}", ((1.0 + flops_fit.cagr()).sqrt() - 1.0) * 100.0),
+                format!("{:.2}", flops_fit.doubling_years() * 2.0),
+            ],
+            vec![
+                "GPU memory capacity".into(),
+                format!("{:.0}", mem_fit.cagr() * 100.0),
+                format!("{:.2}", mem_fit.doubling_years()),
+            ],
+        ],
+    );
+
+    println!(
+        "\npaper claim: memory capacity grows slower than sqrt(throughput): {} \
+         ({:.3}/yr < {:.3}/yr)",
+        if mem_fit.b < flops_fit.b / 2.0 {
+            "HOLDS"
+        } else {
+            "FAILS"
+        },
+        mem_fit.b,
+        flops_fit.b / 2.0
+    );
+}

@@ -1,0 +1,37 @@
+//! Figure 2 — clusters and cloud instances have limited host memory,
+//! while local NVMe is far larger and elastic.
+
+use ssdtrain_bench::print_table;
+use ssdtrain_simhw::catalog::instances;
+
+fn main() {
+    let rows: Vec<Vec<String>> = instances()
+        .iter()
+        .map(|i| {
+            vec![
+                i.name.clone(),
+                i.gpus.to_string(),
+                format!("{:.0}", i.host_mem_gb),
+                format!("{:.0}", i.host_mem_gb / i.gpus as f64),
+                format!("{:.0}", i.local_ssd_gb),
+                format!("{:.1}x", i.local_ssd_gb / i.host_mem_gb),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 2 — host memory vs local SSD per node",
+        &[
+            "instance",
+            "GPUs",
+            "host GB",
+            "host GB/GPU",
+            "SSD GB",
+            "SSD/host",
+        ],
+        &rows,
+    );
+    println!(
+        "\npaper claim: host memory per GPU is bounded (~100–250 GB) while SSDs reach \
+         tens of TB and can be extended with more drives or remote storage."
+    );
+}

@@ -1,0 +1,109 @@
+//! Table 2 — what the paper's two measurable design axes buy: the
+//! direct GPU↔SSD data path (GDS) vs a bounce buffer through host
+//! memory, and asynchronous (prefetched, forwarded) transfers vs
+//! synchronous per-tensor I/O. The third Table 2 axis, interoperability,
+//! is architectural (see the printout).
+//!
+//! BERT H8192 L4 B16 on the Table 3 testbed.
+
+use ssdtrain::{PlacementStrategy, TensorCacheConfig};
+use ssdtrain_bench::{gib, print_table};
+use ssdtrain_models::{Arch, ModelConfig};
+use ssdtrain_simhw::SystemConfig;
+use ssdtrain_train::{SessionConfig, StepMetrics, TargetKind, TrainSession};
+
+fn run(system: SystemConfig, asynchronous: bool) -> StepMetrics {
+    let cache = if asynchronous {
+        TensorCacheConfig::default()
+    } else {
+        TensorCacheConfig {
+            prefetch: false,
+            forwarding: false,
+            cancel_forwarded_stores: false,
+            adaptive: false,
+            ..TensorCacheConfig::default()
+        }
+    };
+    let mut s = TrainSession::new(SessionConfig {
+        system,
+        model: ModelConfig::paper_scale(Arch::Bert, 8192, 4).with_tp(2),
+        batch_size: 16,
+        micro_batches: 1,
+        strategy: PlacementStrategy::Offload,
+        cache,
+        symbolic: true,
+        seed: 42,
+        target: TargetKind::Ssd,
+    })
+    .expect("session");
+    if asynchronous {
+        let _ = s.profile_step();
+    }
+    s.run_step()
+}
+
+fn main() {
+    let keep = {
+        let mut s = TrainSession::new(SessionConfig {
+            system: SystemConfig::dac_testbed(),
+            model: ModelConfig::paper_scale(Arch::Bert, 8192, 4).with_tp(2),
+            batch_size: 16,
+            micro_batches: 1,
+            strategy: PlacementStrategy::Keep,
+            cache: TensorCacheConfig::default(),
+            symbolic: true,
+            seed: 42,
+            target: TargetKind::Ssd,
+        })
+        .expect("session");
+        s.run_step()
+    };
+
+    let direct = SystemConfig::dac_testbed();
+    let via_host = SystemConfig::dac_testbed().with_via_host_path(0.5);
+    let rows_spec: [(&str, SystemConfig, bool); 4] = [
+        ("TBA: direct path + async", direct.clone(), true),
+        ("direct path + sync I/O", direct, false),
+        ("via-host path + async", via_host.clone(), true),
+        ("via-host path + sync I/O", via_host, false),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, sys, asynchronous) in rows_spec {
+        let m = run(sys, asynchronous);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.3}", m.step_secs),
+            format!("{:+.1}%", (m.step_secs / keep.step_secs - 1.0) * 100.0),
+            format!("{:.3}", m.offload.stall_secs),
+            format!("{:.2}", gib(m.act_peak_bytes)),
+        ]);
+    }
+    rows.push(vec![
+        "keep in GPU memory (reference)".into(),
+        format!("{:.3}", keep.step_secs),
+        "+0.0%".into(),
+        "0.000".into(),
+        format!("{:.2}", gib(keep.act_peak_bytes)),
+    ]);
+    print_table(
+        "Table 2 — data-path and async-transfer axes (BERT H8192 L4 B16)",
+        &[
+            "system style",
+            "step s",
+            "overhead",
+            "stall s",
+            "act peak GiB",
+        ],
+        &rows,
+    );
+    println!(
+        "\npaper's Table 2: earlier SSD-offloading systems either bounce through the CPU\n\
+         (halving usable bandwidth and perturbing host workloads) or block computation on\n\
+         per-tensor I/O; TBA is the only row with both the direct path and async transfer\n\
+         — and the only one matching the keep baseline's step time.\n\
+         The third axis, interoperability, is architectural: TBA works below the\n\
+         framework through process-local hooks (this repo's cache installs onto any\n\
+         graph via two hook registrations), instead of a custom runtime."
+    );
+}

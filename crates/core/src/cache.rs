@@ -1,0 +1,811 @@
+//! The tensor cache (paper Section 3.2, Algorithms 1–2, Figure 6).
+//!
+//! The cache registers itself as the autograd engine's saved-tensor hooks
+//! and module hooks. When an operator saves an activation, `pack`
+//! decides — parameter? small? kept module? backward phase? — and either
+//! leaves the tensor on the graph or replaces it with an opaque record id
+//! while a store job streams the bytes to the offload target. `unpack`
+//! resolves ids back, *forwarding* tensors whose store is still in
+//! flight and blocking (simulated-clock stall) on reloads that have not
+//! arrived — that stall is exactly the exposed I/O latency the paper
+//! evaluates (Q1).
+//!
+//! Memory-accounting subtlety: an offloaded tensor's GPU memory is freed
+//! *when its store completes*, which is in the simulated future at the
+//! time we learn it. The cache therefore defers the release and stamps
+//! the free event with the store's completion time
+//! ([`ssdtrain_simhw::GpuMemory::with_time`]); a tensor that ends up
+//! forwarded was never actually released, and no event is emitted.
+
+use crate::adaptive::{AdaptivePlan, ModuleProfile, StepProfile};
+use crate::config::TensorCacheConfig;
+use crate::id::{storage_stamp, tensor_key, TensorKey};
+use crate::io::{IoEngine, JobId};
+use crate::stats::OffloadStats;
+use crate::target::OffloadTarget;
+use parking_lot::Mutex;
+use ssdtrain_autograd::{ModuleHooks, Packed, Phase, SavedTensorHooks, ScopeInfo};
+use ssdtrain_simhw::{GpuMemory, SimTime};
+use ssdtrain_tensor::Tensor;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+type RecordId = u64;
+
+/// The stage kinds the scheduler announces to the cache (the `cmd`
+/// argument of the paper's `tc.set_stage`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageHint {
+    /// A micro-batch is being loaded (switches the cache's records).
+    MicroBatchLoad(usize),
+    /// A forward pass.
+    Forward,
+    /// A backward pass.
+    Backward,
+    /// A communication/boundary stage (gradient reduction etc.).
+    Communication,
+    /// The optimizer update.
+    Optimizer,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum RecState {
+    /// In GPU memory (loaded back or forwarded).
+    Resident,
+    /// Store in flight; data still resident (release deferred).
+    Storing { job: JobId },
+    /// On the offload target; GPU memory already freed (at the store's
+    /// completion time).
+    Offloaded,
+    /// Reload in flight; resident from `ready` on.
+    Loading { ready: SimTime },
+}
+
+struct Record {
+    key: TensorKey,
+    tensor: Tensor,
+    bytes: u64,
+    state: RecState,
+    scopes: HashSet<u64>,
+}
+
+#[derive(Default)]
+struct ScopeMeta {
+    path: String,
+    records: Vec<RecordId>,
+    enter: SimTime,
+    fwd_secs: f64,
+    offload_bytes: u64,
+}
+
+struct Inner {
+    records: HashMap<RecordId, Record>,
+    by_key: HashMap<TensorKey, RecordId>,
+    next_id: RecordId,
+    param_stamps: HashSet<u64>,
+    /// Innermost-first stack of open forward scopes (seq ids).
+    stack: Vec<u64>,
+    scopes: HashMap<u64, ScopeMeta>,
+    /// Forward order of scope seqs per micro-batch.
+    forward_order: HashMap<usize, Vec<u64>>,
+    current_mb: usize,
+    phase: Phase,
+    profiling: bool,
+    fwd_start: SimTime,
+    fwd_secs: f64,
+}
+
+impl Default for Inner {
+    fn default() -> Self {
+        Inner {
+            records: HashMap::new(),
+            by_key: HashMap::new(),
+            next_id: 0,
+            param_stamps: HashSet::new(),
+            stack: Vec::new(),
+            scopes: HashMap::new(),
+            forward_order: HashMap::new(),
+            current_mb: 0,
+            phase: Phase::Forward,
+            profiling: false,
+            fwd_start: SimTime::ZERO,
+            fwd_secs: 0.0,
+        }
+    }
+}
+
+/// The SSDTrain tensor cache.
+///
+/// One instance serves one (simulated) GPU. Register it on a graph with
+/// [`TensorCache::install`].
+///
+/// # Panics
+///
+/// Hook methods panic if the offload target fails (e.g. the spill
+/// directory disappears or a bounded host pool overflows) and if an
+/// opaque value is unpacked after its records were released — both are
+/// engine-integration bugs rather than recoverable conditions, mirroring
+/// how the original system would surface a failed GDS write.
+///
+/// ```
+/// use ssdtrain::{CpuTarget, IoEngine, TensorCache, TensorCacheConfig};
+/// use ssdtrain_autograd::{ops, Graph, Var};
+/// use ssdtrain_simhw::{GpuMemory, SimClock};
+/// use ssdtrain_tensor::{Device, Tensor};
+/// use std::sync::Arc;
+///
+/// let clock = SimClock::new();
+/// let mem = Arc::new(GpuMemory::new(clock.clone(), 1 << 30));
+/// let dev = Device::cpu();
+/// dev.set_tracker(mem.clone());
+/// let io = IoEngine::new(clock, 1e9, 1e9);
+/// let cache = TensorCache::new(
+///     TensorCacheConfig::offload_everything(),
+///     Arc::new(CpuTarget::new(1 << 30)),
+///     io,
+///     mem,
+/// );
+/// let graph = Graph::new(&dev, 1);
+/// cache.install(&graph);
+/// // Saved activations now flow through the cache; training is
+/// // numerically unchanged while their memory is reclaimable.
+/// let w = Var::new("w", Tensor::from_vec(vec![2.0], [1, 1], &dev));
+/// let x = graph.constant(Tensor::from_vec(vec![3.0], [1, 1], &dev));
+/// let y = ops::matmul(&graph, &x, &graph.leaf(&w));
+/// let loss = ops::mean_all(&graph, &y);
+/// graph.backward(&loss);
+/// assert_eq!(w.grad().unwrap().to_vec(), vec![3.0]);
+/// assert!(cache.stats().store_jobs > 0);
+/// ```
+pub struct TensorCache {
+    config: TensorCacheConfig,
+    target: Arc<dyn OffloadTarget>,
+    io: IoEngine,
+    mem: Arc<GpuMemory>,
+    inner: Mutex<Inner>,
+    stats: Mutex<OffloadStats>,
+    plan: Mutex<AdaptivePlan>,
+}
+
+impl TensorCache {
+    /// Creates a cache over an offload target and its I/O engine.
+    pub fn new(
+        config: TensorCacheConfig,
+        target: Arc<dyn OffloadTarget>,
+        io: IoEngine,
+        mem: Arc<GpuMemory>,
+    ) -> Arc<TensorCache> {
+        Arc::new(TensorCache {
+            config,
+            target,
+            io,
+            mem,
+            inner: Mutex::new(Inner::default()),
+            stats: Mutex::new(OffloadStats::default()),
+            plan: Mutex::new(AdaptivePlan::default()),
+        })
+    }
+
+    /// Registers this cache's hook pairs on `graph` — the
+    /// `configure_tensor_cache` of the paper's Algorithm 1.
+    pub fn install(self: &Arc<Self>, graph: &ssdtrain_autograd::Graph) {
+        graph.set_saved_tensor_hooks(self.clone());
+        graph.add_module_hooks(self.clone());
+    }
+
+    /// Excludes a parameter (any view of its storage) from offloading
+    /// (Algorithm 1 lines 3–4). Linear-layer weight transposes share the
+    /// storage stamp, so they are covered automatically (Section 3.3.1).
+    pub fn register_parameter(&self, t: &Tensor) {
+        let stamp = storage_stamp(t);
+        self.inner.lock().param_stamps.insert(stamp);
+    }
+
+    /// The I/O engine (for end-of-step queries).
+    pub fn io(&self) -> &IoEngine {
+        &self.io
+    }
+
+    /// The offload target.
+    pub fn target(&self) -> &Arc<dyn OffloadTarget> {
+        &self.target
+    }
+
+    /// Snapshot of this step's statistics.
+    pub fn stats(&self) -> OffloadStats {
+        *self.stats.lock()
+    }
+
+    /// The adaptive plan currently applied.
+    pub fn plan(&self) -> AdaptivePlan {
+        self.plan.lock().clone()
+    }
+
+    /// Overrides the adaptive plan (tests, ablations).
+    pub fn set_plan(&self, plan: AdaptivePlan) {
+        *self.plan.lock() = plan;
+    }
+
+    // ------------------------------------------------------------------
+    // Step lifecycle and scheduler hints (Algorithm 1)
+    // ------------------------------------------------------------------
+
+    /// Starts a measured step: clears per-step structures, the I/O job
+    /// queues and statistics. Call after the runtime's clock was reset.
+    pub fn begin_step(&self) {
+        self.flush();
+        // Leftover records were just flushed against the old queues; new
+        // jobs must not queue behind the previous step's transfers.
+        self.io.reset();
+        let mut inner = self.inner.lock();
+        inner.stack.clear();
+        inner.scopes.clear();
+        inner.forward_order.clear();
+        inner.phase = Phase::Forward;
+        inner.fwd_start = self.io.clock().now();
+        inner.fwd_secs = 0.0;
+        *self.stats.lock() = OffloadStats::default();
+    }
+
+    /// Enables profiling for the next step: every eligible tensor is
+    /// offloaded regardless of plan, and per-module transfer sizes and
+    /// compute times are collected (Section 3.3.3).
+    pub fn begin_profile_step(&self) {
+        self.begin_step();
+        self.inner.lock().profiling = true;
+    }
+
+    /// Ends a profiling step: builds the [`StepProfile`], derives the
+    /// adaptive plan (when enabled) and applies it to subsequent steps.
+    pub fn end_profile_step(&self) -> (StepProfile, AdaptivePlan) {
+        let profile = {
+            let mut inner = self.inner.lock();
+            inner.profiling = false;
+            if inner.fwd_secs == 0.0 {
+                // Called at the forward/backward boundary before the
+                // phase switch was observed.
+                inner.fwd_secs = self.io.clock().now().since(inner.fwd_start);
+            }
+            let order = inner
+                .forward_order
+                .get(&inner.current_mb)
+                .cloned()
+                .unwrap_or_default();
+            let modules: Vec<ModuleProfile> = order
+                .iter()
+                .filter_map(|seq| {
+                    let meta = inner.scopes.get(seq)?;
+                    if meta.records.is_empty() {
+                        return None;
+                    }
+                    Some(ModuleProfile {
+                        path: meta.path.clone(),
+                        offload_bytes: meta.offload_bytes,
+                        fwd_secs: meta.fwd_secs,
+                    })
+                })
+                .collect();
+            StepProfile {
+                modules,
+                fwd_total_secs: inner.fwd_secs,
+                fwd_io_bytes: self.io.bytes_written(),
+                fwd_io_secs: self.io.write_busy_secs(),
+            }
+        };
+        let plan = if self.config.adaptive {
+            AdaptivePlan::decide(&profile, self.io.write_bps(), self.config.bwd_fwd_ratio)
+        } else {
+            let paths: Vec<String> = profile.modules.iter().map(|m| m.path.clone()).collect();
+            AdaptivePlan::keep_last_only(&paths)
+        };
+        *self.plan.lock() = plan.clone();
+        (profile, plan)
+    }
+
+    /// Collects the records of up to `depth` record-holding modules at or
+    /// before position `pos` in the forward order, nearest first.
+    fn records_before(&self, mb: usize, pos: usize, depth: usize) -> Vec<RecordId> {
+        let inner = self.inner.lock();
+        let Some(order) = inner.forward_order.get(&mb) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut taken = 0;
+        for seq in order[..pos.min(order.len())].iter().rev() {
+            let Some(meta) = inner.scopes.get(seq) else {
+                continue;
+            };
+            if meta.records.is_empty() {
+                continue;
+            }
+            out.extend_from_slice(&meta.records);
+            taken += 1;
+            if taken >= depth {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Algorithm 1 line 9 (`tc.set_stage(cmd)`): the scheduler is about
+    /// to execute `stage`. Micro-batch loads switch the cache's record
+    /// set (Figure 4 ③).
+    pub fn set_stage(&self, stage: StageHint) {
+        if let StageHint::MicroBatchLoad(mb) = stage {
+            self.set_micro_batch(mb);
+        }
+    }
+
+    /// Algorithm 1 lines 10–13 (`tc.set_next_stage(nxcmd)`): if the
+    /// upcoming stage is a backward pass, prefetch the last module so its
+    /// first reloads overlap the tail of forward.
+    pub fn set_next_stage(&self, next: StageHint) {
+        if matches!(next, StageHint::Backward) {
+            self.prefetch_last_module();
+        }
+    }
+
+    /// Algorithm 1 line 15: called after a stage executes; backward
+    /// passes drain outstanding I/O.
+    pub fn stage_done(&self, stage: StageHint) {
+        if matches!(stage, StageHint::Backward) {
+            self.wait_io();
+        }
+    }
+
+    /// Scheduler hint (Algorithm 1 line 13): the step is about to switch
+    /// to backward propagation — prefetch the tail modules' activations.
+    pub fn prefetch_last_module(&self) {
+        let (mb, len) = {
+            let inner = self.inner.lock();
+            let mb = inner.current_mb;
+            let len = inner.forward_order.get(&mb).map_or(0, |o| o.len());
+            (mb, len)
+        };
+        let ids = self.records_before(mb, len, self.config.prefetch_depth.max(1));
+        self.prefetch_records(&ids);
+    }
+
+    /// Scheduler hint (Algorithm 1 line 15): block until in-flight
+    /// reloads complete.
+    pub fn wait_io(&self) {
+        let latest = {
+            let inner = self.inner.lock();
+            inner
+                .records
+                .values()
+                .filter_map(|r| match r.state {
+                    RecState::Loading { ready } => Some(ready),
+                    _ => None,
+                })
+                .fold(SimTime::ZERO, SimTime::max)
+        };
+        let stall = self.io.clock().advance_to(latest);
+        self.stats.lock().stall_secs += stall;
+    }
+
+    /// Micro-batch switch hint (Figure 4 ③): subsequent scopes belong to
+    /// micro-batch `mb` and the cache switches to its record set.
+    pub fn set_micro_batch(&self, mb: usize) {
+        self.inner.lock().current_mb = mb;
+    }
+
+    /// Releases every remaining record (end of step). Stores still in
+    /// flight commit at their completion times.
+    pub fn flush(&self) {
+        let ids: Vec<RecordId> = self.inner.lock().records.keys().copied().collect();
+        for id in ids {
+            self.release_record(id);
+        }
+        let mut inner = self.inner.lock();
+        inner.by_key.clear();
+        inner.records.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn innermost_kept(&self, inner: &Inner) -> bool {
+        if inner.profiling {
+            return false;
+        }
+        let Some(seq) = inner.stack.last() else {
+            return false;
+        };
+        let path = &inner.scopes[seq].path;
+        self.plan.lock().keeps(path)
+    }
+
+    /// Commits a completed store: memory freed at the store's end time.
+    ///
+    /// Mirrors Python garbage collection (paper Section 3.2): the memory
+    /// is reclaimable only once the cache holds the *last* reference to
+    /// the storage. If model code still holds the tensor (e.g. a step
+    /// input reused across steps), the record simply stays resident.
+    fn commit_store(&self, rec: &mut Record, job: JobId) {
+        if rec.tensor.storage().strong_count() > 1 {
+            rec.state = RecState::Resident;
+            return;
+        }
+        let end = self.io.store_end(job);
+        // The real payload crosses the filesystem here (wall time); the
+        // simulated transfer finished at `end`.
+        let data = rec.tensor.storage().to_bytes();
+        self.target
+            .write(&rec.key, data.as_deref(), rec.bytes)
+            .expect("offload target write failed");
+        self.mem.with_time(end, || rec.tensor.storage().release());
+        rec.state = RecState::Offloaded;
+    }
+
+    fn restore_record(&self, rec: &mut Record, ready: SimTime) {
+        let data = self
+            .target
+            .read(&rec.key)
+            .expect("offload target read failed");
+        self.mem.with_time(ready, || match data {
+            Some(bytes) => {
+                let decoded = rec.tensor.storage().decode_bytes(&bytes);
+                rec.tensor.storage().restore_numeric(decoded);
+            }
+            None => rec.tensor.storage().restore_symbolic(),
+        });
+    }
+
+    fn prefetch_records(&self, ids: &[RecordId]) {
+        if !self.config.prefetch {
+            return;
+        }
+        let now = self.io.clock().now();
+        let mut inner = self.inner.lock();
+        for id in ids {
+            let Some(rec) = inner.records.get_mut(id) else {
+                continue;
+            };
+            match rec.state {
+                RecState::Storing { job } => {
+                    let end = self.io.store_end(job);
+                    if now >= end {
+                        self.commit_store(rec, job);
+                        // Immediately reload below.
+                    } else {
+                        // Still being stored: data forwarding at prefetch
+                        // time (Section 3.3.2) — keep the in-memory
+                        // reference so the store's completion never frees
+                        // it, and cancel the job if it has not started.
+                        rec.state = RecState::Resident;
+                        let bytes = rec.bytes;
+                        let cancelled = self.config.cancel_forwarded_stores
+                            && self.io.try_cancel_store(job, now);
+                        let mut stats = self.stats.lock();
+                        stats.forwarded += 1;
+                        stats.forwarded_bytes += bytes;
+                        if cancelled {
+                            stats.cancelled_stores += 1;
+                            stats.cancelled_bytes += bytes;
+                            stats.offloaded_bytes -= bytes;
+                            stats.store_jobs -= 1;
+                        }
+                        continue;
+                    }
+                }
+                RecState::Resident | RecState::Loading { .. } => continue,
+                RecState::Offloaded => {}
+            }
+            if let RecState::Offloaded = rec.state {
+                let ready = self.io.submit_load(rec.bytes);
+                self.restore_record(rec, ready);
+                rec.state = RecState::Loading { ready };
+                let mut stats = self.stats.lock();
+                stats.prefetches += 1;
+                stats.reloaded_bytes += rec.bytes;
+            }
+        }
+    }
+
+    fn release_record(&self, id: RecordId) {
+        let mut inner = self.inner.lock();
+        let Some(mut rec) = inner.records.remove(&id) else {
+            return;
+        };
+        inner.by_key.remove(&rec.key);
+        drop(inner);
+        let now = self.io.clock().now();
+        // Releasing frees memory only when the cache's reference is the
+        // last one — like Python GC, a tensor the model still holds keeps
+        // its memory (the storage's own drop reports the eventual free).
+        let exclusive = rec.tensor.storage().strong_count() == 1;
+        match rec.state {
+            RecState::Resident => {
+                if exclusive {
+                    rec.tensor.storage().release();
+                }
+            }
+            RecState::Loading { ready } => {
+                // Loaded data is reclaimed once the (simulated) load has
+                // landed; releasing earlier would be double-counting.
+                if exclusive {
+                    self.mem
+                        .with_time(ready.max(now), || rec.tensor.storage().release());
+                }
+            }
+            RecState::Storing { job } => {
+                // The paper's "excessive offloading" effect: the tensor
+                // was never reused, its memory comes back only when the
+                // store completes.
+                self.commit_store(&mut rec, job);
+            }
+            RecState::Offloaded => {}
+        }
+        self.target.remove(&rec.key);
+    }
+}
+
+impl SavedTensorHooks for TensorCache {
+    fn pack(&self, tensor: &Tensor) -> Packed {
+        let mut inner = self.inner.lock();
+
+        // Algorithm 2, line 12: parameters and small tensors stay.
+        let stamp = storage_stamp(tensor);
+        if inner.param_stamps.contains(&stamp) {
+            return Packed::Tensor(tensor.clone());
+        }
+        if tensor.numel() < self.config.min_offload_numel {
+            return Packed::Tensor(tensor.clone());
+        }
+        // Algorithm 2, line 15: kept module or backward/recompute phase.
+        if inner.phase.in_backward() || self.innermost_kept(&inner) {
+            self.stats.lock().kept += 1;
+            return Packed::Tensor(tensor.clone());
+        }
+
+        let key = tensor_key(tensor);
+        let cur_scope = inner.stack.last().copied();
+
+        // Deduplication (Section 3.3.1).
+        if self.config.dedup {
+            if let Some(&id) = inner.by_key.get(&key) {
+                let bytes = inner.records[&id].bytes;
+                if let Some(seq) = cur_scope {
+                    if let Some(rec) = inner.records.get_mut(&id) {
+                        rec.scopes.insert(seq);
+                    }
+                    if let Some(meta) = inner.scopes.get_mut(&seq) {
+                        if !meta.records.contains(&id) {
+                            meta.records.push(id);
+                        }
+                    }
+                }
+                let mut stats = self.stats.lock();
+                stats.dedup_hits += 1;
+                stats.dedup_avoided_bytes += bytes;
+                return Packed::Opaque(id);
+            }
+        }
+
+        // New record: submit the store job (Figure 4 ①). The memory
+        // release is deferred until the store commits.
+        let bytes = tensor.bytes();
+        let job = self.io.submit_store(bytes);
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let mut scopes = HashSet::new();
+        if let Some(seq) = cur_scope {
+            scopes.insert(seq);
+            if let Some(meta) = inner.scopes.get_mut(&seq) {
+                meta.records.push(id);
+                meta.offload_bytes += bytes;
+            }
+        }
+        inner.records.insert(
+            id,
+            Record {
+                key: key.clone(),
+                tensor: tensor.clone(),
+                bytes,
+                state: RecState::Storing { job },
+                scopes,
+            },
+        );
+        inner.by_key.insert(key, id);
+        drop(inner);
+        let mut stats = self.stats.lock();
+        stats.offloaded_bytes += bytes;
+        stats.store_jobs += 1;
+        Packed::Opaque(id)
+    }
+
+    fn unpack(&self, packed: &Packed) -> Tensor {
+        let id = match packed {
+            // Algorithm 2, line 20.
+            Packed::Tensor(t) => return t.clone(),
+            Packed::Opaque(id) => *id,
+        };
+        let now = self.io.clock().now();
+        let mut inner = self.inner.lock();
+        let rec = inner
+            .records
+            .get_mut(&id)
+            .unwrap_or_else(|| panic!("unpack of unknown record {id}"));
+        match rec.state {
+            RecState::Resident => rec.tensor.clone(),
+            RecState::Storing { job } => {
+                let end = self.io.store_end(job);
+                if self.config.forwarding && now < end {
+                    // Data forwarding (Section 3.3.2): the tensor is
+                    // still in memory; skip the reload and, if the store
+                    // has not started, cancel it (adaptive feature 1).
+                    rec.state = RecState::Resident;
+                    let bytes = rec.bytes;
+                    let t = rec.tensor.clone();
+                    drop(inner);
+                    let cancelled =
+                        self.config.cancel_forwarded_stores && self.io.try_cancel_store(job, now);
+                    let mut stats = self.stats.lock();
+                    stats.forwarded += 1;
+                    stats.forwarded_bytes += bytes;
+                    if cancelled {
+                        stats.cancelled_stores += 1;
+                        stats.cancelled_bytes += bytes;
+                        stats.offloaded_bytes -= bytes;
+                        stats.store_jobs -= 1;
+                    }
+                    t
+                } else {
+                    // Store finished (or forwarding disabled): commit,
+                    // then block on a synchronous reload.
+                    if now < end {
+                        // Forwarding disabled: the load cannot begin
+                        // until the store finishes.
+                        let stall = self.io.clock().advance_to(end);
+                        self.stats.lock().stall_secs += stall;
+                    }
+                    self.commit_store(rec, job);
+                    if matches!(rec.state, RecState::Resident) {
+                        // Commit found live references: the tensor never
+                        // left memory, no reload needed.
+                        return rec.tensor.clone();
+                    }
+                    let ready = self.io.submit_load(rec.bytes);
+                    self.restore_record(rec, ready);
+                    rec.state = RecState::Resident;
+                    let bytes = rec.bytes;
+                    let t = rec.tensor.clone();
+                    drop(inner);
+                    let stall = self.io.clock().advance_to(ready);
+                    let mut stats = self.stats.lock();
+                    stats.sync_loads += 1;
+                    stats.reloaded_bytes += bytes;
+                    stats.stall_secs += stall;
+                    t
+                }
+            }
+            RecState::Offloaded => {
+                let ready = self.io.submit_load(rec.bytes);
+                self.restore_record(rec, ready);
+                rec.state = RecState::Resident;
+                let bytes = rec.bytes;
+                let t = rec.tensor.clone();
+                drop(inner);
+                let stall = self.io.clock().advance_to(ready);
+                let mut stats = self.stats.lock();
+                stats.sync_loads += 1;
+                stats.reloaded_bytes += bytes;
+                stats.stall_secs += stall;
+                t
+            }
+            RecState::Loading { ready } => {
+                rec.state = RecState::Resident;
+                let t = rec.tensor.clone();
+                drop(inner);
+                let stall = self.io.clock().advance_to(ready);
+                self.stats.lock().stall_secs += stall;
+                t
+            }
+        }
+    }
+}
+
+impl ModuleHooks for TensorCache {
+    fn forward_pre(&self, scope: &ScopeInfo) {
+        let mut inner = self.inner.lock();
+        if inner.phase != Phase::Forward {
+            return;
+        }
+        inner.current_mb = scope.micro_batch;
+        inner.stack.push(scope.seq);
+        inner.scopes.insert(
+            scope.seq,
+            ScopeMeta {
+                path: scope.path.clone(),
+                records: Vec::new(),
+                enter: self.io.clock().now(),
+                fwd_secs: 0.0,
+                offload_bytes: 0,
+            },
+        );
+        inner
+            .forward_order
+            .entry(scope.micro_batch)
+            .or_default()
+            .push(scope.seq);
+    }
+
+    fn forward_post(&self, scope: &ScopeInfo) {
+        let mut inner = self.inner.lock();
+        if inner.phase != Phase::Forward {
+            return;
+        }
+        let now = self.io.clock().now();
+        if let Some(meta) = inner.scopes.get_mut(&scope.seq) {
+            meta.fwd_secs = now.since(meta.enter);
+        }
+        if inner.stack.last() == Some(&scope.seq) {
+            inner.stack.pop();
+        }
+    }
+
+    fn backward_pre(&self, scope: &ScopeInfo) {
+        // Prefetch the activations of the modules processed next in
+        // backward order, i.e. the nearest earlier modules in forward
+        // order that hold records (Section 3.3.2). Depth > 1 keeps the
+        // read channel saturated across module boundaries.
+        let pos = {
+            let inner = self.inner.lock();
+            let Some(order) = inner.forward_order.get(&scope.micro_batch) else {
+                return;
+            };
+            match order.iter().position(|s| *s == scope.seq) {
+                Some(p) => p,
+                None => return,
+            }
+        };
+        let ids = self.records_before(scope.micro_batch, pos, self.config.prefetch_depth.max(1));
+        self.prefetch_records(&ids);
+    }
+
+    fn backward_post(&self, scope: &ScopeInfo) {
+        // Algorithm 2 lines 8–10: drop this scope from its records and
+        // release records nobody references.
+        let to_release: Vec<RecordId> = {
+            let mut inner = self.inner.lock();
+            let Some(meta) = inner.scopes.get(&scope.seq) else {
+                return;
+            };
+            let ids = meta.records.clone();
+            let mut done = Vec::new();
+            for id in ids {
+                if let Some(rec) = inner.records.get_mut(&id) {
+                    rec.scopes.remove(&scope.seq);
+                    if rec.scopes.is_empty() {
+                        done.push(id);
+                    }
+                }
+            }
+            done
+        };
+        for id in to_release {
+            self.release_record(id);
+        }
+    }
+
+    fn phase_changed(&self, phase: Phase) {
+        let mut inner = self.inner.lock();
+        if inner.phase == Phase::Forward && phase == Phase::Backward {
+            inner.fwd_secs = self.io.clock().now().since(inner.fwd_start);
+        }
+        inner.phase = phase;
+    }
+}
+
+impl std::fmt::Debug for TensorCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("TensorCache")
+            .field("records", &inner.records.len())
+            .field("phase", &inner.phase)
+            .field("stats", &*self.stats.lock())
+            .finish()
+    }
+}

@@ -1,0 +1,135 @@
+//! Tensor-cache configuration and the ROK placement strategies.
+
+use serde::{Deserialize, Serialize};
+
+/// Where activations live between forward and backward — the three
+/// corners of the paper's recompute-offload-keep (ROK) design space
+/// (Section 4.3, Figure 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PlacementStrategy {
+    /// Keep every activation in GPU memory (the PyTorch default).
+    Keep,
+    /// Offload to SSD through the tensor cache (the paper's system).
+    #[default]
+    Offload,
+    /// Layerwise full recomputation (activation checkpointing).
+    Recompute,
+    /// Recompute the first `recompute_layers` layers and offload the
+    /// rest — an interior point of the ROK plane and the joint
+    /// optimisation the paper's Section 4.4 leaves open. Exercises the
+    /// cache's keep-in-memory path for recomputed activations
+    /// (Algorithm 2 line 15).
+    Hybrid {
+        /// Layers (per stack, in forward order) under checkpointing.
+        recompute_layers: usize,
+    },
+}
+
+impl PlacementStrategy {
+    /// Stable lowercase label for reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            PlacementStrategy::Keep => "keep",
+            PlacementStrategy::Offload => "offload",
+            PlacementStrategy::Recompute => "recompute",
+            PlacementStrategy::Hybrid { .. } => "hybrid",
+        }
+    }
+
+    /// Whether this strategy runs the tensor cache.
+    pub const fn uses_cache(self) -> bool {
+        matches!(
+            self,
+            PlacementStrategy::Offload | PlacementStrategy::Hybrid { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for PlacementStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Tunables of the [`crate::TensorCache`]. Every optimisation the paper
+/// describes can be disabled individually, which is what the ablation
+/// benches sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TensorCacheConfig {
+    /// Minimum element count for a tensor to be offloaded; smaller
+    /// tensors are kept (paper Algorithm 2 line 12: `2**20`).
+    pub min_offload_numel: usize,
+    /// Deduplicate saves of the same tensor identity (Section 3.3.1).
+    pub dedup: bool,
+    /// Return in-flight stores from memory instead of reloading
+    /// (Section 3.3.2, "data forwarding").
+    pub forwarding: bool,
+    /// Cancel queued store jobs whose tensor was forwarded
+    /// (Section 3.3.3, adaptive offloading feature 1).
+    pub cancel_forwarded_stores: bool,
+    /// Apply the adaptive keep-the-tail plan produced by profiling
+    /// (Section 3.3.3, feature 2). When `false`, everything eligible is
+    /// offloaded and only the last module is implicitly kept by the
+    /// prefetch-free fast path.
+    pub adaptive: bool,
+    /// Prefetch activations of upcoming modules during backward
+    /// (Section 3.3.2). Disabling exposes every reload on the critical
+    /// path — the behaviour of the non-async systems in Table 2.
+    pub prefetch: bool,
+    /// How many upcoming modules to keep in the load queue during
+    /// backward. The paper notes any scheme works "as long as there are
+    /// always I/O tasks in the GPU job queue to keep PCIe busy". Depth 1
+    /// is the paper's scheme (prefetch the next module); raise it when a
+    /// module's reload takes longer than a module's backward (small
+    /// hidden sizes on fast GPUs).
+    pub prefetch_depth: usize,
+    /// Backward-to-forward time ratio assumed by the adaptive planner
+    /// (the paper estimates backward ≈ 2× forward).
+    pub bwd_fwd_ratio: f64,
+}
+
+impl Default for TensorCacheConfig {
+    fn default() -> Self {
+        TensorCacheConfig {
+            min_offload_numel: 1 << 20,
+            dedup: true,
+            forwarding: true,
+            cancel_forwarded_stores: true,
+            adaptive: true,
+            prefetch: true,
+            prefetch_depth: 2,
+            bwd_fwd_ratio: 2.0,
+        }
+    }
+}
+
+impl TensorCacheConfig {
+    /// A configuration suitable for functional tests: offloads even tiny
+    /// tensors so small models exercise the full path.
+    pub fn offload_everything() -> TensorCacheConfig {
+        TensorCacheConfig {
+            min_offload_numel: 0,
+            ..TensorCacheConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_threshold() {
+        let c = TensorCacheConfig::default();
+        assert_eq!(c.min_offload_numel, 1 << 20);
+        assert!(c.dedup && c.forwarding && c.prefetch && c.adaptive);
+        assert_eq!(c.bwd_fwd_ratio, 2.0);
+    }
+
+    #[test]
+    fn strategy_labels() {
+        assert_eq!(PlacementStrategy::Keep.to_string(), "keep");
+        assert_eq!(PlacementStrategy::Offload.to_string(), "offload");
+        assert_eq!(PlacementStrategy::Recompute.to_string(), "recompute");
+    }
+}

@@ -1,0 +1,285 @@
+//! Store/load job engine — the paper's two I/O thread pools
+//! (Section 3.3.2).
+//!
+//! Jobs execute in FIFO order per direction, exactly like the paper's
+//! store and load pools. Timing is modelled on the simulated clock: a job
+//! submitted at `t` starts when the direction's previous job finished and
+//! occupies the channel for `bytes / bandwidth`. Queued (not yet started)
+//! store jobs can be *cancelled* when their tensor was forwarded
+//! (adaptive offloading feature 1), which reflows the queue.
+
+use parking_lot::Mutex;
+use ssdtrain_simhw::{Channel, SimClock, SimTime};
+use std::sync::Arc;
+
+/// Handle to a submitted store job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JobId(usize);
+
+#[derive(Debug, Clone)]
+struct WriteJob {
+    bytes: u64,
+    submit: SimTime,
+    start: SimTime,
+    end: SimTime,
+    cancelled: bool,
+}
+
+#[derive(Debug, Default)]
+struct WriteQueue {
+    jobs: Vec<WriteJob>,
+}
+
+impl WriteQueue {
+    fn reflow(&mut self, bps: f64) {
+        let mut prev_end = SimTime::ZERO;
+        for j in self.jobs.iter_mut().filter(|j| !j.cancelled) {
+            j.start = j.submit.max(prev_end);
+            j.end = j.start.plus_secs(j.bytes as f64 / bps);
+            prev_end = j.end;
+        }
+    }
+}
+
+/// The simulated store/load engine shared by a tensor cache.
+///
+/// ```
+/// use ssdtrain::IoEngine;
+/// use ssdtrain_simhw::SimClock;
+/// let io = IoEngine::new(SimClock::new(), 1e9, 2e9);
+/// let job = io.submit_store(500_000_000); // 0.5 s at 1 GB/s
+/// assert_eq!(io.store_end(job).as_secs(), 0.5);
+/// let ready = io.submit_load(1_000_000_000); // full duplex
+/// assert_eq!(ready.as_secs(), 0.5);
+/// ```
+#[derive(Clone)]
+pub struct IoEngine {
+    clock: SimClock,
+    write_bps: f64,
+    writes: Arc<Mutex<WriteQueue>>,
+    reads: Channel,
+}
+
+impl IoEngine {
+    /// Creates an engine over one offload target's write/read bandwidths.
+    ///
+    /// # Panics
+    /// Panics if a bandwidth is not positive.
+    pub fn new(clock: SimClock, write_bps: f64, read_bps: f64) -> IoEngine {
+        assert!(
+            write_bps > 0.0 && read_bps > 0.0,
+            "bandwidth must be positive"
+        );
+        IoEngine {
+            clock,
+            write_bps,
+            writes: Arc::new(Mutex::new(WriteQueue::default())),
+            reads: Channel::new("offload-read", read_bps),
+        }
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Configured write bandwidth, bytes/s (the adaptive planner's budget).
+    pub fn write_bps(&self) -> f64 {
+        self.write_bps
+    }
+
+    /// Configured read bandwidth, bytes/s.
+    pub fn read_bps(&self) -> f64 {
+        self.reads.bandwidth()
+    }
+
+    /// Submits a store of `bytes` at the current time; returns its id.
+    pub fn submit_store(&self, bytes: u64) -> JobId {
+        let now = self.clock.now();
+        let mut q = self.writes.lock();
+        let prev_end = q
+            .jobs
+            .iter()
+            .rev()
+            .find(|j| !j.cancelled)
+            .map(|j| j.end)
+            .unwrap_or(SimTime::ZERO);
+        let start = now.max(prev_end);
+        let end = start.plus_secs(bytes as f64 / self.write_bps);
+        q.jobs.push(WriteJob {
+            bytes,
+            submit: now,
+            start,
+            end,
+            cancelled: false,
+        });
+        JobId(q.jobs.len() - 1)
+    }
+
+    /// Current scheduled completion time of a store (may move earlier if
+    /// queued jobs ahead of it are cancelled).
+    ///
+    /// # Panics
+    /// Panics on an unknown or cancelled job.
+    pub fn store_end(&self, job: JobId) -> SimTime {
+        let q = self.writes.lock();
+        let j = &q.jobs[job.0];
+        assert!(!j.cancelled, "store_end of a cancelled job");
+        j.end
+    }
+
+    /// Whether the store has started transferring by `now`.
+    pub fn store_started(&self, job: JobId, now: SimTime) -> bool {
+        let q = self.writes.lock();
+        let j = &q.jobs[job.0];
+        !j.cancelled && j.start <= now
+    }
+
+    /// Cancels a store if it has not started by `now`; returns `true` on
+    /// success (the adaptive-offloading check a store worker performs
+    /// before writing a forwarded tensor).
+    pub fn try_cancel_store(&self, job: JobId, now: SimTime) -> bool {
+        let mut q = self.writes.lock();
+        let j = &mut q.jobs[job.0];
+        if j.cancelled || j.start <= now {
+            return false;
+        }
+        j.cancelled = true;
+        q.reflow(self.write_bps);
+        true
+    }
+
+    /// Submits a load of `bytes` at the current time; returns the time
+    /// the data is resident in GPU memory.
+    pub fn submit_load(&self, bytes: u64) -> SimTime {
+        let (_start, end) = self.reads.submit(self.clock.now(), bytes);
+        end
+    }
+
+    /// When the write direction finishes its last scheduled job.
+    pub fn writes_drain_at(&self) -> SimTime {
+        self.writes
+            .lock()
+            .jobs
+            .iter()
+            .filter(|j| !j.cancelled)
+            .map(|j| j.end)
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// Total bytes actually written (cancelled jobs excluded).
+    pub fn bytes_written(&self) -> u64 {
+        self.writes
+            .lock()
+            .jobs
+            .iter()
+            .filter(|j| !j.cancelled)
+            .map(|j| j.bytes)
+            .sum()
+    }
+
+    /// Total bytes read back.
+    pub fn bytes_read(&self) -> u64 {
+        self.reads.bytes_total()
+    }
+
+    /// Seconds the write direction was busy.
+    pub fn write_busy_secs(&self) -> f64 {
+        self.bytes_written() as f64 / self.write_bps
+    }
+
+    /// Clears all job state (new measured step).
+    pub fn reset(&self) {
+        self.writes.lock().jobs.clear();
+        self.reads.reset();
+    }
+}
+
+impl std::fmt::Debug for IoEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IoEngine")
+            .field("write_gbps", &(self.write_bps / 1e9))
+            .field("read_gbps", &(self.reads.bandwidth() / 1e9))
+            .field("bytes_written", &self.bytes_written())
+            .field("bytes_read", &self.bytes_read())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> (SimClock, IoEngine) {
+        let clock = SimClock::new();
+        let io = IoEngine::new(clock.clone(), 1e9, 2e9);
+        (clock, io)
+    }
+
+    #[test]
+    fn stores_run_fifo() {
+        let (_c, io) = engine();
+        let a = io.submit_store(1_000_000_000); // 1 s
+        let b = io.submit_store(500_000_000); // queued behind
+        assert_eq!(io.store_end(a).as_secs(), 1.0);
+        assert_eq!(io.store_end(b).as_secs(), 1.5);
+    }
+
+    #[test]
+    fn cancelling_a_queued_store_reflows_the_queue() {
+        let (_c, io) = engine();
+        let _a = io.submit_store(1_000_000_000);
+        let b = io.submit_store(1_000_000_000);
+        let c = io.submit_store(1_000_000_000);
+        assert_eq!(io.store_end(c).as_secs(), 3.0);
+        // b has not started at t=0.5.
+        assert!(io.try_cancel_store(b, SimTime::from_secs(0.5)));
+        assert_eq!(io.store_end(c).as_secs(), 2.0);
+        assert_eq!(io.bytes_written(), 2_000_000_000);
+    }
+
+    #[test]
+    fn started_stores_cannot_be_cancelled() {
+        let (_c, io) = engine();
+        let a = io.submit_store(1_000_000_000);
+        assert!(io.store_started(a, SimTime::from_secs(0.1)));
+        assert!(!io.try_cancel_store(a, SimTime::from_secs(0.1)));
+        assert_eq!(io.bytes_written(), 1_000_000_000);
+    }
+
+    #[test]
+    fn loads_use_the_read_channel() {
+        let (clock, io) = engine();
+        clock.advance_by(1.0);
+        let ready = io.submit_load(2_000_000_000); // 1 s at 2 GB/s
+        assert_eq!(ready.as_secs(), 2.0);
+        assert_eq!(io.bytes_read(), 2_000_000_000);
+    }
+
+    #[test]
+    fn writes_overlap_reads_full_duplex() {
+        let (_c, io) = engine();
+        io.submit_store(1_000_000_000);
+        let ready = io.submit_load(2_000_000_000);
+        // Read finishes at 1 s even though a write occupies 0..1 s.
+        assert_eq!(ready.as_secs(), 1.0);
+    }
+
+    #[test]
+    fn drain_time_tracks_last_live_job() {
+        let (_c, io) = engine();
+        let _a = io.submit_store(1_000_000_000);
+        let b = io.submit_store(1_000_000_000);
+        assert_eq!(io.writes_drain_at().as_secs(), 2.0);
+        io.try_cancel_store(b, SimTime::ZERO);
+        assert_eq!(io.writes_drain_at().as_secs(), 1.0);
+    }
+
+    #[test]
+    fn idle_write_queue_starts_at_submit_time() {
+        let (clock, io) = engine();
+        clock.advance_by(3.0);
+        let a = io.submit_store(1_000_000_000);
+        assert_eq!(io.store_end(a).as_secs(), 4.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # ssdtrain — SSD-based activation offloading for LLM training
+//!
+//! This crate is the Rust reproduction of the system the paper calls
+//! **TBA** (published at DAC 2025 as **SSDTrain**): a tensor cache that
+//! intercepts the autograd engine's saved-tensor pack/unpack hooks,
+//! streams activations to NVMe SSDs during forward propagation, and
+//! prefetches them back just before backward propagation needs them —
+//! fully overlapping the I/O with computation so that activation memory
+//! is reclaimed at **no step-time cost**.
+//!
+//! Components map one-to-one onto the paper's design (Section 3):
+//!
+//! | paper | here |
+//! |---|---|
+//! | tensor cache (Alg. 2) | [`TensorCache`] |
+//! | `get_id()` dedup (§3.3.1) | [`id::tensor_key`] — first-seen stamp on the *storage* + shape |
+//! | parameter exclusion (§3.3.1) | [`TensorCache::register_parameter`] |
+//! | store/load thread pools (§3.3.2) | [`io::IoEngine`] FIFO queues on the simulated PCIe/SSD channels |
+//! | data forwarding (§3.3.2) | in-flight stores are returned from memory and cancelled if still queued |
+//! | adaptive offloading (§3.3.3, Fig. 8) | [`adaptive`] — profile a step, keep the last modules resident |
+//! | SSD / CPU offloader (§3.1, Fig. 5) | [`target::SsdTarget`], [`target::CpuTarget`] |
+//! | scheduler hints (Alg. 1) | [`TensorCache::prefetch_last_module`], [`TensorCache::wait_io`], micro-batch switching |
+//!
+//! The placement strategies of the ROK curve (Section 4.3) are selected
+//! with [`PlacementStrategy`].
+
+pub mod adaptive;
+pub mod cache;
+pub mod config;
+pub mod id;
+pub mod io;
+pub mod stats;
+pub mod target;
+
+pub use adaptive::{AdaptivePlan, ModuleProfile, StepProfile};
+pub use cache::{StageHint, TensorCache};
+pub use config::{PlacementStrategy, TensorCacheConfig};
+pub use io::IoEngine;
+pub use stats::OffloadStats;
+pub use target::{CpuTarget, OffloadTarget, SsdTarget};

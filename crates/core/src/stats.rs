@@ -1,0 +1,67 @@
+//! Offloading statistics collected per training step.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters the tensor cache maintains; Table 4 and the ablation benches
+/// read these.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct OffloadStats {
+    /// Bytes submitted to the store queue (the paper's "offloaded
+    /// amount").
+    pub offloaded_bytes: u64,
+    /// Store jobs submitted.
+    pub store_jobs: u64,
+    /// Bytes whose re-save was avoided by identity deduplication.
+    pub dedup_avoided_bytes: u64,
+    /// Saves answered by an existing record (dedup hits).
+    pub dedup_hits: u64,
+    /// Unpacks served by data forwarding (store still in flight).
+    pub forwarded: u64,
+    /// Bytes forwarded.
+    pub forwarded_bytes: u64,
+    /// Queued store jobs cancelled after forwarding.
+    pub cancelled_stores: u64,
+    /// Bytes of cancelled stores (write traffic avoided).
+    pub cancelled_bytes: u64,
+    /// Reloads issued as prefetches.
+    pub prefetches: u64,
+    /// Reloads issued synchronously at unpack (prefetch missed).
+    pub sync_loads: u64,
+    /// Bytes reloaded from the offload target.
+    pub reloaded_bytes: u64,
+    /// Tensors kept resident by policy (parameter, small, kept module,
+    /// backward-phase save).
+    pub kept: u64,
+    /// Total simulated seconds the GPU stalled waiting for reloads — the
+    /// exposed I/O latency; ≈0 when overlap is perfect (paper Q1).
+    pub stall_secs: f64,
+}
+
+impl OffloadStats {
+    /// Sum of write and read traffic to the offload target.
+    pub fn io_bytes(&self) -> u64 {
+        self.offloaded_bytes + self.reloaded_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_bytes_sums_directions() {
+        let s = OffloadStats {
+            offloaded_bytes: 10,
+            reloaded_bytes: 5,
+            ..OffloadStats::default()
+        };
+        assert_eq!(s.io_bytes(), 15);
+    }
+
+    #[test]
+    fn default_is_all_zero() {
+        let s = OffloadStats::default();
+        assert_eq!(s.io_bytes(), 0);
+        assert_eq!(s.stall_secs, 0.0);
+    }
+}

@@ -1,0 +1,320 @@
+//! Offload targets: where activation bytes go (paper Figure 5).
+//!
+//! [`SsdTarget`] writes real files under a spill directory — functional
+//! round trips actually cross the filesystem — and meters SSD wear.
+//! [`CpuTarget`] models the host-pinned-memory pool of the paper's CPU
+//! offloader (kept "for future work on clusters with massive remote SSD
+//! storage"); its pool size is fixed up front, mirroring the profiling-
+//! based allocation.
+
+use crate::id::TensorKey;
+use parking_lot::Mutex;
+use ssdtrain_simhw::WearMeter;
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A device (or memory pool) activation bytes can be stored to and read
+/// back from.
+///
+/// `data` is `None` in symbolic execution: the target must account the
+/// traffic without materialising payloads.
+pub trait OffloadTarget: Send + Sync {
+    /// Short target name for reports.
+    fn name(&self) -> &str;
+
+    /// Persists `len` bytes under `key`.
+    ///
+    /// # Errors
+    /// Returns any underlying I/O error (e.g. spill directory removed).
+    fn write(&self, key: &TensorKey, data: Option<&[u8]>, len: u64) -> io::Result<()>;
+
+    /// Reads the bytes stored under `key`; `Ok(None)` for symbolic
+    /// entries.
+    ///
+    /// # Errors
+    /// Returns an error if `key` was never written or the read fails.
+    fn read(&self, key: &TensorKey) -> io::Result<Option<Vec<u8>>>;
+
+    /// Drops the entry for `key` (idempotent).
+    fn remove(&self, key: &TensorKey);
+
+    /// Host bytes written so far.
+    fn bytes_written(&self) -> u64;
+}
+
+// ---------------------------------------------------------------------
+// SSD target
+// ---------------------------------------------------------------------
+
+struct SsdState {
+    wear: WearMeter,
+    symbolic_lens: HashMap<TensorKey, u64>,
+}
+
+/// NVMe SSD offload target: one file per tensor under a spill directory,
+/// with wear metering against the array's endurance budget.
+pub struct SsdTarget {
+    dir: PathBuf,
+    state: Mutex<SsdState>,
+}
+
+impl SsdTarget {
+    /// Creates the target, creating `dir` if needed.
+    ///
+    /// # Errors
+    /// Returns an error if the directory cannot be created.
+    pub fn new(dir: impl AsRef<Path>, wear: WearMeter) -> io::Result<SsdTarget> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        Ok(SsdTarget {
+            dir,
+            state: Mutex::new(SsdState {
+                wear,
+                symbolic_lens: HashMap::new(),
+            }),
+        })
+    }
+
+    fn path_for(&self, key: &TensorKey) -> PathBuf {
+        let dims: Vec<String> = key.shape.iter().map(|d| d.to_string()).collect();
+        self.dir
+            .join(format!("t{}_{}.act", key.stamp, dims.join("x")))
+    }
+
+    /// Snapshot of the wear meter.
+    pub fn wear(&self) -> WearMeter {
+        self.state.lock().wear.clone()
+    }
+
+    /// The spill directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl OffloadTarget for SsdTarget {
+    fn name(&self) -> &str {
+        "ssd"
+    }
+
+    fn write(&self, key: &TensorKey, data: Option<&[u8]>, len: u64) -> io::Result<()> {
+        {
+            let mut s = self.state.lock();
+            s.wear.record_write(len);
+            if data.is_none() {
+                s.symbolic_lens.insert(key.clone(), len);
+            }
+        }
+        if let Some(bytes) = data {
+            fs::write(self.path_for(key), bytes)?;
+        }
+        Ok(())
+    }
+
+    fn read(&self, key: &TensorKey) -> io::Result<Option<Vec<u8>>> {
+        if self.state.lock().symbolic_lens.contains_key(key) {
+            return Ok(None);
+        }
+        fs::read(self.path_for(key)).map(Some)
+    }
+
+    fn remove(&self, key: &TensorKey) {
+        if self.state.lock().symbolic_lens.remove(key).is_some() {
+            return;
+        }
+        let _ = fs::remove_file(self.path_for(key));
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.state.lock().wear.host_bytes
+    }
+}
+
+impl fmt::Debug for SsdTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SsdTarget")
+            .field("dir", &self.dir)
+            .field("host_bytes", &self.bytes_written())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// CPU (host pinned memory) target
+// ---------------------------------------------------------------------
+
+struct CpuState {
+    pool: HashMap<TensorKey, Option<Vec<u8>>>,
+    used: u64,
+    lens: HashMap<TensorKey, u64>,
+    written: u64,
+}
+
+/// Host-memory offload target backed by a bounded pinned pool.
+pub struct CpuTarget {
+    pool_bytes: u64,
+    state: Mutex<CpuState>,
+}
+
+impl CpuTarget {
+    /// Creates a target with a pinned pool of `pool_bytes` (the paper
+    /// sizes this by profiling the first training step).
+    pub fn new(pool_bytes: u64) -> CpuTarget {
+        CpuTarget {
+            pool_bytes,
+            state: Mutex::new(CpuState {
+                pool: HashMap::new(),
+                used: 0,
+                lens: HashMap::new(),
+                written: 0,
+            }),
+        }
+    }
+
+    /// Pool capacity in bytes.
+    pub fn pool_bytes(&self) -> u64 {
+        self.pool_bytes
+    }
+
+    /// Bytes currently held in the pool.
+    pub fn used_bytes(&self) -> u64 {
+        self.state.lock().used
+    }
+}
+
+impl OffloadTarget for CpuTarget {
+    fn name(&self) -> &str {
+        "cpu"
+    }
+
+    fn write(&self, key: &TensorKey, data: Option<&[u8]>, len: u64) -> io::Result<()> {
+        let mut s = self.state.lock();
+        if s.used + len > self.pool_bytes {
+            return Err(io::Error::new(
+                io::ErrorKind::OutOfMemory,
+                format!(
+                    "pinned pool exhausted: {} + {len} > {}",
+                    s.used, self.pool_bytes
+                ),
+            ));
+        }
+        s.used += len;
+        s.written += len;
+        s.lens.insert(key.clone(), len);
+        s.pool.insert(key.clone(), data.map(|d| d.to_vec()));
+        Ok(())
+    }
+
+    fn read(&self, key: &TensorKey) -> io::Result<Option<Vec<u8>>> {
+        let s = self.state.lock();
+        match s.pool.get(key) {
+            Some(Some(bytes)) => Ok(Some(bytes.clone())),
+            Some(None) => Ok(None),
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("{key} not in pinned pool"),
+            )),
+        }
+    }
+
+    fn remove(&self, key: &TensorKey) {
+        let mut s = self.state.lock();
+        if s.pool.remove(key).is_some() {
+            let len = s.lens.remove(key).unwrap_or(0);
+            s.used = s.used.saturating_sub(len);
+        }
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.state.lock().written
+    }
+}
+
+impl fmt::Debug for CpuTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CpuTarget")
+            .field("pool_bytes", &self.pool_bytes)
+            .field("used", &self.used_bytes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(stamp: u64) -> TensorKey {
+        TensorKey {
+            stamp,
+            shape: vec![4, 2],
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("ssdtrain-target-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn ssd_roundtrip_through_filesystem() {
+        let dir = tmpdir("rt");
+        let t = SsdTarget::new(&dir, WearMeter::new(1e12, 1.0)).unwrap();
+        let k = key(1);
+        let payload = vec![1u8, 2, 3, 4];
+        t.write(&k, Some(&payload), 4).unwrap();
+        assert_eq!(t.read(&k).unwrap().unwrap(), payload);
+        assert_eq!(t.bytes_written(), 4);
+        t.remove(&k);
+        assert!(t.read(&k).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ssd_symbolic_entries_account_without_payload() {
+        let dir = tmpdir("sym");
+        let t = SsdTarget::new(&dir, WearMeter::new(1e12, 1.0)).unwrap();
+        let k = key(2);
+        t.write(&k, None, 1024).unwrap();
+        assert_eq!(t.read(&k).unwrap(), None);
+        assert_eq!(t.bytes_written(), 1024);
+        assert!((t.wear().wear_fraction() - 1024.0 / 1e12).abs() < 1e-18);
+        t.remove(&k);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ssd_wear_accumulates_across_writes() {
+        let dir = tmpdir("wear");
+        let t = SsdTarget::new(&dir, WearMeter::new(1000.0, 1.0)).unwrap();
+        t.write(&key(3), None, 250).unwrap();
+        t.write(&key(4), None, 250).unwrap();
+        assert!((t.wear().wear_fraction() - 0.5).abs() < 1e-12);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cpu_pool_bounds_capacity() {
+        let t = CpuTarget::new(100);
+        t.write(&key(1), None, 60).unwrap();
+        let err = t.write(&key(2), None, 60).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::OutOfMemory);
+        t.remove(&key(1));
+        assert_eq!(t.used_bytes(), 0);
+        t.write(&key(2), None, 60).unwrap();
+    }
+
+    #[test]
+    fn cpu_roundtrip() {
+        let t = CpuTarget::new(1024);
+        let k = key(5);
+        t.write(&k, Some(&[9, 9]), 2).unwrap();
+        assert_eq!(t.read(&k).unwrap().unwrap(), vec![9, 9]);
+        assert_eq!(t.bytes_written(), 2);
+        assert!(t.read(&key(6)).is_err());
+    }
+}

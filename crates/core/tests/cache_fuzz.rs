@@ -1,0 +1,179 @@
+//! Property-based fuzzing of the tensor-cache state machine: random
+//! interleavings of pack / unpack / prefetch / scope-release / clock
+//! advances must never corrupt data, leak records, or break memory
+//! conservation.
+
+use proptest::prelude::*;
+use ssdtrain::{CpuTarget, IoEngine, TensorCache, TensorCacheConfig};
+use ssdtrain_autograd::{ModuleHooks, Packed, Phase, SavedTensorHooks, ScopeInfo};
+use ssdtrain_simhw::{GpuMemory, SimClock};
+use ssdtrain_tensor::{Device, MemClass, Tensor};
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Action {
+    /// Pack a fresh tensor of `len` elements under the current scope.
+    Pack { len: usize },
+    /// Re-pack an earlier tensor (dedup path), by index into the packed
+    /// list.
+    Repack { which: usize },
+    /// Unpack one of the packed values.
+    Unpack { which: usize },
+    /// Advance the simulated clock.
+    Advance { millis: u32 },
+    /// Close the current scope in "backward" and open the next one.
+    NextScope,
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (1usize..512).prop_map(|len| Action::Pack { len }),
+        (0usize..64).prop_map(|which| Action::Repack { which }),
+        (0usize..64).prop_map(|which| Action::Unpack { which }),
+        (0u32..2000).prop_map(|millis| Action::Advance { millis }),
+        Just(Action::NextScope),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_interleavings_preserve_data_and_memory(
+        actions in prop::collection::vec(action_strategy(), 1..60),
+        write_kbps in 1u64..1_000_000,
+    ) {
+        let clock = SimClock::new();
+        let mem = Arc::new(GpuMemory::new(clock.clone(), 1 << 40));
+        let dev = Device::cpu();
+        dev.set_tracker(mem.clone());
+        let io = IoEngine::new(clock.clone(), write_kbps as f64 * 1e3, 1e6);
+        let cache = TensorCache::new(
+            TensorCacheConfig {
+                min_offload_numel: 0,
+                adaptive: false,
+                ..TensorCacheConfig::default()
+            },
+            Arc::new(CpuTarget::new(1 << 40)),
+            io,
+            mem.clone(),
+        );
+        cache.begin_step();
+
+        // Drive the module hooks directly (a synthetic forward pass).
+        let mut scope_seq = 1u64;
+        let open_scope = |cache: &TensorCache, seq: u64| {
+            cache.forward_pre(&ScopeInfo {
+                path: format!("m{seq}"),
+                seq,
+                micro_batch: 0,
+            });
+        };
+        open_scope(&cache, scope_seq);
+
+        // (packed value, expected bytes, scope it belongs to). Handles
+        // die when their scope's backward completes — unpacking them
+        // afterwards would be an engine bug, so the driver only unpacks
+        // live ones, mirroring real tape behaviour.
+        let mut packed: Vec<(Packed, Vec<f32>, u64)> = Vec::new();
+        let mut tensors: Vec<Tensor> = Vec::new(); // keep-alive originals
+
+        for action in &actions {
+            match action {
+                Action::Pack { len } => {
+                    let data: Vec<f32> =
+                        (0..*len).map(|i| (i as f32) * 0.5 + packed.len() as f32).collect();
+                    let t = Tensor::from_vec(data.clone(), [*len], &dev);
+                    let p = cache.pack(&t);
+                    packed.push((p, data, scope_seq));
+                    tensors.push(t);
+                }
+                Action::Repack { which } => {
+                    if !tensors.is_empty() {
+                        let t = tensors[which % tensors.len()].clone();
+                        let expect = t.to_vec_or_reload(&cache);
+                        let p = cache.pack(&t);
+                        packed.push((p, expect, scope_seq));
+                    }
+                }
+                Action::Unpack { which } => {
+                    let live: Vec<&(Packed, Vec<f32>, u64)> =
+                        packed.iter().filter(|e| e.2 >= scope_seq).collect();
+                    if !live.is_empty() {
+                        let (p, expect, _) = live[which % live.len()];
+                        let back = cache.unpack(p);
+                        prop_assert_eq!(&back.to_vec(), expect, "unpack data");
+                    }
+                }
+                Action::Advance { millis } => {
+                    clock.advance_by(*millis as f64 / 1000.0);
+                }
+                Action::NextScope => {
+                    // Close forward scope, then treat it as done in
+                    // backward (release its records), then open a new one.
+                    let info = ScopeInfo {
+                        path: format!("m{scope_seq}"),
+                        seq: scope_seq,
+                        micro_batch: 0,
+                    };
+                    cache.forward_post(&info);
+                    cache.backward_post(&info);
+                    scope_seq += 1;
+                    open_scope(&cache, scope_seq);
+                }
+            }
+        }
+
+        // Whatever happened, every still-live value must resolve to its
+        // original bytes.
+        for (p, expect, scope) in &packed {
+            if *scope >= scope_seq {
+                let back = cache.unpack(p);
+                prop_assert_eq!(&back.to_vec(), expect, "final unpack");
+            }
+        }
+        // Flush and drop everything: no activation bytes may linger.
+        cache.flush();
+        drop(packed);
+        drop(tensors);
+        prop_assert_eq!(mem.resident(MemClass::Activation), 0);
+        // Stall accounting can only be non-negative.
+        prop_assert!(cache.stats().stall_secs >= 0.0);
+    }
+}
+
+/// Test helper: read a tensor's bytes even if the cache currently has its
+/// storage offloaded (peek through the cache by unpacking is not possible
+/// without the packed handle, so reconstruct from the original values
+/// when resident, else defer to the recorded expectation).
+trait ToVecOrReload {
+    fn to_vec_or_reload(&self, cache: &TensorCache) -> Vec<f32>;
+}
+
+impl ToVecOrReload for Tensor {
+    fn to_vec_or_reload(&self, _cache: &TensorCache) -> Vec<f32> {
+        // Packing keeps data resident until a store commits, and commits
+        // only release when the cache holds the last reference — which it
+        // never does here because this suite keeps originals alive.
+        self.to_vec()
+    }
+}
+
+#[test]
+fn phase_changes_are_idempotent() {
+    let clock = SimClock::new();
+    let mem = Arc::new(GpuMemory::new(clock.clone(), 1 << 30));
+    let io = IoEngine::new(clock.clone(), 1e9, 1e9);
+    let cache = TensorCache::new(
+        TensorCacheConfig::default(),
+        Arc::new(CpuTarget::new(1 << 30)),
+        io,
+        mem,
+    );
+    for _ in 0..3 {
+        cache.phase_changed(Phase::Forward);
+        cache.phase_changed(Phase::Backward);
+        cache.phase_changed(Phase::Recompute);
+    }
+    cache.flush();
+}

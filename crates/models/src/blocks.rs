@@ -1,0 +1,470 @@
+//! Transformer building blocks: attention, MLP and the full layer
+//! (paper Figure 3).
+
+use crate::config::ModelConfig;
+use crate::layers::{maybe_dropout, LayerNorm, Linear};
+use ssdtrain_autograd::{checkpoint, ops, Graph, Value, Var};
+use ssdtrain_tensor::{Device, Prng};
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Multi-head attention with separate Q/K/V/output projections.
+///
+/// With `fused` (the default, matching the paper's use of
+/// FlashAttention-2), the `S×S` scores are never materialised; the
+/// unfused path records the pre-Flash operator chain with an explicit
+/// softmax whose probabilities are saved for backward.
+#[derive(Debug, Clone)]
+pub struct Attention {
+    q: Linear,
+    k: Linear,
+    v: Linear,
+    o: Linear,
+    heads: usize,
+    tp: usize,
+    causal: bool,
+    fused: bool,
+    dropout_p: f32,
+}
+
+impl Attention {
+    /// Creates an attention block. With `cfg.tp > 1` this is one GPU's
+    /// Megatron-style shard: `heads / tp` local heads, column-parallel
+    /// Q/K/V, row-parallel output projection followed by an allreduce.
+    pub fn new(
+        name: &str,
+        cfg: &ModelConfig,
+        causal: bool,
+        rng: &mut Prng,
+        dev: &Device,
+    ) -> Attention {
+        let h = cfg.hidden;
+        let h_local = h / cfg.tp;
+        Attention {
+            q: Linear::new(&format!("{name}.q"), h, h_local, rng, dev),
+            k: Linear::new(&format!("{name}.k"), h, h_local, rng, dev),
+            v: Linear::new(&format!("{name}.v"), h, h_local, rng, dev),
+            o: Linear::new(&format!("{name}.o"), h_local, h, rng, dev),
+            heads: cfg.heads / cfg.tp,
+            tp: cfg.tp,
+            causal,
+            fused: cfg.fused_attention,
+            dropout_p: cfg.dropout_p,
+        }
+    }
+
+    /// Attention of `x_q` over `x_kv` (self-attention when they are the
+    /// same value; cross-attention in the T5 decoder otherwise).
+    pub fn forward(&self, g: &Graph, x_q: &Value, x_kv: &Value) -> Value {
+        let q = ops::permute_heads(g, &self.q.forward(g, x_q), self.heads);
+        let k = ops::permute_heads(g, &self.k.forward(g, x_kv), self.heads);
+        let v = ops::permute_heads(g, &self.v.forward(g, x_kv), self.heads);
+        let ctx = if self.fused {
+            ops::flash_attention(g, &q, &k, &v, self.causal, self.dropout_p)
+        } else {
+            let d = q.tensor().dim(2) as f32;
+            let kt = ops::transpose_12(g, &k);
+            let scores = ops::scale(g, &ops::bmm(g, &q, &kt), 1.0 / d.sqrt());
+            let scores = if self.causal {
+                ops::apply_causal_mask(g, &scores)
+            } else {
+                scores
+            };
+            let probs = ops::softmax_last(g, &scores);
+            let probs = maybe_dropout(g, &probs, self.dropout_p);
+            ops::bmm(g, &probs, &v)
+        };
+        let merged = ops::unpermute_heads(g, &ctx, self.heads);
+        let out = self.o.forward(g, &merged);
+        let out = if self.tp > 1 {
+            // Row-parallel output: partial sums reduce across the TP
+            // group before dropout (Megatron's `g` operator).
+            ops::allreduce(g, &out, out.tensor().bytes())
+        } else {
+            out
+        };
+        maybe_dropout(g, &out, self.dropout_p)
+    }
+
+    /// This block's parameters.
+    pub fn parameters(&self) -> Vec<Var> {
+        [&self.q, &self.k, &self.v, &self.o]
+            .iter()
+            .flat_map(|l| l.parameters())
+            .collect()
+    }
+}
+
+/// The two-projection MLP block with GELU (Figure 3(b)).
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    fc1: Linear,
+    fc2: Linear,
+    tp: usize,
+    dropout_p: f32,
+}
+
+impl Mlp {
+    /// Creates an MLP with the standard 4× expansion; with `cfg.tp > 1`
+    /// the inner dimension is column/row-parallel sharded.
+    pub fn new(name: &str, cfg: &ModelConfig, rng: &mut Prng, dev: &Device) -> Mlp {
+        let h = cfg.hidden;
+        let inner = 4 * h / cfg.tp;
+        Mlp {
+            fc1: Linear::new(&format!("{name}.fc1"), h, inner, rng, dev),
+            fc2: Linear::new(&format!("{name}.fc2"), inner, h, rng, dev),
+            tp: cfg.tp,
+            dropout_p: cfg.dropout_p,
+        }
+    }
+
+    /// Applies the block.
+    pub fn forward(&self, g: &Graph, x: &Value) -> Value {
+        let h = ops::gelu(g, &self.fc1.forward(g, x));
+        let out = self.fc2.forward(g, &h);
+        let out = if self.tp > 1 {
+            ops::allreduce(g, &out, out.tensor().bytes())
+        } else {
+            out
+        };
+        maybe_dropout(g, &out, self.dropout_p)
+    }
+
+    /// This block's parameters.
+    pub fn parameters(&self) -> Vec<Var> {
+        let mut p = self.fc1.parameters();
+        p.extend(self.fc2.parameters());
+        p
+    }
+}
+
+/// One pre-LN transformer layer: self-attention, optional
+/// cross-attention (T5 decoder), MLP — each under its own module scope
+/// so the tensor cache profiles them separately (Figure 8).
+#[derive(Debug, Clone)]
+pub struct TransformerLayer {
+    ln1: LayerNorm,
+    attn: Attention,
+    cross: Option<(LayerNorm, Attention)>,
+    ln2: LayerNorm,
+    mlp: Mlp,
+}
+
+impl TransformerLayer {
+    /// Creates a layer; `causal` selects decoder-style masking,
+    /// `with_cross` adds a cross-attention block.
+    pub fn new(
+        name: &str,
+        cfg: &ModelConfig,
+        causal: bool,
+        with_cross: bool,
+        rng: &mut Prng,
+        dev: &Device,
+    ) -> Arc<TransformerLayer> {
+        Arc::new(TransformerLayer {
+            ln1: LayerNorm::new(&format!("{name}.ln1"), cfg.hidden, dev),
+            attn: Attention::new(&format!("{name}.attn"), cfg, causal, rng, dev),
+            cross: with_cross.then(|| {
+                (
+                    LayerNorm::new(&format!("{name}.lnx"), cfg.hidden, dev),
+                    Attention::new(&format!("{name}.xattn"), cfg, false, rng, dev),
+                )
+            }),
+            ln2: LayerNorm::new(&format!("{name}.ln2"), cfg.hidden, dev),
+            mlp: Mlp::new(&format!("{name}.mlp"), cfg, rng, dev),
+        })
+    }
+
+    /// Runs the layer; `ctx` is the encoder output for cross-attention.
+    ///
+    /// # Panics
+    /// Panics if the layer has a cross block but `ctx` is `None`.
+    pub fn forward(&self, g: &Graph, x: &Value, ctx: Option<&Value>) -> Value {
+        let mut x = x.clone();
+        x = g.scoped("attn", || {
+            let normed = self.ln1.forward(g, &x);
+            let a = self.attn.forward(g, &normed, &normed);
+            ops::add(g, &x, &a)
+        });
+        if let Some((lnx, xattn)) = &self.cross {
+            let ctx = ctx.expect("cross-attention layer needs encoder output");
+            x = g.scoped("xattn", || {
+                let normed = lnx.forward(g, &x);
+                let a = xattn.forward(g, &normed, ctx);
+                ops::add(g, &x, &a)
+            });
+        }
+        g.scoped("mlp", || {
+            let normed = self.ln2.forward(g, &x);
+            let m = self.mlp.forward(g, &normed);
+            ops::add(g, &x, &m)
+        })
+    }
+
+    /// Runs the layer under activation checkpointing: intermediates are
+    /// recomputed in backward (the ROK curve's "recompute" strategy).
+    pub fn forward_checkpointed(
+        self: &Arc<Self>,
+        g: &Graph,
+        x: &Value,
+        ctx: Option<&Value>,
+    ) -> Value {
+        let layer = self.clone();
+        let has_ctx = ctx.is_some();
+        let mut inputs = vec![x.clone()];
+        if let Some(c) = ctx {
+            inputs.push(c.clone());
+        }
+        let outs = checkpoint(
+            g,
+            Rc::new(move |cg: &Graph, ins: &[Value]| {
+                let ctx = has_ctx.then(|| ins[1].clone());
+                vec![layer.forward(cg, &ins[0], ctx.as_ref())]
+            }),
+            &inputs,
+        );
+        outs.into_iter()
+            .next()
+            .expect("checkpoint returns the output")
+    }
+
+    /// This layer's parameters.
+    pub fn parameters(&self) -> Vec<Var> {
+        let mut p = self.ln1.parameters();
+        p.extend(self.attn.parameters());
+        if let Some((lnx, xattn)) = &self.cross {
+            p.extend(lnx.parameters());
+            p.extend(xattn.parameters());
+        }
+        p.extend(self.ln2.parameters());
+        p.extend(self.mlp.parameters());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssdtrain_autograd::ops::mean_all;
+    use ssdtrain_tensor::Tensor;
+
+    fn setup(fused: bool) -> (Device, ModelConfig, Arc<TransformerLayer>) {
+        let dev = Device::cpu();
+        let cfg = ModelConfig {
+            fused_attention: fused,
+            ..ModelConfig::tiny_gpt()
+        };
+        let mut rng = Prng::seed_from_u64(4);
+        let layer = TransformerLayer::new("l0", &cfg, true, false, &mut rng, &dev);
+        (dev, cfg, layer)
+    }
+
+    #[test]
+    fn layer_preserves_shape() {
+        let (dev, cfg, layer) = setup(true);
+        let g = Graph::new(&dev, 1);
+        let x = g.constant(Tensor::ones([2, cfg.seq, cfg.hidden], &dev));
+        let y = layer.forward(&g, &x, None);
+        assert_eq!(y.dims(), &[2, cfg.seq, cfg.hidden]);
+    }
+
+    #[test]
+    fn fused_and_unfused_attention_agree() {
+        let dev = Device::cpu();
+        let mk = |fused: bool| {
+            let cfg = ModelConfig {
+                fused_attention: fused,
+                ..ModelConfig::tiny_gpt()
+            };
+            let mut rng = Prng::seed_from_u64(11);
+            let attn = Attention::new("a", &cfg, true, &mut rng, &dev);
+            let g = Graph::new(&dev, 1);
+            let mut xr = Prng::seed_from_u64(5);
+            let x = g.constant(Tensor::randn([2, 4, cfg.hidden], 0.5, &mut xr, &dev));
+            attn.forward(&g, &x, &x).tensor().to_vec()
+        };
+        let fused = mk(true);
+        let unfused = mk(false);
+        assert_eq!(fused.len(), unfused.len());
+        for (a, b) in fused.iter().zip(&unfused) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn checkpointed_layer_matches_plain_gradients() {
+        let (dev, cfg, layer) = setup(true);
+        let mut xr = Prng::seed_from_u64(6);
+        let x0 = Tensor::randn([1, cfg.seq, cfg.hidden], 0.5, &mut xr, &dev);
+
+        let run = |ckpt: bool| -> (f32, Vec<f32>) {
+            for p in layer.parameters() {
+                p.zero_grad();
+            }
+            let g = Graph::new(&dev, 9);
+            let x = g.constant(x0.clone());
+            let y = if ckpt {
+                layer.forward_checkpointed(&g, &x, None)
+            } else {
+                layer.forward(&g, &x, None)
+            };
+            let loss = mean_all(&g, &y);
+            g.backward(&loss);
+            let grads = layer
+                .parameters()
+                .iter()
+                .flat_map(|p| p.grad().map(|gr| gr.to_vec()).unwrap_or_default())
+                .collect();
+            (loss.tensor().item(), grads)
+        };
+
+        let (l1, g1) = run(false);
+        let (l2, g2) = run(true);
+        assert_eq!(l1, l2);
+        assert_eq!(g1, g2, "checkpointing must not change gradients");
+    }
+
+    #[test]
+    fn cross_attention_layer_uses_encoder_context() {
+        let dev = Device::cpu();
+        let cfg = ModelConfig::tiny_t5();
+        let mut rng = Prng::seed_from_u64(8);
+        let layer = TransformerLayer::new("d0", &cfg, true, true, &mut rng, &dev);
+        let g = Graph::new(&dev, 1);
+        let mut xr = Prng::seed_from_u64(3);
+        let x = g.constant(Tensor::randn([1, cfg.seq, cfg.hidden], 0.3, &mut xr, &dev));
+        let c1 = g.constant(Tensor::zeros([1, cfg.seq, cfg.hidden], &dev));
+        let c2 = g.constant(Tensor::ones([1, cfg.seq, cfg.hidden], &dev));
+        let y1 = layer.forward(&g, &x, Some(&c1));
+        let y2 = layer.forward(&g, &x, Some(&c2));
+        assert_ne!(
+            y1.tensor().to_vec(),
+            y2.tensor().to_vec(),
+            "different encoder context must change the output"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "needs encoder output")]
+    fn cross_layer_without_context_panics() {
+        let dev = Device::cpu();
+        let cfg = ModelConfig::tiny_t5();
+        let mut rng = Prng::seed_from_u64(8);
+        let layer = TransformerLayer::new("d0", &cfg, true, true, &mut rng, &dev);
+        let g = Graph::new(&dev, 1);
+        let x = g.constant(Tensor::zeros([1, cfg.seq, cfg.hidden], &dev));
+        let _ = layer.forward(&g, &x, None);
+    }
+
+    #[test]
+    fn tensor_parallel_shards_parameters_and_inserts_allreduce() {
+        let dev = Device::cpu();
+        let cfg = ModelConfig::tiny_gpt().with_tp(2);
+        let mut rng = Prng::seed_from_u64(10);
+        let layer = TransformerLayer::new("l0", &cfg, true, false, &mut rng, &dev);
+        // Shard parameter count: attention qkv are h×(h/2), o is (h/2)×h,
+        // MLP is h×(2h) + (2h)×h — exactly half the dense matmul params.
+        let dense: usize = TransformerLayer::new(
+            "ref",
+            &ModelConfig::tiny_gpt(),
+            true,
+            false,
+            &mut Prng::seed_from_u64(10),
+            &dev,
+        )
+        .parameters()
+        .iter()
+        .filter(|p| p.tensor().rank() == 2)
+        .map(|p| p.numel())
+        .sum();
+        let sharded: usize = layer
+            .parameters()
+            .iter()
+            .filter(|p| p.tensor().rank() == 2)
+            .map(|p| p.numel())
+            .sum();
+        assert_eq!(sharded * 2, dense);
+
+        // The forward pass contains exactly two allreduces (attn + mlp).
+        use ssdtrain_autograd::{ExecObserver, OpCost, Phase};
+        #[derive(Default)]
+        struct CountAr(std::sync::atomic::AtomicU32);
+        impl ExecObserver for CountAr {
+            fn on_op(&self, name: &str, _c: &OpCost, _p: Phase) {
+                if name == "allreduce" {
+                    self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            }
+        }
+        let g = Graph::new(&dev, 1);
+        let counter = Arc::new(CountAr::default());
+        g.set_observer(counter.clone());
+        let x = g.constant(Tensor::ones([1, cfg.seq, cfg.hidden], &dev));
+        let _y = layer.forward(&g, &x, None);
+        assert_eq!(counter.0.load(std::sync::atomic::Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn whole_layer_gradcheck_against_finite_differences() {
+        // End-to-end central-difference check of a full transformer layer
+        // (layernorm -> fused attention -> residual -> layernorm -> MLP
+        // -> residual) with respect to the first layernorm's gamma.
+        use ssdtrain_autograd::check_gradients;
+        use ssdtrain_autograd::ops::mean_all;
+
+        let dev = Device::cpu();
+        let cfg = ModelConfig {
+            hidden: 8,
+            heads: 2,
+            seq: 4,
+            ..ModelConfig::tiny_gpt()
+        };
+        let mut rng = Prng::seed_from_u64(31);
+        let layer = TransformerLayer::new("l", &cfg, true, false, &mut rng, &dev);
+        let mut xr = Prng::seed_from_u64(32);
+        let x0 = Tensor::randn([1, cfg.seq, cfg.hidden], 0.5, &mut xr, &dev);
+
+        // Substitute the checked Var for ln1.gamma by rebuilding the
+        // forward with an explicit layernorm over the same weights.
+        let report = check_gradients(&dev, &layer.ln1.gamma.tensor(), 5e-3, 33, |g, gamma| {
+            let xv = g.constant(x0.clone());
+            let normed = ssdtrain_autograd::ops::layernorm(
+                g,
+                &xv,
+                &g.leaf(gamma),
+                &g.leaf(&layer.ln1.beta),
+                1e-5,
+            );
+            let a = layer.attn.forward(g, &normed, &normed);
+            let x = ssdtrain_autograd::ops::add(g, &xv, &a);
+            let normed2 = layer.ln2.forward(g, &x);
+            let m = layer.mlp.forward(g, &normed2);
+            let y = ssdtrain_autograd::ops::add(g, &x, &m);
+            mean_all(g, &y)
+        });
+        assert!(report.passes(5e-3), "{report:?}");
+    }
+
+    #[test]
+    fn scopes_are_attn_and_mlp() {
+        use parking_lot::Mutex;
+        use ssdtrain_autograd::{ModuleHooks, ScopeInfo};
+
+        #[derive(Default)]
+        struct Paths(Mutex<Vec<String>>);
+        impl ModuleHooks for Paths {
+            fn forward_pre(&self, s: &ScopeInfo) {
+                self.0.lock().push(s.path.clone());
+            }
+        }
+
+        let (dev, cfg, layer) = setup(true);
+        let g = Graph::new(&dev, 1);
+        let log = Arc::new(Paths::default());
+        g.add_module_hooks(log.clone());
+        let x = g.constant(Tensor::ones([1, cfg.seq, cfg.hidden], &dev));
+        g.scoped("layer0", || layer.forward(&g, &x, None));
+        let paths = log.0.lock().clone();
+        assert_eq!(paths, vec!["layer0", "layer0/attn", "layer0/mlp"]);
+    }
+}

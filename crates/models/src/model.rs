@@ -1,0 +1,145 @@
+//! The unified model handle.
+
+use crate::batch::Batch;
+use crate::bert::BertModel;
+use crate::config::{Arch, ModelConfig, Recompute};
+use crate::gpt::GptModel;
+use crate::t5::T5Model;
+use ssdtrain_autograd::{Graph, Value, Var};
+use ssdtrain_tensor::Device;
+
+/// A model that can be split into pipeline stages: an embedding
+/// prologue, a contiguous slice of transformer layers per stage, and a
+/// loss epilogue. Implemented by GPT and BERT (T5's cross-attention
+/// broadcasts the encoder output to every decoder stage and is out of
+/// scope for the functional pipeline trainer).
+pub trait StagedModel {
+    /// Embedding front (stage 0's prologue).
+    fn forward_embed(&self, g: &Graph, batch: &Batch) -> Value;
+    /// One stage's contiguous layer slice.
+    fn forward_layers(
+        &self,
+        g: &Graph,
+        x: &Value,
+        range: std::ops::Range<usize>,
+        recompute: Recompute,
+    ) -> Value;
+    /// Loss epilogue (the last stage).
+    fn forward_head_loss(&self, g: &Graph, h: &Value, batch: &Batch) -> Value;
+    /// Number of splittable layers.
+    fn layer_count(&self) -> usize;
+    /// All trainable parameters.
+    fn stage_parameters(&self) -> Vec<Var>;
+}
+
+/// Any of the three evaluation architectures behind one interface.
+#[derive(Debug, Clone)]
+pub enum Model {
+    /// Decoder-only.
+    Gpt(GptModel),
+    /// Encoder-only.
+    Bert(BertModel),
+    /// Encoder-decoder.
+    T5(T5Model),
+}
+
+impl Model {
+    /// Builds the architecture selected by `cfg.arch`.
+    pub fn build(cfg: &ModelConfig, dev: &Device, seed: u64) -> Model {
+        match cfg.arch {
+            Arch::Gpt => Model::Gpt(GptModel::new(cfg, dev, seed)),
+            Arch::Bert => Model::Bert(BertModel::new(cfg, dev, seed)),
+            Arch::T5 => Model::T5(T5Model::new(cfg, dev, seed)),
+        }
+    }
+
+    /// Forward pass to the scalar training loss.
+    pub fn forward_loss(&self, g: &Graph, batch: &Batch, recompute: Recompute) -> Value {
+        match self {
+            Model::Gpt(m) => m.forward_loss(g, batch, recompute),
+            Model::Bert(m) => m.forward_loss(g, batch, recompute),
+            Model::T5(m) => m.forward_loss(g, batch, recompute),
+        }
+    }
+
+    /// All trainable parameters.
+    pub fn parameters(&self) -> Vec<Var> {
+        match self {
+            Model::Gpt(m) => m.parameters(),
+            Model::Bert(m) => m.parameters(),
+            Model::T5(m) => m.parameters(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ModelConfig {
+        match self {
+            Model::Gpt(m) => m.config(),
+            Model::Bert(m) => m.config(),
+            Model::T5(m) => m.config(),
+        }
+    }
+
+    /// Total parameter count (exact, from the instantiated tensors).
+    pub fn param_count(&self) -> u64 {
+        self.parameters().iter().map(|p| p.numel() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_dispatches_on_arch() {
+        let dev = Device::cpu();
+        assert!(matches!(
+            Model::build(&ModelConfig::tiny_gpt(), &dev, 1),
+            Model::Gpt(_)
+        ));
+        assert!(matches!(
+            Model::build(&ModelConfig::tiny_bert(), &dev, 1),
+            Model::Bert(_)
+        ));
+        assert!(matches!(
+            Model::build(&ModelConfig::tiny_t5(), &dev, 1),
+            Model::T5(_)
+        ));
+    }
+
+    #[test]
+    fn param_count_tracks_hidden_squared_growth() {
+        // Symbolic devices cost nothing; check the ~12·L·H² transformer
+        // parameter law at paper shapes.
+        let dev = Device::symbolic();
+        let cfg = ModelConfig::paper_scale(Arch::Bert, 1024, 3);
+        let m = Model::build(&cfg, &dev, 1);
+        let n = m.param_count() as f64;
+        let law = 12.0 * 3.0 * 1024.0f64.powi(2);
+        // Embeddings and the MLM head add vocab terms on top of the law.
+        let extra = 2.0 * 50304.0 * 1024.0;
+        assert!(
+            (n / (law + extra) - 1.0).abs() < 0.15,
+            "count {n} vs law {law} + {extra}"
+        );
+    }
+
+    #[test]
+    fn all_three_archs_train_one_numeric_step() {
+        let dev = Device::cpu();
+        for cfg in [
+            ModelConfig::tiny_gpt(),
+            ModelConfig::tiny_bert(),
+            ModelConfig::tiny_t5(),
+        ] {
+            let m = Model::build(&cfg, &dev, 7);
+            let g = Graph::new(&dev, 1);
+            let b = Batch::synthetic(&cfg, 2, 2, &dev);
+            let loss = m.forward_loss(&g, &b, Recompute::None);
+            assert!(loss.tensor().item().is_finite(), "{}", cfg.tag());
+            g.backward(&loss);
+            let with_grads = m.parameters().iter().filter(|p| p.grad().is_some()).count();
+            assert_eq!(with_grads, m.parameters().len(), "{}", cfg.tag());
+        }
+    }
+}

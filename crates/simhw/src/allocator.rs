@@ -1,0 +1,266 @@
+//! A CUDA-caching-allocator model.
+//!
+//! PyTorch's allocator never returns memory to the driver: freed blocks
+//! go to size-bucketed free lists and are reused by best-fit, so the
+//! *reserved* footprint is a high-water mark that fragmentation can
+//! inflate well beyond the allocated bytes. The paper keeps PyTorch's
+//! caching allocator in place (Section 3.1) and Figure 7 counts its
+//! events; this model reproduces the reserved-vs-allocated distinction
+//! so placement strategies can be compared on both.
+//!
+//! Model rules (matching the real allocator's visible behaviour):
+//! * requests < 1 MiB round up to 512 B multiples ("small pool");
+//!   requests ≥ 1 MiB round up to 2 MiB multiples ("large pool");
+//! * a free block is reused for any request of the same pool whose
+//!   rounded size fits; the block may be *split*, leaving a remainder
+//!   block in the pool (large pool only, like the real allocator);
+//! * nothing is ever returned to the device: `reserved` only grows.
+
+use serde::{Deserialize, Serialize};
+
+const SMALL_GRAIN: u64 = 512;
+const SMALL_LIMIT: u64 = 1 << 20;
+const LARGE_GRAIN: u64 = 2 << 20;
+
+/// Rounds a request to its pool granularity.
+pub fn rounded_size(bytes: u64) -> u64 {
+    if bytes == 0 {
+        return 0;
+    }
+    if bytes < SMALL_LIMIT {
+        bytes.div_ceil(SMALL_GRAIN) * SMALL_GRAIN
+    } else {
+        bytes.div_ceil(LARGE_GRAIN) * LARGE_GRAIN
+    }
+}
+
+/// Allocator statistics after a replayed event stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AllocatorStats {
+    /// Bytes currently handed out to live tensors (rounded sizes).
+    pub allocated: u64,
+    /// Peak of `allocated`.
+    pub allocated_peak: u64,
+    /// Bytes reserved from the device (never shrinks).
+    pub reserved: u64,
+    /// Cache hits (requests served from the free lists).
+    pub reuses: u64,
+    /// Requests that had to reserve new device memory.
+    pub fresh_allocations: u64,
+    /// Large-pool splits performed.
+    pub splits: u64,
+}
+
+impl AllocatorStats {
+    /// Reserved bytes not currently allocated (cached + fragmentation).
+    pub fn cached(&self) -> u64 {
+        self.reserved - self.allocated
+    }
+
+    /// `reserved / allocated_peak` — 1.0 means no fragmentation overhead.
+    pub fn overhead_ratio(&self) -> f64 {
+        if self.allocated_peak == 0 {
+            1.0
+        } else {
+            self.reserved as f64 / self.allocated_peak as f64
+        }
+    }
+}
+
+/// The caching allocator. Feed it the same alloc/free stream a
+/// [`crate::GpuMemory`] sees (sizes in requested bytes) and read the
+/// reserved footprint back.
+#[derive(Debug, Default, Clone)]
+pub struct CachingAllocator {
+    small_free: Vec<u64>,
+    large_free: Vec<u64>,
+    stats: AllocatorStats,
+}
+
+impl CachingAllocator {
+    /// An empty allocator.
+    pub fn new() -> CachingAllocator {
+        CachingAllocator::default()
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> AllocatorStats {
+        self.stats
+    }
+
+    /// Serves an allocation request; returns the rounded block size the
+    /// caller must pass back to [`CachingAllocator::free`].
+    pub fn alloc(&mut self, bytes: u64) -> u64 {
+        let size = rounded_size(bytes);
+        if size == 0 {
+            return 0;
+        }
+        let pool: &mut Vec<u64> = if size < SMALL_LIMIT {
+            &mut self.small_free
+        } else {
+            &mut self.large_free
+        };
+        // Best fit: the smallest cached block that holds the request.
+        let best = pool
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| **b >= size)
+            .min_by_key(|(_, b)| **b)
+            .map(|(i, _)| i);
+        match best {
+            Some(i) => {
+                let block = pool.swap_remove(i);
+                self.stats.reuses += 1;
+                // Large blocks split; the remainder stays cached. Small
+                // blocks are handed out whole (slack is internal).
+                if size >= SMALL_LIMIT && block > size {
+                    pool.push(block - size);
+                    self.stats.splits += 1;
+                    self.stats.allocated += size;
+                } else {
+                    self.stats.allocated += block.max(size);
+                }
+            }
+            None => {
+                self.stats.fresh_allocations += 1;
+                self.stats.reserved += size;
+                self.stats.allocated += size;
+            }
+        }
+        self.stats.allocated_peak = self.stats.allocated_peak.max(self.stats.allocated);
+        size
+    }
+
+    /// Returns a block (by the size [`CachingAllocator::alloc`] reported)
+    /// to the free lists.
+    pub fn free(&mut self, rounded: u64) {
+        if rounded == 0 {
+            return;
+        }
+        self.stats.allocated = self.stats.allocated.saturating_sub(rounded);
+        if rounded < SMALL_LIMIT {
+            self.small_free.push(rounded);
+        } else {
+            self.large_free.push(rounded);
+        }
+    }
+
+    /// Replays a `(bytes, is_free)` stream where frees reference the
+    /// most recent live allocation of the same request size (the common
+    /// tensor-lifetime pattern); returns the final statistics.
+    pub fn replay(events: impl IntoIterator<Item = (u64, bool)>) -> AllocatorStats {
+        let mut alloc = CachingAllocator::new();
+        let mut live: Vec<(u64, u64)> = Vec::new(); // (request, rounded)
+        for (bytes, is_free) in events {
+            if is_free {
+                if let Some(pos) = live.iter().rposition(|(req, _)| *req == bytes) {
+                    let (_, rounded) = live.swap_remove(pos);
+                    alloc.free(rounded);
+                }
+            } else {
+                let rounded = alloc.alloc(bytes);
+                live.push((bytes, rounded));
+            }
+        }
+        alloc.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounding_matches_pool_granularity() {
+        assert_eq!(rounded_size(0), 0);
+        assert_eq!(rounded_size(1), 512);
+        assert_eq!(rounded_size(512), 512);
+        assert_eq!(rounded_size(513), 1024);
+        assert_eq!(rounded_size((1 << 20) - 1), 1 << 20);
+        assert_eq!(rounded_size(1 << 20), 2 << 20);
+        assert_eq!(rounded_size((2 << 20) + 1), 4 << 20);
+    }
+
+    #[test]
+    fn freed_blocks_are_reused_not_rereserved() {
+        let mut a = CachingAllocator::new();
+        let b1 = a.alloc(3 << 20);
+        a.free(b1);
+        let _b2 = a.alloc(3 << 20);
+        let s = a.stats();
+        assert_eq!(s.fresh_allocations, 1);
+        assert_eq!(s.reuses, 1);
+        assert_eq!(s.reserved, 4 << 20); // 3 MiB rounds to 4 MiB
+    }
+
+    #[test]
+    fn reserved_never_shrinks() {
+        let mut a = CachingAllocator::new();
+        let blocks: Vec<u64> = (1..=8).map(|i| a.alloc(i << 20)).collect();
+        let reserved = a.stats().reserved;
+        for b in blocks {
+            a.free(b);
+        }
+        assert_eq!(a.stats().reserved, reserved);
+        assert_eq!(a.stats().allocated, 0);
+        assert_eq!(a.stats().cached(), reserved);
+    }
+
+    #[test]
+    fn large_blocks_split_and_remainder_stays_cached() {
+        let mut a = CachingAllocator::new();
+        let big = a.alloc(10 << 20);
+        a.free(big);
+        let _small = a.alloc(2 << 20);
+        let s = a.stats();
+        assert_eq!(s.splits, 1);
+        assert_eq!(s.reserved, 10 << 20);
+        assert_eq!(s.allocated, 2 << 20);
+        // Remainder is reusable.
+        let mut a2 = a.clone();
+        let _ = a2.alloc(8 << 20);
+        assert_eq!(a2.stats().fresh_allocations, 1, "no new reservation");
+    }
+
+    #[test]
+    fn mismatched_size_churn_inflates_reserved() {
+        // Alternating odd sizes defeat reuse: reserved grows beyond the
+        // allocated peak — the fragmentation effect real recompute runs
+        // suffer.
+        let mut a = CachingAllocator::new();
+        let mut last = None;
+        for i in 0..16u64 {
+            if let Some(b) = last.take() {
+                a.free(b);
+            }
+            last = Some(a.alloc((3 + 2 * i) << 20));
+        }
+        let s = a.stats();
+        assert!(s.overhead_ratio() > 1.5, "{:?}", s);
+    }
+
+    #[test]
+    fn replay_pairs_frees_with_requests() {
+        let stats = CachingAllocator::replay([
+            (4 << 20, false),
+            (4 << 20, false),
+            (4 << 20, true),
+            (4 << 20, false),
+        ]);
+        assert_eq!(stats.fresh_allocations, 2);
+        assert_eq!(stats.reuses, 1);
+        assert_eq!(stats.allocated, 8 << 20);
+    }
+
+    #[test]
+    fn steady_state_same_size_churn_has_no_overhead() {
+        let mut events = Vec::new();
+        for _ in 0..100 {
+            events.push((8 << 20, false));
+            events.push((8 << 20, true));
+        }
+        let stats = CachingAllocator::replay(events);
+        assert_eq!(stats.reserved, 8 << 20);
+        assert!((stats.overhead_ratio() - 1.0).abs() < 1e-9);
+    }
+}

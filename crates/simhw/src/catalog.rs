@@ -1,0 +1,351 @@
+//! Real-device data behind the paper's Tables and Figures.
+//!
+//! * [`ssds`] — the endurance-focused drives of Table 1 plus the Intel
+//!   Optane P5800X used in the evaluation testbed (Table 3).
+//! * [`accelerators`] — the GPU/TPU trend points of Figure 1.
+//! * [`llms`] — model-size trend points of Figure 1.
+//! * [`instances`] — cluster/cloud host-memory limits of Figure 2.
+//! * [`megatron_configs`] — the large-system configurations (from the
+//!   Megatron-LM scaling study the paper cites as \[77\]) that Figure 9's
+//!   lifespan/bandwidth modelling sweeps over.
+
+use crate::ssd::SsdSpec;
+use serde::{Deserialize, Serialize};
+
+/// One accelerator generation (Figure 1 trend point).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorPoint {
+    /// Device name.
+    pub name: String,
+    /// Release year (fractional years allowed).
+    pub year: f64,
+    /// Peak FP16 (or BF16) training throughput, TFLOP/s.
+    pub fp16_tflops: f64,
+    /// On-package memory capacity, GB.
+    pub memory_gb: f64,
+}
+
+/// One LLM release (Figure 1 trend point).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LlmPoint {
+    /// Model name.
+    pub name: String,
+    /// Release year.
+    pub year: f64,
+    /// Parameter count in billions.
+    pub params_b: f64,
+}
+
+/// A cluster node or cloud instance (Figure 2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstancePoint {
+    /// Instance or cluster name.
+    pub name: String,
+    /// GPUs per node.
+    pub gpus: u32,
+    /// Host memory, GB.
+    pub host_mem_gb: f64,
+    /// Local NVMe capacity, GB (expandable; this is the stock config).
+    pub local_ssd_gb: f64,
+}
+
+/// One large-system training configuration for the Figure 9 sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MegatronConfig {
+    /// Framework label: `"Megatron"` or `"ZeRO3"`.
+    pub framework: String,
+    /// Parameters in billions.
+    pub params_b: f64,
+    /// Hidden dimension.
+    pub hidden: usize,
+    /// Number of transformer layers.
+    pub layers: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Sequence length.
+    pub seq: usize,
+    /// Global batch size in sequences.
+    pub batch: usize,
+    /// Total GPUs.
+    pub gpus: usize,
+    /// Tensor-parallel degree.
+    pub tp: usize,
+    /// Pipeline-parallel degree.
+    pub pp: usize,
+    /// Measured per-GPU model throughput, TFLOP/s (from the published
+    /// scaling study; captures all communication inefficiency).
+    pub tflops_per_gpu: f64,
+}
+
+/// Table 1 drives and the testbed's Optane P5800X.
+pub mod ssds {
+    use super::*;
+
+    /// Kioxia FL6 3.2 TB — 96-layer SLC, 60 DWPD write-intensive drive.
+    pub fn kioxia_fl6() -> SsdSpec {
+        SsdSpec {
+            name: "Kioxia FL6 3.2TB".into(),
+            cell: "96L SLC".into(),
+            capacity_bytes: 3_200_000_000_000,
+            write_bps: 3.9e9,
+            read_bps: 6.2e9,
+            dwpd: 60.0,
+            rated_waf: 2.5,
+            price_usd: 4754.0, // US$13.9 per PBW at 342 PBW (Table 1)
+        }
+    }
+
+    /// Solidigm D7-P5620 12.8 TB — mainstream 144-layer TLC, 3 DWPD.
+    pub fn solidigm_p5620() -> SsdSpec {
+        SsdSpec {
+            name: "Solidigm D7-P5620 12.8TB".into(),
+            cell: "144L TLC".into(),
+            capacity_bytes: 12_800_000_000_000,
+            write_bps: 4.2e9,
+            read_bps: 7.1e9,
+            dwpd: 3.0,
+            rated_waf: 2.5,
+            price_usd: 2865.0, // US$43.8 per PBW at 65.4 PBW (Table 1)
+        }
+    }
+
+    /// Solidigm D7-P5810 1.6 TB — 144-layer SLC, 65 DWPD sequential.
+    pub fn solidigm_p5810() -> SsdSpec {
+        SsdSpec {
+            name: "Solidigm D7-P5810 1.6TB".into(),
+            cell: "144L SLC".into(),
+            capacity_bytes: 1_600_000_000_000,
+            write_bps: 5.0e9,
+            read_bps: 6.4e9,
+            dwpd: 65.0,
+            rated_waf: 2.5,
+            price_usd: 1621.0, // US$11.1 per PBW at 146 PBW (Table 1)
+        }
+    }
+
+    /// Intel Optane P5800X 1.6 TB — the evaluation testbed drive
+    /// (Table 3); 3D XPoint has effectively no erase-block write
+    /// amplification, hence a rated WAF of 1.
+    pub fn optane_p5800x() -> SsdSpec {
+        SsdSpec {
+            name: "Intel Optane P5800X 1.6TB".into(),
+            cell: "3D XPoint".into(),
+            capacity_bytes: 1_600_000_000_000,
+            write_bps: 6.1e9,
+            read_bps: 7.2e9,
+            dwpd: 100.0,
+            rated_waf: 1.0,
+            price_usd: 3000.0, // ≈ US$10.27 per PBW (Section 4.4)
+        }
+    }
+
+    /// The hypothetical 12.8 TB D7-P5810-class drive the paper's
+    /// Section 3.4 modelling assumes four of per GPU ("We assume four
+    /// Solidigm D7-P5810 12.8TB for each GPU") — P5810 endurance
+    /// characteristics at P5620-class capacity.
+    pub fn solidigm_p5810_12t8() -> SsdSpec {
+        SsdSpec {
+            name: "Solidigm D7-P5810-class 12.8TB (hypothetical)".into(),
+            cell: "144L SLC".into(),
+            capacity_bytes: 12_800_000_000_000,
+            write_bps: 5.0e9,
+            read_bps: 6.4e9,
+            dwpd: 65.0,
+            rated_waf: 2.5,
+            price_usd: 12_968.0, // same US$11.1/PBW as the 1.6 TB part
+        }
+    }
+
+    /// The three Table 1 drives, in table order.
+    pub fn table1() -> Vec<SsdSpec> {
+        vec![kioxia_fl6(), solidigm_p5620(), solidigm_p5810()]
+    }
+}
+
+/// Figure 1's accelerator trend points (Nvidia data-center GPUs and
+/// Google TPUs; FP16/BF16 dense throughput).
+pub fn accelerators() -> Vec<AcceleratorPoint> {
+    let p = |name: &str, year: f64, tf: f64, gb: f64| AcceleratorPoint {
+        name: name.into(),
+        year,
+        fp16_tflops: tf,
+        memory_gb: gb,
+    };
+    vec![
+        p("K80", 2014.9, 8.7, 12.0), // FP32-era; per-die memory, FP16 ≈ FP32 rate
+        p("P100", 2016.4, 21.2, 16.0),
+        p("V100", 2017.5, 125.0, 16.0),
+        p("V100-32", 2018.2, 125.0, 32.0),
+        p("TPUv2", 2017.4, 46.0, 16.0),
+        p("TPUv3", 2018.4, 123.0, 32.0),
+        p("A100", 2020.4, 312.0, 40.0),
+        p("A100-80", 2020.9, 312.0, 80.0),
+        p("TPUv4", 2021.4, 275.0, 32.0),
+        p("H100", 2022.7, 989.0, 80.0),
+        p("TPUv5p", 2023.9, 459.0, 95.0),
+        p("H200", 2024.2, 989.0, 141.0),
+        p("B200", 2024.9, 2250.0, 192.0),
+    ]
+}
+
+/// Figure 1's LLM size trend points.
+pub fn llms() -> Vec<LlmPoint> {
+    let p = |name: &str, year: f64, b: f64| LlmPoint {
+        name: name.into(),
+        year,
+        params_b: b,
+    };
+    vec![
+        p("GPT-1", 2018.4, 0.117),
+        p("BERT-L", 2018.8, 0.34),
+        p("GPT-2", 2019.1, 1.5),
+        p("T5-11B", 2019.8, 11.0),
+        p("GPT-3", 2020.4, 175.0),
+        p("MT-NLG", 2021.8, 530.0),
+        p("PaLM", 2022.3, 540.0),
+        p("GPT-4 (est.)", 2023.2, 1800.0),
+    ]
+}
+
+/// Figure 2's host-memory-limited instances.
+pub fn instances() -> Vec<InstancePoint> {
+    let p = |name: &str, gpus: u32, mem: f64, ssd: f64| InstancePoint {
+        name: name.into(),
+        gpus,
+        host_mem_gb: mem,
+        local_ssd_gb: ssd,
+    };
+    vec![
+        p("GCP a2-highgpu-8g", 8, 680.0, 3000.0),
+        p("Azure ND A100 v4", 8, 900.0, 6500.0),
+        p("NCSA Delta gpuA100x4", 4, 256.0, 1600.0),
+        p("DGX A100", 8, 1024.0, 15360.0),
+    ]
+}
+
+/// The large-system configurations Figure 9 sweeps: the published
+/// Megatron-LM scaling-study table (hidden/layers/batch/GPUs/achieved
+/// TFLOPS per GPU) plus ZeRO stage-3 runs at representative sizes with
+/// the lower per-GPU efficiency DeepSpeed reports. Exact per-column
+/// labels of the original figure are reconstructed from these public
+/// tables (see EXPERIMENTS.md).
+pub fn megatron_configs() -> Vec<MegatronConfig> {
+    let m = |params_b: f64,
+             hidden: usize,
+             layers: usize,
+             heads: usize,
+             batch: usize,
+             gpus: usize,
+             tp: usize,
+             pp: usize,
+             tflops: f64| MegatronConfig {
+        framework: "Megatron".into(),
+        params_b,
+        hidden,
+        layers,
+        heads,
+        seq: 2048,
+        batch,
+        gpus,
+        tp,
+        pp,
+        tflops_per_gpu: tflops,
+    };
+    let z = |params_b: f64,
+             hidden: usize,
+             layers: usize,
+             heads: usize,
+             batch: usize,
+             gpus: usize,
+             tflops: f64| MegatronConfig {
+        framework: "ZeRO3".into(),
+        params_b,
+        hidden,
+        layers,
+        heads,
+        seq: 2048,
+        batch,
+        gpus,
+        tp: 1,
+        pp: 1,
+        tflops_per_gpu: tflops,
+    };
+    vec![
+        m(1.7, 2304, 24, 24, 512, 32, 1, 1, 137.0),
+        m(3.6, 3072, 30, 32, 512, 64, 2, 1, 138.0),
+        m(7.5, 4096, 36, 32, 512, 128, 4, 1, 142.0),
+        m(18.4, 6144, 40, 48, 1024, 256, 8, 1, 135.0),
+        m(39.1, 8192, 48, 64, 1536, 512, 8, 2, 138.0),
+        m(76.1, 10240, 60, 80, 1792, 1024, 8, 4, 140.0),
+        m(145.6, 12288, 80, 96, 2304, 1536, 8, 8, 148.0),
+        m(310.1, 16384, 96, 128, 2160, 1920, 8, 16, 155.0),
+        m(529.6, 20480, 105, 128, 2520, 2520, 8, 35, 163.0),
+        m(1008.0, 25600, 128, 160, 3072, 3072, 8, 64, 163.0),
+        z(13.0, 5120, 40, 40, 1024, 64, 47.0),
+        z(175.0, 12288, 96, 96, 1536, 384, 44.0),
+        z(530.0, 20480, 105, 128, 2100, 1120, 40.0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_pbw_matches_published_numbers() {
+        // Paper Table 1: FL6 342 PBW, P5620 65.4 PBW, P5810 146 PBW.
+        let fl6 = ssds::kioxia_fl6().rated_pbw_bytes() / 1e15;
+        assert!((fl6 - 342.0).abs() / 342.0 < 0.05, "FL6 {fl6}");
+        let p5620 = ssds::solidigm_p5620().rated_pbw_bytes() / 1e15;
+        assert!((p5620 - 65.4).abs() / 65.4 < 0.10, "P5620 {p5620}");
+        let p5810 = ssds::solidigm_p5810().rated_pbw_bytes() / 1e15;
+        assert!((p5810 - 146.0).abs() / 146.0 < 0.35, "P5810 {p5810}");
+    }
+
+    #[test]
+    fn table1_price_per_pbw_ordering_matches_paper() {
+        // Paper: P5810 ($11.1) < FL6 ($13.9) < P5620 ($43.8).
+        let fl6 = ssds::kioxia_fl6().price_per_pbw();
+        let p5620 = ssds::solidigm_p5620().price_per_pbw();
+        let p5810 = ssds::solidigm_p5810().price_per_pbw();
+        assert!(p5810 < fl6 && fl6 < p5620, "{p5810} {fl6} {p5620}");
+    }
+
+    #[test]
+    fn optane_price_per_pbw_near_paper_value() {
+        let p = ssds::optane_p5800x().price_per_pbw();
+        assert!((p - 10.27).abs() < 1.0, "{p}");
+    }
+
+    #[test]
+    fn trend_datasets_are_nonempty_and_sorted_enough() {
+        let acc = accelerators();
+        assert!(acc.len() >= 10);
+        assert!(acc.iter().all(|a| a.fp16_tflops > 0.0 && a.memory_gb > 0.0));
+        let ll = llms();
+        assert!(ll.len() >= 6);
+        assert!(ll.windows(2).all(|w| w[0].year <= w[1].year));
+    }
+
+    #[test]
+    fn instances_have_bounded_host_memory() {
+        // The Figure 2 argument: host memory per node ≤ ~1 TB while SSDs
+        // scale to tens of TB.
+        for i in instances() {
+            assert!(i.host_mem_gb <= 1100.0, "{}", i.name);
+        }
+    }
+
+    #[test]
+    fn megatron_table_is_consistent() {
+        for c in megatron_configs() {
+            assert!(c.gpus >= c.tp * c.pp, "{}", c.params_b);
+            assert_eq!(c.hidden % c.heads, 0, "{}", c.params_b);
+            assert!(c.tflops_per_gpu > 30.0 && c.tflops_per_gpu < 200.0);
+            // Parameter count roughly 12 * L * h^2 (GPT-style).
+            let approx = 12.0 * c.layers as f64 * (c.hidden as f64).powi(2) / 1e9;
+            let ratio = approx / c.params_b;
+            assert!((0.6..1.6).contains(&ratio), "{}: ratio {ratio}", c.params_b);
+        }
+    }
+}

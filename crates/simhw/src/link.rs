@@ -1,0 +1,168 @@
+//! FIFO bandwidth channels (PCIe directions, NVLink).
+
+use crate::time::SimTime;
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct ChannelInner {
+    free_at: SimTime,
+    busy_secs: f64,
+    bytes_total: u64,
+    jobs: u64,
+}
+
+/// A shared FIFO transfer resource with fixed bandwidth.
+///
+/// Jobs submitted at time `t` start at `max(t, when the previous job
+/// finished)` and occupy the channel for `bytes / bandwidth`. One channel
+/// models one PCIe *direction* — the paper relies on PCIe being full
+/// duplex so that activation writes (forward) and reads (backward) do not
+/// contend.
+///
+/// ```
+/// use ssdtrain_simhw::{Channel, SimTime};
+/// let ch = Channel::new("pcie-write", 10e9); // 10 GB/s
+/// let (s1, e1) = ch.submit(SimTime::ZERO, 10_000_000_000);
+/// assert_eq!(e1.as_secs(), 1.0);
+/// // Second job queues behind the first.
+/// let (s2, _e2) = ch.submit(SimTime::from_secs(0.5), 1);
+/// assert_eq!(s2.as_secs(), 1.0);
+/// # let _ = s1;
+/// ```
+#[derive(Clone)]
+pub struct Channel {
+    name: String,
+    bytes_per_sec: f64,
+    inner: Arc<Mutex<ChannelInner>>,
+}
+
+impl Channel {
+    /// Creates a channel with the given bandwidth in bytes/second.
+    ///
+    /// # Panics
+    /// Panics if `bytes_per_sec` is not positive.
+    pub fn new(name: &str, bytes_per_sec: f64) -> Channel {
+        assert!(bytes_per_sec > 0.0, "bandwidth must be positive");
+        Channel {
+            name: name.to_owned(),
+            bytes_per_sec,
+            inner: Arc::new(Mutex::new(ChannelInner::default())),
+        }
+    }
+
+    /// Channel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Configured bandwidth in bytes/second.
+    pub fn bandwidth(&self) -> f64 {
+        self.bytes_per_sec
+    }
+
+    /// Enqueues a transfer of `bytes` at `now`; returns `(start, end)`.
+    pub fn submit(&self, now: SimTime, bytes: u64) -> (SimTime, SimTime) {
+        let mut inner = self.inner.lock();
+        let start = now.max(inner.free_at);
+        let dur = bytes as f64 / self.bytes_per_sec;
+        let end = start.plus_secs(dur);
+        inner.free_at = end;
+        inner.busy_secs += dur;
+        inner.bytes_total += bytes;
+        inner.jobs += 1;
+        (start, end)
+    }
+
+    /// When the channel next becomes idle.
+    pub fn free_at(&self) -> SimTime {
+        self.inner.lock().free_at
+    }
+
+    /// Total bytes transferred so far.
+    pub fn bytes_total(&self) -> u64 {
+        self.inner.lock().bytes_total
+    }
+
+    /// Number of jobs served.
+    pub fn job_count(&self) -> u64 {
+        self.inner.lock().jobs
+    }
+
+    /// Fraction of `[0, horizon]` the channel spent transferring.
+    ///
+    /// # Panics
+    /// Panics if `horizon` is not positive.
+    pub fn utilization(&self, horizon: f64) -> f64 {
+        assert!(horizon > 0.0, "horizon must be positive");
+        (self.inner.lock().busy_secs / horizon).min(1.0)
+    }
+
+    /// Clears accumulated state (new measured step).
+    pub fn reset(&self) {
+        *self.inner.lock() = ChannelInner::default();
+    }
+}
+
+impl fmt::Debug for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("Channel")
+            .field("name", &self.name)
+            .field("gbps", &(self.bytes_per_sec / 1e9))
+            .field("jobs", &inner.jobs)
+            .field("bytes_total", &inner.bytes_total)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_serialize_fifo() {
+        let ch = Channel::new("w", 1e9);
+        let (_s1, e1) = ch.submit(SimTime::ZERO, 1_000_000_000); // 1 s
+        assert_eq!(e1.as_secs(), 1.0);
+        let (s2, e2) = ch.submit(SimTime::from_secs(0.2), 500_000_000);
+        assert_eq!(s2.as_secs(), 1.0);
+        assert_eq!(e2.as_secs(), 1.5);
+    }
+
+    #[test]
+    fn idle_gap_allows_immediate_start() {
+        let ch = Channel::new("w", 1e9);
+        ch.submit(SimTime::ZERO, 1_000_000_000);
+        let (s, _) = ch.submit(SimTime::from_secs(5.0), 1);
+        assert_eq!(s.as_secs(), 5.0);
+    }
+
+    #[test]
+    fn utilization_counts_busy_time() {
+        let ch = Channel::new("w", 1e9);
+        ch.submit(SimTime::ZERO, 2_000_000_000); // 2 s busy
+        assert!((ch.utilization(4.0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn totals_accumulate_and_reset() {
+        let ch = Channel::new("w", 1e9);
+        ch.submit(SimTime::ZERO, 100);
+        ch.submit(SimTime::ZERO, 200);
+        assert_eq!(ch.bytes_total(), 300);
+        assert_eq!(ch.job_count(), 2);
+        ch.reset();
+        assert_eq!(ch.bytes_total(), 0);
+        assert_eq!(ch.free_at(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn clones_share_the_queue() {
+        let a = Channel::new("w", 1e9);
+        let b = a.clone();
+        b.submit(SimTime::ZERO, 1_000_000_000);
+        assert_eq!(a.free_at().as_secs(), 1.0);
+    }
+}

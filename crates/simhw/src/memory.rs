@@ -1,0 +1,348 @@
+//! Simulated GPU memory: allocation tracking and footprint timelines.
+
+use crate::time::{SimClock, SimTime};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use ssdtrain_tensor::{MemClass, MemTracker};
+use std::sync::Arc;
+
+/// One point of the memory-footprint timeline (Figure 7 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FootprintPoint {
+    /// Simulated time of the allocator event.
+    pub time: SimTime,
+    /// Total resident bytes after the event.
+    pub total: u64,
+    /// Resident activation bytes after the event.
+    pub activations: u64,
+}
+
+/// Summary of a step's memory behaviour.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryReport {
+    /// Peak total resident bytes.
+    pub peak_total: u64,
+    /// Peak resident activation bytes (the paper's headline metric).
+    pub peak_activations: u64,
+    /// Resident bytes by class at the time of the report.
+    pub final_by_class: Vec<(String, u64)>,
+    /// Number of allocator events (Figure 7 notes offloading runs incur
+    /// more of these).
+    pub events: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: SimTime,
+    delta: i64,
+    class: MemClass,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    current: [i64; 5],
+    events: Vec<Event>,
+    time_override: Option<SimTime>,
+}
+
+/// A GPU memory tracker.
+///
+/// Registered on a [`ssdtrain_tensor::Device`]; every storage allocation
+/// and free is recorded with the simulated time at which it happens. The
+/// tensor cache releases offloaded storages *at the store job's modelled
+/// completion time* using [`GpuMemory::with_time`], so the reconstructed
+/// footprint curve reflects the true overlap of transfers with compute.
+///
+/// ```
+/// use ssdtrain_simhw::{GpuMemory, SimClock};
+/// use ssdtrain_tensor::{Device, Tensor};
+/// use std::sync::Arc;
+///
+/// let clock = SimClock::new();
+/// let mem = Arc::new(GpuMemory::new(clock.clone(), 40 << 30));
+/// let dev = Device::cpu();
+/// dev.set_tracker(mem.clone());
+/// {
+///     let _t = Tensor::zeros([1024], &dev); // 4 KiB of F32
+///     clock.advance_by(0.5);
+/// }
+/// assert_eq!(mem.peak_total(), 4096);
+/// assert_eq!(mem.resident_total(), 0);
+/// ```
+#[derive(Clone)]
+pub struct GpuMemory {
+    clock: SimClock,
+    capacity: u64,
+    state: Arc<Mutex<State>>,
+}
+
+fn class_index(c: MemClass) -> usize {
+    match c {
+        MemClass::Parameter => 0,
+        MemClass::Gradient => 1,
+        MemClass::OptimizerState => 2,
+        MemClass::Activation => 3,
+        MemClass::Workspace => 4,
+    }
+}
+
+impl GpuMemory {
+    /// Creates a tracker tied to `clock` with a device capacity (used for
+    /// out-of-memory detection in reports).
+    pub fn new(clock: SimClock, capacity: u64) -> GpuMemory {
+        GpuMemory {
+            clock,
+            capacity,
+            state: Arc::new(Mutex::new(State::default())),
+        }
+    }
+
+    /// Device capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Runs `f` with allocator events stamped at `t` instead of the
+    /// current clock time (for frees that complete in the simulated
+    /// future, e.g. at a store job's end).
+    pub fn with_time<R>(&self, t: SimTime, f: impl FnOnce() -> R) -> R {
+        let prev = {
+            let mut s = self.state.lock();
+            s.time_override.replace(t)
+        };
+        let r = f();
+        self.state.lock().time_override = prev;
+        r
+    }
+
+    fn record(&self, delta: i64, class: MemClass) {
+        let mut s = self.state.lock();
+        let time = s.time_override.unwrap_or_else(|| self.clock.now());
+        s.current[class_index(class)] += delta;
+        s.events.push(Event { time, delta, class });
+    }
+
+    /// Currently resident bytes of one class.
+    pub fn resident(&self, class: MemClass) -> u64 {
+        self.state.lock().current[class_index(class)].max(0) as u64
+    }
+
+    /// Currently resident bytes across all classes.
+    pub fn resident_total(&self) -> u64 {
+        self.state
+            .lock()
+            .current
+            .iter()
+            .map(|v| v.max(&0))
+            .sum::<i64>() as u64
+    }
+
+    /// The footprint timeline, sorted by event time: total and
+    /// activation-class bytes after each allocator event.
+    ///
+    /// Events may be recorded out of chronological order (future-stamped
+    /// frees), so the timeline is rebuilt by sorting.
+    pub fn timeline(&self) -> Vec<FootprintPoint> {
+        let s = self.state.lock();
+        let mut evs: Vec<Event> = s.events.clone();
+        drop(s);
+        evs.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite times"));
+        let mut total = 0i64;
+        let mut act = 0i64;
+        evs.iter()
+            .map(|e| {
+                total += e.delta;
+                if e.class == MemClass::Activation {
+                    act += e.delta;
+                }
+                FootprintPoint {
+                    time: e.time,
+                    total: total.max(0) as u64,
+                    activations: act.max(0) as u64,
+                }
+            })
+            .collect()
+    }
+
+    /// Peak total resident bytes over the timeline.
+    pub fn peak_total(&self) -> u64 {
+        self.timeline().iter().map(|p| p.total).max().unwrap_or(0)
+    }
+
+    /// Peak resident activation bytes over the timeline.
+    pub fn peak_activations(&self) -> u64 {
+        self.timeline()
+            .iter()
+            .map(|p| p.activations)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Peak activation bytes within a time window `[from, to]` — used to
+    /// read the "memory at the beginning of backward propagation" point
+    /// of Figure 7.
+    pub fn peak_activations_between(&self, from: SimTime, to: SimTime) -> u64 {
+        self.timeline()
+            .iter()
+            .filter(|p| p.time >= from && p.time <= to)
+            .map(|p| p.activations)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether the peak exceeded device capacity (the run would have hit
+    /// a CUDA out-of-memory error on the real machine).
+    pub fn oom(&self) -> bool {
+        self.peak_total() > self.capacity
+    }
+
+    /// Full report.
+    pub fn report(&self) -> MemoryReport {
+        let s = self.state.lock();
+        let final_by_class = MemClass::ALL
+            .iter()
+            .map(|c| {
+                (
+                    c.label().to_owned(),
+                    s.current[class_index(*c)].max(0) as u64,
+                )
+            })
+            .collect();
+        let events = s.events.len() as u64;
+        drop(s);
+        MemoryReport {
+            peak_total: self.peak_total(),
+            peak_activations: self.peak_activations(),
+            final_by_class,
+            events,
+        }
+    }
+
+    /// Replays this step's allocator events (in simulated-time order)
+    /// through the caching-allocator model and returns its statistics —
+    /// the *reserved* footprint a real PyTorch run would report on top
+    /// of the allocated curve.
+    pub fn allocator_stats(&self) -> crate::allocator::AllocatorStats {
+        let s = self.state.lock();
+        let mut evs: Vec<Event> = s.events.clone();
+        drop(s);
+        evs.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite times"));
+        crate::allocator::CachingAllocator::replay(
+            evs.iter().map(|e| (e.delta.unsigned_abs(), e.delta < 0)),
+        )
+    }
+
+    /// Clears the event log and counters (new measured step).
+    pub fn reset(&self) {
+        let mut s = self.state.lock();
+        s.current = [0; 5];
+        s.events.clear();
+    }
+}
+
+impl MemTracker for GpuMemory {
+    fn on_alloc(&self, bytes: u64, class: MemClass) {
+        self.record(bytes as i64, class);
+    }
+    fn on_free(&self, bytes: u64, class: MemClass) {
+        self.record(-(bytes as i64), class);
+    }
+}
+
+impl std::fmt::Debug for GpuMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GpuMemory")
+            .field("capacity", &self.capacity)
+            .field("resident_total", &self.resident_total())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gm() -> (SimClock, GpuMemory) {
+        let clock = SimClock::new();
+        let mem = GpuMemory::new(clock.clone(), 1 << 30);
+        (clock, mem)
+    }
+
+    #[test]
+    fn peak_reflects_alloc_free_ordering() {
+        let (clock, mem) = gm();
+        mem.on_alloc(100, MemClass::Activation);
+        clock.advance_by(1.0);
+        mem.on_alloc(200, MemClass::Activation);
+        clock.advance_by(1.0);
+        mem.on_free(100, MemClass::Activation);
+        assert_eq!(mem.peak_activations(), 300);
+        assert_eq!(mem.resident(MemClass::Activation), 200);
+    }
+
+    #[test]
+    fn future_stamped_free_lowers_the_curve_later() {
+        let (clock, mem) = gm();
+        mem.on_alloc(100, MemClass::Activation);
+        // Free completes at t=5 although recorded now (t=0).
+        mem.with_time(SimTime::from_secs(5.0), || {
+            mem.on_free(100, MemClass::Activation)
+        });
+        clock.advance_by(1.0);
+        mem.on_alloc(50, MemClass::Activation);
+        let tl = mem.timeline();
+        // Timeline order: alloc@0, alloc@1, free@5.
+        assert_eq!(tl.len(), 3);
+        assert_eq!(tl[1].total, 150);
+        assert_eq!(tl[2].total, 50);
+        assert_eq!(mem.peak_total(), 150);
+    }
+
+    #[test]
+    fn classes_are_tracked_separately() {
+        let (_c, mem) = gm();
+        mem.on_alloc(10, MemClass::Parameter);
+        mem.on_alloc(20, MemClass::Activation);
+        assert_eq!(mem.resident(MemClass::Parameter), 10);
+        assert_eq!(mem.resident(MemClass::Activation), 20);
+        assert_eq!(mem.resident_total(), 30);
+        assert_eq!(mem.peak_activations(), 20);
+    }
+
+    #[test]
+    fn windowed_peak() {
+        let (clock, mem) = gm();
+        mem.on_alloc(100, MemClass::Activation);
+        clock.advance_by(2.0);
+        mem.on_alloc(100, MemClass::Activation);
+        clock.advance_by(2.0);
+        mem.on_free(150, MemClass::Activation);
+        let w = mem.peak_activations_between(SimTime::from_secs(1.0), SimTime::from_secs(3.0));
+        assert_eq!(w, 200);
+    }
+
+    #[test]
+    fn oom_detection() {
+        let clock = SimClock::new();
+        let mem = GpuMemory::new(clock, 100);
+        mem.on_alloc(150, MemClass::Activation);
+        assert!(mem.oom());
+        mem.reset();
+        assert!(!mem.oom());
+    }
+
+    #[test]
+    fn integrates_with_device_storage_lifecycle() {
+        use ssdtrain_tensor::{Device, Tensor};
+        let clock = SimClock::new();
+        let mem = GpuMemory::new(clock.clone(), 1 << 30);
+        let dev = Device::cpu();
+        dev.set_tracker(Arc::new(mem.clone()));
+        {
+            let _t = Tensor::zeros([256], &dev); // 256 * 4 bytes (F32)
+            assert_eq!(mem.resident_total(), 1024);
+        }
+        assert_eq!(mem.resident_total(), 0);
+        assert_eq!(mem.peak_total(), 1024);
+    }
+}

@@ -1,0 +1,49 @@
+//! # ssdtrain-train
+//!
+//! The training-step engine: runs one (micro-batched) training step of a
+//! GPT/BERT/T5 model on the simulated hardware under one of the three
+//! ROK placement strategies — **keep**, **offload** (SSDTrain) or
+//! **recompute** — and reports the metrics the paper's evaluation plots:
+//! step time, activation memory peak, memory-footprint timeline,
+//! offloaded bytes and exposed I/O stall.
+//!
+//! The scheduler mirrors the hinted DeepSpeed/Megatron schedule of the
+//! paper's Algorithm 1: micro-batch switches, the
+//! `prefetch_last_module()` hint at the forward→backward transition, and
+//! `wait_io()` after each backward pass.
+//!
+//! ```
+//! use ssdtrain::PlacementStrategy;
+//! use ssdtrain_models::{Arch, ModelConfig};
+//! use ssdtrain_simhw::SystemConfig;
+//! use ssdtrain_train::{SessionConfig, TrainSession};
+//!
+//! let cfg = SessionConfig {
+//!     system: SystemConfig::dac_testbed(),
+//!     model: ModelConfig::tiny_gpt(),
+//!     batch_size: 2,
+//!     micro_batches: 1,
+//!     strategy: PlacementStrategy::Offload,
+//!     cache: ssdtrain::TensorCacheConfig::offload_everything(),
+//!     symbolic: false,
+//!     seed: 1,
+//!     target: ssdtrain_train::TargetKind::Ssd,
+//! };
+//! let mut session = TrainSession::new(cfg).expect("session");
+//! let metrics = session.run_step();
+//! assert!(metrics.step_secs > 0.0);
+//! ```
+
+pub mod executor;
+pub mod metrics;
+pub mod pipeline;
+pub mod pipeline_exec;
+pub mod schedule;
+pub mod session;
+
+pub use executor::GpuExecutor;
+pub use metrics::StepMetrics;
+pub use pipeline::{PipelineMetrics, PipelineSim};
+pub use pipeline_exec::{PipelineExec, PipelineExecConfig, PipelineStepReport};
+pub use schedule::{single_gpu_schedule, StepCmd};
+pub use session::{SessionConfig, TargetKind, TrainSession};

@@ -1,0 +1,97 @@
+//! Per-step measurements — the quantities the paper's figures plot.
+
+use serde::{Deserialize, Serialize};
+use ssdtrain::OffloadStats;
+use ssdtrain_simhw::{AllocatorStats, FootprintPoint};
+
+/// Everything measured during one training step.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StepMetrics {
+    /// Strategy label (`keep` / `offload` / `recompute`).
+    pub strategy: String,
+    /// Model tag, e.g. `"bert-h8192-l4"`.
+    pub model: String,
+    /// Global batch size (sequences).
+    pub batch: usize,
+    /// Simulated step time (forward + backward; the optimizer adds a
+    /// constant offset in the paper's setup and is excluded, Section 4.1).
+    pub step_secs: f64,
+    /// Simulated forward-propagation time.
+    pub fwd_secs: f64,
+    /// Peak resident activation bytes (Figures 10/11's y-metric).
+    pub act_peak_bytes: u64,
+    /// Peak total resident bytes (Figure 7).
+    pub total_peak_bytes: u64,
+    /// Resident activation bytes at the start of backward propagation
+    /// (the Figure 7 "beginning of backward" point).
+    pub act_at_bwd_start: u64,
+    /// The full memory-footprint timeline (Figure 7's curve).
+    pub timeline: Vec<FootprintPoint>,
+    /// Tensor-cache statistics (zeroed for keep/recompute).
+    pub offload: OffloadStats,
+    /// Algorithmic FLOPs (forward + backward, recompute excluded).
+    pub model_flops: u64,
+    /// Seconds spent in blocking tensor-parallel collectives.
+    pub comm_secs: f64,
+    /// Host bytes written to the offload target this step (SSD wear).
+    pub ssd_host_writes: u64,
+    /// Caching-allocator model statistics (reserved vs allocated).
+    pub alloc: AllocatorStats,
+    /// Whether the peak exceeded device memory (a real run would OOM).
+    pub oom: bool,
+    /// Training loss (`NaN` in symbolic runs).
+    pub loss: f32,
+}
+
+impl StepMetrics {
+    /// The paper's *model throughput* in TFLOP/s: algorithmic FLOPs per
+    /// step second (Section 4.3).
+    pub fn model_tflops(&self) -> f64 {
+        if self.step_secs > 0.0 {
+            self.model_flops as f64 / self.step_secs / 1e12
+        } else {
+            0.0
+        }
+    }
+
+    /// Activation peak in GiB (convenience for reports).
+    pub fn act_peak_gib(&self) -> f64 {
+        self.act_peak_bytes as f64 / (1u64 << 30) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> StepMetrics {
+        StepMetrics {
+            strategy: "keep".into(),
+            model: "test".into(),
+            batch: 1,
+            step_secs: 2.0,
+            fwd_secs: 0.7,
+            act_peak_bytes: 3 << 30,
+            total_peak_bytes: 4 << 30,
+            act_at_bwd_start: 2 << 30,
+            timeline: Vec::new(),
+            offload: OffloadStats::default(),
+            model_flops: 4_000_000_000_000,
+            comm_secs: 0.0,
+            ssd_host_writes: 0,
+            alloc: AllocatorStats::default(),
+            oom: false,
+            loss: 1.0,
+        }
+    }
+
+    #[test]
+    fn throughput_is_flops_over_time() {
+        assert!((metrics().model_tflops() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gib_conversion() {
+        assert!((metrics().act_peak_gib() - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,130 @@
+//! The hinted step schedule — a direct transcription of the paper's
+//! Algorithm 1 (`deepspeed_exec_schedule`).
+//!
+//! A step is a list of [`StepCmd`]s. Before executing each command the
+//! runner calls [`ssdtrain::TensorCache::set_stage`] and
+//! [`ssdtrain::TensorCache::set_next_stage`]; when the *current* command
+//! is a communication/boundary command and the *next* is a backward
+//! pass, the cache prefetches the last module (Algorithm 1 lines 11–13),
+//! and after every backward pass it waits for outstanding I/O (line 15).
+
+use serde::{Deserialize, Serialize};
+
+/// One scheduler command (the subset of DeepSpeed's pipeline
+/// instructions that matters on a single GPU with gradient
+/// accumulation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StepCmd {
+    /// Load micro-batch `mb` (the boundary command before its forward).
+    LoadMicroBatch {
+        /// Micro-batch index.
+        mb: usize,
+    },
+    /// Forward pass of micro-batch `mb`.
+    ForwardPass {
+        /// Micro-batch index.
+        mb: usize,
+    },
+    /// The stage switch between a micro-batch's forward and backward —
+    /// the slot DeepSpeed's pipeline schedule fills with activation
+    /// sends; Algorithm 1's prefetch hint fires here because the *next*
+    /// command is a backward pass.
+    StageBoundary,
+    /// Backward pass of micro-batch `mb`.
+    BackwardPass {
+        /// Micro-batch index.
+        mb: usize,
+    },
+    /// Gradient reduction across data-parallel ranks.
+    ReduceGrads,
+    /// Optimizer update.
+    OptimizerStep,
+}
+
+impl StepCmd {
+    /// Whether this command is a backward pass (Algorithm 1's test).
+    pub fn is_backward(self) -> bool {
+        matches!(self, StepCmd::BackwardPass { .. })
+    }
+
+    /// Whether this is a boundary/communication command after which the
+    /// scheduler peeks at the next command (Algorithm 1 line 12 checks
+    /// `cmd is communication`).
+    pub fn is_boundary(self) -> bool {
+        matches!(
+            self,
+            StepCmd::LoadMicroBatch { .. } | StepCmd::StageBoundary | StepCmd::ReduceGrads
+        )
+    }
+}
+
+/// Builds the single-GPU gradient-accumulation schedule for `m`
+/// micro-batches: `load, forward, boundary, backward` per micro-batch,
+/// then reduce + optimizer — the command stream the paper's Figure 4
+/// walks through for `m = 2`.
+pub fn single_gpu_schedule(m: usize) -> Vec<StepCmd> {
+    let mut cmds = Vec::with_capacity(4 * m + 2);
+    for mb in 0..m.max(1) {
+        cmds.push(StepCmd::LoadMicroBatch { mb });
+        cmds.push(StepCmd::ForwardPass { mb });
+        cmds.push(StepCmd::StageBoundary);
+        cmds.push(StepCmd::BackwardPass { mb });
+    }
+    cmds.push(StepCmd::ReduceGrads);
+    cmds.push(StepCmd::OptimizerStep);
+    cmds
+}
+
+/// Iterates `(cmd, next_cmd)` pairs the way Algorithm 1's loop does.
+pub fn with_lookahead(cmds: &[StepCmd]) -> impl Iterator<Item = (StepCmd, Option<StepCmd>)> + '_ {
+    cmds.iter()
+        .enumerate()
+        .map(|(i, c)| (*c, cmds.get(i + 1).copied()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_shape_matches_figure4() {
+        let cmds = single_gpu_schedule(2);
+        assert_eq!(
+            cmds,
+            vec![
+                StepCmd::LoadMicroBatch { mb: 0 },
+                StepCmd::ForwardPass { mb: 0 },
+                StepCmd::StageBoundary,
+                StepCmd::BackwardPass { mb: 0 },
+                StepCmd::LoadMicroBatch { mb: 1 },
+                StepCmd::ForwardPass { mb: 1 },
+                StepCmd::StageBoundary,
+                StepCmd::BackwardPass { mb: 1 },
+                StepCmd::ReduceGrads,
+                StepCmd::OptimizerStep,
+            ]
+        );
+    }
+
+    #[test]
+    fn lookahead_flags_the_forward_backward_boundary() {
+        // Algorithm 1: prefetch fires when a boundary command is followed
+        // by a backward pass.
+        let cmds = single_gpu_schedule(2);
+        let firing: Vec<usize> = with_lookahead(&cmds)
+            .enumerate()
+            .filter(|(_, (cmd, next))| {
+                cmd.is_boundary() && next.map(|n| n.is_backward()).unwrap_or(false)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        // Exactly once per micro-batch, right after its forward.
+        assert_eq!(firing, vec![2, 6]);
+    }
+
+    #[test]
+    fn zero_micro_batches_still_builds_one() {
+        let cmds = single_gpu_schedule(0);
+        assert!(cmds.iter().any(|c| c.is_backward()));
+    }
+}

@@ -1,0 +1,356 @@
+//! A training session: model + simulated hardware + placement strategy.
+
+use crate::executor::GpuExecutor;
+use crate::metrics::StepMetrics;
+use crate::schedule::{single_gpu_schedule, with_lookahead, StepCmd};
+use ssdtrain::{
+    AdaptivePlan, CpuTarget, IoEngine, OffloadTarget, PlacementStrategy, SsdTarget, StageHint,
+    StepProfile, TensorCache, TensorCacheConfig,
+};
+use ssdtrain_autograd::optim::Sgd;
+use ssdtrain_autograd::{Graph, Phase};
+use ssdtrain_models::{Batch, Model, ModelConfig, Recompute};
+use ssdtrain_simhw::system::GpuRuntime;
+use ssdtrain_simhw::{SimTime, SystemConfig};
+use ssdtrain_tensor::Device;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Which offload target the session's cache uses (paper Figure 5: the
+/// SSD offloader is the system's point; the CPU offloader exists for
+/// future remote-storage work and is bounded by the host-pinned pool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TargetKind {
+    /// NVMe SSD array through the direct (GDS) path.
+    #[default]
+    Ssd,
+    /// Host pinned-memory pool (limited by `SystemConfig::host_mem_bytes`).
+    Cpu,
+}
+
+/// Configuration of a [`TrainSession`].
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// The machine (Table 3 by default).
+    pub system: SystemConfig,
+    /// The model (its `tp` should match the machine's GPU count for the
+    /// paper's tensor-parallel setup).
+    pub model: ModelConfig,
+    /// Global batch size in sequences.
+    pub batch_size: usize,
+    /// Micro-batches per step (gradient accumulation; the paper's
+    /// single-node experiments use 1).
+    pub micro_batches: usize,
+    /// Activation placement strategy (the ROK corner to run).
+    pub strategy: PlacementStrategy,
+    /// Tensor-cache tunables (used only for `Offload`).
+    pub cache: TensorCacheConfig,
+    /// Shape-only execution (paper-scale runs).
+    pub symbolic: bool,
+    /// Seed for weights, data and dropout.
+    pub seed: u64,
+    /// Offload target kind (SSD by default).
+    pub target: TargetKind,
+}
+
+/// A live training session on one simulated GPU.
+pub struct TrainSession {
+    cfg: SessionConfig,
+    device: Device,
+    runtime: GpuRuntime,
+    executor: Arc<GpuExecutor>,
+    model: Model,
+    cache: Option<Arc<TensorCache>>,
+    optimizer: Sgd,
+    spill_dir: Option<PathBuf>,
+    step_idx: u64,
+}
+
+fn stage_hint(cmd: StepCmd) -> StageHint {
+    match cmd {
+        StepCmd::LoadMicroBatch { mb } => StageHint::MicroBatchLoad(mb),
+        StepCmd::ForwardPass { .. } => StageHint::Forward,
+        StepCmd::StageBoundary => StageHint::Communication,
+        StepCmd::BackwardPass { .. } => StageHint::Backward,
+        StepCmd::ReduceGrads => StageHint::Communication,
+        StepCmd::OptimizerStep => StageHint::Optimizer,
+    }
+}
+
+fn unique_spill_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "ssdtrain-spill-{}-{}-{n}",
+        std::process::id(),
+        tag.replace('/', "_")
+    ))
+}
+
+impl TrainSession {
+    /// Builds the session: instantiates runtime, model, optimizer and —
+    /// for the offload strategy — the tensor cache over an SSD spill
+    /// directory.
+    ///
+    /// # Errors
+    /// Returns an error if the spill directory cannot be created.
+    pub fn new(cfg: SessionConfig) -> std::io::Result<TrainSession> {
+        let device = if cfg.symbolic {
+            Device::symbolic()
+        } else {
+            Device::cpu()
+        };
+        let runtime = cfg.system.instantiate();
+        device.set_tracker(runtime.memory.clone());
+        let model = Model::build(&cfg.model, &device, cfg.seed);
+        let executor = Arc::new(GpuExecutor::new(
+            runtime.clock.clone(),
+            cfg.system.gpu.clone(),
+            cfg.system.nvlink_bps,
+            cfg.model.tp,
+        ));
+        let (cache, spill_dir) = if cfg.strategy.uses_cache() {
+            let (target, dir): (Arc<dyn OffloadTarget>, Option<PathBuf>) = match cfg.target {
+                TargetKind::Ssd => {
+                    let dir = unique_spill_dir(&cfg.model.tag());
+                    let wear = cfg.system.ssd_array.wear_meter(1.0);
+                    (Arc::new(SsdTarget::new(&dir, wear)?), Some(dir))
+                }
+                TargetKind::Cpu => {
+                    // The paper sizes the pinned pool by profiling; we
+                    // grant the whole host memory (Figure 2's bound).
+                    (Arc::new(CpuTarget::new(cfg.system.host_mem_bytes)), None)
+                }
+            };
+            // Host memory offers symmetric bandwidth over the same PCIe
+            // link; the SSD path is capped by the array.
+            let (wr, rd) = match cfg.target {
+                TargetKind::Ssd => (
+                    cfg.system.offload_write_bps(),
+                    cfg.system.offload_read_bps(),
+                ),
+                TargetKind::Cpu => (cfg.system.pcie_bps, cfg.system.pcie_bps),
+            };
+            let io = IoEngine::new(runtime.clock.clone(), wr, rd);
+            let cache = TensorCache::new(cfg.cache.clone(), target, io, runtime.memory.clone());
+            for p in model.parameters() {
+                cache.register_parameter(&p.tensor());
+            }
+            (Some(cache), dir)
+        } else {
+            (None, None)
+        };
+        let optimizer = Sgd::new(model.parameters(), 0.05);
+        Ok(TrainSession {
+            cfg,
+            device,
+            runtime,
+            executor,
+            model,
+            cache,
+            optimizer,
+            spill_dir,
+            step_idx: 0,
+        })
+    }
+
+    /// The model under training.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.cfg
+    }
+
+    /// The tensor cache, when the strategy is `Offload`.
+    pub fn cache(&self) -> Option<&Arc<TensorCache>> {
+        self.cache.as_ref()
+    }
+
+    fn fresh_graph(&self) -> Graph {
+        let g = Graph::new(&self.device, self.cfg.seed ^ (self.step_idx << 17));
+        g.set_observer(self.executor.clone());
+        if let Some(cache) = &self.cache {
+            cache.install(&g);
+        }
+        g
+    }
+
+    /// Runs one profiling step (offload strategy only) and applies the
+    /// resulting adaptive plan to subsequent steps (Section 3.3.3).
+    ///
+    /// # Panics
+    /// Panics if the strategy is not `Offload`.
+    pub fn profile_step(&mut self) -> (StepProfile, AdaptivePlan) {
+        let cache = self
+            .cache
+            .clone()
+            .expect("profile_step requires the offload strategy");
+        self.runtime.reset();
+        self.executor.reset();
+        cache.begin_profile_step();
+        let g = self.fresh_graph();
+        g.set_phase(Phase::Forward);
+        let batch = self.next_batch(0);
+        let loss = self.model.forward_loss(&g, &batch, self.recompute_policy());
+        let result = cache.end_profile_step();
+        cache.prefetch_last_module();
+        g.backward(&loss);
+        cache.wait_io();
+        g.reset_tape();
+        cache.flush();
+        self.optimizer.zero_grad();
+        self.step_idx += 1;
+        result
+    }
+
+    /// Maps a scheduler command to the hint the cache understands.
+    fn recompute_policy(&self) -> Recompute {
+        match self.cfg.strategy {
+            PlacementStrategy::Recompute => Recompute::All,
+            PlacementStrategy::Hybrid { recompute_layers } => {
+                Recompute::FirstLayers(recompute_layers)
+            }
+            _ => Recompute::None,
+        }
+    }
+
+    fn next_batch(&self, micro_batch: usize) -> Batch {
+        let per_mb = self.cfg.batch_size / self.cfg.micro_batches.max(1);
+        Batch::synthetic(
+            &self.cfg.model,
+            per_mb.max(1),
+            self.cfg
+                .seed
+                .wrapping_mul(1000)
+                .wrapping_add(self.step_idx * 64 + micro_batch as u64),
+            &self.device,
+        )
+    }
+
+    /// Runs one measured training step under the configured strategy and
+    /// returns its metrics.
+    pub fn run_step(&mut self) -> StepMetrics {
+        self.runtime.reset();
+        self.executor.reset();
+        if let Some(cache) = &self.cache {
+            cache.begin_step();
+        }
+        let g = self.fresh_graph();
+        let recompute = self.recompute_policy();
+        let mut losses = Vec::new();
+        let mut fwd_end = SimTime::ZERO;
+        let mut pending_loss = None;
+
+        // Algorithm 1's `deepspeed_exec_schedule`: walk the command
+        // stream with one-command lookahead, hinting the cache before and
+        // after each execution.
+        let cmds = single_gpu_schedule(self.cfg.micro_batches.max(1));
+        for (cmd, next) in with_lookahead(&cmds) {
+            let stage = stage_hint(cmd);
+            if let Some(cache) = &self.cache {
+                cache.set_stage(stage); // line 9
+                if let Some(next) = next {
+                    if cmd.is_boundary() {
+                        cache.set_next_stage(stage_hint(next)); // lines 10-13
+                    }
+                }
+            }
+            match cmd {
+                StepCmd::LoadMicroBatch { mb } => {
+                    g.set_micro_batch(mb);
+                }
+                StepCmd::ForwardPass { mb } => {
+                    g.set_phase(Phase::Forward);
+                    let batch = self.next_batch(mb);
+                    let loss = self.model.forward_loss(&g, &batch, recompute);
+                    fwd_end = self.runtime.clock.now();
+                    if loss.tensor().has_data() {
+                        losses.push(loss.tensor().item());
+                    }
+                    pending_loss = Some(loss);
+                }
+                StepCmd::BackwardPass { .. } => {
+                    let loss = pending_loss.take().expect("forward precedes backward");
+                    g.backward(&loss);
+                    g.reset_tape();
+                }
+                StepCmd::StageBoundary => {}
+                StepCmd::ReduceGrads | StepCmd::OptimizerStep => {
+                    // Data parallelism degree 1; the optimizer runs
+                    // outside the measured window (below).
+                }
+            }
+            if let Some(cache) = &self.cache {
+                cache.stage_done(stage); // line 15
+            }
+        }
+
+        if let Some(cache) = &self.cache {
+            cache.flush();
+        }
+        let step_secs = self.runtime.clock.now().as_secs();
+        let timeline = self.runtime.memory.timeline();
+        // Strictly-before: the first backward node's frees are stamped at
+        // exactly the forward-end instant (the clock advances only after
+        // its kernel) and must not be counted into the forward level.
+        let act_at_bwd_start = timeline
+            .iter()
+            .take_while(|p| p.time < fwd_end)
+            .last()
+            .map(|p| p.activations)
+            .unwrap_or(0);
+        let offload = self.cache.as_ref().map(|c| c.stats()).unwrap_or_default();
+        let ssd_host_writes = self
+            .cache
+            .as_ref()
+            .map(|c| c.io().bytes_written())
+            .unwrap_or(0);
+        let metrics = StepMetrics {
+            strategy: self.cfg.strategy.label().to_owned(),
+            model: self.cfg.model.tag(),
+            batch: self.cfg.batch_size,
+            step_secs,
+            fwd_secs: self.executor.phase_secs(Phase::Forward),
+            act_peak_bytes: self.runtime.memory.peak_activations(),
+            total_peak_bytes: self.runtime.memory.peak_total(),
+            act_at_bwd_start,
+            timeline,
+            offload,
+            model_flops: self.executor.model_flops(),
+            comm_secs: self.executor.comm_secs(),
+            ssd_host_writes,
+            alloc: self.runtime.memory.allocator_stats(),
+            oom: self.runtime.memory.oom(),
+            loss: losses.iter().copied().sum::<f32>() / losses.len().max(1) as f32,
+        };
+        // The optimizer runs outside the measured window (constant
+        // offset in the paper's comparison, Section 4.1).
+        self.optimizer.step();
+        self.optimizer.zero_grad();
+        self.step_idx += 1;
+        metrics
+    }
+}
+
+impl Drop for TrainSession {
+    fn drop(&mut self) {
+        if let Some(dir) = &self.spill_dir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
+impl std::fmt::Debug for TrainSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrainSession")
+            .field("model", &self.cfg.model.tag())
+            .field("strategy", &self.cfg.strategy)
+            .field("symbolic", &self.cfg.symbolic)
+            .field("steps_run", &self.step_idx)
+            .finish()
+    }
+}

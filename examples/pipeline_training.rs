@@ -1,0 +1,62 @@
+//! Functional pipeline-parallel training: split a GPT across simulated
+//! GPUs, run the 1F1B schedule with real tensors crossing the stage
+//! boundaries, and verify the losses are bit-identical to single-GPU
+//! training — with and without per-stage activation offloading
+//! (Section 4.4's pipeline discussion, executed rather than modelled).
+//!
+//! ```sh
+//! cargo run --release --example pipeline_training
+//! ```
+
+use ssdtrain_models::ModelConfig;
+use ssdtrain_train::{PipelineExec, PipelineExecConfig};
+
+fn config(pp: usize, micro_batches: usize, offload: bool) -> PipelineExecConfig {
+    PipelineExecConfig {
+        model: ModelConfig::tiny_gpt(),
+        pp,
+        micro_batches,
+        micro_batch_size: 2,
+        offload,
+        send_secs: 0.001,
+        seed: 2026,
+    }
+}
+
+fn main() {
+    let mut single = PipelineExec::new(config(1, 4, false));
+    let mut piped = PipelineExec::new(config(2, 4, false));
+    let mut piped_off = PipelineExec::new(config(2, 4, true));
+
+    println!("step | single GPU | 2-stage pipe | 2-stage + offload | identical");
+    for step in 0..4 {
+        let a = single.run_step();
+        let b = piped.run_step();
+        let c = piped_off.run_step();
+        let same = a.loss == b.loss && b.loss == c.loss;
+        println!(
+            "{step:>4} | {:>10.6} | {:>12.6} | {:>17.6} | {}",
+            a.loss,
+            b.loss,
+            c.loss,
+            if same { "yes" } else { "NO" }
+        );
+        assert!(same, "pipelining/offloading must not change numerics");
+    }
+
+    println!("\nbubble amortisation (2 stages, functional 1F1B):");
+    println!("micro-b | step s | s per micro-batch");
+    for m in [1usize, 2, 4, 8] {
+        let mut t = PipelineExec::new(config(2, m, false));
+        let r = t.run_step();
+        println!(
+            "{m:>7} | {:>6.4} | {:>7.5}",
+            r.step_secs,
+            r.step_secs / m as f64
+        );
+    }
+    println!(
+        "\nmore in-flight micro-batches amortise the pipeline bubble — the memory\n\
+         activation offloading frees is exactly what buys them (paper Section 4.4)."
+    );
+}

@@ -1,0 +1,69 @@
+//! SSD endurance planner: the deployment workflow behind the paper's
+//! Sections 3.4 and 4.4. For a chosen large-system configuration, compare
+//! catalogue drives as activation-offload targets: projected lifespan,
+//! dollars per GPU, and the effect of relaxing the data-retention period.
+//!
+//! ```sh
+//! cargo run --release --example ssd_endurance_planner
+//! ```
+
+use ssdtrain_analysis::endurance::{figure9_configs, LifespanProjection};
+use ssdtrain_simhw::catalog::ssds;
+use ssdtrain_simhw::ssd::retention_relaxation_factor;
+use ssdtrain_simhw::Raid0;
+
+fn main() {
+    // Plan for the 530B Megatron configuration.
+    let cfg = figure9_configs()
+        .into_iter()
+        .find(|c| c.framework == "Megatron" && (c.params_b - 529.6).abs() < 1.0)
+        .expect("530B config in the catalog");
+    println!(
+        "planning offload storage for: {} {}B on {} GPUs (TP {} × PP {})\n",
+        cfg.framework, cfg.params_b, cfg.gpus, cfg.tp, cfg.pp
+    );
+
+    let drives = [
+        ssds::kioxia_fl6(),
+        ssds::solidigm_p5620(),
+        ssds::solidigm_p5810(),
+        ssds::optane_p5800x(),
+        ssds::solidigm_p5810_12t8(),
+    ];
+
+    println!(
+        "{:<42} {:>6} {:>10} {:>10} {:>12}",
+        "drive (x4 per GPU, RAID0)", "GB/s", "life (yr)", "$/GPU", "life@3d (yr)"
+    );
+    for drive in drives {
+        let price = drive.price_usd * 4.0;
+        let proj = LifespanProjection {
+            array: Raid0::new(drive.clone(), 4),
+            workload_waf: 1.0,
+        };
+        let row = proj.project(&cfg);
+        let relaxed = row.lifespan_years * retention_relaxation_factor(3.0 * 365.25, 3.0);
+        let ok = row.lifespan_years >= 3.0;
+        println!(
+            "{:<42} {:>6.1} {:>10.1} {:>10.0} {:>12.0}  {}",
+            drive.name,
+            proj.array.write_bps() / 1e9,
+            row.lifespan_years,
+            price,
+            relaxed,
+            if ok { "" } else { "<- wears out early" }
+        );
+    }
+
+    let proj = LifespanProjection::default();
+    let row = proj.project(&cfg);
+    println!(
+        "\nthis configuration writes {:.0} GB of activations per GPU per {:.0}s step\n\
+         and needs {:.1} GB/s of PCIe write bandwidth — well under a Gen4 x16 link.\n\
+         Relaxing data retention (3 years → 3 days) multiplies endurance ~50x, making\n\
+         even mainstream TLC drives viable (paper Section 4.4).",
+        row.act_bytes_per_gpu as f64 / 1e9,
+        row.step_secs,
+        row.pcie_write_bps / 1e9,
+    );
+}

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# The checks a CI pipeline runs on every change.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test --workspace
+cargo doc --workspace --no-deps

@@ -1,0 +1,11 @@
+//! Umbrella crate for the SSDTrain reproduction workspace: depends on
+//! every member so `cargo test` at the root exercises the integration
+//! tests in `tests/` and the runnable examples in `examples/`.
+
+pub use ssdtrain;
+pub use ssdtrain_analysis;
+pub use ssdtrain_autograd;
+pub use ssdtrain_models;
+pub use ssdtrain_simhw;
+pub use ssdtrain_tensor;
+pub use ssdtrain_train;

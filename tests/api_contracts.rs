@@ -1,0 +1,101 @@
+//! API-contract checks: thread-safety markers on the shared types
+//! (hooks are called from engine internals and must be `Send + Sync`),
+//! and `Debug`/`Display` coverage on public types.
+
+use ssdtrain::{
+    AdaptivePlan, IoEngine, OffloadStats, PlacementStrategy, StageHint, TensorCache,
+    TensorCacheConfig,
+};
+use ssdtrain_autograd::{OpCost, Packed, Phase, Var};
+use ssdtrain_simhw::{Channel, GpuMemory, GpuSpec, Raid0, SimClock, SimTime, SystemConfig};
+use ssdtrain_tensor::{Device, Prng, Shape, Storage, Tensor};
+
+fn assert_send<T: Send>() {}
+fn assert_sync<T: Sync>() {}
+
+#[test]
+fn shared_types_are_send_and_sync() {
+    assert_send::<Device>();
+    assert_sync::<Device>();
+    assert_send::<Storage>();
+    assert_sync::<Storage>();
+    assert_send::<Tensor>();
+    assert_sync::<Tensor>();
+    assert_send::<Var>();
+    assert_sync::<Var>();
+    assert_send::<TensorCache>();
+    assert_sync::<TensorCache>();
+    assert_send::<IoEngine>();
+    assert_sync::<IoEngine>();
+    assert_send::<GpuMemory>();
+    assert_sync::<GpuMemory>();
+    assert_send::<Channel>();
+    assert_sync::<Channel>();
+    assert_send::<SimClock>();
+    assert_sync::<SimClock>();
+}
+
+#[test]
+fn storages_survive_cross_thread_traffic() {
+    // A storage released on one thread and restored on another keeps its
+    // accounting coherent — the store/load pool pattern.
+    let dev = Device::cpu();
+    let t = Tensor::from_vec(vec![1.0, 2.0, 3.0], [3], &dev);
+    let storage = t.storage().clone();
+    let bytes = storage.to_bytes().expect("numeric");
+    let handle = std::thread::spawn(move || {
+        storage.release();
+        storage
+    });
+    let storage = handle.join().expect("thread");
+    let decoded = storage.decode_bytes(&bytes);
+    let handle = std::thread::spawn(move || {
+        storage.restore_numeric(decoded);
+        storage
+    });
+    let storage = handle.join().expect("thread");
+    assert_eq!(storage.to_vec().unwrap(), vec![1.0, 2.0, 3.0]);
+}
+
+#[test]
+fn debug_representations_are_never_empty() {
+    let dev = Device::cpu();
+    let reprs = [
+        format!("{:?}", dev),
+        format!("{:?}", Tensor::zeros([1], &dev)),
+        format!("{:?}", Var::new("v", Tensor::zeros([1], &dev))),
+        format!("{:?}", Shape::scalar()),
+        format!("{:?}", Prng::seed_from_u64(1)),
+        format!("{:?}", SimTime::ZERO),
+        format!("{:?}", GpuSpec::a100_pcie_40gb()),
+        format!("{:?}", SystemConfig::dac_testbed()),
+        format!(
+            "{:?}",
+            Raid0::new(ssdtrain_simhw::catalog::ssds::optane_p5800x(), 2)
+        ),
+        format!("{:?}", TensorCacheConfig::default()),
+        format!("{:?}", PlacementStrategy::Offload),
+        format!("{:?}", StageHint::Backward),
+        format!("{:?}", OffloadStats::default()),
+        format!("{:?}", AdaptivePlan::default()),
+        format!("{:?}", OpCost::default()),
+        format!("{:?}", Phase::Forward),
+        format!("{:?}", Packed::Opaque(1)),
+    ];
+    for r in reprs {
+        assert!(!r.is_empty());
+    }
+}
+
+#[test]
+fn display_types_render_usefully() {
+    assert_eq!(PlacementStrategy::Keep.to_string(), "keep");
+    assert_eq!(Phase::Recompute.to_string(), "recompute");
+    assert_eq!(Shape::from([2, 3]).to_string(), "[2, 3]");
+    assert_eq!(SimTime::from_secs(1.0).to_string(), "1.000000s");
+    assert_eq!(ssdtrain_tensor::DType::F16.to_string(), "f16");
+    assert_eq!(
+        ssdtrain_tensor::MemClass::Activation.to_string(),
+        "activation"
+    );
+}
