@@ -20,10 +20,11 @@ fn run_on(system: SystemConfig, cache: TensorCacheConfig) -> StepMetrics {
         symbolic: true,
         seed: 42,
         target: TargetKind::Ssd,
+        fault: None,
     })
     .expect("session");
-    let _ = s.profile_step();
-    s.run_step()
+    let _ = s.profile_step().expect("profile step");
+    s.run_step().expect("step")
 }
 
 fn run(cache: TensorCacheConfig) -> StepMetrics {

@@ -34,12 +34,13 @@ fn run(system: SystemConfig, asynchronous: bool) -> StepMetrics {
         symbolic: true,
         seed: 42,
         target: TargetKind::Ssd,
+        fault: None,
     })
     .expect("session");
     if asynchronous {
-        let _ = s.profile_step();
+        let _ = s.profile_step().expect("profile step");
     }
-    s.run_step()
+    s.run_step().expect("step")
 }
 
 fn main() {
@@ -54,9 +55,10 @@ fn main() {
             symbolic: true,
             seed: 42,
             target: TargetKind::Ssd,
+            fault: None,
         })
         .expect("session");
-        s.run_step()
+        s.run_step().expect("step")
     };
 
     let direct = SystemConfig::dac_testbed();

@@ -15,9 +15,9 @@ fn main() {
         // Measured: a profiling step offloads everything eligible — the
         // paper's "offloaded amount" row.
         let mut s = paper_session(Arch::Bert, h, l, batch, PlacementStrategy::Offload);
-        let (profile, _plan) = s.profile_step();
+        let (profile, _plan) = s.profile_step().expect("profile step");
         let measured = profile.fwd_io_bytes;
-        let step = s.run_step();
+        let step = s.run_step().expect("step");
 
         let estimate = ActivationModel::fp16(batch, 1024, h, l, 2).step_total_bytes();
         let pcie = measured as f64 / (step.step_secs / 2.0);

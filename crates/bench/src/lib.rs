@@ -123,17 +123,19 @@ pub fn paper_session(
         symbolic: true,
         seed: 42,
         target: TargetKind::Ssd,
+        fault: None,
     })
     .expect("session construction")
 }
 
 /// Runs one measured step (with a profiling step first for the offload
-/// strategy, as the real system does).
+/// strategy, as the real system does). Bench sessions run on healthy
+/// simulated devices, so a step error is a harness bug.
 pub fn measured_step(session: &mut TrainSession, strategy: PlacementStrategy) -> StepMetrics {
     if strategy.uses_cache() {
-        let _ = session.profile_step();
+        let _ = session.profile_step().expect("profile step");
     }
-    session.run_step()
+    session.run_step().expect("measured step")
 }
 
 #[cfg(test)]

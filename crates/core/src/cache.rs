@@ -18,7 +18,8 @@
 //! forwarded was never actually released, and no event is emitted.
 
 use crate::adaptive::{AdaptivePlan, ModuleProfile, StepProfile};
-use crate::config::TensorCacheConfig;
+use crate::config::{RecoveryPolicy, TensorCacheConfig};
+use crate::error::OffloadError;
 use crate::id::{storage_stamp, tensor_key, TensorKey};
 use crate::io::{IoEngine, JobId};
 use crate::stats::OffloadStats;
@@ -28,6 +29,7 @@ use ssdtrain_autograd::{ModuleHooks, Packed, Phase, SavedTensorHooks, ScopeInfo}
 use ssdtrain_simhw::{GpuMemory, SimTime};
 use ssdtrain_tensor::Tensor;
 use std::collections::{HashMap, HashSet};
+use std::io;
 use std::sync::Arc;
 
 type RecordId = u64;
@@ -67,6 +69,8 @@ struct Record {
     bytes: u64,
     state: RecState,
     scopes: HashSet<u64>,
+    /// The bytes live on the fallback target (primary refused them).
+    on_fallback: bool,
 }
 
 #[derive(Default)]
@@ -119,13 +123,17 @@ impl Default for Inner {
 /// One instance serves one (simulated) GPU. Register it on a graph with
 /// [`TensorCache::install`].
 ///
-/// # Panics
+/// # Failure handling
 ///
-/// Hook methods panic if the offload target fails (e.g. the spill
-/// directory disappears or a bounded host pool overflows) and if an
-/// opaque value is unpacked after its records were released — both are
-/// engine-integration bugs rather than recoverable conditions, mirroring
-/// how the original system would surface a failed GDS write.
+/// Offload-target failures (a vanished spill directory, an exhausted
+/// host pool, an injected fault) do **not** panic: store failures are
+/// recovered per the configured [`RecoveryPolicy`] — the tensor stays
+/// resident, optionally re-routed to a fallback target — and load
+/// failures are retried and then surfaced as a structured
+/// [`OffloadError`] via [`TensorCache::take_error`] at the end of the
+/// step. The only remaining hook panic is unpacking an opaque value
+/// after its records were released, which is an engine-integration bug
+/// rather than a recoverable condition.
 ///
 /// ```
 /// use ssdtrain::{CpuTarget, IoEngine, TensorCache, TensorCacheConfig};
@@ -165,6 +173,8 @@ pub struct TensorCache {
     inner: Mutex<Inner>,
     stats: Mutex<OffloadStats>,
     plan: Mutex<AdaptivePlan>,
+    fallback: Mutex<Option<Arc<dyn OffloadTarget>>>,
+    pending_error: Mutex<Option<OffloadError>>,
 }
 
 impl TensorCache {
@@ -183,7 +193,24 @@ impl TensorCache {
             inner: Mutex::new(Inner::default()),
             stats: Mutex::new(OffloadStats::default()),
             plan: Mutex::new(AdaptivePlan::default()),
+            fallback: Mutex::new(None),
+            pending_error: Mutex::new(None),
         })
+    }
+
+    /// Installs the secondary target [`RecoveryPolicy::FallbackTarget`]
+    /// re-routes refused stores to (typically a [`crate::CpuTarget`]
+    /// pinned pool).
+    pub fn set_fallback_target(&self, target: Arc<dyn OffloadTarget>) {
+        *self.fallback.lock() = Some(target);
+    }
+
+    /// Takes the first offload failure recovery could not absorb this
+    /// step, if any. The training loop calls this at the step boundary;
+    /// under [`RecoveryPolicy::FailStep`] a store failure lands here,
+    /// and a permanently failed load lands here under every policy.
+    pub fn take_error(&self) -> Option<OffloadError> {
+        self.pending_error.lock().take()
     }
 
     /// Registers this cache's hook pairs on `graph` — the
@@ -245,6 +272,9 @@ impl TensorCache {
         inner.fwd_start = self.io.clock().now();
         inner.fwd_secs = 0.0;
         *self.stats.lock() = OffloadStats::default();
+        // Failures during the flush above belong to the step that
+        // already reported; the new step starts clean.
+        *self.pending_error.lock() = None;
     }
 
     /// Enables profiling for the next step: every eligible tensor is
@@ -432,18 +462,106 @@ impl TensorCache {
         // The real payload crosses the filesystem here (wall time); the
         // simulated transfer finished at `end`.
         let data = rec.tensor.storage().to_bytes();
-        self.target
-            .write(&rec.key, data.as_deref(), rec.bytes)
-            .expect("offload target write failed");
-        self.mem.with_time(end, || rec.tensor.storage().release());
-        rec.state = RecState::Offloaded;
+        match self.target.write(&rec.key, data.as_deref(), rec.bytes) {
+            Ok(()) => {
+                self.mem.with_time(end, || rec.tensor.storage().release());
+                rec.state = RecState::Offloaded;
+            }
+            Err(err) => self.recover_failed_store(rec, job, err),
+        }
     }
 
+    /// Recovery for a store the target refused. The payload only
+    /// crosses to the target at commit time, so the tensor is still in
+    /// GPU memory and every [`RecoveryPolicy`] keeps the step
+    /// numerically exact — the policy decides whether the failure is
+    /// absorbed, re-routed to the fallback target, or surfaced as a
+    /// step error.
+    fn recover_failed_store(&self, rec: &mut Record, job: JobId, err: io::Error) {
+        self.stats.lock().store_failures += 1;
+        if self.config.recovery == RecoveryPolicy::FallbackTarget {
+            if let Some(fb) = self.fallback.lock().clone() {
+                let data = rec.tensor.storage().to_bytes();
+                for _ in 0..=self.config.max_io_retries {
+                    if fb.write(&rec.key, data.as_deref(), rec.bytes).is_ok() {
+                        let end = self.io.store_end(job);
+                        self.mem.with_time(end, || rec.tensor.storage().release());
+                        rec.state = RecState::Offloaded;
+                        rec.on_fallback = true;
+                        let mut stats = self.stats.lock();
+                        stats.offloaded_bytes -= rec.bytes;
+                        stats.fallback_bytes += rec.bytes;
+                        return;
+                    }
+                }
+            }
+        }
+        // Keep the tensor resident (also the fallback's last resort).
+        // The store job is dead weight now — cancel it if it still sits
+        // in the queue, reusing the forwarding machinery.
+        rec.state = RecState::Resident;
+        let _ = self.io.try_cancel_store(job, self.io.clock().now());
+        let mut stats = self.stats.lock();
+        stats.offloaded_bytes -= rec.bytes;
+        stats.kept_resident_bytes += rec.bytes;
+        drop(stats);
+        if self.config.recovery == RecoveryPolicy::FailStep {
+            let mut pending = self.pending_error.lock();
+            if pending.is_none() {
+                *pending = Some(OffloadError::Store {
+                    key: rec.key.clone(),
+                    bytes: rec.bytes,
+                    target: self.target.name().to_owned(),
+                    source: err,
+                });
+            }
+        }
+    }
+
+    /// Reloads a record's bytes, retrying up to `max_io_retries` times.
+    /// A load that still fails is unrecoverable — the activation is
+    /// gone — so the tensor is restored to zeros to keep the graph
+    /// executable and a structured error is queued; it surfaces at the
+    /// step boundary under *every* policy.
     fn restore_record(&self, rec: &mut Record, ready: SimTime) {
-        let data = self
-            .target
-            .read(&rec.key)
-            .expect("offload target read failed");
+        let target = if rec.on_fallback {
+            self.fallback.lock().clone()
+        } else {
+            None
+        }
+        .unwrap_or_else(|| self.target.clone());
+        let mut attempts = 0u32;
+        let data = loop {
+            attempts += 1;
+            match target.read(&rec.key) {
+                Ok(d) => break d,
+                Err(err) if attempts > self.config.max_io_retries => {
+                    let mut stats = self.stats.lock();
+                    stats.load_retries += u64::from(attempts - 1);
+                    drop(stats);
+                    let mut pending = self.pending_error.lock();
+                    if pending.is_none() {
+                        *pending = Some(OffloadError::Load {
+                            key: rec.key.clone(),
+                            bytes: rec.bytes,
+                            target: target.name().to_owned(),
+                            attempts,
+                            source: err,
+                        });
+                    }
+                    drop(pending);
+                    let numel = rec.tensor.numel();
+                    self.mem.with_time(ready, || {
+                        rec.tensor.storage().restore_numeric(vec![0.0; numel]);
+                    });
+                    return;
+                }
+                Err(_) => {}
+            }
+        };
+        if attempts > 1 {
+            self.stats.lock().load_retries += u64::from(attempts - 1);
+        }
         self.mem.with_time(ready, || match data {
             Some(bytes) => {
                 let decoded = rec.tensor.storage().decode_bytes(&bytes);
@@ -535,10 +653,21 @@ impl TensorCache {
                 // was never reused, its memory comes back only when the
                 // store completes.
                 self.commit_store(&mut rec, job);
+                // A failed commit keeps the tensor resident; free it
+                // now if the cache holds the last reference.
+                if matches!(rec.state, RecState::Resident) && exclusive {
+                    rec.tensor.storage().release();
+                }
             }
             RecState::Offloaded => {}
         }
-        self.target.remove(&rec.key);
+        if rec.on_fallback {
+            if let Some(fb) = self.fallback.lock().clone() {
+                fb.remove(&rec.key);
+            }
+        } else {
+            self.target.remove(&rec.key);
+        }
     }
 }
 
@@ -606,6 +735,7 @@ impl SavedTensorHooks for TensorCache {
                 bytes,
                 state: RecState::Storing { job },
                 scopes,
+                on_fallback: false,
             },
         );
         inner.by_key.insert(key, id);

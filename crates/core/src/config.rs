@@ -51,6 +51,53 @@ impl std::fmt::Display for PlacementStrategy {
     }
 }
 
+/// What the tensor cache does when the offload target fails an I/O
+/// operation (see the fault-injection subsystem,
+/// [`ssdtrain_simhw::FaultPlan`] and [`crate::FaultyTarget`]).
+///
+/// Store failures are always absorbed by keeping the tensor resident —
+/// the bytes never left GPU memory, so training continues bit-identical
+/// to the no-fault run — the policy decides what *else* happens. Load
+/// failures are retried up to [`TensorCacheConfig::max_io_retries`]
+/// times and surface a structured [`crate::OffloadError`] regardless of
+/// policy if they persist: the activation bytes are gone and no local
+/// decision can bring them back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum RecoveryPolicy {
+    /// Surface the first store failure as a step error. The tensor is
+    /// still kept resident so the in-flight step stays numerically
+    /// valid, but `run_step` reports `Err` and the training loop
+    /// decides (abort, checkpoint, re-plan).
+    FailStep,
+    /// Absorb the failure: the tensor stays in GPU memory for the rest
+    /// of the step and the step completes with degraded-mode counters
+    /// (`store_failures`, `kept_resident_bytes`) reported.
+    #[default]
+    KeepResident,
+    /// Re-issue the failed store to the cache's fallback target (the
+    /// paper's CPU offloader as a spill-of-last-resort), retrying up to
+    /// `max_io_retries` times; if the fallback also fails, degrade to
+    /// [`RecoveryPolicy::KeepResident`] behaviour.
+    FallbackTarget,
+}
+
+impl RecoveryPolicy {
+    /// Stable lowercase label for reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            RecoveryPolicy::FailStep => "fail-step",
+            RecoveryPolicy::KeepResident => "keep-resident",
+            RecoveryPolicy::FallbackTarget => "fallback-target",
+        }
+    }
+}
+
+impl std::fmt::Display for RecoveryPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Tunables of the [`crate::TensorCache`]. Every optimisation the paper
 /// describes can be disabled individually, which is what the ablation
 /// benches sweep.
@@ -86,6 +133,11 @@ pub struct TensorCacheConfig {
     /// Backward-to-forward time ratio assumed by the adaptive planner
     /// (the paper estimates backward ≈ 2× forward).
     pub bwd_fwd_ratio: f64,
+    /// What to do when the offload target fails an I/O operation.
+    pub recovery: RecoveryPolicy,
+    /// Extra attempts for failed loads (and fallback stores) before the
+    /// failure is considered permanent.
+    pub max_io_retries: u32,
 }
 
 impl Default for TensorCacheConfig {
@@ -99,6 +151,8 @@ impl Default for TensorCacheConfig {
             prefetch: true,
             prefetch_depth: 2,
             bwd_fwd_ratio: 2.0,
+            recovery: RecoveryPolicy::default(),
+            max_io_retries: 2,
         }
     }
 }
@@ -131,5 +185,17 @@ mod tests {
         assert_eq!(PlacementStrategy::Keep.to_string(), "keep");
         assert_eq!(PlacementStrategy::Offload.to_string(), "offload");
         assert_eq!(PlacementStrategy::Recompute.to_string(), "recompute");
+    }
+
+    #[test]
+    fn recovery_defaults_to_keep_resident() {
+        let c = TensorCacheConfig::default();
+        assert_eq!(c.recovery, RecoveryPolicy::KeepResident);
+        assert_eq!(c.max_io_retries, 2);
+        assert_eq!(RecoveryPolicy::FailStep.to_string(), "fail-step");
+        assert_eq!(
+            RecoveryPolicy::FallbackTarget.to_string(),
+            "fallback-target"
+        );
     }
 }

@@ -1,0 +1,197 @@
+//! [`FaultyTarget`] — wraps any [`OffloadTarget`] with a deterministic
+//! [`FaultPlan`].
+//!
+//! The decorator sits between the tensor cache and the real target, so
+//! every activation store/load passes through the plan. Error faults
+//! become `io::Error`s the cache's recovery machinery handles;
+//! [`FaultKind::SlowIo`] firings throttle the attached [`IoEngine`]
+//! mid-run instead, modelling a device that degrades rather than fails.
+
+use crate::id::TensorKey;
+use crate::io::IoEngine;
+use crate::target::OffloadTarget;
+use parking_lot::Mutex;
+use ssdtrain_simhw::{FaultKind, FaultLog, FaultPlan};
+use std::fmt;
+use std::io;
+use std::sync::Arc;
+
+/// An [`OffloadTarget`] decorator injecting faults from a seeded plan.
+///
+/// ```
+/// use ssdtrain::{CpuTarget, FaultyTarget, OffloadTarget};
+/// use ssdtrain_simhw::{FaultKind, FaultPlan, FaultTrigger};
+/// use std::sync::Arc;
+///
+/// let plan = FaultPlan::new(7)
+///     .with_fault(FaultTrigger::NthOp { nth: 0 }, FaultKind::WriteError);
+/// let target = FaultyTarget::new(Arc::new(CpuTarget::new(1 << 20)), plan);
+/// let key = ssdtrain::id::TensorKey { stamp: 1, shape: vec![4] };
+/// assert!(target.write(&key, None, 16).is_err()); // injected
+/// assert!(target.write(&key, None, 16).is_ok()); // plan exhausted
+/// assert_eq!(target.fault_log().write_faults, 1);
+/// ```
+pub struct FaultyTarget {
+    inner: Arc<dyn OffloadTarget>,
+    plan: Mutex<FaultPlan>,
+    io: Mutex<Option<IoEngine>>,
+    name: String,
+}
+
+impl FaultyTarget {
+    /// Wraps `inner` with the given fault plan.
+    pub fn new(inner: Arc<dyn OffloadTarget>, plan: FaultPlan) -> Arc<FaultyTarget> {
+        let name = format!("faulty-{}", inner.name());
+        Arc::new(FaultyTarget {
+            inner,
+            plan: Mutex::new(plan),
+            io: Mutex::new(None),
+            name,
+        })
+    }
+
+    /// Attaches the I/O engine [`FaultKind::SlowIo`] firings throttle.
+    /// Without an engine attached, slow-I/O faults only show up in the
+    /// log (operations still succeed at full speed).
+    pub fn attach_io(&self, io: IoEngine) {
+        *self.io.lock() = Some(io);
+    }
+
+    /// The wrapped target.
+    pub fn inner(&self) -> &Arc<dyn OffloadTarget> {
+        &self.inner
+    }
+
+    /// Firing counters of the plan so far.
+    pub fn fault_log(&self) -> FaultLog {
+        self.plan.lock().log()
+    }
+
+    fn apply(&self, fault: Option<FaultKind>, op: &str) -> io::Result<()> {
+        match fault {
+            Some(FaultKind::WriteError) | Some(FaultKind::ReadError) => Err(io::Error::other(
+                format!("injected {op} fault on target `{}`", self.inner.name()),
+            )),
+            Some(FaultKind::EnduranceExhausted) => Err(io::Error::new(
+                io::ErrorKind::StorageFull,
+                format!(
+                    "injected endurance exhaustion on target `{}` (wear {:.2})",
+                    self.inner.name(),
+                    self.inner.wear_fraction()
+                ),
+            )),
+            Some(FaultKind::SlowIo { factor }) => {
+                if let Some(io) = &*self.io.lock() {
+                    io.throttle(factor);
+                }
+                Ok(())
+            }
+            None => Ok(()),
+        }
+    }
+}
+
+impl OffloadTarget for FaultyTarget {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn write(&self, key: &TensorKey, data: Option<&[u8]>, len: u64) -> io::Result<()> {
+        let fault = self.plan.lock().on_write(len, self.inner.wear_fraction());
+        self.apply(fault, "write")?;
+        self.inner.write(key, data, len)
+    }
+
+    fn read(&self, key: &TensorKey) -> io::Result<Option<Vec<u8>>> {
+        // Read sizes are unknown until the bytes arrive; reads count as
+        // operations but do not advance byte-threshold triggers.
+        let fault = self.plan.lock().on_read(0);
+        self.apply(fault, "read")?;
+        self.inner.read(key)
+    }
+
+    fn remove(&self, key: &TensorKey) {
+        self.inner.remove(key);
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.inner.bytes_written()
+    }
+
+    fn wear_fraction(&self) -> f64 {
+        self.inner.wear_fraction()
+    }
+}
+
+impl fmt::Debug for FaultyTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultyTarget")
+            .field("inner", &self.inner.name())
+            .field("log", &self.fault_log())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::CpuTarget;
+    use ssdtrain_simhw::{FaultTrigger, SimClock};
+
+    fn key(stamp: u64) -> TensorKey {
+        TensorKey {
+            stamp,
+            shape: vec![4],
+        }
+    }
+
+    #[test]
+    fn write_faults_surface_as_io_errors() {
+        let plan =
+            FaultPlan::new(1).with_fault(FaultTrigger::NthOp { nth: 1 }, FaultKind::WriteError);
+        let t = FaultyTarget::new(Arc::new(CpuTarget::new(1 << 20)), plan);
+        assert!(t.write(&key(1), Some(&[1, 2]), 2).is_ok());
+        let err = t.write(&key(2), Some(&[3, 4]), 2).unwrap_err();
+        assert!(err.to_string().contains("injected write fault"), "{err}");
+        // The failed write never reached the inner target.
+        assert_eq!(t.bytes_written(), 2);
+        assert!(t.read(&key(2)).is_err(), "inner target has no key 2");
+    }
+
+    #[test]
+    fn endurance_exhaustion_reports_storage_full() {
+        let plan = FaultPlan::new(1).with_recurring_fault(
+            FaultTrigger::ByteThreshold { bytes: 4 },
+            FaultKind::EnduranceExhausted,
+        );
+        let t = FaultyTarget::new(Arc::new(CpuTarget::new(1 << 20)), plan);
+        assert!(t.write(&key(1), None, 4).is_err());
+        let err = t.write(&key(2), None, 4).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+    }
+
+    #[test]
+    fn slow_io_throttles_the_attached_engine() {
+        let plan = FaultPlan::new(1).with_fault(
+            FaultTrigger::NthOp { nth: 0 },
+            FaultKind::SlowIo { factor: 2.0 },
+        );
+        let t = FaultyTarget::new(Arc::new(CpuTarget::new(1 << 20)), plan);
+        let io = IoEngine::new(SimClock::new(), 1e9, 2e9);
+        t.attach_io(io.clone());
+        // The write itself succeeds; the engine is slower afterwards.
+        assert!(t.write(&key(1), None, 4).is_ok());
+        assert_eq!(io.effective_write_bps(), 0.5e9);
+        assert_eq!(io.effective_read_bps(), 1e9);
+        assert_eq!(t.fault_log().slowdowns, 1);
+    }
+
+    #[test]
+    fn reads_pass_through_when_no_rule_matches() {
+        let plan = FaultPlan::new(1);
+        let t = FaultyTarget::new(Arc::new(CpuTarget::new(1 << 20)), plan);
+        t.write(&key(1), Some(&[5]), 1).unwrap();
+        assert_eq!(t.read(&key(1)).unwrap().unwrap(), vec![5]);
+        assert_eq!(t.fault_log().ops, 2);
+    }
+}

@@ -22,22 +22,56 @@ struct WriteJob {
     submit: SimTime,
     start: SimTime,
     end: SimTime,
+    // Transfer duration at the bandwidth in effect when the job was
+    // (re)priced; reflow reuses it so cancellations never re-price
+    // history.
+    dur_secs: f64,
     cancelled: bool,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct WriteQueue {
     jobs: Vec<WriteJob>,
+    slowdown: f64,
+}
+
+impl Default for WriteQueue {
+    fn default() -> WriteQueue {
+        WriteQueue {
+            jobs: Vec::new(),
+            slowdown: 1.0,
+        }
+    }
 }
 
 impl WriteQueue {
-    fn reflow(&mut self, bps: f64) {
+    fn reflow(&mut self) {
         let mut prev_end = SimTime::ZERO;
         for j in self.jobs.iter_mut().filter(|j| !j.cancelled) {
             j.start = j.submit.max(prev_end);
-            j.end = j.start.plus_secs(j.bytes as f64 / bps);
+            j.end = j.start.plus_secs(j.dur_secs);
             prev_end = j.end;
         }
+    }
+
+    /// Applies a slowdown at `now`: queued jobs stretch fully, a job in
+    /// flight stretches only its remaining portion, finished jobs keep
+    /// their history. FIFO order is untouched.
+    fn throttle(&mut self, factor: f64, now: SimTime) {
+        self.slowdown *= factor;
+        for j in self.jobs.iter_mut().filter(|j| !j.cancelled) {
+            if j.end <= now {
+                continue;
+            }
+            if j.start >= now {
+                j.dur_secs *= factor;
+            } else {
+                let done = now.as_secs() - j.start.as_secs();
+                let remaining = j.end.as_secs() - now.as_secs();
+                j.dur_secs = done + remaining * factor;
+            }
+        }
+        self.reflow();
     }
 }
 
@@ -93,6 +127,31 @@ impl IoEngine {
         self.reads.bandwidth()
     }
 
+    /// Write bandwidth currently delivered, after any injected slowdown.
+    pub fn effective_write_bps(&self) -> f64 {
+        self.write_bps / self.writes.lock().slowdown
+    }
+
+    /// Read bandwidth currently delivered, after any injected slowdown.
+    pub fn effective_read_bps(&self) -> f64 {
+        self.reads.effective_bandwidth()
+    }
+
+    /// Degrades both directions by `factor` from the current simulated
+    /// time: queued and in-flight writes are rescheduled (remaining
+    /// bytes at the slower rate, FIFO order preserved) and future reads
+    /// take `factor` times longer. Factors compose multiplicatively and
+    /// persist across [`IoEngine::reset`] — injected hardware
+    /// degradation does not heal between steps.
+    ///
+    /// # Panics
+    /// Panics if `factor` is not positive.
+    pub fn throttle(&self, factor: f64) {
+        assert!(factor > 0.0, "slowdown factor must be positive");
+        self.writes.lock().throttle(factor, self.clock.now());
+        self.reads.throttle(factor);
+    }
+
     /// Submits a store of `bytes` at the current time; returns its id.
     pub fn submit_store(&self, bytes: u64) -> JobId {
         let now = self.clock.now();
@@ -105,12 +164,14 @@ impl IoEngine {
             .map(|j| j.end)
             .unwrap_or(SimTime::ZERO);
         let start = now.max(prev_end);
-        let end = start.plus_secs(bytes as f64 / self.write_bps);
+        let dur_secs = bytes as f64 * q.slowdown / self.write_bps;
+        let end = start.plus_secs(dur_secs);
         q.jobs.push(WriteJob {
             bytes,
             submit: now,
             start,
             end,
+            dur_secs,
             cancelled: false,
         });
         JobId(q.jobs.len() - 1)
@@ -145,7 +206,7 @@ impl IoEngine {
             return false;
         }
         j.cancelled = true;
-        q.reflow(self.write_bps);
+        q.reflow();
         true
     }
 
@@ -185,10 +246,17 @@ impl IoEngine {
 
     /// Seconds the write direction was busy.
     pub fn write_busy_secs(&self) -> f64 {
-        self.bytes_written() as f64 / self.write_bps
+        self.writes
+            .lock()
+            .jobs
+            .iter()
+            .filter(|j| !j.cancelled)
+            .map(|j| j.dur_secs)
+            .sum()
     }
 
-    /// Clears all job state (new measured step).
+    /// Clears all job state (new measured step). An injected slowdown
+    /// persists; see [`IoEngine::throttle`].
     pub fn reset(&self) {
         self.writes.lock().jobs.clear();
         self.reads.reset();
@@ -273,6 +341,39 @@ mod tests {
         assert_eq!(io.writes_drain_at().as_secs(), 2.0);
         io.try_cancel_store(b, SimTime::ZERO);
         assert_eq!(io.writes_drain_at().as_secs(), 1.0);
+    }
+
+    #[test]
+    fn throttle_stretches_queued_and_inflight_writes() {
+        let (clock, io) = engine();
+        let a = io.submit_store(1_000_000_000); // scheduled 0..1 s
+        let b = io.submit_store(1_000_000_000); // scheduled 1..2 s
+        clock.advance_by(0.5);
+        io.throttle(2.0);
+        // a: 0.5 s done + 0.5 s remaining at half speed = ends at 1.5 s.
+        assert_eq!(io.store_end(a).as_secs(), 1.5);
+        // b: not started, takes 2 s, queued behind a.
+        assert_eq!(io.store_end(b).as_secs(), 3.5);
+        assert_eq!(io.effective_write_bps(), 0.5e9);
+        // Future reads also slow: 2 GB at an effective 1 GB/s.
+        let ready = io.submit_load(2_000_000_000);
+        assert_eq!(ready.as_secs(), 2.5);
+    }
+
+    #[test]
+    fn cancellation_after_throttle_keeps_fifo_and_pricing() {
+        let (clock, io) = engine();
+        let _a = io.submit_store(1_000_000_000);
+        let b = io.submit_store(1_000_000_000);
+        let c = io.submit_store(1_000_000_000);
+        clock.advance_by(0.5);
+        io.throttle(2.0);
+        assert_eq!(io.store_end(c).as_secs(), 5.5);
+        // Cancelling b pulls c forward without re-pricing a's history.
+        assert!(io.try_cancel_store(b, clock.now()));
+        assert_eq!(io.store_end(c).as_secs(), 3.5);
+        let busy = io.write_busy_secs();
+        assert!((busy - 3.5).abs() < 1e-9, "busy {busy}");
     }
 
     #[test]

@@ -24,9 +24,16 @@
 //! The placement strategies of the ROK curve (Section 4.3) are selected
 //! with [`PlacementStrategy`].
 
+//! Failure handling: offload-target I/O errors flow through
+//! [`RecoveryPolicy`] instead of panicking — see [`error::OffloadError`]
+//! and the [`fault::FaultyTarget`] decorator driving deterministic
+//! fault-injection experiments.
+
 pub mod adaptive;
 pub mod cache;
 pub mod config;
+pub mod error;
+pub mod fault;
 pub mod id;
 pub mod io;
 pub mod stats;
@@ -34,7 +41,9 @@ pub mod target;
 
 pub use adaptive::{AdaptivePlan, ModuleProfile, StepProfile};
 pub use cache::{StageHint, TensorCache};
-pub use config::{PlacementStrategy, TensorCacheConfig};
+pub use config::{PlacementStrategy, RecoveryPolicy, TensorCacheConfig};
+pub use error::OffloadError;
+pub use fault::FaultyTarget;
 pub use io::IoEngine;
 pub use stats::OffloadStats;
 pub use target::{CpuTarget, OffloadTarget, SsdTarget};

@@ -35,12 +35,32 @@ pub struct OffloadStats {
     /// Total simulated seconds the GPU stalled waiting for reloads — the
     /// exposed I/O latency; ≈0 when overlap is perfect (paper Q1).
     pub stall_secs: f64,
+    /// Stores the offload target failed (recovery then applied per
+    /// [`crate::RecoveryPolicy`]).
+    pub store_failures: u64,
+    /// Extra read attempts made while recovering failed loads.
+    pub load_retries: u64,
+    /// Bytes re-routed to the fallback target after the primary target
+    /// refused them.
+    pub fallback_bytes: u64,
+    /// Bytes kept in GPU memory because their store failed and recovery
+    /// absorbed it.
+    pub kept_resident_bytes: u64,
 }
 
 impl OffloadStats {
     /// Sum of write and read traffic to the offload target.
     pub fn io_bytes(&self) -> u64 {
         self.offloaded_bytes + self.reloaded_bytes
+    }
+
+    /// Whether recovery machinery engaged this step (any failed store,
+    /// retried load, fallback write or failure-kept tensor).
+    pub fn degraded(&self) -> bool {
+        self.store_failures > 0
+            || self.load_retries > 0
+            || self.fallback_bytes > 0
+            || self.kept_resident_bytes > 0
     }
 }
 

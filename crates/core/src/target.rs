@@ -43,6 +43,12 @@ pub trait OffloadTarget: Send + Sync {
 
     /// Host bytes written so far.
     fn bytes_written(&self) -> u64;
+
+    /// Fraction of the device's endurance budget consumed, in `[0, 1]`.
+    /// Targets without a wear model report `0.0`.
+    fn wear_fraction(&self) -> f64 {
+        0.0
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -130,6 +136,10 @@ impl OffloadTarget for SsdTarget {
 
     fn bytes_written(&self) -> u64 {
         self.state.lock().wear.host_bytes
+    }
+
+    fn wear_fraction(&self) -> f64 {
+        self.state.lock().wear.wear_fraction()
     }
 }
 

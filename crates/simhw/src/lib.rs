@@ -26,6 +26,7 @@
 
 pub mod allocator;
 pub mod catalog;
+pub mod fault;
 pub mod gpu;
 pub mod link;
 pub mod memory;
@@ -34,6 +35,7 @@ pub mod system;
 pub mod time;
 
 pub use allocator::{AllocatorStats, CachingAllocator};
+pub use fault::{FaultKind, FaultLog, FaultPlan, FaultRule, FaultTrigger};
 pub use gpu::GpuSpec;
 pub use link::Channel;
 pub use memory::{FootprintPoint, GpuMemory, MemoryReport};

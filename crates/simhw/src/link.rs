@@ -5,12 +5,25 @@ use parking_lot::Mutex;
 use std::fmt;
 use std::sync::Arc;
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct ChannelInner {
     free_at: SimTime,
     busy_secs: f64,
     bytes_total: u64,
     jobs: u64,
+    slowdown: f64,
+}
+
+impl Default for ChannelInner {
+    fn default() -> ChannelInner {
+        ChannelInner {
+            free_at: SimTime::ZERO,
+            busy_secs: 0.0,
+            bytes_total: 0,
+            jobs: 0,
+            slowdown: 1.0,
+        }
+    }
 }
 
 /// A shared FIFO transfer resource with fixed bandwidth.
@@ -57,16 +70,32 @@ impl Channel {
         &self.name
     }
 
-    /// Configured bandwidth in bytes/second.
+    /// Configured (healthy) bandwidth in bytes/second.
     pub fn bandwidth(&self) -> f64 {
         self.bytes_per_sec
+    }
+
+    /// Bandwidth currently delivered, after any slowdown.
+    pub fn effective_bandwidth(&self) -> f64 {
+        self.bytes_per_sec / self.inner.lock().slowdown
+    }
+
+    /// Degrades the channel: jobs submitted from now on take `factor`
+    /// times longer. Used by fault injection to model a device entering
+    /// a slow mode mid-run; factors compose multiplicatively.
+    ///
+    /// # Panics
+    /// Panics if `factor` is not positive.
+    pub fn throttle(&self, factor: f64) {
+        assert!(factor > 0.0, "slowdown factor must be positive");
+        self.inner.lock().slowdown *= factor;
     }
 
     /// Enqueues a transfer of `bytes` at `now`; returns `(start, end)`.
     pub fn submit(&self, now: SimTime, bytes: u64) -> (SimTime, SimTime) {
         let mut inner = self.inner.lock();
         let start = now.max(inner.free_at);
-        let dur = bytes as f64 / self.bytes_per_sec;
+        let dur = bytes as f64 * inner.slowdown / self.bytes_per_sec;
         let end = start.plus_secs(dur);
         inner.free_at = end;
         inner.busy_secs += dur;
@@ -99,9 +128,16 @@ impl Channel {
         (self.inner.lock().busy_secs / horizon).min(1.0)
     }
 
-    /// Clears accumulated state (new measured step).
+    /// Clears accumulated state (new measured step). A slowdown applied
+    /// via [`Channel::throttle`] persists — degraded hardware does not
+    /// heal between steps.
     pub fn reset(&self) {
-        *self.inner.lock() = ChannelInner::default();
+        let mut inner = self.inner.lock();
+        let slowdown = inner.slowdown;
+        *inner = ChannelInner {
+            slowdown,
+            ..ChannelInner::default()
+        };
     }
 }
 
@@ -156,6 +192,20 @@ mod tests {
         ch.reset();
         assert_eq!(ch.bytes_total(), 0);
         assert_eq!(ch.free_at(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn throttle_slows_later_jobs_and_survives_reset() {
+        let ch = Channel::new("w", 1e9);
+        let (_, e) = ch.submit(SimTime::ZERO, 1_000_000_000);
+        assert_eq!(e.as_secs(), 1.0);
+        ch.throttle(4.0);
+        assert_eq!(ch.effective_bandwidth(), 0.25e9);
+        let (_, e) = ch.submit(SimTime::from_secs(10.0), 1_000_000_000);
+        assert_eq!(e.as_secs(), 14.0);
+        ch.reset();
+        let (_, e) = ch.submit(SimTime::ZERO, 1_000_000_000);
+        assert_eq!(e.as_secs(), 4.0);
     }
 
     #[test]

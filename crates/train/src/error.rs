@@ -1,0 +1,60 @@
+//! Step-level error reporting for degraded-mode training.
+
+use crate::metrics::StepMetrics;
+use ssdtrain::OffloadError;
+use std::fmt;
+
+/// A training step that could not complete cleanly: the offload stack
+/// reported a failure its recovery policy could not absorb (a store
+/// failure under [`ssdtrain::RecoveryPolicy::FailStep`], or a load that
+/// stayed failed after retries under any policy).
+///
+/// The step itself ran to completion — the cache keeps the graph
+/// executable even when activations are lost — so when the failing API
+/// produces metrics they are attached for diagnosis: the degraded-mode
+/// counters ([`ssdtrain::OffloadStats::store_failures`],
+/// `kept_resident_bytes`, …) tell the training loop how bad it was.
+#[derive(Debug)]
+pub struct StepError {
+    /// The first offload failure recovery could not absorb.
+    pub error: OffloadError,
+    /// Metrics of the degraded step, when the failing API measures one
+    /// (`run_step` attaches them; `profile_step` does not).
+    pub metrics: Option<Box<StepMetrics>>,
+}
+
+impl fmt::Display for StepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "training step failed: {}", self.error)
+    }
+}
+
+impl std::error::Error for StepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssdtrain::id::TensorKey;
+
+    #[test]
+    fn display_carries_the_offload_error() {
+        let e = StepError {
+            error: OffloadError::Store {
+                key: TensorKey {
+                    stamp: 1,
+                    shape: vec![2],
+                },
+                bytes: 8,
+                target: "ssd".into(),
+                source: std::io::Error::other("injected"),
+            },
+            metrics: None,
+        };
+        assert!(e.to_string().contains("injected"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -28,12 +28,19 @@
 //!     symbolic: false,
 //!     seed: 1,
 //!     target: ssdtrain_train::TargetKind::Ssd,
+//!     fault: None,
 //! };
 //! let mut session = TrainSession::new(cfg).expect("session");
-//! let metrics = session.run_step();
+//! let metrics = session.run_step().expect("healthy device");
 //! assert!(metrics.step_secs > 0.0);
 //! ```
+//!
+//! Step APIs return `Result`: when an injected or real offload failure
+//! cannot be absorbed by the configured [`ssdtrain::RecoveryPolicy`],
+//! the step surfaces a [`StepError`] carrying the degraded step's
+//! metrics instead of aborting the process.
 
+pub mod error;
 pub mod executor;
 pub mod metrics;
 pub mod pipeline;
@@ -41,6 +48,7 @@ pub mod pipeline_exec;
 pub mod schedule;
 pub mod session;
 
+pub use error::StepError;
 pub use executor::GpuExecutor;
 pub use metrics::StepMetrics;
 pub use pipeline::{PipelineMetrics, PipelineSim};

@@ -58,6 +58,13 @@ impl StepMetrics {
     pub fn act_peak_gib(&self) -> f64 {
         self.act_peak_bytes as f64 / (1u64 << 30) as f64
     }
+
+    /// Whether offload-path recovery engaged during this step (failed
+    /// stores kept resident, retried loads, fallback writes). The
+    /// detailed counters live in [`StepMetrics::offload`].
+    pub fn degraded(&self) -> bool {
+        self.offload.degraded()
+    }
 }
 
 #[cfg(test)]

@@ -1,17 +1,18 @@
 //! A training session: model + simulated hardware + placement strategy.
 
+use crate::error::StepError;
 use crate::executor::GpuExecutor;
 use crate::metrics::StepMetrics;
 use crate::schedule::{single_gpu_schedule, with_lookahead, StepCmd};
 use ssdtrain::{
-    AdaptivePlan, CpuTarget, IoEngine, OffloadTarget, PlacementStrategy, SsdTarget, StageHint,
-    StepProfile, TensorCache, TensorCacheConfig,
+    AdaptivePlan, CpuTarget, FaultyTarget, IoEngine, OffloadTarget, PlacementStrategy,
+    RecoveryPolicy, SsdTarget, StageHint, StepProfile, TensorCache, TensorCacheConfig,
 };
 use ssdtrain_autograd::optim::Sgd;
 use ssdtrain_autograd::{Graph, Phase};
 use ssdtrain_models::{Batch, Model, ModelConfig, Recompute};
 use ssdtrain_simhw::system::GpuRuntime;
-use ssdtrain_simhw::{SimTime, SystemConfig};
+use ssdtrain_simhw::{FaultLog, FaultPlan, SimTime, SystemConfig};
 use ssdtrain_tensor::Device;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -52,6 +53,10 @@ pub struct SessionConfig {
     pub seed: u64,
     /// Offload target kind (SSD by default).
     pub target: TargetKind,
+    /// Deterministic fault schedule injected between the cache and the
+    /// offload target (`None` for a healthy device). Recovery follows
+    /// `cache.recovery`.
+    pub fault: Option<FaultPlan>,
 }
 
 /// A live training session on one simulated GPU.
@@ -62,6 +67,7 @@ pub struct TrainSession {
     executor: Arc<GpuExecutor>,
     model: Model,
     cache: Option<Arc<TensorCache>>,
+    faulty: Option<Arc<FaultyTarget>>,
     optimizer: Sgd,
     spill_dir: Option<PathBuf>,
     step_idx: u64,
@@ -110,7 +116,7 @@ impl TrainSession {
             cfg.system.nvlink_bps,
             cfg.model.tp,
         ));
-        let (cache, spill_dir) = if cfg.strategy.uses_cache() {
+        let (cache, faulty, spill_dir) = if cfg.strategy.uses_cache() {
             let (target, dir): (Arc<dyn OffloadTarget>, Option<PathBuf>) = match cfg.target {
                 TargetKind::Ssd => {
                     let dir = unique_spill_dir(&cfg.model.tag());
@@ -123,6 +129,16 @@ impl TrainSession {
                     (Arc::new(CpuTarget::new(cfg.system.host_mem_bytes)), None)
                 }
             };
+            // An injected fault plan sits between the cache and the
+            // real target.
+            let (target, faulty): (Arc<dyn OffloadTarget>, Option<Arc<FaultyTarget>>) =
+                match cfg.fault.clone() {
+                    Some(plan) => {
+                        let ft = FaultyTarget::new(target, plan);
+                        (ft.clone(), Some(ft))
+                    }
+                    None => (target, None),
+                };
             // Host memory offers symmetric bandwidth over the same PCIe
             // link; the SSD path is capped by the array.
             let (wr, rd) = match cfg.target {
@@ -133,13 +149,20 @@ impl TrainSession {
                 TargetKind::Cpu => (cfg.system.pcie_bps, cfg.system.pcie_bps),
             };
             let io = IoEngine::new(runtime.clock.clone(), wr, rd);
+            if let Some(ft) = &faulty {
+                ft.attach_io(io.clone());
+            }
             let cache = TensorCache::new(cfg.cache.clone(), target, io, runtime.memory.clone());
+            if cfg.cache.recovery == RecoveryPolicy::FallbackTarget {
+                // Spill of last resort: the host pinned pool.
+                cache.set_fallback_target(Arc::new(CpuTarget::new(cfg.system.host_mem_bytes)));
+            }
             for p in model.parameters() {
                 cache.register_parameter(&p.tensor());
             }
-            (Some(cache), dir)
+            (Some(cache), faulty, dir)
         } else {
-            (None, None)
+            (None, None, None)
         };
         let optimizer = Sgd::new(model.parameters(), 0.05);
         Ok(TrainSession {
@@ -149,6 +172,7 @@ impl TrainSession {
             executor,
             model,
             cache,
+            faulty,
             optimizer,
             spill_dir,
             step_idx: 0,
@@ -170,6 +194,12 @@ impl TrainSession {
         self.cache.as_ref()
     }
 
+    /// Firing counters of the injected fault plan (`None` when the
+    /// session runs without one).
+    pub fn fault_log(&self) -> Option<FaultLog> {
+        self.faulty.as_ref().map(|f| f.fault_log())
+    }
+
     fn fresh_graph(&self) -> Graph {
         let g = Graph::new(&self.device, self.cfg.seed ^ (self.step_idx << 17));
         g.set_observer(self.executor.clone());
@@ -182,9 +212,13 @@ impl TrainSession {
     /// Runs one profiling step (offload strategy only) and applies the
     /// resulting adaptive plan to subsequent steps (Section 3.3.3).
     ///
+    /// # Errors
+    /// Returns a [`StepError`] if the offload stack reported a failure
+    /// recovery could not absorb.
+    ///
     /// # Panics
     /// Panics if the strategy is not `Offload`.
-    pub fn profile_step(&mut self) -> (StepProfile, AdaptivePlan) {
+    pub fn profile_step(&mut self) -> Result<(StepProfile, AdaptivePlan), StepError> {
         let cache = self
             .cache
             .clone()
@@ -204,7 +238,13 @@ impl TrainSession {
         cache.flush();
         self.optimizer.zero_grad();
         self.step_idx += 1;
-        result
+        match cache.take_error() {
+            Some(error) => Err(StepError {
+                error,
+                metrics: None,
+            }),
+            None => Ok(result),
+        }
     }
 
     /// Maps a scheduler command to the hint the cache understands.
@@ -233,7 +273,15 @@ impl TrainSession {
 
     /// Runs one measured training step under the configured strategy and
     /// returns its metrics.
-    pub fn run_step(&mut self) -> StepMetrics {
+    ///
+    /// # Errors
+    /// Returns a [`StepError`] when the offload stack reported a
+    /// failure recovery could not absorb — a store failure under
+    /// [`RecoveryPolicy::FailStep`], or a permanently failed load under
+    /// any policy. The degraded step's metrics travel inside the error;
+    /// the optimizer update is skipped (gradients are cleared), so the
+    /// training loop can checkpoint, re-plan or retry the step.
+    pub fn run_step(&mut self) -> Result<StepMetrics, StepError> {
         self.runtime.reset();
         self.executor.reset();
         if let Some(cache) = &self.cache {
@@ -327,12 +375,23 @@ impl TrainSession {
             oom: self.runtime.memory.oom(),
             loss: losses.iter().copied().sum::<f32>() / losses.len().max(1) as f32,
         };
+        if let Some(error) = self.cache.as_ref().and_then(|c| c.take_error()) {
+            // The step is tainted: skip the weight update, clear the
+            // accumulated gradients and hand the degraded metrics to
+            // the caller inside the error.
+            self.optimizer.zero_grad();
+            self.step_idx += 1;
+            return Err(StepError {
+                error,
+                metrics: Some(Box::new(metrics)),
+            });
+        }
         // The optimizer runs outside the measured window (constant
         // offset in the paper's comparison, Section 4.1).
         self.optimizer.step();
         self.optimizer.zero_grad();
         self.step_idx += 1;
-        metrics
+        Ok(metrics)
     }
 }
 

@@ -21,6 +21,7 @@ fn numeric_session(strategy: PlacementStrategy, seed: u64) -> TrainSession {
         symbolic: false,
         seed,
         target: TargetKind::Ssd,
+        fault: None,
     })
     .expect("session")
 }
@@ -41,6 +42,7 @@ fn paper_session(
         symbolic: true,
         seed: 3,
         target: TargetKind::Ssd,
+        fault: None,
     })
     .expect("session")
 }
@@ -55,9 +57,9 @@ fn three_strategies_produce_identical_losses() {
     let mut off = numeric_session(PlacementStrategy::Offload, 5);
     let mut rec = numeric_session(PlacementStrategy::Recompute, 5);
     for step in 0..3 {
-        let lk = keep.run_step().loss;
-        let lo = off.run_step().loss;
-        let lr = rec.run_step().loss;
+        let lk = keep.run_step().expect("step").loss;
+        let lo = off.run_step().expect("step").loss;
+        let lr = rec.run_step().expect("step").loss;
         assert_eq!(lk, lo, "step {step}: keep vs offload");
         assert_eq!(lk, lr, "step {step}: keep vs recompute");
     }
@@ -66,11 +68,14 @@ fn three_strategies_produce_identical_losses() {
 #[test]
 fn offload_session_exercises_the_cache() {
     let mut off = numeric_session(PlacementStrategy::Offload, 7);
-    let m = off.run_step();
+    let m = off.run_step().expect("step");
     assert!(m.offload.store_jobs > 0, "{:?}", m.offload);
     assert!(m.loss.is_finite());
     // Losses keep improving over steps on the same data distribution.
-    let m5 = (0..5).map(|_| off.run_step().loss).last().unwrap();
+    let m5 = (0..5)
+        .map(|_| off.run_step().expect("step").loss)
+        .last()
+        .unwrap();
     assert!(m5.is_finite());
 }
 
@@ -90,9 +95,10 @@ fn micro_batches_accumulate_gradients() {
         symbolic: false,
         seed: 11,
         target: TargetKind::Ssd,
+        fault: None,
     })
     .expect("session");
-    let m = s.run_step();
+    let m = s.run_step().expect("step");
     assert!(m.loss.is_finite());
     assert!(m.offload.store_jobs > 0);
 }
@@ -107,11 +113,11 @@ fn offload_matches_keep_step_time_and_cuts_activation_peak() {
     // time is within noise of keeping activations resident, while the
     // activation peak drops by roughly 28-47%.
     let mut keep = paper_session(PlacementStrategy::Keep, 8192, 4, 16);
-    let mk = keep.run_step();
+    let mk = keep.run_step().expect("step");
 
     let mut off = paper_session(PlacementStrategy::Offload, 8192, 4, 16);
-    let _ = off.profile_step();
-    let mo = off.run_step();
+    let _ = off.profile_step().expect("profile step");
+    let mo = off.run_step().expect("step");
 
     let overhead = mo.step_secs / mk.step_secs - 1.0;
     assert!(
@@ -135,9 +141,9 @@ fn offload_matches_keep_step_time_and_cuts_activation_peak() {
 #[test]
 fn recompute_is_slower_but_smaller_than_keep() {
     let mut keep = paper_session(PlacementStrategy::Keep, 8192, 4, 16);
-    let mk = keep.run_step();
+    let mk = keep.run_step().expect("step");
     let mut rec = paper_session(PlacementStrategy::Recompute, 8192, 4, 16);
-    let mr = rec.run_step();
+    let mr = rec.run_step().expect("step");
     assert!(
         mr.step_secs > mk.step_secs * 1.15,
         "recompute {:.4}s vs keep {:.4}s",
@@ -163,9 +169,9 @@ fn rok_ordering_holds_at_paper_shape() {
     let run = |strategy| {
         let mut s = paper_session(strategy, 12288, 3, 16);
         if strategy == PlacementStrategy::Offload {
-            let _ = s.profile_step();
+            let _ = s.profile_step().expect("profile step");
         }
-        s.run_step()
+        s.run_step().expect("step")
     };
     let keep = run(PlacementStrategy::Keep);
     let off = run(PlacementStrategy::Offload);
@@ -205,7 +211,7 @@ fn memory_footprint_peaks_at_backward_start_without_offload() {
     // Figure 7's black curve: without offloading, the activation curve
     // peaks exactly when backward begins.
     let mut keep = paper_session(PlacementStrategy::Keep, 8192, 4, 16);
-    let m = keep.run_step();
+    let m = keep.run_step().expect("step");
     assert!(
         m.act_at_bwd_start as f64 >= 0.98 * m.act_peak_bytes as f64,
         "at bwd start {} vs peak {}",
@@ -214,8 +220,8 @@ fn memory_footprint_peaks_at_backward_start_without_offload() {
     );
     // With offloading, the level at backward start is far below keep's.
     let mut off = paper_session(PlacementStrategy::Offload, 8192, 4, 16);
-    let _ = off.profile_step();
-    let mo = off.run_step();
+    let _ = off.profile_step().expect("profile step");
+    let mo = off.run_step().expect("step");
     assert!(
         mo.act_at_bwd_start < m.act_at_bwd_start,
         "offload start-of-backward {} vs keep {}",
@@ -227,8 +233,8 @@ fn memory_footprint_peaks_at_backward_start_without_offload() {
 #[test]
 fn offload_io_is_fully_overlapped_at_paper_scale() {
     let mut off = paper_session(PlacementStrategy::Offload, 8192, 4, 16);
-    let _ = off.profile_step();
-    let m = off.run_step();
+    let _ = off.profile_step().expect("profile step");
+    let m = off.run_step().expect("step");
     assert!(
         m.offload.stall_secs < 0.01 * m.step_secs,
         "exposed I/O {:.6}s in a {:.4}s step",
@@ -251,9 +257,10 @@ fn t5_and_gpt_paper_shapes_run_symbolically() {
             symbolic: true,
             seed: 9,
             target: TargetKind::Ssd,
+            fault: None,
         })
         .expect("session");
-        let m = s.run_step();
+        let m = s.run_step().expect("step");
         assert!(m.step_secs > 0.0, "{arch}");
         assert!(m.offload.offloaded_bytes > 0, "{arch}");
     }
@@ -273,8 +280,8 @@ fn hybrid_strategy_is_numerically_identical_too() {
         23,
     );
     for step in 0..3 {
-        let lk = keep.run_step().loss;
-        let lh = hybrid.run_step().loss;
+        let lk = keep.run_step().expect("step").loss;
+        let lh = hybrid.run_step().expect("step").loss;
         assert_eq!(lk, lh, "step {step}");
     }
 }
@@ -288,9 +295,9 @@ fn hybrid_interpolates_between_offload_and_recompute() {
     let run = |strategy: PlacementStrategy| {
         let mut s = paper_session(strategy, 8192, 4, 16);
         if strategy.uses_cache() {
-            let _ = s.profile_step();
+            let _ = s.profile_step().expect("profile step");
         }
-        s.run_step()
+        s.run_step().expect("step")
     };
     let off = run(PlacementStrategy::Offload);
     let hyb = run(PlacementStrategy::Hybrid {
@@ -344,9 +351,10 @@ fn unfused_attention_offload_is_also_bit_identical() {
             symbolic: false,
             seed: 31,
             target: TargetKind::Ssd,
+            fault: None,
         })
         .expect("session");
-        (0..3).map(|_| s.run_step().loss).collect()
+        (0..3).map(|_| s.run_step().expect("step").loss).collect()
     };
     assert_eq!(mk(PlacementStrategy::Keep), mk(PlacementStrategy::Offload));
 }

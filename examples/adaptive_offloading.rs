@@ -23,10 +23,11 @@ fn main() -> std::io::Result<()> {
         symbolic: true,
         seed: 8,
         target: TargetKind::Ssd,
+        fault: None,
     })?;
 
     // One profiling step collects the Figure 8 annotations.
-    let (profile, plan) = session.profile_step();
+    let (profile, plan) = session.profile_step().expect("profile step");
     println!(
         "profiled forward: {:.3}s total, {:.2} GB offloadable, write channel busy {:.3}s\n",
         profile.fwd_total_secs,

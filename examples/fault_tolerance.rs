@@ -1,0 +1,103 @@
+//! Walks the fault-injection harness and the offload path's graceful
+//! degradation: the same short training run is repeated against an SSD
+//! target that starts refusing writes mid-step, once per recovery
+//! policy, and the losses are compared bit-for-bit with the healthy run.
+//!
+//! ```sh
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use ssdtrain::{PlacementStrategy, RecoveryPolicy, TensorCacheConfig};
+use ssdtrain_models::ModelConfig;
+use ssdtrain_simhw::{FaultKind, FaultPlan, FaultTrigger, SystemConfig};
+use ssdtrain_train::{SessionConfig, TargetKind, TrainSession};
+
+const STEPS: usize = 3;
+
+fn session(fault: Option<FaultPlan>, recovery: RecoveryPolicy) -> TrainSession {
+    let mut cache = TensorCacheConfig::offload_everything();
+    cache.recovery = recovery;
+    TrainSession::new(SessionConfig {
+        system: SystemConfig::dac_testbed(),
+        model: ModelConfig::tiny_gpt(),
+        batch_size: 2,
+        micro_batches: 1,
+        strategy: PlacementStrategy::Offload,
+        cache,
+        symbolic: false,
+        seed: 7,
+        target: TargetKind::Ssd,
+        fault,
+    })
+    .expect("session construction")
+}
+
+/// A deterministic plan: the SSD refuses every write once 64 KiB have
+/// been offloaded (think: a pinned pool or namespace filling up).
+fn failing_ssd() -> FaultPlan {
+    FaultPlan::new(42).with_recurring_fault(
+        FaultTrigger::ByteThreshold { bytes: 64 << 10 },
+        FaultKind::WriteError,
+    )
+}
+
+fn main() {
+    // 1. The healthy anchor run.
+    let mut healthy = session(None, RecoveryPolicy::KeepResident);
+    let base: Vec<f32> = (0..STEPS)
+        .map(|_| healthy.run_step().expect("healthy device").loss)
+        .collect();
+    println!("healthy losses:        {base:?}");
+
+    // 2. keep-resident: failed stores stay in GPU memory; training
+    //    continues, numerics unchanged, counters report the damage.
+    let mut s = session(Some(failing_ssd()), RecoveryPolicy::KeepResident);
+    let mut losses = Vec::new();
+    let mut failures = 0;
+    let mut kept = 0;
+    for _ in 0..STEPS {
+        let m = s.run_step().expect("keep-resident absorbs write faults");
+        failures += m.offload.store_failures;
+        kept += m.offload.kept_resident_bytes;
+        losses.push(m.loss);
+    }
+    println!("keep-resident losses:  {losses:?}");
+    assert_eq!(base, losses, "recovery must not change numerics");
+    println!(
+        "  -> {failures} failed stores, {kept} bytes kept resident, fault log: {:?}",
+        s.fault_log().expect("plan attached")
+    );
+
+    // 3. fallback-target: failed stores re-route to the host pinned
+    //    pool; the GPU copy is still released, memory relief survives.
+    let mut s = session(Some(failing_ssd()), RecoveryPolicy::FallbackTarget);
+    let mut losses = Vec::new();
+    let mut rerouted = 0;
+    for _ in 0..STEPS {
+        let m = s.run_step().expect("fallback absorbs write faults");
+        rerouted += m.offload.fallback_bytes;
+        losses.push(m.loss);
+    }
+    println!("fallback losses:       {losses:?}");
+    assert_eq!(base, losses, "recovery must not change numerics");
+    println!("  -> {rerouted} bytes re-routed to the host pool");
+
+    // 4. fail-step: the step finishes its numerics, skips the optimizer
+    //    update, and surfaces a structured error instead of panicking.
+    let mut s = session(Some(failing_ssd()), RecoveryPolicy::FailStep);
+    for step in 0..STEPS {
+        match s.run_step() {
+            Ok(m) => println!("fail-step: step {step} healthy (loss {})", m.loss),
+            Err(err) => {
+                let m = err.metrics.as_ref().expect("degraded metrics attached");
+                println!(
+                    "fail-step: step {step} surfaced `{err}`\n\
+                     \x20 -> {} failed stores, optimizer update skipped, \
+                     loss {} still finite",
+                    m.offload.store_failures, m.loss
+                );
+                break;
+            }
+        }
+    }
+}

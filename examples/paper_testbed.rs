@@ -42,9 +42,10 @@ fn main() -> std::io::Result<()> {
             symbolic: true, // paper scale: shape-accurate, simulator-timed
             seed: 42,
             target: TargetKind::Ssd,
+            fault: None,
         })?;
         if strategy == PlacementStrategy::Offload {
-            let (profile, plan) = s.profile_step();
+            let (profile, plan) = s.profile_step().expect("profile step");
             println!(
                 "[offload] profiling step: forward {:.3}s, {} modules, {:.2} GB offloadable",
                 profile.fwd_total_secs,
@@ -56,7 +57,7 @@ fn main() -> std::io::Result<()> {
                 plan.keep_paths
             );
         }
-        let m = s.run_step();
+        let m = s.run_step().expect("step");
         println!(
             "{:>9}: step {:.3}s | fwd {:.3}s | act peak {:5.2} GiB | at bwd start {:5.2} GiB | stall {:.4}s",
             strategy.to_string(),

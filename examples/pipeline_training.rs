@@ -30,9 +30,9 @@ fn main() {
 
     println!("step | single GPU | 2-stage pipe | 2-stage + offload | identical");
     for step in 0..4 {
-        let a = single.run_step();
-        let b = piped.run_step();
-        let c = piped_off.run_step();
+        let a = single.run_step().expect("step");
+        let b = piped.run_step().expect("step");
+        let c = piped_off.run_step().expect("step");
         let same = a.loss == b.loss && b.loss == c.loss;
         println!(
             "{step:>4} | {:>10.6} | {:>12.6} | {:>17.6} | {}",
@@ -48,7 +48,7 @@ fn main() {
     println!("micro-b | step s | s per micro-batch");
     for m in [1usize, 2, 4, 8] {
         let mut t = PipelineExec::new(config(2, m, false));
-        let r = t.run_step();
+        let r = t.run_step().expect("step");
         println!(
             "{m:>7} | {:>6.4} | {:>7.5}",
             r.step_secs,

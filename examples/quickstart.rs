@@ -24,6 +24,7 @@ fn session(strategy: PlacementStrategy) -> std::io::Result<TrainSession> {
         symbolic: false,
         seed: 7,
         target: TargetKind::Ssd,
+        fault: None,
     })
 }
 
@@ -33,8 +34,8 @@ fn main() -> std::io::Result<()> {
 
     println!("step |   keep loss | offload loss | identical");
     for step in 0..5 {
-        let mk = keep.run_step();
-        let mo = offload.run_step();
+        let mk = keep.run_step().expect("step");
+        let mo = offload.run_step().expect("step");
         println!(
             "{step:>4} | {:>11.6} | {:>12.6} | {}",
             mk.loss,

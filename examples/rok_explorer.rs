@@ -46,11 +46,12 @@ fn main() -> std::io::Result<()> {
                 symbolic: true,
                 seed: 1,
                 target: TargetKind::Ssd,
+                fault: None,
             })?;
             if strategy.uses_cache() {
-                let _ = s.profile_step();
+                let _ = s.profile_step().expect("profile step");
             }
-            let m = s.run_step();
+            let m = s.run_step().expect("step");
             let peak_gib = m.act_peak_bytes as f64 / (1u64 << 30) as f64;
             let fits = peak_gib <= BUDGET_GIB && !m.oom;
             println!(

@@ -27,9 +27,10 @@ fn run_steps(strategy: PlacementStrategy, symbolic: bool, steps: usize) -> Vec<S
         symbolic,
         seed: 99,
         target: TargetKind::Ssd,
+        fault: None,
     })
     .expect("session");
-    (0..steps).map(|_| s.run_step()).collect()
+    (0..steps).map(|_| s.run_step().expect("step")).collect()
 }
 
 #[test]
@@ -97,9 +98,10 @@ fn different_seeds_change_numerics_but_not_timing() {
             symbolic: true,
             seed,
             target: TargetKind::Ssd,
+            fault: None,
         })
         .expect("session");
-        s.run_step().step_secs
+        s.run_step().expect("step").step_secs
     };
     assert_eq!(mk(1), mk(2));
 }

@@ -1,0 +1,244 @@
+//! Differential numerics under injected faults (the PR's tentpole
+//! guarantee): a training run whose offload target misbehaves must
+//! either produce **bit-identical losses** to the healthy run (the
+//! `KeepResident` / `FallbackTarget` recovery policies) or surface a
+//! structured [`StepError`] (the `FailStep` policy) — never panic and
+//! never silently corrupt numerics.
+//!
+//! The matrix covers every [`FaultTrigger`] variant crossed with every
+//! [`RecoveryPolicy`], plus read faults (unrecoverable by design) and
+//! `SlowIo` degradation (numerics preserved, time stretched).
+
+use ssdtrain::{PlacementStrategy, RecoveryPolicy, TensorCacheConfig};
+use ssdtrain_models::ModelConfig;
+use ssdtrain_simhw::{FaultKind, FaultPlan, FaultTrigger, SystemConfig};
+use ssdtrain_train::{SessionConfig, StepMetrics, TargetKind, TrainSession};
+
+const STEPS: usize = 3;
+
+fn session(fault: Option<FaultPlan>, recovery: RecoveryPolicy) -> TrainSession {
+    let mut cache = TensorCacheConfig::offload_everything();
+    cache.recovery = recovery;
+    TrainSession::new(SessionConfig {
+        system: SystemConfig::dac_testbed(),
+        model: ModelConfig::tiny_gpt(),
+        batch_size: 2,
+        micro_batches: 1,
+        strategy: PlacementStrategy::Offload,
+        cache,
+        symbolic: false,
+        seed: 23,
+        target: TargetKind::Ssd,
+        fault,
+    })
+    .expect("session construction")
+}
+
+/// Runs `STEPS` steps, asserting every one succeeds, and returns the
+/// per-step metrics.
+fn run(s: &mut TrainSession) -> Vec<StepMetrics> {
+    (0..STEPS)
+        .map(|i| {
+            s.run_step()
+                .unwrap_or_else(|e| panic!("step {i} should recover, got: {e}"))
+        })
+        .collect()
+}
+
+fn loss_bits(metrics: &[StepMetrics]) -> Vec<u32> {
+    metrics.iter().map(|m| m.loss.to_bits()).collect()
+}
+
+fn baseline_bits() -> Vec<u32> {
+    loss_bits(&run(&mut session(None, RecoveryPolicy::KeepResident)))
+}
+
+/// All write-capable triggers, each built around the same injected
+/// write failure.
+fn write_fault_plans() -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        (
+            // Op 0 is the run's first committed store; later op indices
+            // interleave with restore reads, which a write fault skips.
+            "nth-op",
+            FaultPlan::new(7).with_fault(FaultTrigger::NthOp { nth: 0 }, FaultKind::WriteError),
+        ),
+        (
+            "byte-threshold",
+            FaultPlan::new(7).with_fault(
+                FaultTrigger::ByteThreshold { bytes: 1 },
+                FaultKind::WriteError,
+            ),
+        ),
+        (
+            "wear-fraction",
+            FaultPlan::new(7).with_fault(
+                FaultTrigger::WearFraction { fraction: 0.0 },
+                FaultKind::EnduranceExhausted,
+            ),
+        ),
+        (
+            "random",
+            FaultPlan::new(7).with_fault(FaultTrigger::Random { prob: 1.0 }, FaultKind::WriteError),
+        ),
+    ]
+}
+
+#[test]
+fn healthy_runs_are_deterministic() {
+    // The anchor for every differential test below.
+    assert_eq!(baseline_bits(), baseline_bits());
+}
+
+#[test]
+fn keep_resident_is_bit_identical_for_every_trigger() {
+    let base = baseline_bits();
+    for (name, plan) in write_fault_plans() {
+        let mut s = session(Some(plan), RecoveryPolicy::KeepResident);
+        let metrics = run(&mut s);
+        assert_eq!(
+            loss_bits(&metrics),
+            base,
+            "{name}: keep-resident recovery must not change numerics"
+        );
+        let log = s.fault_log().expect("session has a fault plan");
+        assert!(log.write_faults >= 1, "{name}: the fault should fire");
+        let failures: u64 = metrics.iter().map(|m| m.offload.store_failures).sum();
+        let kept: u64 = metrics.iter().map(|m| m.offload.kept_resident_bytes).sum();
+        assert!(failures >= 1, "{name}: store_failures should be counted");
+        assert!(kept > 0, "{name}: failed stores should stay resident");
+        assert!(
+            metrics.iter().any(StepMetrics::degraded),
+            "{name}: the affected step should report degraded mode"
+        );
+    }
+}
+
+#[test]
+fn fallback_target_is_bit_identical_for_every_trigger() {
+    let base = baseline_bits();
+    for (name, plan) in write_fault_plans() {
+        let mut s = session(Some(plan), RecoveryPolicy::FallbackTarget);
+        let metrics = run(&mut s);
+        assert_eq!(
+            loss_bits(&metrics),
+            base,
+            "{name}: fallback recovery must not change numerics"
+        );
+        let fallback: u64 = metrics.iter().map(|m| m.offload.fallback_bytes).sum();
+        assert!(
+            fallback > 0,
+            "{name}: failed stores should land on the fallback target"
+        );
+        let failures: u64 = metrics.iter().map(|m| m.offload.store_failures).sum();
+        assert!(failures >= 1, "{name}: store_failures should be counted");
+    }
+}
+
+#[test]
+fn fail_step_surfaces_structured_error_for_every_trigger() {
+    for (name, plan) in write_fault_plans() {
+        let mut s = session(Some(plan), RecoveryPolicy::FailStep);
+        let mut saw_error = false;
+        for _ in 0..STEPS {
+            match s.run_step() {
+                Ok(_) => {}
+                Err(err) => {
+                    saw_error = true;
+                    assert!(
+                        err.error.is_store(),
+                        "{name}: a write fault surfaces as a store error"
+                    );
+                    let m = err.metrics.as_ref().expect("degraded metrics attached");
+                    assert!(m.offload.store_failures >= 1, "{name}");
+                    // The write failed after the payload left the GPU
+                    // copy untouched, so even the failing step's own
+                    // loss is the healthy one.
+                    assert!(m.loss.is_finite(), "{name}: loss stays numeric");
+                }
+            }
+        }
+        assert!(
+            saw_error,
+            "{name}: fail-step policy should surface the fault"
+        );
+    }
+}
+
+#[test]
+fn read_faults_always_surface_as_load_errors() {
+    // Lost activation bytes are unrecoverable (the GPU copy is released
+    // once the store commits), so every policy surfaces a load error
+    // after exhausting its retries.
+    for policy in [
+        RecoveryPolicy::KeepResident,
+        RecoveryPolicy::FallbackTarget,
+        RecoveryPolicy::FailStep,
+    ] {
+        let plan = FaultPlan::new(11).with_recurring_fault(
+            FaultTrigger::ByteThreshold { bytes: 0 },
+            FaultKind::ReadError,
+        );
+        let mut s = session(Some(plan), policy);
+        let mut saw_load_error = false;
+        for _ in 0..STEPS {
+            if let Err(err) = s.run_step() {
+                saw_load_error = true;
+                assert!(
+                    !err.error.is_store(),
+                    "{policy:?}: a read fault surfaces as a load error"
+                );
+                let m = err.metrics.expect("degraded metrics attached");
+                assert!(m.offload.load_retries >= 1, "{policy:?}: retries counted");
+            }
+        }
+        assert!(
+            saw_load_error,
+            "{policy:?}: unreadable activations must surface an error"
+        );
+    }
+}
+
+#[test]
+fn slow_io_preserves_numerics_and_stretches_the_step() {
+    let base = run(&mut session(None, RecoveryPolicy::KeepResident));
+    let plan = FaultPlan::new(3).with_fault(
+        FaultTrigger::NthOp { nth: 0 },
+        FaultKind::SlowIo { factor: 64.0 },
+    );
+    let mut s = session(Some(plan), RecoveryPolicy::KeepResident);
+    let slowed = run(&mut s);
+    assert_eq!(
+        loss_bits(&slowed),
+        loss_bits(&base),
+        "throttling is a timing event, not a numeric one"
+    );
+    let log = s.fault_log().expect("session has a fault plan");
+    assert_eq!(log.slowdowns, 1);
+    // A 64x-slower device can only make simulated steps slower.
+    let base_total: f64 = base.iter().map(|m| m.step_secs).sum();
+    let slow_total: f64 = slowed.iter().map(|m| m.step_secs).sum();
+    assert!(
+        slow_total >= base_total,
+        "throttled run should not get faster ({slow_total} < {base_total})"
+    );
+    // SlowIo is degradation, not failure: nothing should be rerouted.
+    for m in &slowed {
+        assert_eq!(m.offload.store_failures, 0);
+        assert_eq!(m.offload.kept_resident_bytes, 0);
+        assert_eq!(m.offload.fallback_bytes, 0);
+    }
+}
+
+#[test]
+fn fault_free_plan_changes_nothing() {
+    // A session carrying an empty plan must behave exactly like one
+    // without the decorator at all.
+    let base = baseline_bits();
+    let mut s = session(Some(FaultPlan::new(99)), RecoveryPolicy::KeepResident);
+    let metrics = run(&mut s);
+    assert_eq!(loss_bits(&metrics), base);
+    let log = s.fault_log().expect("plan attached");
+    assert_eq!(log.write_faults + log.read_faults, 0);
+    assert!(log.ops > 0, "the decorator still observes traffic");
+}

@@ -71,6 +71,145 @@ proptest! {
     }
 }
 
+proptest! {
+    #[test]
+    fn write_queue_stays_fifo_under_throttling_and_cancellation(
+        sizes in prop::collection::vec(1u64..50_000_000, 2..24),
+        factors in prop::collection::vec(1.0f64..8.0, 1..4),
+        cancel_mask in prop::collection::vec(any::<bool>(), 24),
+        advance_ms in prop::collection::vec(0u32..2000, 1..4),
+    ) {
+        let clock = SimClock::new();
+        let io = IoEngine::new(clock.clone(), 1e9, 1e9);
+        let half = sizes.len() / 2;
+        let mut jobs: Vec<_> = sizes[..half].iter().map(|s| io.submit_store(*s)).collect();
+        // Degrade the device mid-run, with the clock possibly advanced
+        // into (or past) the queued work.
+        let mut total_factor = 1.0;
+        for (i, f) in factors.iter().enumerate() {
+            clock.advance_by(advance_ms[i % advance_ms.len()] as f64 / 1000.0);
+            io.throttle(*f);
+            total_factor *= *f;
+        }
+        jobs.extend(sizes[half..].iter().map(|s| io.submit_store(*s)));
+        prop_assert!(
+            (io.effective_write_bps() - 1e9 / total_factor).abs()
+                <= 1e9 / total_factor * 1e-9
+        );
+        // Cancel a random subset; only still-queued jobs actually cancel.
+        let live: Vec<usize> = jobs
+            .iter()
+            .enumerate()
+            .filter(|(i, j)| {
+                !(cancel_mask[*i % cancel_mask.len()]
+                    && io.try_cancel_store(**j, clock.now()))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        // FIFO survives throttling + cancellation: surviving jobs end in
+        // submission order, never before their own submit + transfer
+        // time at the original (fastest) bandwidth, and the queue drains
+        // exactly when its last survivor does.
+        let mut prev_end = 0.0;
+        for &i in &live {
+            let end = io.store_end(jobs[i]).as_secs();
+            prop_assert!(end >= prev_end, "job {i} ends before its predecessor");
+            prop_assert!(end >= sizes[i] as f64 / 1e9 - 1e-9);
+            prev_end = end;
+        }
+        prop_assert!((io.writes_drain_at().as_secs() - prev_end).abs() < 1e-9);
+        prop_assert_eq!(
+            io.bytes_written(),
+            live.iter().map(|&i| sizes[i]).sum::<u64>()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Recovery accounting
+// ---------------------------------------------------------------------
+
+proptest! {
+    // Training sessions are comparatively expensive; a handful of cases
+    // still sweeps the trigger x policy space.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn recovery_conserves_the_offloaded_byte_account(
+        seed in 0u64..1_000,
+        use_fallback in any::<bool>(),
+        trigger_idx in 0usize..4,
+        knob in 1u64..5,
+    ) {
+        use ssdtrain::RecoveryPolicy;
+        use ssdtrain_models::ModelConfig;
+        use ssdtrain_simhw::{FaultKind, FaultPlan, FaultTrigger, SystemConfig};
+        use ssdtrain_train::{SessionConfig, TargetKind, TrainSession};
+
+        let trigger = match trigger_idx {
+            0 => FaultTrigger::NthOp { nth: knob - 1 },
+            1 => FaultTrigger::ByteThreshold { bytes: knob * 4096 },
+            2 => FaultTrigger::WearFraction { fraction: 0.0 },
+            _ => FaultTrigger::Random { prob: knob as f64 / 8.0 },
+        };
+        let kind = if trigger_idx == 2 {
+            FaultKind::EnduranceExhausted
+        } else {
+            FaultKind::WriteError
+        };
+        let session = |fault: Option<FaultPlan>| -> TrainSession {
+            let mut cache = ssdtrain::TensorCacheConfig::offload_everything();
+            cache.recovery = if use_fallback {
+                RecoveryPolicy::FallbackTarget
+            } else {
+                RecoveryPolicy::KeepResident
+            };
+            TrainSession::new(SessionConfig {
+                system: SystemConfig::dac_testbed(),
+                model: ModelConfig::tiny_gpt(),
+                batch_size: 1,
+                micro_batches: 1,
+                strategy: ssdtrain::PlacementStrategy::Offload,
+                cache,
+                symbolic: false,
+                seed,
+                target: TargetKind::Ssd,
+                fault,
+            })
+            .expect("session construction")
+        };
+        let mut healthy = session(None);
+        let mut faulty = session(Some(
+            FaultPlan::new(seed).with_recurring_fault(trigger, kind),
+        ));
+        for step in 0..2 {
+            let h = healthy.run_step().expect("healthy step").offload;
+            let f = faulty.run_step().expect("recovery absorbs store faults").offload;
+            // Every byte the healthy run offloads is accounted for in
+            // the faulty run: it stayed on the primary target, moved to
+            // the fallback, or was kept resident after a failed store.
+            prop_assert_eq!(
+                f.offloaded_bytes + f.fallback_bytes + f.kept_resident_bytes,
+                h.offloaded_bytes,
+                "step {}: rerouted bytes must conserve the healthy account",
+                step
+            );
+            // Bytes only leave the primary account through a failure.
+            if f.fallback_bytes + f.kept_resident_bytes > 0 {
+                prop_assert!(f.store_failures > 0);
+                prop_assert!(f.degraded());
+            }
+            if use_fallback {
+                prop_assert_eq!(
+                    f.kept_resident_bytes, 0,
+                    "a healthy fallback target absorbs every failed store"
+                );
+            } else {
+                prop_assert_eq!(f.fallback_bytes, 0);
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Memory timeline
 // ---------------------------------------------------------------------

@@ -1,0 +1,565 @@
+//! Offline shim for the `proptest` API subset this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors minimal implementations of its third-party
+//! dependencies. This shim keeps the *property-testing semantics* —
+//! each `proptest!` test runs many cases over pseudo-random inputs
+//! drawn from composable strategies — with two simplifications:
+//!
+//! * **Deterministic seeding.** Cases derive from a hash of the test
+//!   name and case index (overridable via `PROPTEST_SHIM_SEED`), so
+//!   every run explores the same inputs. Failures are therefore
+//!   reproducible without persistence files; `*.proptest-regressions`
+//!   files are ignored.
+//! * **No shrinking.** A failing case reports its case index and
+//!   message; inputs can be regenerated from the seed.
+//!
+//! Supported surface: `proptest!` (with optional
+//! `#![proptest_config(..)]`), `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assert_ne!`, `prop_oneof!`, `Just`, `any::<T>()`, numeric
+//! range strategies, tuple strategies, `.prop_map`, and
+//! `prop::collection::vec`.
+
+#[allow(unused_imports)]
+use std::ops::Range;
+
+// ---------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------
+
+/// Deterministic xorshift64* RNG used by the shim's strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Creates an RNG from a test identifier and a case index.
+    pub fn deterministic(test_name: &str, case: u64) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let env = std::env::var("PROPTEST_SHIM_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0);
+        let seed = h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ env;
+        TestRng(if seed == 0 { 0xdead_beef } else { seed })
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------
+
+pub mod strategy {
+    use super::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value from `rng`.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<V, S: Strategy<Value = V> + ?Sized> Strategy for Box<S> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<V, S: Strategy<Value = V> + ?Sized> Strategy for &S {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed alternative strategies
+    /// (built by `prop_oneof!`).
+    pub struct OneOf<V> {
+        arms: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> OneOf<V> {
+        /// Builds a choice over `arms`; panics if empty.
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> OneOf<V> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { arms }
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo + 1) as u64;
+                    (lo + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (self.end - self.start) * rng.unit_f64() as $t
+                }
+            }
+        )*};
+    }
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// Strategy returned by [`super::arbitrary::any`].
+    #[derive(Debug, Clone, Default)]
+    pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+    impl<T> AnyStrategy<T> {
+        /// Creates the strategy.
+        pub fn new() -> AnyStrategy<T> {
+            AnyStrategy(std::marker::PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            (rng.unit_f64() * 2.0 - 1.0) as f32 * 1e6
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            (rng.unit_f64() * 2.0 - 1.0) * 1e12
+        }
+    }
+}
+
+/// `proptest::arbitrary` — home of [`any`].
+pub mod arbitrary {
+    use super::strategy::{AnyStrategy, Arbitrary};
+
+    /// Strategy over all values of `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy::new()
+    }
+}
+
+/// `proptest::prop` — collection strategies and friends.
+pub mod prop {
+    /// Collection strategies (`prop::collection::vec`).
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::TestRng;
+        use std::ops::Range;
+
+        /// Element-count specification: a fixed size or a range.
+        #[derive(Debug, Clone)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize, // exclusive
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> SizeRange {
+                SizeRange { lo: n, hi: n + 1 }
+            }
+        }
+
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> SizeRange {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange {
+                    lo: r.start,
+                    hi: r.end,
+                }
+            }
+        }
+
+        /// Strategy generating `Vec`s of another strategy's values.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// `Vec` strategy over `element` with `size` entries.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.hi - self.size.lo) as u64;
+                let n = self.size.lo
+                    + if span == 0 {
+                        0
+                    } else {
+                        rng.below(span) as usize
+                    };
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Test-runner configuration (`ProptestConfig`).
+pub mod test_runner {
+    pub use crate::TestRng;
+
+    /// How many cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            // The real crate defaults to 256; the shim trims to keep the
+            // heavier simulation properties fast in CI.
+            Config { cases: 64 }
+        }
+    }
+}
+
+/// The prelude `use proptest::prelude::*;` pulls in.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+/// Defines property tests: each `fn` runs `config.cases` times over
+/// freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $( $(#[$meta:meta])+ fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                for __case in 0..config.cases as u64 {
+                    let mut __rng =
+                        $crate::test_runner::TestRng::deterministic(stringify!($name), __case);
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )+
+                    let __result: ::std::result::Result<(), ::std::string::String> =
+                        (|| -> ::std::result::Result<(), ::std::string::String> {
+                            $body
+                            #[allow(unreachable_code)]
+                            Ok(())
+                        })();
+                    if let ::std::result::Result::Err(msg) = __result {
+                        panic!(
+                            "proptest case {}/{} failed: {}\n\
+                             (inputs regenerate deterministically; \
+                             set PROPTEST_SHIM_SEED to vary)",
+                            __case, config.cases, msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts inside a `proptest!` body, failing the case (not panicking
+/// mid-generation) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} at {}:{}", stringify!($cond), file!(), line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond), format!($($fmt)+), file!(), line!()
+            ));
+        }
+    };
+}
+
+/// Rejects a generated case inside a `proptest!` body. The shim skips
+/// the case (counts it as passed) rather than resampling, which keeps
+/// runs deterministic; use sparingly so coverage stays meaningful.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            let _ = format!($($fmt)+);
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {} ({:?} vs {:?}) at {}:{}",
+                stringify!($a), stringify!($b), a, b, file!(), line!()
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {} ({:?} vs {:?}; {}) at {}:{}",
+                stringify!($a), stringify!($b), a, b, format!($($fmt)+), file!(), line!()
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} != {} (both {:?}) at {}:{}",
+                stringify!($a), stringify!($b), a, file!(), line!()
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} != {} (both {:?}; {}) at {}:{}",
+                stringify!($a), stringify!($b), a, format!($($fmt)+), file!(), line!()
+            ));
+        }
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $( ::std::boxed::Box::new($s)
+                as ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>> ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::deterministic("ranges", 0);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(3u64..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let f = Strategy::generate(&(0.5f64..2.0), &mut rng);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_values() {
+        let gen = |case| {
+            let mut rng = crate::TestRng::deterministic("det", case);
+            Strategy::generate(&prop::collection::vec(0u32..100, 1..20), &mut rng)
+        };
+        assert_eq!(gen(7), gen(7));
+        assert_ne!(gen(7), gen(8));
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(
+            xs in prop::collection::vec(1u32..50, 1..10),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(!xs.is_empty());
+            prop_assert!(xs.iter().all(|x| (1..50).contains(x)), "flag {flag}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn oneof_and_map_compose(choice in prop_oneof![
+            (1u32..10).prop_map(|v| v * 2),
+            Just(99u32),
+        ]) {
+            prop_assert!(choice == 99u32 || (choice % 2u32 == 0u32 && choice < 20u32));
+        }
+    }
+}

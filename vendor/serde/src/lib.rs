@@ -1,0 +1,23 @@
+//! Offline shim for `serde`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors minimal implementations of its third-party
+//! dependencies. This workspace only *derives* `Serialize` /
+//! `Deserialize` (no code serialises anything yet — no `serde_json` or
+//! similar is in the tree), so the traits here are empty markers and the
+//! derives (from the sibling `serde_derive` shim) emit empty marker
+//! impls. If a future change starts serialising for real, replace this
+//! shim with a vendored copy of the actual crates.
+
+/// Marker for types declared serialisable.
+pub trait Serialize {}
+
+/// Marker for types declared deserialisable.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker for seeds (named for API compatibility; unused).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,135 @@
+//! Offline shim for `serde_derive`: the derives emit *empty* impls of
+//! the marker traits in the sibling `serde` shim. Generic parameters
+//! (including lifetimes and defaulted type params) are carried through
+//! textually; attribute knobs (`#[serde(...)]`) are accepted and
+//! ignored, which is sound because the traits have no methods.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// The parsed target of a derive: name plus raw/param-only generics.
+struct Target {
+    name: String,
+    /// Raw generic parameter list (bounds kept, defaults stripped),
+    /// e.g. `T: Clone, 'a`.
+    params: String,
+    /// Parameter names only, e.g. `T, 'a`, for the type path.
+    args: String,
+}
+
+fn parse_target(input: TokenStream) -> Target {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    // Find `struct` / `enum` / `union`; the next ident is the name.
+    let mut idx = None;
+    for (i, t) in tokens.iter().enumerate() {
+        if let TokenTree::Ident(id) = t {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                idx = Some(i);
+                break;
+            }
+        }
+    }
+    let kw = idx.expect("derive input has no struct/enum/union keyword");
+    let name = match tokens.get(kw + 1) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name after keyword, got {other:?}"),
+    };
+
+    // Optional generics: `<` ... matching `>` right after the name.
+    let mut params = String::new();
+    let mut args = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(kw + 2) {
+        if p.as_char() == '<' {
+            let mut depth = 1usize;
+            let mut segs: Vec<Vec<String>> = vec![Vec::new()];
+            for t in &tokens[kw + 3..] {
+                match t {
+                    TokenTree::Punct(p) if p.as_char() == '<' => {
+                        depth += 1;
+                        segs.last_mut().unwrap().push("<".into());
+                    }
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                        segs.last_mut().unwrap().push(">".into());
+                    }
+                    TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                        segs.push(Vec::new());
+                    }
+                    other => segs.last_mut().unwrap().push(other.to_string()),
+                }
+            }
+            let mut param_list = Vec::new();
+            let mut arg_list = Vec::new();
+            for seg in segs.iter().filter(|s| !s.is_empty()) {
+                // Strip a trailing `= default` (top level only — `=`
+                // inside nested angle brackets is an associated-type
+                // binding, not a default).
+                let mut depth = 0i32;
+                let mut cut = seg.len();
+                for (i, tok) in seg.iter().enumerate() {
+                    match tok.as_str() {
+                        "<" => depth += 1,
+                        ">" => depth -= 1,
+                        "=" if depth == 0 => {
+                            cut = i;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                // Lifetimes tokenise as `'` + ident; re-join them.
+                param_list.push(seg[..cut].join(" ").replace("' ", "'"));
+                // The parameter name: `'a` for lifetimes (quote + ident),
+                // `const N` for const params, otherwise the first ident.
+                let arg = if seg[0] == "'" {
+                    format!("'{}", seg[1])
+                } else if seg[0] == "const" {
+                    seg[1].clone()
+                } else {
+                    seg[0].clone()
+                };
+                arg_list.push(arg);
+            }
+            params = param_list.join(", ");
+            args = arg_list.join(", ");
+        }
+    }
+    Target { name, params, args }
+}
+
+fn marker_impl(input: TokenStream, deserialize: bool) -> TokenStream {
+    let t = parse_target(input);
+    let ty = if t.args.is_empty() {
+        t.name.clone()
+    } else {
+        format!("{}<{}>", t.name, t.args)
+    };
+    let code = if deserialize {
+        let generics = if t.params.is_empty() {
+            "'de".to_string()
+        } else {
+            format!("'de, {}", t.params)
+        };
+        format!("impl<{generics}> ::serde::Deserialize<'de> for {ty} {{}}")
+    } else if t.params.is_empty() {
+        format!("impl ::serde::Serialize for {ty} {{}}")
+    } else {
+        format!("impl<{}> ::serde::Serialize for {ty} {{}}", t.params)
+    };
+    code.parse().expect("generated impl parses")
+}
+
+/// Derives the `serde::Serialize` marker.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, false)
+}
+
+/// Derives the `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, true)
+}
