@@ -3,35 +3,35 @@
 //! the prefetch depth — each toggled off individually on the Figure 10
 //! BERT H8192 L4 B16 workload.
 
-use ssdtrain::{PlacementStrategy, TensorCacheConfig};
-use ssdtrain_bench::{gb, gib, print_table};
+use ssdtrain::{TensorCacheConfig, TraceSink};
+use ssdtrain_bench::{export_trace, gb, gib, print_table, sink_for, trace_path_from_args};
 use ssdtrain_models::{Arch, ModelConfig};
 use ssdtrain_simhw::SystemConfig;
-use ssdtrain_train::{SessionConfig, StepMetrics, TargetKind, TrainSession};
+use ssdtrain_train::{SessionConfig, StepMetrics, TrainSession};
 
-fn run_on(system: SystemConfig, cache: TensorCacheConfig) -> StepMetrics {
-    let mut s = TrainSession::new(SessionConfig {
-        system,
-        model: ModelConfig::paper_scale(Arch::Bert, 8192, 4).with_tp(2),
-        batch_size: 16,
-        micro_batches: 1,
-        strategy: PlacementStrategy::Offload,
-        cache,
-        symbolic: true,
-        seed: 42,
-        target: TargetKind::Ssd,
-        fault: None,
-    })
-    .expect("session");
+fn run_on(system: SystemConfig, cache: TensorCacheConfig, sink: TraceSink) -> StepMetrics {
+    let cfg = SessionConfig::builder()
+        .system(system)
+        .model(ModelConfig::paper_scale(Arch::Bert, 8192, 4).with_tp(2))
+        .batch_size(16)
+        .cache(cache)
+        .symbolic(true)
+        .seed(42)
+        .trace(sink)
+        .build()
+        .expect("valid config");
+    let mut s = TrainSession::new(cfg).expect("session");
     let _ = s.profile_step().expect("profile step");
     s.run_step().expect("step")
 }
 
-fn run(cache: TensorCacheConfig) -> StepMetrics {
-    run_on(SystemConfig::dac_testbed(), cache)
+fn run(cache: TensorCacheConfig, sink: TraceSink) -> StepMetrics {
+    run_on(SystemConfig::dac_testbed(), cache, sink)
 }
 
 fn main() {
+    let trace_path = trace_path_from_args();
+    let sink = sink_for(&trace_path);
     let base = TensorCacheConfig::default();
     let variants: Vec<(&str, TensorCacheConfig)> = vec![
         ("full system", base.clone()),
@@ -82,7 +82,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for (name, cfg) in variants {
-        let m = run(cfg);
+        let m = run(cfg, sink.clone());
         rows.push(vec![
             name.to_string(),
             format!("{:.3}", m.step_secs),
@@ -131,7 +131,7 @@ fn main() {
             },
         ),
     ] {
-        let m = run_on(slow.clone(), cfg);
+        let m = run_on(slow.clone(), cfg, sink.clone());
         rows.push(vec![
             name.to_string(),
             format!("{:.3}", m.step_secs),
@@ -159,4 +159,7 @@ fn main() {
          bandwidth the adaptive plan keeps enough tail modules to stay off the critical\n\
          path, where the non-adaptive keep-last-only policy stalls."
     );
+    if let Some(path) = trace_path {
+        export_trace(&sink, &path);
+    }
 }

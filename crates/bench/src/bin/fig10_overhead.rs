@@ -3,10 +3,15 @@
 //! (hidden, layers) points, batch 16, tensor-parallel over 2 GPUs.
 
 use ssdtrain::PlacementStrategy;
-use ssdtrain_bench::{gib, measured_step, paper_session, print_table};
+use ssdtrain_bench::{
+    export_trace, gib, measured_step, paper_session, paper_session_traced, print_table, sink_for,
+    trace_path_from_args,
+};
 use ssdtrain_models::Arch;
 
 fn main() {
+    let trace_path = trace_path_from_args();
+    let sink = sink_for(&trace_path);
     let configs = [(8192usize, 4usize), (12288, 3), (16384, 2)];
     let archs = [Arch::Bert, Arch::Gpt, Arch::T5];
     let batch = 16;
@@ -16,7 +21,8 @@ fn main() {
         for (h, l) in configs {
             let mut keep = paper_session(arch, h, l, batch, PlacementStrategy::Keep);
             let mk = measured_step(&mut keep, PlacementStrategy::Keep);
-            let mut off = paper_session(arch, h, l, batch, PlacementStrategy::Offload);
+            let mut off =
+                paper_session_traced(arch, h, l, batch, PlacementStrategy::Offload, sink.clone());
             let mo = measured_step(&mut off, PlacementStrategy::Offload);
             let overhead = (mo.step_secs / mk.step_secs - 1.0) * 100.0;
             let reduction = (1.0 - mo.act_peak_bytes as f64 / mk.act_peak_bytes as f64) * 100.0;
@@ -43,4 +49,7 @@ fn main() {
         "\npaper claims: TBA has almost no step-time overhead in all cases (I/O fully \
          overlapped; stall ≈ 0) and cuts the activation peak by 28–47%."
     );
+    if let Some(path) = trace_path {
+        export_trace(&sink, &path);
+    }
 }

@@ -6,13 +6,13 @@
 //!
 //! BERT H8192 L4 B16 on the Table 3 testbed.
 
-use ssdtrain::{PlacementStrategy, TensorCacheConfig};
-use ssdtrain_bench::{gib, print_table};
+use ssdtrain::{PlacementStrategy, TensorCacheConfig, TraceSink};
+use ssdtrain_bench::{export_trace, gib, print_table, sink_for, trace_path_from_args};
 use ssdtrain_models::{Arch, ModelConfig};
 use ssdtrain_simhw::SystemConfig;
-use ssdtrain_train::{SessionConfig, StepMetrics, TargetKind, TrainSession};
+use ssdtrain_train::{SessionConfig, StepMetrics, TrainSession};
 
-fn run(system: SystemConfig, asynchronous: bool) -> StepMetrics {
+fn run(system: SystemConfig, asynchronous: bool, sink: TraceSink) -> StepMetrics {
     let cache = if asynchronous {
         TensorCacheConfig::default()
     } else {
@@ -24,19 +24,17 @@ fn run(system: SystemConfig, asynchronous: bool) -> StepMetrics {
             ..TensorCacheConfig::default()
         }
     };
-    let mut s = TrainSession::new(SessionConfig {
-        system,
-        model: ModelConfig::paper_scale(Arch::Bert, 8192, 4).with_tp(2),
-        batch_size: 16,
-        micro_batches: 1,
-        strategy: PlacementStrategy::Offload,
-        cache,
-        symbolic: true,
-        seed: 42,
-        target: TargetKind::Ssd,
-        fault: None,
-    })
-    .expect("session");
+    let cfg = SessionConfig::builder()
+        .system(system)
+        .model(ModelConfig::paper_scale(Arch::Bert, 8192, 4).with_tp(2))
+        .batch_size(16)
+        .cache(cache)
+        .symbolic(true)
+        .seed(42)
+        .trace(sink)
+        .build()
+        .expect("valid config");
+    let mut s = TrainSession::new(cfg).expect("session");
     if asynchronous {
         let _ = s.profile_step().expect("profile step");
     }
@@ -44,20 +42,18 @@ fn run(system: SystemConfig, asynchronous: bool) -> StepMetrics {
 }
 
 fn main() {
+    let trace_path = trace_path_from_args();
+    let sink = sink_for(&trace_path);
     let keep = {
-        let mut s = TrainSession::new(SessionConfig {
-            system: SystemConfig::dac_testbed(),
-            model: ModelConfig::paper_scale(Arch::Bert, 8192, 4).with_tp(2),
-            batch_size: 16,
-            micro_batches: 1,
-            strategy: PlacementStrategy::Keep,
-            cache: TensorCacheConfig::default(),
-            symbolic: true,
-            seed: 42,
-            target: TargetKind::Ssd,
-            fault: None,
-        })
-        .expect("session");
+        let cfg = SessionConfig::builder()
+            .model(ModelConfig::paper_scale(Arch::Bert, 8192, 4).with_tp(2))
+            .batch_size(16)
+            .strategy(PlacementStrategy::Keep)
+            .symbolic(true)
+            .seed(42)
+            .build()
+            .expect("valid config");
+        let mut s = TrainSession::new(cfg).expect("session");
         s.run_step().expect("step")
     };
 
@@ -72,7 +68,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for (name, sys, asynchronous) in rows_spec {
-        let m = run(sys, asynchronous);
+        let m = run(sys, asynchronous, sink.clone());
         rows.push(vec![
             name.to_string(),
             format!("{:.3}", m.step_secs),
@@ -108,4 +104,7 @@ fn main() {
          framework through process-local hooks (this repo's cache installs onto any\n\
          graph via two hook registrations), instead of a custom runtime."
     );
+    if let Some(path) = trace_path {
+        export_trace(&sink, &path);
+    }
 }

@@ -17,10 +17,10 @@
 //!
 //! Run one with `cargo run -p ssdtrain-bench --release --bin fig10_overhead`.
 
-use ssdtrain::{PlacementStrategy, TensorCacheConfig};
+use ssdtrain::{chrome_trace_json, text_summary, PlacementStrategy, TraceSink};
 use ssdtrain_models::{Arch, ModelConfig};
-use ssdtrain_simhw::SystemConfig;
-use ssdtrain_train::{SessionConfig, StepMetrics, TargetKind, TrainSession};
+use ssdtrain_train::{SessionConfig, StepMetrics, TrainSession};
+use std::path::{Path, PathBuf};
 
 /// Formats bytes as GiB with two decimals.
 pub fn gib(bytes: u64) -> f64 {
@@ -113,19 +113,60 @@ pub fn paper_session(
     batch: usize,
     strategy: PlacementStrategy,
 ) -> TrainSession {
-    TrainSession::new(SessionConfig {
-        system: SystemConfig::dac_testbed(),
-        model: ModelConfig::paper_scale(arch, hidden, layers).with_tp(2),
-        batch_size: batch,
-        micro_batches: 1,
-        strategy,
-        cache: TensorCacheConfig::default(),
-        symbolic: true,
-        seed: 42,
-        target: TargetKind::Ssd,
-        fault: None,
-    })
-    .expect("session construction")
+    paper_session_traced(arch, hidden, layers, batch, strategy, TraceSink::disabled())
+}
+
+/// [`paper_session`] with the session's events routed into `sink`.
+pub fn paper_session_traced(
+    arch: Arch,
+    hidden: usize,
+    layers: usize,
+    batch: usize,
+    strategy: PlacementStrategy,
+    sink: TraceSink,
+) -> TrainSession {
+    let cfg = SessionConfig::builder()
+        .model(ModelConfig::paper_scale(arch, hidden, layers).with_tp(2))
+        .batch_size(batch)
+        .strategy(strategy)
+        .symbolic(true)
+        .seed(42)
+        .trace(sink)
+        .build()
+        .expect("valid config");
+    TrainSession::new(cfg).expect("session construction")
+}
+
+/// Parses a `--trace <path>` flag from the process arguments (used by
+/// every bench binary; other arguments are left alone).
+pub fn trace_path_from_args() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return args.next().map(PathBuf::from);
+        }
+        if let Some(p) = a.strip_prefix("--trace=") {
+            return Some(PathBuf::from(p));
+        }
+    }
+    None
+}
+
+/// An enabled sink when a trace path was requested, else a disabled one.
+pub fn sink_for(path: &Option<PathBuf>) -> TraceSink {
+    match path {
+        Some(_) => TraceSink::enabled(),
+        None => TraceSink::disabled(),
+    }
+}
+
+/// Writes `sink` as Chrome-trace JSON to `path` and prints the per-step
+/// text timeline to stdout.
+pub fn export_trace(sink: &TraceSink, path: &Path) {
+    let events = sink.events();
+    std::fs::write(path, chrome_trace_json(&events)).expect("write trace file");
+    println!("\n{}", text_summary(&events));
+    println!("chrome trace written to {}", path.display());
 }
 
 /// Runs one measured step (with a profiling step first for the offload

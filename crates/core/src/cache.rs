@@ -28,6 +28,7 @@ use parking_lot::Mutex;
 use ssdtrain_autograd::{ModuleHooks, Packed, Phase, SavedTensorHooks, ScopeInfo};
 use ssdtrain_simhw::{GpuMemory, SimTime};
 use ssdtrain_tensor::Tensor;
+use ssdtrain_trace::{ArgValue, TraceCategory, TraceSink};
 use std::collections::{HashMap, HashSet};
 use std::io;
 use std::sync::Arc;
@@ -48,6 +49,19 @@ pub enum StageHint {
     Communication,
     /// The optimizer update.
     Optimizer,
+}
+
+impl StageHint {
+    /// The span name a [`StageScope`] emits for this stage.
+    pub fn trace_label(self) -> String {
+        match self {
+            StageHint::MicroBatchLoad(mb) => format!("stage.load_mb{mb}"),
+            StageHint::Forward => "stage.forward".to_owned(),
+            StageHint::Backward => "stage.backward".to_owned(),
+            StageHint::Communication => "stage.comm".to_owned(),
+            StageHint::Optimizer => "stage.optimizer".to_owned(),
+        }
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -175,6 +189,7 @@ pub struct TensorCache {
     plan: Mutex<AdaptivePlan>,
     fallback: Mutex<Option<Arc<dyn OffloadTarget>>>,
     pending_error: Mutex<Option<OffloadError>>,
+    trace: Mutex<TraceSink>,
 }
 
 impl TensorCache {
@@ -195,7 +210,21 @@ impl TensorCache {
             plan: Mutex::new(AdaptivePlan::default()),
             fallback: Mutex::new(None),
             pending_error: Mutex::new(None),
+            trace: Mutex::new(TraceSink::disabled()),
         })
+    }
+
+    /// Routes this cache's tensor-lifecycle events into `sink` and wires
+    /// the shared [`IoEngine`] to the same sink, so stores, loads,
+    /// prefetches, dedup hits, forwarding, stalls, stage spans and
+    /// recovery actions all land on one timeline.
+    pub fn set_trace(&self, sink: TraceSink) {
+        self.io.set_trace(sink.clone());
+        *self.trace.lock() = sink;
+    }
+
+    fn trace(&self) -> TraceSink {
+        self.trace.lock().clone()
     }
 
     /// Installs the secondary target [`RecoveryPolicy::FallbackTarget`]
@@ -357,18 +386,69 @@ impl TensorCache {
         out
     }
 
-    /// Algorithm 1 line 9 (`tc.set_stage(cmd)`): the scheduler is about
-    /// to execute `stage`. Micro-batch loads switch the cache's record
-    /// set (Figure 4 ③).
-    pub fn set_stage(&self, stage: StageHint) {
+    /// Enters `stage` and returns an RAII guard covering it: the
+    /// Algorithm 1 line 9 entry actions (`tc.set_stage(cmd)`) run now,
+    /// the line 15 exit actions (`tc.stage_done(cmd)`, draining I/O
+    /// after backward) run when the guard drops, and the guard emits the
+    /// stage's span into the trace. This replaces the manual
+    /// `set_stage`/`stage_done` call pairs, which could be forgotten or
+    /// mismatched.
+    ///
+    /// ```
+    /// # use ssdtrain::{CpuTarget, IoEngine, StageHint, TensorCache, TensorCacheConfig};
+    /// # use ssdtrain_simhw::{GpuMemory, SimClock};
+    /// # use std::sync::Arc;
+    /// # let clock = SimClock::new();
+    /// # let mem = Arc::new(GpuMemory::new(clock.clone(), 1 << 30));
+    /// # let io = IoEngine::new(clock, 1e9, 1e9);
+    /// # let cache = TensorCache::new(
+    /// #     TensorCacheConfig::offload_everything(),
+    /// #     Arc::new(CpuTarget::new(1 << 30)),
+    /// #     io,
+    /// #     mem,
+    /// # );
+    /// {
+    ///     let scope = cache.stage_scope(StageHint::Forward);
+    ///     scope.announce_next(StageHint::Backward); // prefetch overlaps the tail
+    ///     // ... run the stage ...
+    /// } // exit actions + trace span happen here
+    /// ```
+    pub fn stage_scope(&self, stage: StageHint) -> StageScope<'_> {
+        self.enter_stage(stage);
+        StageScope {
+            cache: self,
+            stage,
+            enter: self.io.clock().now(),
+        }
+    }
+
+    fn enter_stage(&self, stage: StageHint) {
         if let StageHint::MicroBatchLoad(mb) = stage {
             self.set_micro_batch(mb);
         }
     }
 
+    fn exit_stage(&self, stage: StageHint) {
+        if matches!(stage, StageHint::Backward) {
+            self.wait_io();
+        }
+    }
+
+    /// Algorithm 1 line 9 (`tc.set_stage(cmd)`): the scheduler is about
+    /// to execute `stage`. Micro-batch loads switch the cache's record
+    /// set (Figure 4 ③).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use TensorCache::stage_scope, which pairs entry/exit automatically and emits the stage trace span"
+    )]
+    pub fn set_stage(&self, stage: StageHint) {
+        self.enter_stage(stage);
+    }
+
     /// Algorithm 1 lines 10–13 (`tc.set_next_stage(nxcmd)`): if the
     /// upcoming stage is a backward pass, prefetch the last module so its
     /// first reloads overlap the tail of forward.
+    #[deprecated(since = "0.2.0", note = "use StageScope::announce_next")]
     pub fn set_next_stage(&self, next: StageHint) {
         if matches!(next, StageHint::Backward) {
             self.prefetch_last_module();
@@ -377,10 +457,12 @@ impl TensorCache {
 
     /// Algorithm 1 line 15: called after a stage executes; backward
     /// passes drain outstanding I/O.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use TensorCache::stage_scope, which runs the exit actions when the guard drops"
+    )]
     pub fn stage_done(&self, stage: StageHint) {
-        if matches!(stage, StageHint::Backward) {
-            self.wait_io();
-        }
+        self.exit_stage(stage);
     }
 
     /// Scheduler hint (Algorithm 1 line 13): the step is about to switch
@@ -412,6 +494,14 @@ impl TensorCache {
         };
         let stall = self.io.clock().advance_to(latest);
         self.stats.lock().stall_secs += stall;
+        if stall > 0.0 {
+            self.trace().span(
+                TraceCategory::Stall,
+                "stall.drain",
+                latest.plus_secs(-stall),
+                latest,
+            );
+        }
     }
 
     /// Micro-batch switch hint (Figure 4 ③): subsequent scopes belong to
@@ -466,6 +556,9 @@ impl TensorCache {
             Ok(()) => {
                 self.mem.with_time(end, || rec.tensor.storage().release());
                 rec.state = RecState::Offloaded;
+                let (start, end) = self.io.store_span(job);
+                self.trace()
+                    .span_bytes(TraceCategory::Store, "store", start, end, rec.bytes);
             }
             Err(err) => self.recover_failed_store(rec, job, err),
         }
@@ -491,6 +584,16 @@ impl TensorCache {
                         let mut stats = self.stats.lock();
                         stats.offloaded_bytes -= rec.bytes;
                         stats.fallback_bytes += rec.bytes;
+                        drop(stats);
+                        self.trace().instant_with(
+                            TraceCategory::Recovery,
+                            "recovery.fallback",
+                            self.io.clock().now(),
+                            vec![
+                                ("bytes", ArgValue::U64(rec.bytes)),
+                                ("target", ArgValue::from(fb.name())),
+                            ],
+                        );
                         return;
                     }
                 }
@@ -505,7 +608,18 @@ impl TensorCache {
         stats.offloaded_bytes -= rec.bytes;
         stats.kept_resident_bytes += rec.bytes;
         drop(stats);
+        self.trace().instant_bytes(
+            TraceCategory::Recovery,
+            "recovery.keep_resident",
+            self.io.clock().now(),
+            rec.bytes,
+        );
         if self.config.recovery == RecoveryPolicy::FailStep {
+            self.trace().instant(
+                TraceCategory::Recovery,
+                "recovery.fail_step",
+                self.io.clock().now(),
+            );
             let mut pending = self.pending_error.lock();
             if pending.is_none() {
                 *pending = Some(OffloadError::Store {
@@ -550,6 +664,15 @@ impl TensorCache {
                         });
                     }
                     drop(pending);
+                    self.trace().instant_with(
+                        TraceCategory::Recovery,
+                        "recovery.load_failed",
+                        ready,
+                        vec![
+                            ("bytes", ArgValue::U64(rec.bytes)),
+                            ("attempts", ArgValue::U64(u64::from(attempts))),
+                        ],
+                    );
                     let numel = rec.tensor.numel();
                     self.mem.with_time(ready, || {
                         rec.tensor.storage().restore_numeric(vec![0.0; numel]);
@@ -561,6 +684,15 @@ impl TensorCache {
         };
         if attempts > 1 {
             self.stats.lock().load_retries += u64::from(attempts - 1);
+            self.trace().instant_with(
+                TraceCategory::Recovery,
+                "recovery.load_retry",
+                ready,
+                vec![
+                    ("bytes", ArgValue::U64(rec.bytes)),
+                    ("retries", ArgValue::U64(u64::from(attempts - 1))),
+                ],
+            );
         }
         self.mem.with_time(ready, || match data {
             Some(bytes) => {
@@ -605,6 +737,12 @@ impl TensorCache {
                             stats.offloaded_bytes -= bytes;
                             stats.store_jobs -= 1;
                         }
+                        drop(stats);
+                        let trace = self.trace();
+                        trace.instant_bytes(TraceCategory::Forwarding, "forward", now, bytes);
+                        if cancelled {
+                            trace.instant_bytes(TraceCategory::Store, "store.cancel", now, bytes);
+                        }
                         continue;
                     }
                 }
@@ -612,6 +750,12 @@ impl TensorCache {
                 RecState::Offloaded => {}
             }
             if let RecState::Offloaded = rec.state {
+                self.trace().instant_bytes(
+                    TraceCategory::Prefetch,
+                    "prefetch.issue",
+                    now,
+                    rec.bytes,
+                );
                 let ready = self.io.submit_load(rec.bytes);
                 self.restore_record(rec, ready);
                 rec.state = RecState::Loading { ready };
@@ -671,6 +815,50 @@ impl TensorCache {
     }
 }
 
+/// RAII guard for one scheduler stage (created by
+/// [`TensorCache::stage_scope`]).
+///
+/// Entry actions ran when the guard was created; dropping the guard runs
+/// the exit actions (backward stages drain outstanding I/O) and emits
+/// the stage's span (category `stage`) into the cache's trace sink,
+/// closing the window between the paper's Algorithm 1 lines 9 and 15.
+#[must_use = "dropping the scope immediately would end the stage before it ran"]
+#[derive(Debug)]
+pub struct StageScope<'c> {
+    cache: &'c TensorCache,
+    stage: StageHint,
+    enter: SimTime,
+}
+
+impl StageScope<'_> {
+    /// The stage this guard covers.
+    pub fn stage(&self) -> StageHint {
+        self.stage
+    }
+
+    /// Algorithm 1 lines 10–13 (`tc.set_next_stage(nxcmd)`): announces
+    /// the *upcoming* stage; an upcoming backward pass prefetches the
+    /// tail modules so their first reloads overlap the end of forward.
+    pub fn announce_next(&self, next: StageHint) {
+        if matches!(next, StageHint::Backward) {
+            self.cache.prefetch_last_module();
+        }
+    }
+}
+
+impl Drop for StageScope<'_> {
+    fn drop(&mut self) {
+        self.cache.exit_stage(self.stage);
+        let now = self.cache.io.clock().now();
+        self.cache.trace().span(
+            TraceCategory::Stage,
+            self.stage.trace_label(),
+            self.enter,
+            now,
+        );
+    }
+}
+
 impl SavedTensorHooks for TensorCache {
     fn pack(&self, tensor: &Tensor) -> Packed {
         let mut inner = self.inner.lock();
@@ -709,6 +897,13 @@ impl SavedTensorHooks for TensorCache {
                 let mut stats = self.stats.lock();
                 stats.dedup_hits += 1;
                 stats.dedup_avoided_bytes += bytes;
+                drop(stats);
+                self.trace().instant_bytes(
+                    TraceCategory::Dedup,
+                    "dedup.hit",
+                    self.io.clock().now(),
+                    bytes,
+                );
                 return Packed::Opaque(id);
             }
         }
@@ -743,6 +938,13 @@ impl SavedTensorHooks for TensorCache {
         let mut stats = self.stats.lock();
         stats.offloaded_bytes += bytes;
         stats.store_jobs += 1;
+        drop(stats);
+        self.trace().instant_bytes(
+            TraceCategory::Store,
+            "store.enqueue",
+            self.io.clock().now(),
+            bytes,
+        );
         Packed::Opaque(id)
     }
 
@@ -781,6 +983,12 @@ impl SavedTensorHooks for TensorCache {
                         stats.offloaded_bytes -= bytes;
                         stats.store_jobs -= 1;
                     }
+                    drop(stats);
+                    let trace = self.trace();
+                    trace.instant_bytes(TraceCategory::Forwarding, "forward", now, bytes);
+                    if cancelled {
+                        trace.instant_bytes(TraceCategory::Store, "store.cancel", now, bytes);
+                    }
                     t
                 } else {
                     // Store finished (or forwarding disabled): commit,
@@ -790,6 +998,14 @@ impl SavedTensorHooks for TensorCache {
                         // until the store finishes.
                         let stall = self.io.clock().advance_to(end);
                         self.stats.lock().stall_secs += stall;
+                        if stall > 0.0 {
+                            self.trace().span(
+                                TraceCategory::Stall,
+                                "stall.store_drain",
+                                end.plus_secs(-stall),
+                                end,
+                            );
+                        }
                     }
                     self.commit_store(rec, job);
                     if matches!(rec.state, RecState::Resident) {
@@ -808,6 +1024,15 @@ impl SavedTensorHooks for TensorCache {
                     stats.sync_loads += 1;
                     stats.reloaded_bytes += bytes;
                     stats.stall_secs += stall;
+                    drop(stats);
+                    if stall > 0.0 {
+                        self.trace().span(
+                            TraceCategory::Stall,
+                            "stall.load",
+                            ready.plus_secs(-stall),
+                            ready,
+                        );
+                    }
                     t
                 }
             }
@@ -823,6 +1048,15 @@ impl SavedTensorHooks for TensorCache {
                 stats.sync_loads += 1;
                 stats.reloaded_bytes += bytes;
                 stats.stall_secs += stall;
+                drop(stats);
+                if stall > 0.0 {
+                    self.trace().span(
+                        TraceCategory::Stall,
+                        "stall.load",
+                        ready.plus_secs(-stall),
+                        ready,
+                    );
+                }
                 t
             }
             RecState::Loading { ready } => {
@@ -831,6 +1065,14 @@ impl SavedTensorHooks for TensorCache {
                 drop(inner);
                 let stall = self.io.clock().advance_to(ready);
                 self.stats.lock().stall_secs += stall;
+                if stall > 0.0 {
+                    self.trace().span(
+                        TraceCategory::Stall,
+                        "stall.load",
+                        ready.plus_secs(-stall),
+                        ready,
+                    );
+                }
                 t
             }
         }

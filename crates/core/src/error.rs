@@ -113,7 +113,7 @@ mod tests {
             key: key(),
             bytes: 24,
             target: "ssd".into(),
-            source: io::Error::new(io::ErrorKind::Other, "injected"),
+            source: io::Error::other("injected"),
         };
         let msg = e.to_string();
         assert!(msg.contains("ssd") && msg.contains("injected"), "{msg}");
@@ -128,7 +128,7 @@ mod tests {
             bytes: 24,
             target: "ssd".into(),
             attempts: 3,
-            source: io::Error::new(io::ErrorKind::Other, "injected"),
+            source: io::Error::other("injected"),
         };
         assert!(e.to_string().contains("3 attempt"));
         assert!(!e.is_store());

@@ -11,7 +11,8 @@ use crate::id::TensorKey;
 use crate::io::IoEngine;
 use crate::target::OffloadTarget;
 use parking_lot::Mutex;
-use ssdtrain_simhw::{FaultKind, FaultLog, FaultPlan};
+use ssdtrain_simhw::{FaultKind, FaultLog, FaultPlan, SimTime};
+use ssdtrain_trace::{ArgValue, TraceCategory, TraceSink};
 use std::fmt;
 use std::io;
 use std::sync::Arc;
@@ -35,6 +36,7 @@ pub struct FaultyTarget {
     inner: Arc<dyn OffloadTarget>,
     plan: Mutex<FaultPlan>,
     io: Mutex<Option<IoEngine>>,
+    trace: Mutex<TraceSink>,
     name: String,
 }
 
@@ -46,8 +48,15 @@ impl FaultyTarget {
             inner,
             plan: Mutex::new(plan),
             io: Mutex::new(None),
+            trace: Mutex::new(TraceSink::disabled()),
             name,
         })
+    }
+
+    /// Routes fault firings into `sink` as instants (category `fault`),
+    /// timestamped on the attached engine's clock.
+    pub fn set_trace(&self, sink: TraceSink) {
+        *self.trace.lock() = sink;
     }
 
     /// Attaches the I/O engine [`FaultKind::SlowIo`] firings throttle.
@@ -67,7 +76,35 @@ impl FaultyTarget {
         self.plan.lock().log()
     }
 
-    fn apply(&self, fault: Option<FaultKind>, op: &str) -> io::Result<()> {
+    fn emit_fault(&self, fault: FaultKind, op: &'static str) {
+        let sink = self.trace.lock().clone();
+        if !sink.is_enabled() {
+            return;
+        }
+        let now = self
+            .io
+            .lock()
+            .as_ref()
+            .map_or(SimTime::ZERO, |io| io.clock().now());
+        let (name, mut args) = match fault {
+            FaultKind::WriteError => ("fault.write_error", Vec::new()),
+            FaultKind::ReadError => ("fault.read_error", Vec::new()),
+            FaultKind::EnduranceExhausted => (
+                "fault.endurance_exhausted",
+                vec![("wear", ArgValue::F64(self.inner.wear_fraction()))],
+            ),
+            FaultKind::SlowIo { factor } => {
+                ("fault.slow_io", vec![("factor", ArgValue::F64(factor))])
+            }
+        };
+        args.push(("op", ArgValue::from(op)));
+        sink.instant_with(TraceCategory::Fault, name, now, args);
+    }
+
+    fn apply(&self, fault: Option<FaultKind>, op: &'static str) -> io::Result<()> {
+        if let Some(kind) = fault {
+            self.emit_fault(kind, op);
+        }
         match fault {
             Some(FaultKind::WriteError) | Some(FaultKind::ReadError) => Err(io::Error::other(
                 format!("injected {op} fault on target `{}`", self.inner.name()),

@@ -10,6 +10,7 @@
 
 use parking_lot::Mutex;
 use ssdtrain_simhw::{Channel, SimClock, SimTime};
+use ssdtrain_trace::{LinkTraceBridge, TraceCategory, TraceSink};
 use std::sync::Arc;
 
 /// Handle to a submitted store job.
@@ -92,6 +93,7 @@ pub struct IoEngine {
     write_bps: f64,
     writes: Arc<Mutex<WriteQueue>>,
     reads: Channel,
+    trace: Arc<Mutex<TraceSink>>,
 }
 
 impl IoEngine {
@@ -109,7 +111,20 @@ impl IoEngine {
             write_bps,
             writes: Arc::new(Mutex::new(WriteQueue::default())),
             reads: Channel::new("offload-read", read_bps),
+            trace: Arc::new(Mutex::new(TraceSink::disabled())),
         }
+    }
+
+    /// Routes this engine's events into `sink`: load spans (category
+    /// `load`) directly, and raw read-channel bookings (category `link`)
+    /// via a [`LinkTraceBridge`]. Clones of this engine share the sink.
+    pub fn set_trace(&self, sink: TraceSink) {
+        self.reads.set_observer(LinkTraceBridge::new(sink.clone()));
+        *self.trace.lock() = sink;
+    }
+
+    fn trace(&self) -> TraceSink {
+        self.trace.lock().clone()
     }
 
     /// The shared clock.
@@ -183,10 +198,19 @@ impl IoEngine {
     /// # Panics
     /// Panics on an unknown or cancelled job.
     pub fn store_end(&self, job: JobId) -> SimTime {
+        self.store_span(job).1
+    }
+
+    /// Current scheduled `(start, end)` interval of a store — the span a
+    /// trace records when the store commits.
+    ///
+    /// # Panics
+    /// Panics on an unknown or cancelled job.
+    pub fn store_span(&self, job: JobId) -> (SimTime, SimTime) {
         let q = self.writes.lock();
         let j = &q.jobs[job.0];
-        assert!(!j.cancelled, "store_end of a cancelled job");
-        j.end
+        assert!(!j.cancelled, "store_span of a cancelled job");
+        (j.start, j.end)
     }
 
     /// Whether the store has started transferring by `now`.
@@ -213,7 +237,9 @@ impl IoEngine {
     /// Submits a load of `bytes` at the current time; returns the time
     /// the data is resident in GPU memory.
     pub fn submit_load(&self, bytes: u64) -> SimTime {
-        let (_start, end) = self.reads.submit(self.clock.now(), bytes);
+        let (start, end) = self.reads.submit(self.clock.now(), bytes);
+        self.trace()
+            .span_bytes(TraceCategory::Load, "load", start, end, bytes);
         end
     }
 

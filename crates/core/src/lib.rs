@@ -36,14 +36,13 @@ pub mod error;
 pub mod fault;
 pub mod id;
 pub mod io;
+pub mod prelude;
 pub mod stats;
 pub mod target;
 
-pub use adaptive::{AdaptivePlan, ModuleProfile, StepProfile};
-pub use cache::{StageHint, TensorCache};
-pub use config::{PlacementStrategy, RecoveryPolicy, TensorCacheConfig};
-pub use error::OffloadError;
-pub use fault::FaultyTarget;
-pub use io::IoEngine;
-pub use stats::OffloadStats;
-pub use target::{CpuTarget, OffloadTarget, SsdTarget};
+/// The observability layer (re-exported `ssdtrain-trace` crate): trace
+/// sink, metrics registry and exporters.
+pub use ssdtrain_trace as trace;
+
+// The crate root re-exports exactly the prelude — one list to maintain.
+pub use prelude::*;

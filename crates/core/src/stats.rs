@@ -1,6 +1,7 @@
 //! Offloading statistics collected per training step.
 
 use serde::{Deserialize, Serialize};
+use ssdtrain_trace::MetricsRegistry;
 
 /// Counters the tensor cache maintains; Table 4 and the ablation benches
 /// read these.
@@ -62,6 +63,30 @@ impl OffloadStats {
             || self.fallback_bytes > 0
             || self.kept_resident_bytes > 0
     }
+
+    /// Accumulates every counter into `registry` under the `offload.`
+    /// namespace (stall time as a per-step histogram observation). This
+    /// is how the ad-hoc stats struct is subsumed by the unified
+    /// [`MetricsRegistry`] surface: call once per completed step.
+    pub fn export_to(&self, registry: &MetricsRegistry) {
+        registry.inc_counter("offload.offloaded_bytes", self.offloaded_bytes);
+        registry.inc_counter("offload.store_jobs", self.store_jobs);
+        registry.inc_counter("offload.dedup_avoided_bytes", self.dedup_avoided_bytes);
+        registry.inc_counter("offload.dedup_hits", self.dedup_hits);
+        registry.inc_counter("offload.forwarded", self.forwarded);
+        registry.inc_counter("offload.forwarded_bytes", self.forwarded_bytes);
+        registry.inc_counter("offload.cancelled_stores", self.cancelled_stores);
+        registry.inc_counter("offload.cancelled_bytes", self.cancelled_bytes);
+        registry.inc_counter("offload.prefetches", self.prefetches);
+        registry.inc_counter("offload.sync_loads", self.sync_loads);
+        registry.inc_counter("offload.reloaded_bytes", self.reloaded_bytes);
+        registry.inc_counter("offload.kept", self.kept);
+        registry.inc_counter("offload.store_failures", self.store_failures);
+        registry.inc_counter("offload.load_retries", self.load_retries);
+        registry.inc_counter("offload.fallback_bytes", self.fallback_bytes);
+        registry.inc_counter("offload.kept_resident_bytes", self.kept_resident_bytes);
+        registry.observe("offload.stall_secs", self.stall_secs);
+    }
 }
 
 #[cfg(test)]
@@ -83,5 +108,23 @@ mod tests {
         let s = OffloadStats::default();
         assert_eq!(s.io_bytes(), 0);
         assert_eq!(s.stall_secs, 0.0);
+    }
+
+    #[test]
+    fn export_accumulates_across_steps() {
+        let registry = MetricsRegistry::new();
+        let s = OffloadStats {
+            offloaded_bytes: 100,
+            store_jobs: 2,
+            stall_secs: 0.25,
+            ..OffloadStats::default()
+        };
+        s.export_to(&registry);
+        s.export_to(&registry);
+        assert_eq!(registry.counter("offload.offloaded_bytes"), 200);
+        assert_eq!(registry.counter("offload.store_jobs"), 4);
+        let stall = registry.histogram("offload.stall_secs").unwrap();
+        assert_eq!(stall.count, 2);
+        assert_eq!(stall.sum, 0.5);
     }
 }

@@ -37,8 +37,8 @@ pub mod time;
 pub use allocator::{AllocatorStats, CachingAllocator};
 pub use fault::{FaultKind, FaultLog, FaultPlan, FaultRule, FaultTrigger};
 pub use gpu::GpuSpec;
-pub use link::Channel;
-pub use memory::{FootprintPoint, GpuMemory, MemoryReport};
+pub use link::{Channel, TransferObserver};
+pub use memory::{FootprintPoint, GpuMemory, MemoryReport, PeakObserver};
 pub use ssd::{Raid0, SsdSpec, WearMeter};
 pub use system::{OffloadPath, SystemConfig};
 pub use time::{SimClock, SimTime};

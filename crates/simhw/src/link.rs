@@ -5,6 +5,17 @@ use parking_lot::Mutex;
 use std::fmt;
 use std::sync::Arc;
 
+/// Observes completed transfer bookings on a [`Channel`].
+///
+/// Implemented by higher layers (e.g. the trace crate's link bridge)
+/// that want per-transfer spans without this crate depending on them.
+/// Called outside the channel's internal lock, in submission order.
+pub trait TransferObserver: Send + Sync {
+    /// A transfer of `bytes` was booked on `channel`, occupying it over
+    /// the simulated interval `[start, end]`.
+    fn on_transfer(&self, channel: &str, start: SimTime, end: SimTime, bytes: u64);
+}
+
 #[derive(Debug)]
 struct ChannelInner {
     free_at: SimTime,
@@ -49,6 +60,7 @@ pub struct Channel {
     name: String,
     bytes_per_sec: f64,
     inner: Arc<Mutex<ChannelInner>>,
+    observer: Arc<Mutex<Option<Arc<dyn TransferObserver>>>>,
 }
 
 impl Channel {
@@ -62,7 +74,14 @@ impl Channel {
             name: name.to_owned(),
             bytes_per_sec,
             inner: Arc::new(Mutex::new(ChannelInner::default())),
+            observer: Arc::new(Mutex::new(None)),
         }
+    }
+
+    /// Installs (or replaces) the transfer observer. Clones of this
+    /// channel share the observer.
+    pub fn set_observer(&self, observer: Arc<dyn TransferObserver>) {
+        *self.observer.lock() = Some(observer);
     }
 
     /// Channel name.
@@ -93,14 +112,23 @@ impl Channel {
 
     /// Enqueues a transfer of `bytes` at `now`; returns `(start, end)`.
     pub fn submit(&self, now: SimTime, bytes: u64) -> (SimTime, SimTime) {
-        let mut inner = self.inner.lock();
-        let start = now.max(inner.free_at);
-        let dur = bytes as f64 * inner.slowdown / self.bytes_per_sec;
-        let end = start.plus_secs(dur);
-        inner.free_at = end;
-        inner.busy_secs += dur;
-        inner.bytes_total += bytes;
-        inner.jobs += 1;
+        let (start, end) = {
+            let mut inner = self.inner.lock();
+            let start = now.max(inner.free_at);
+            let dur = bytes as f64 * inner.slowdown / self.bytes_per_sec;
+            let end = start.plus_secs(dur);
+            inner.free_at = end;
+            inner.busy_secs += dur;
+            inner.bytes_total += bytes;
+            inner.jobs += 1;
+            (start, end)
+        };
+        // Notify outside the queue lock so observers may inspect the
+        // channel without deadlocking.
+        let obs = self.observer.lock().clone();
+        if let Some(obs) = obs {
+            obs.on_transfer(&self.name, start, end, bytes);
+        }
         (start, end)
     }
 
@@ -206,6 +234,32 @@ mod tests {
         ch.reset();
         let (_, e) = ch.submit(SimTime::ZERO, 1_000_000_000);
         assert_eq!(e.as_secs(), 4.0);
+    }
+
+    #[test]
+    fn transfer_observer_sees_each_booking() {
+        #[derive(Default)]
+        struct Rec(Mutex<Vec<(String, f64, f64, u64)>>);
+        impl TransferObserver for Rec {
+            fn on_transfer(&self, channel: &str, start: SimTime, end: SimTime, bytes: u64) {
+                self.0
+                    .lock()
+                    .push((channel.to_owned(), start.as_secs(), end.as_secs(), bytes));
+            }
+        }
+        let ch = Channel::new("w", 1e9);
+        let rec = Arc::new(Rec::default());
+        ch.set_observer(rec.clone());
+        ch.submit(SimTime::ZERO, 1_000_000_000);
+        ch.clone().submit(SimTime::ZERO, 500_000_000);
+        assert_eq!(
+            *rec.0.lock(),
+            vec![
+                ("w".to_owned(), 0.0, 1.0, 1_000_000_000),
+                ("w".to_owned(), 1.0, 1.5, 500_000_000),
+            ],
+            "observer sees FIFO-resolved intervals, shared by clones"
+        );
     }
 
     #[test]

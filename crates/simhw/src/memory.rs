@@ -31,6 +31,21 @@ pub struct MemoryReport {
     pub events: u64,
 }
 
+/// Observes new footprint peaks as they are recorded.
+///
+/// Implemented by higher layers (e.g. the trace crate's memory bridge)
+/// that want live allocator-peak updates without this crate depending on
+/// them. Called outside the tracker's internal lock, in event-commit
+/// order — future-stamped events (see [`GpuMemory::with_time`]) are
+/// observed when recorded, so the notified peak is the *running* one;
+/// [`GpuMemory::peak_total`] remains the authoritative sorted-timeline
+/// value.
+pub trait PeakObserver: Send + Sync {
+    /// A new peak of `total` resident bytes (of which `activations` are
+    /// activation-class) was recorded at simulated time `time`.
+    fn on_peak(&self, time: SimTime, total: u64, activations: u64);
+}
+
 #[derive(Debug, Clone, Copy)]
 struct Event {
     time: SimTime,
@@ -43,6 +58,7 @@ struct State {
     current: [i64; 5],
     events: Vec<Event>,
     time_override: Option<SimTime>,
+    live_peak: i64,
 }
 
 /// A GPU memory tracker.
@@ -74,6 +90,7 @@ pub struct GpuMemory {
     clock: SimClock,
     capacity: u64,
     state: Arc<Mutex<State>>,
+    observer: Arc<Mutex<Option<Arc<dyn PeakObserver>>>>,
 }
 
 fn class_index(c: MemClass) -> usize {
@@ -94,7 +111,14 @@ impl GpuMemory {
             clock,
             capacity,
             state: Arc::new(Mutex::new(State::default())),
+            observer: Arc::new(Mutex::new(None)),
         }
+    }
+
+    /// Installs (or replaces) the live peak observer. Clones of this
+    /// tracker share the observer.
+    pub fn set_peak_observer(&self, observer: Arc<dyn PeakObserver>) {
+        *self.observer.lock() = Some(observer);
     }
 
     /// Device capacity in bytes.
@@ -116,10 +140,29 @@ impl GpuMemory {
     }
 
     fn record(&self, delta: i64, class: MemClass) {
-        let mut s = self.state.lock();
-        let time = s.time_override.unwrap_or_else(|| self.clock.now());
-        s.current[class_index(class)] += delta;
-        s.events.push(Event { time, delta, class });
+        let new_peak = {
+            let mut s = self.state.lock();
+            let time = s.time_override.unwrap_or_else(|| self.clock.now());
+            s.current[class_index(class)] += delta;
+            s.events.push(Event { time, delta, class });
+            let total: i64 = s.current.iter().map(|v| *v.max(&0)).sum();
+            if total > s.live_peak {
+                s.live_peak = total;
+                let act = s.current[class_index(MemClass::Activation)].max(0) as u64;
+                Some((time, total as u64, act))
+            } else {
+                None
+            }
+        };
+        // Notify outside the state lock: the observer may take its own
+        // locks (e.g. a trace sink) and must not deadlock against
+        // re-entrant allocator calls.
+        if let Some((time, total, act)) = new_peak {
+            let obs = self.observer.lock().clone();
+            if let Some(obs) = obs {
+                obs.on_peak(time, total, act);
+            }
+        }
     }
 
     /// Currently resident bytes of one class.
@@ -237,6 +280,7 @@ impl GpuMemory {
         let mut s = self.state.lock();
         s.current = [0; 5];
         s.events.clear();
+        s.live_peak = 0;
     }
 }
 
@@ -329,6 +373,32 @@ mod tests {
         assert!(mem.oom());
         mem.reset();
         assert!(!mem.oom());
+    }
+
+    #[test]
+    fn peak_observer_sees_each_new_running_peak() {
+        #[derive(Default)]
+        struct Rec(Mutex<Vec<(u64, u64)>>);
+        impl PeakObserver for Rec {
+            fn on_peak(&self, _time: SimTime, total: u64, activations: u64) {
+                self.0.lock().push((total, activations));
+            }
+        }
+        let (_c, mem) = gm();
+        let rec = Arc::new(Rec::default());
+        mem.set_peak_observer(rec.clone());
+        mem.on_alloc(100, MemClass::Parameter);
+        mem.on_alloc(50, MemClass::Activation);
+        mem.on_free(50, MemClass::Activation); // not a peak
+        mem.on_alloc(200, MemClass::Activation);
+        assert_eq!(
+            *rec.0.lock(),
+            vec![(100, 0), (150, 50), (300, 200)],
+            "only strictly increasing totals are reported"
+        );
+        mem.reset();
+        mem.on_alloc(1, MemClass::Workspace);
+        assert_eq!(rec.0.lock().len(), 4, "reset restarts peak tracking");
     }
 
     #[test]

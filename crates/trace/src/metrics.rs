@@ -1,0 +1,258 @@
+//! A registry of named counters, gauges and histograms.
+//!
+//! Subsumes ad-hoc stats structs (`OffloadStats` fields, step timings)
+//! behind one queryable, renderable surface. Names are stored in a
+//! `BTreeMap`, so snapshots and text renderings are deterministically
+//! ordered.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Moment summary of an observed distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+impl HistogramSummary {
+    /// Mean of the observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// A metric's current value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic accumulator.
+    Counter(u64),
+    /// Last-write-wins sample.
+    Gauge(f64),
+    /// Distribution summary.
+    Histogram(HistogramSummary),
+}
+
+/// A cloneable registry of named metrics.
+///
+/// ```
+/// use ssdtrain_trace::MetricsRegistry;
+///
+/// let m = MetricsRegistry::new();
+/// m.inc_counter("offload.store_jobs", 3);
+/// m.inc_counter("offload.store_jobs", 2);
+/// m.set_gauge("mem.act_peak_bytes", 1024.0);
+/// m.observe("step.secs", 0.5);
+/// m.observe("step.secs", 1.5);
+/// assert_eq!(m.counter("offload.store_jobs"), 5);
+/// assert_eq!(m.histogram("step.secs").unwrap().mean(), 1.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<BTreeMap<String, MetricValue>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to the named counter (created at zero).
+    ///
+    /// A name previously used with a different metric kind is replaced.
+    pub fn inc_counter(&self, name: &str, delta: u64) {
+        let mut m = self.inner.lock();
+        match m.get_mut(name) {
+            Some(MetricValue::Counter(v)) => *v += delta,
+            _ => {
+                m.insert(name.to_owned(), MetricValue::Counter(delta));
+            }
+        }
+    }
+
+    /// Sets the named gauge.
+    ///
+    /// A name previously used with a different metric kind is replaced.
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.inner
+            .lock()
+            .insert(name.to_owned(), MetricValue::Gauge(value));
+    }
+
+    /// Records one observation into the named histogram.
+    ///
+    /// A name previously used with a different metric kind is replaced.
+    pub fn observe(&self, name: &str, value: f64) {
+        let mut m = self.inner.lock();
+        match m.get_mut(name) {
+            Some(MetricValue::Histogram(h)) => {
+                h.count += 1;
+                h.sum += value;
+                h.min = h.min.min(value);
+                h.max = h.max.max(value);
+            }
+            _ => {
+                m.insert(
+                    name.to_owned(),
+                    MetricValue::Histogram(HistogramSummary {
+                        count: 1,
+                        sum: value,
+                        min: value,
+                        max: value,
+                    }),
+                );
+            }
+        }
+    }
+
+    /// Current value of the named counter (0 if absent or another kind).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.inner.lock().get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Current value of the named gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.inner.lock().get(name) {
+            Some(MetricValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Summary of the named histogram.
+    pub fn histogram(&self, name: &str) -> Option<HistogramSummary> {
+        match self.inner.lock().get(name) {
+            Some(MetricValue::Histogram(h)) => Some(*h),
+            _ => None,
+        }
+    }
+
+    /// All metrics, sorted by name.
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        self.inner
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether no metric has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Drops all metrics.
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+
+    /// Renders all metrics as stable, line-oriented text
+    /// (`name value`, histograms expanded into `_count/_sum/_min/_max`).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in self.snapshot() {
+            match value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "{name} {v:.6}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(out, "{name}_count {}", h.count);
+                    let _ = writeln!(out, "{name}_sum {:.6}", h.sum);
+                    let _ = writeln!(out, "{name}_min {:.6}", h.min);
+                    let _ = writeln!(out, "{name}_max {:.6}", h.max);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = MetricsRegistry::new();
+        m.inc_counter("a", 1);
+        m.inc_counter("a", 41);
+        assert_eq!(m.counter("a"), 42);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let m = MetricsRegistry::new();
+        m.set_gauge("g", 1.0);
+        m.set_gauge("g", 2.0);
+        assert_eq!(m.gauge("g"), Some(2.0));
+        assert_eq!(m.gauge("missing"), None);
+    }
+
+    #[test]
+    fn histograms_track_moments() {
+        let m = MetricsRegistry::new();
+        for v in [3.0, 1.0, 2.0] {
+            m.observe("h", v);
+        }
+        let h = m.histogram("h").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 3.0);
+        assert_eq!(h.mean(), 2.0);
+    }
+
+    #[test]
+    fn kind_change_replaces() {
+        let m = MetricsRegistry::new();
+        m.set_gauge("x", 9.0);
+        m.inc_counter("x", 5);
+        assert_eq!(m.counter("x"), 5);
+        assert_eq!(m.gauge("x"), None);
+    }
+
+    #[test]
+    fn render_text_is_sorted_and_stable() {
+        let m = MetricsRegistry::new();
+        m.inc_counter("b.count", 2);
+        m.set_gauge("a.gauge", 0.5);
+        m.observe("c.hist", 1.0);
+        let text = m.render_text();
+        assert_eq!(
+            text,
+            "a.gauge 0.500000\nb.count 2\nc.hist_count 1\nc.hist_sum 1.000000\nc.hist_min 1.000000\nc.hist_max 1.000000\n"
+        );
+        assert_eq!(text, m.render_text());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = MetricsRegistry::new();
+        let b = a.clone();
+        b.inc_counter("shared", 1);
+        assert_eq!(a.counter("shared"), 1);
+    }
+}

@@ -1,0 +1,348 @@
+//! [`SessionBuilder`] — the validated way to construct a
+//! [`SessionConfig`].
+//!
+//! Struct-literal construction cannot reject nonsense (a tensor-parallel
+//! degree wider than the machine, a batch that does not divide into its
+//! micro-batches, a fallback target without the policy that would ever
+//! use it), so the builder funnels every configuration through
+//! [`SessionBuilder::build`] and returns a typed [`ConfigError`] instead
+//! of failing deep inside a step.
+
+use crate::session::{SessionConfig, TargetKind};
+use ssdtrain::{PlacementStrategy, RecoveryPolicy, TensorCacheConfig};
+use ssdtrain_models::ModelConfig;
+use ssdtrain_simhw::{FaultPlan, SystemConfig};
+use ssdtrain_trace::TraceSink;
+use std::fmt;
+
+/// A configuration the builder refused to produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// The model's tensor-parallel degree exceeds the machine's GPUs.
+    TensorParallelMismatch {
+        /// Requested tensor-parallel degree.
+        tp: usize,
+        /// GPUs the configured system actually has.
+        gpus: usize,
+    },
+    /// The global batch size is zero.
+    ZeroBatch,
+    /// The micro-batch count is zero.
+    ZeroMicroBatches,
+    /// The global batch does not split evenly over the micro-batches.
+    IndivisibleMicroBatches {
+        /// Global batch size in sequences.
+        batch_size: usize,
+        /// Micro-batches per step.
+        micro_batches: usize,
+    },
+    /// A fallback target was named, but the recovery policy is not
+    /// [`RecoveryPolicy::FallbackTarget`], so it could never be used.
+    FallbackWithoutPolicy,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::TensorParallelMismatch { tp, gpus } => write!(
+                f,
+                "tensor-parallel degree {tp} exceeds the system's {gpus} GPU(s)"
+            ),
+            ConfigError::ZeroBatch => write!(f, "batch_size must be at least 1"),
+            ConfigError::ZeroMicroBatches => write!(f, "micro_batches must be at least 1"),
+            ConfigError::IndivisibleMicroBatches {
+                batch_size,
+                micro_batches,
+            } => write!(
+                f,
+                "batch_size {batch_size} does not divide into {micro_batches} micro-batches"
+            ),
+            ConfigError::FallbackWithoutPolicy => write!(
+                f,
+                "a fallback target requires RecoveryPolicy::FallbackTarget"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Fluent, validated construction of a [`SessionConfig`].
+///
+/// Defaults reproduce the paper's single-node testbed: Table 3's
+/// machine, a tiny GPT, one micro-batch, the offload strategy over the
+/// SSD target, no faults and tracing disabled.
+///
+/// ```
+/// use ssdtrain_train::{SessionConfig, TrainSession};
+///
+/// let cfg = SessionConfig::builder()
+///     .batch_size(2)
+///     .seed(7)
+///     .build()
+///     .expect("valid config");
+/// let mut session = TrainSession::new(cfg).expect("session");
+/// assert!(session.run_step().expect("healthy device").step_secs > 0.0);
+/// ```
+///
+/// Invalid combinations surface as typed errors instead of panics:
+///
+/// ```
+/// use ssdtrain_train::{ConfigError, SessionConfig};
+///
+/// let err = SessionConfig::builder()
+///     .batch_size(3)
+///     .micro_batches(2)
+///     .build()
+///     .unwrap_err();
+/// assert_eq!(
+///     err,
+///     ConfigError::IndivisibleMicroBatches { batch_size: 3, micro_batches: 2 }
+/// );
+/// ```
+#[derive(Debug, Clone)]
+#[must_use = "call .build() to obtain the SessionConfig"]
+pub struct SessionBuilder {
+    system: SystemConfig,
+    model: ModelConfig,
+    batch_size: usize,
+    micro_batches: usize,
+    strategy: PlacementStrategy,
+    cache: TensorCacheConfig,
+    symbolic: bool,
+    seed: u64,
+    target: TargetKind,
+    fault: Option<FaultPlan>,
+    fallback: Option<TargetKind>,
+    trace: TraceSink,
+}
+
+impl Default for SessionBuilder {
+    fn default() -> SessionBuilder {
+        SessionBuilder {
+            system: SystemConfig::dac_testbed(),
+            model: ModelConfig::tiny_gpt(),
+            batch_size: 1,
+            micro_batches: 1,
+            strategy: PlacementStrategy::Offload,
+            cache: TensorCacheConfig::default(),
+            symbolic: false,
+            seed: 0,
+            target: TargetKind::default(),
+            fault: None,
+            fallback: None,
+            trace: TraceSink::disabled(),
+        }
+    }
+}
+
+impl SessionBuilder {
+    /// Starts from the defaults described on the type.
+    pub fn new() -> SessionBuilder {
+        SessionBuilder::default()
+    }
+
+    /// The machine to simulate.
+    pub fn system(mut self, system: SystemConfig) -> SessionBuilder {
+        self.system = system;
+        self
+    }
+
+    /// The model to train.
+    pub fn model(mut self, model: ModelConfig) -> SessionBuilder {
+        self.model = model;
+        self
+    }
+
+    /// Global batch size in sequences.
+    pub fn batch_size(mut self, batch_size: usize) -> SessionBuilder {
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// Micro-batches per step (gradient accumulation).
+    pub fn micro_batches(mut self, micro_batches: usize) -> SessionBuilder {
+        self.micro_batches = micro_batches;
+        self
+    }
+
+    /// Activation placement strategy (the ROK corner to run).
+    pub fn strategy(mut self, strategy: PlacementStrategy) -> SessionBuilder {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Tensor-cache tunables (used only by the offload strategy).
+    pub fn cache(mut self, cache: TensorCacheConfig) -> SessionBuilder {
+        self.cache = cache;
+        self
+    }
+
+    /// Recovery policy shorthand: rewrites `cache.recovery` in place.
+    pub fn recovery(mut self, recovery: RecoveryPolicy) -> SessionBuilder {
+        self.cache.recovery = recovery;
+        self
+    }
+
+    /// Shape-only execution (paper-scale runs).
+    pub fn symbolic(mut self, symbolic: bool) -> SessionBuilder {
+        self.symbolic = symbolic;
+        self
+    }
+
+    /// Seed for weights, data and dropout.
+    pub fn seed(mut self, seed: u64) -> SessionBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Offload target kind (SSD by default).
+    pub fn target(mut self, target: TargetKind) -> SessionBuilder {
+        self.target = target;
+        self
+    }
+
+    /// Injects a deterministic fault schedule between the cache and the
+    /// offload target.
+    pub fn fault(mut self, plan: FaultPlan) -> SessionBuilder {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Names the spill-of-last-resort target for
+    /// [`RecoveryPolicy::FallbackTarget`]. Rejected by [`build`] when
+    /// the recovery policy would never consult it.
+    ///
+    /// [`build`]: SessionBuilder::build
+    pub fn fallback(mut self, target: TargetKind) -> SessionBuilder {
+        self.fallback = Some(target);
+        self
+    }
+
+    /// Routes the session's tensor-lifecycle events into `sink`.
+    pub fn trace(mut self, sink: TraceSink) -> SessionBuilder {
+        self.trace = sink;
+        self
+    }
+
+    /// Validates the accumulated settings.
+    ///
+    /// # Errors
+    /// Returns the first [`ConfigError`] the settings violate.
+    pub fn build(self) -> Result<SessionConfig, ConfigError> {
+        if self.batch_size == 0 {
+            return Err(ConfigError::ZeroBatch);
+        }
+        if self.micro_batches == 0 {
+            return Err(ConfigError::ZeroMicroBatches);
+        }
+        if !self.batch_size.is_multiple_of(self.micro_batches) {
+            return Err(ConfigError::IndivisibleMicroBatches {
+                batch_size: self.batch_size,
+                micro_batches: self.micro_batches,
+            });
+        }
+        if self.model.tp > self.system.gpus {
+            return Err(ConfigError::TensorParallelMismatch {
+                tp: self.model.tp,
+                gpus: self.system.gpus,
+            });
+        }
+        if self.fallback.is_some() && self.cache.recovery != RecoveryPolicy::FallbackTarget {
+            return Err(ConfigError::FallbackWithoutPolicy);
+        }
+        Ok(SessionConfig {
+            system: self.system,
+            model: self.model,
+            batch_size: self.batch_size,
+            micro_batches: self.micro_batches,
+            strategy: self.strategy,
+            cache: self.cache,
+            symbolic: self.symbolic,
+            seed: self.seed,
+            target: self.target,
+            fault: self.fault,
+            fallback: self.fallback,
+            trace: self.trace,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_build_cleanly() {
+        let cfg = SessionConfig::builder().build().expect("defaults valid");
+        assert_eq!(cfg.batch_size, 1);
+        assert_eq!(cfg.micro_batches, 1);
+        assert_eq!(cfg.target, TargetKind::Ssd);
+        assert!(cfg.fault.is_none());
+        assert!(!cfg.trace.is_enabled());
+    }
+
+    #[test]
+    fn zero_sizes_are_rejected() {
+        assert_eq!(
+            SessionConfig::builder().batch_size(0).build().unwrap_err(),
+            ConfigError::ZeroBatch
+        );
+        assert_eq!(
+            SessionConfig::builder()
+                .batch_size(2)
+                .micro_batches(0)
+                .build()
+                .unwrap_err(),
+            ConfigError::ZeroMicroBatches
+        );
+    }
+
+    #[test]
+    fn indivisible_micro_batches_are_rejected() {
+        let err = SessionConfig::builder()
+            .batch_size(5)
+            .micro_batches(2)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::IndivisibleMicroBatches {
+                batch_size: 5,
+                micro_batches: 2
+            }
+        );
+        assert!(err.to_string().contains("5"), "{err}");
+    }
+
+    #[test]
+    fn tensor_parallel_wider_than_the_machine_is_rejected() {
+        let gpus = SystemConfig::dac_testbed().gpus;
+        // Set the degree directly: `with_tp` would reject the odd width
+        // for its own (orthogonal) divisibility reasons.
+        let mut model = ModelConfig::tiny_gpt();
+        model.tp = gpus + 1;
+        let err = SessionConfig::builder().model(model).build().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::TensorParallelMismatch { tp: gpus + 1, gpus }
+        );
+    }
+
+    #[test]
+    fn fallback_requires_the_matching_recovery_policy() {
+        let err = SessionConfig::builder()
+            .fallback(TargetKind::Cpu)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::FallbackWithoutPolicy);
+
+        let cfg = SessionConfig::builder()
+            .recovery(RecoveryPolicy::FallbackTarget)
+            .fallback(TargetKind::Cpu)
+            .build()
+            .expect("policy matches");
+        assert_eq!(cfg.fallback, Some(TargetKind::Cpu));
+    }
+}

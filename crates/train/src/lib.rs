@@ -13,23 +13,16 @@
 //! `wait_io()` after each backward pass.
 //!
 //! ```
-//! use ssdtrain::PlacementStrategy;
-//! use ssdtrain_models::{Arch, ModelConfig};
-//! use ssdtrain_simhw::SystemConfig;
-//! use ssdtrain_train::{SessionConfig, TrainSession};
+//! use ssdtrain_train::prelude::*;
 //!
-//! let cfg = SessionConfig {
-//!     system: SystemConfig::dac_testbed(),
-//!     model: ModelConfig::tiny_gpt(),
-//!     batch_size: 2,
-//!     micro_batches: 1,
-//!     strategy: PlacementStrategy::Offload,
-//!     cache: ssdtrain::TensorCacheConfig::offload_everything(),
-//!     symbolic: false,
-//!     seed: 1,
-//!     target: ssdtrain_train::TargetKind::Ssd,
-//!     fault: None,
-//! };
+//! let cfg = SessionConfig::builder()
+//!     .model(ModelConfig::tiny_gpt())
+//!     .batch_size(2)
+//!     .strategy(PlacementStrategy::Offload)
+//!     .cache(TensorCacheConfig::offload_everything())
+//!     .seed(1)
+//!     .build()
+//!     .expect("valid config");
 //! let mut session = TrainSession::new(cfg).expect("session");
 //! let metrics = session.run_step().expect("healthy device");
 //! assert!(metrics.step_secs > 0.0);
@@ -40,18 +33,15 @@
 //! the step surfaces a [`StepError`] carrying the degraded step's
 //! metrics instead of aborting the process.
 
+pub mod builder;
 pub mod error;
 pub mod executor;
 pub mod metrics;
 pub mod pipeline;
 pub mod pipeline_exec;
+pub mod prelude;
 pub mod schedule;
 pub mod session;
 
-pub use error::StepError;
-pub use executor::GpuExecutor;
-pub use metrics::StepMetrics;
-pub use pipeline::{PipelineMetrics, PipelineSim};
-pub use pipeline_exec::{PipelineExec, PipelineExecConfig, PipelineStepReport};
-pub use schedule::{single_gpu_schedule, StepCmd};
-pub use session::{SessionConfig, TargetKind, TrainSession};
+// The crate root re-exports exactly the prelude — one list to maintain.
+pub use prelude::*;

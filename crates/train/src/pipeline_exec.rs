@@ -13,7 +13,7 @@
 use crate::error::StepError;
 use crate::executor::GpuExecutor;
 use crate::pipeline::{one_f1b_commands, StageCmd};
-use ssdtrain::{CpuTarget, IoEngine, TensorCache, TensorCacheConfig};
+use ssdtrain::{CpuTarget, IoEngine, TensorCache, TensorCacheConfig, TraceCategory, TraceSink};
 use ssdtrain_autograd::{Graph, Phase, Value};
 use ssdtrain_models::{Arch, Batch, BertModel, GptModel, ModelConfig, Recompute, StagedModel};
 use ssdtrain_simhw::{GpuSpec, SimClock, SimTime};
@@ -68,6 +68,7 @@ pub struct PipelineExec {
     device: Device,
     stages: Vec<Stage>,
     optimizer: ssdtrain_autograd::optim::Sgd,
+    trace: TraceSink,
     step_idx: u64,
 }
 
@@ -145,8 +146,21 @@ impl PipelineExec {
             device,
             stages,
             optimizer,
+            trace: TraceSink::disabled(),
             step_idx: 0,
         }
+    }
+
+    /// Routes the trainer's events into `sink`: per-stage forward and
+    /// backward spans (named `s{stage}.forward.mb{mb}` etc.) plus the
+    /// tensor-lifecycle events of every stage's offload cache.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        for stage in &self.stages {
+            if let Some(cache) = &stage.cache {
+                cache.set_trace(sink.clone());
+            }
+        }
+        self.trace = sink;
     }
 
     /// Runs one pipelined training step (forwards + backwards of every
@@ -159,6 +173,9 @@ impl PipelineExec {
     pub fn run_step(&mut self) -> Result<PipelineStepReport, StepError> {
         let pp = self.cfg.pp;
         let m = self.cfg.micro_batches.max(1);
+        self.trace.next_step();
+        self.trace
+            .instant(TraceCategory::Session, "step.begin", SimTime::ZERO);
         for stage in &self.stages {
             stage.clock.reset();
             if let Some(c) = &stage.cache {
@@ -280,6 +297,11 @@ impl PipelineExec {
         self.step_idx += 1;
 
         let step_secs = b_done[0].iter().fold(0.0f64, |a, b| a.max(*b));
+        self.trace.instant(
+            TraceCategory::Session,
+            "step.end",
+            SimTime::from_secs(step_secs),
+        );
         // Ideal: one stage's compute for all micro-batches back to back.
         let stage0_busy: f64 = {
             // Approximate with measured makespan of pp=1 equivalence:
@@ -345,6 +367,12 @@ impl PipelineExec {
             // Figure 4 ④: switching toward this micro-batch's backward.
             c.prefetch_last_module();
         }
+        self.trace.span(
+            TraceCategory::Stage,
+            format!("s{s}.forward.mb{mb}"),
+            SimTime::from_secs(ready),
+            stage.clock.now(),
+        );
     }
 
     fn exec_backward(
@@ -389,6 +417,12 @@ impl PipelineExec {
         if let Some(c) = &stage.cache {
             c.wait_io();
         }
+        self.trace.span(
+            TraceCategory::Stage,
+            format!("s{s}.backward.mb{mb}"),
+            SimTime::from_secs(ready),
+            stage.clock.now(),
+        );
     }
 }
 

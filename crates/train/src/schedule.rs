@@ -1,12 +1,12 @@
 //! The hinted step schedule — a direct transcription of the paper's
 //! Algorithm 1 (`deepspeed_exec_schedule`).
 //!
-//! A step is a list of [`StepCmd`]s. Before executing each command the
-//! runner calls [`ssdtrain::TensorCache::set_stage`] and
-//! [`ssdtrain::TensorCache::set_next_stage`]; when the *current* command
-//! is a communication/boundary command and the *next* is a backward
-//! pass, the cache prefetches the last module (Algorithm 1 lines 11–13),
-//! and after every backward pass it waits for outstanding I/O (line 15).
+//! A step is a list of [`StepCmd`]s. The runner executes each command
+//! inside an [`ssdtrain::TensorCache::stage_scope`] guard; when the
+//! *current* command is a communication/boundary command and the *next*
+//! is a backward pass, [`ssdtrain::StageScope::announce_next`] prefetches
+//! the last module (Algorithm 1 lines 11–13), and dropping a backward
+//! scope waits for outstanding I/O (line 15).
 
 use serde::{Deserialize, Serialize};
 

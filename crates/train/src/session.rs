@@ -5,8 +5,9 @@ use crate::executor::GpuExecutor;
 use crate::metrics::StepMetrics;
 use crate::schedule::{single_gpu_schedule, with_lookahead, StepCmd};
 use ssdtrain::{
-    AdaptivePlan, CpuTarget, FaultyTarget, IoEngine, OffloadTarget, PlacementStrategy,
-    RecoveryPolicy, SsdTarget, StageHint, StepProfile, TensorCache, TensorCacheConfig,
+    AdaptivePlan, ArgValue, CpuTarget, FaultyTarget, IoEngine, MemoryTraceBridge, MetricsRegistry,
+    OffloadTarget, PlacementStrategy, RecoveryPolicy, SsdTarget, StageHint, StepProfile,
+    TensorCache, TensorCacheConfig, TraceCategory, TraceSink,
 };
 use ssdtrain_autograd::optim::Sgd;
 use ssdtrain_autograd::{Graph, Phase};
@@ -57,6 +58,20 @@ pub struct SessionConfig {
     /// offload target (`None` for a healthy device). Recovery follows
     /// `cache.recovery`.
     pub fault: Option<FaultPlan>,
+    /// Spill-of-last-resort target kind for
+    /// [`RecoveryPolicy::FallbackTarget`] (`None` defaults to the host
+    /// pinned pool).
+    pub fallback: Option<TargetKind>,
+    /// Trace sink receiving the session's tensor-lifecycle events
+    /// (disabled by default; see [`TraceSink::enabled`]).
+    pub trace: TraceSink,
+}
+
+impl SessionConfig {
+    /// Starts a validated, fluent [`SessionBuilder`](crate::SessionBuilder).
+    pub fn builder() -> crate::builder::SessionBuilder {
+        crate::builder::SessionBuilder::new()
+    }
 }
 
 /// A live training session on one simulated GPU.
@@ -69,7 +84,9 @@ pub struct TrainSession {
     cache: Option<Arc<TensorCache>>,
     faulty: Option<Arc<FaultyTarget>>,
     optimizer: Sgd,
-    spill_dir: Option<PathBuf>,
+    spill_dirs: Vec<PathBuf>,
+    trace: TraceSink,
+    metrics: MetricsRegistry,
     step_idx: u64,
 }
 
@@ -116,17 +133,20 @@ impl TrainSession {
             cfg.system.nvlink_bps,
             cfg.model.tp,
         ));
-        let (cache, faulty, spill_dir) = if cfg.strategy.uses_cache() {
-            let (target, dir): (Arc<dyn OffloadTarget>, Option<PathBuf>) = match cfg.target {
+        let mut spill_dirs = Vec::new();
+        let (cache, faulty) = if cfg.strategy.uses_cache() {
+            let target: Arc<dyn OffloadTarget> = match cfg.target {
                 TargetKind::Ssd => {
                     let dir = unique_spill_dir(&cfg.model.tag());
                     let wear = cfg.system.ssd_array.wear_meter(1.0);
-                    (Arc::new(SsdTarget::new(&dir, wear)?), Some(dir))
+                    let t = Arc::new(SsdTarget::new(&dir, wear)?);
+                    spill_dirs.push(dir);
+                    t
                 }
                 TargetKind::Cpu => {
                     // The paper sizes the pinned pool by profiling; we
                     // grant the whole host memory (Figure 2's bound).
-                    (Arc::new(CpuTarget::new(cfg.system.host_mem_bytes)), None)
+                    Arc::new(CpuTarget::new(cfg.system.host_mem_bytes))
                 }
             };
             // An injected fault plan sits between the cache and the
@@ -151,20 +171,39 @@ impl TrainSession {
             let io = IoEngine::new(runtime.clock.clone(), wr, rd);
             if let Some(ft) = &faulty {
                 ft.attach_io(io.clone());
+                ft.set_trace(cfg.trace.clone());
             }
             let cache = TensorCache::new(cfg.cache.clone(), target, io, runtime.memory.clone());
+            cache.set_trace(cfg.trace.clone());
             if cfg.cache.recovery == RecoveryPolicy::FallbackTarget {
-                // Spill of last resort: the host pinned pool.
-                cache.set_fallback_target(Arc::new(CpuTarget::new(cfg.system.host_mem_bytes)));
+                // Spill of last resort (host pinned pool by default).
+                let fallback: Arc<dyn OffloadTarget> = match cfg.fallback.unwrap_or(TargetKind::Cpu)
+                {
+                    TargetKind::Cpu => Arc::new(CpuTarget::new(cfg.system.host_mem_bytes)),
+                    TargetKind::Ssd => {
+                        let dir = unique_spill_dir(&format!("{}-fb", cfg.model.tag()));
+                        let wear = cfg.system.ssd_array.wear_meter(1.0);
+                        let t = Arc::new(SsdTarget::new(&dir, wear)?);
+                        spill_dirs.push(dir);
+                        t
+                    }
+                };
+                cache.set_fallback_target(fallback);
             }
             for p in model.parameters() {
                 cache.register_parameter(&p.tensor());
             }
-            (Some(cache), faulty, dir)
+            (Some(cache), faulty)
         } else {
-            (None, None, None)
+            (None, None)
         };
+        if cfg.trace.is_enabled() {
+            runtime
+                .memory
+                .set_peak_observer(MemoryTraceBridge::new(cfg.trace.clone()));
+        }
         let optimizer = Sgd::new(model.parameters(), 0.05);
+        let trace = cfg.trace.clone();
         Ok(TrainSession {
             cfg,
             device,
@@ -174,7 +213,9 @@ impl TrainSession {
             cache,
             faulty,
             optimizer,
-            spill_dir,
+            spill_dirs,
+            trace,
+            metrics: MetricsRegistry::new(),
             step_idx: 0,
         })
     }
@@ -198,6 +239,18 @@ impl TrainSession {
     /// session runs without one).
     pub fn fault_log(&self) -> Option<FaultLog> {
         self.faulty.as_ref().map(|f| f.fault_log())
+    }
+
+    /// The trace sink this session emits into (disabled unless the
+    /// config carried an enabled one).
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Named counters/gauges/histograms accumulated over the session's
+    /// steps (offload statistics land here after every step).
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     fn fresh_graph(&self) -> Graph {
@@ -225,6 +278,12 @@ impl TrainSession {
             .expect("profile_step requires the offload strategy");
         self.runtime.reset();
         self.executor.reset();
+        self.trace.next_step();
+        self.trace.instant(
+            TraceCategory::Session,
+            "step.begin",
+            self.runtime.clock.now(),
+        );
         cache.begin_profile_step();
         let g = self.fresh_graph();
         g.set_phase(Phase::Forward);
@@ -236,6 +295,9 @@ impl TrainSession {
         cache.wait_io();
         g.reset_tape();
         cache.flush();
+        cache.stats().export_to(&self.metrics);
+        self.trace
+            .instant(TraceCategory::Session, "step.end", self.runtime.clock.now());
         self.optimizer.zero_grad();
         self.step_idx += 1;
         match cache.take_error() {
@@ -284,6 +346,12 @@ impl TrainSession {
     pub fn run_step(&mut self) -> Result<StepMetrics, StepError> {
         self.runtime.reset();
         self.executor.reset();
+        self.trace.next_step();
+        self.trace.instant(
+            TraceCategory::Session,
+            "step.begin",
+            self.runtime.clock.now(),
+        );
         if let Some(cache) = &self.cache {
             cache.begin_step();
         }
@@ -294,17 +362,16 @@ impl TrainSession {
         let mut pending_loss = None;
 
         // Algorithm 1's `deepspeed_exec_schedule`: walk the command
-        // stream with one-command lookahead, hinting the cache before and
-        // after each execution.
+        // stream with one-command lookahead, entering a stage scope
+        // around each execution (line 9; the guard's drop is line 15).
         let cmds = single_gpu_schedule(self.cfg.micro_batches.max(1));
         for (cmd, next) in with_lookahead(&cmds) {
             let stage = stage_hint(cmd);
-            if let Some(cache) = &self.cache {
-                cache.set_stage(stage); // line 9
-                if let Some(next) = next {
-                    if cmd.is_boundary() {
-                        cache.set_next_stage(stage_hint(next)); // lines 10-13
-                    }
+            let stage_start = self.runtime.clock.now();
+            let scope = self.cache.as_ref().map(|cache| cache.stage_scope(stage));
+            if let (Some(scope), Some(next)) = (&scope, next) {
+                if cmd.is_boundary() {
+                    scope.announce_next(stage_hint(next)); // lines 10-13
                 }
             }
             match cmd {
@@ -332,8 +399,14 @@ impl TrainSession {
                     // outside the measured window (below).
                 }
             }
-            if let Some(cache) = &self.cache {
-                cache.stage_done(stage); // line 15
+            match scope {
+                Some(scope) => drop(scope), // line 15 + stage span
+                None => self.trace.span(
+                    TraceCategory::Stage,
+                    stage.trace_label(),
+                    stage_start,
+                    self.runtime.clock.now(),
+                ),
             }
         }
 
@@ -375,6 +448,15 @@ impl TrainSession {
             oom: self.runtime.memory.oom(),
             loss: losses.iter().copied().sum::<f32>() / losses.len().max(1) as f32,
         };
+        metrics.offload.export_to(&self.metrics);
+        self.metrics.inc_counter("session.steps", 1);
+        self.metrics.observe("session.step_secs", step_secs);
+        self.trace.instant_with(
+            TraceCategory::Session,
+            "step.end",
+            self.runtime.clock.now(),
+            vec![("secs", ArgValue::F64(step_secs))],
+        );
         if let Some(error) = self.cache.as_ref().and_then(|c| c.take_error()) {
             // The step is tainted: skip the weight update, clear the
             // accumulated gradients and hand the degraded metrics to
@@ -397,7 +479,7 @@ impl TrainSession {
 
 impl Drop for TrainSession {
     fn drop(&mut self) {
-        if let Some(dir) = &self.spill_dir {
+        for dir in &self.spill_dirs {
             let _ = std::fs::remove_dir_all(dir);
         }
     }

@@ -3,27 +3,22 @@
 
 use ssdtrain::{PlacementStrategy, TensorCacheConfig};
 use ssdtrain_models::{Arch, ModelConfig};
-use ssdtrain_simhw::SystemConfig;
-use ssdtrain_train::{SessionConfig, TargetKind, TrainSession};
+use ssdtrain_train::{SessionConfig, TrainSession};
 
 fn numeric_session(strategy: PlacementStrategy, seed: u64) -> TrainSession {
-    TrainSession::new(SessionConfig {
-        system: SystemConfig::dac_testbed(),
-        model: ModelConfig::tiny_gpt(),
-        batch_size: 2,
-        micro_batches: 1,
-        strategy,
-        cache: TensorCacheConfig {
+    let cfg = SessionConfig::builder()
+        .model(ModelConfig::tiny_gpt())
+        .batch_size(2)
+        .strategy(strategy)
+        .cache(TensorCacheConfig {
             min_offload_numel: 0,
             adaptive: false,
             ..TensorCacheConfig::default()
-        },
-        symbolic: false,
-        seed,
-        target: TargetKind::Ssd,
-        fault: None,
-    })
-    .expect("session")
+        })
+        .seed(seed)
+        .build()
+        .expect("valid config");
+    TrainSession::new(cfg).expect("session")
 }
 
 fn paper_session(
@@ -32,19 +27,15 @@ fn paper_session(
     layers: usize,
     batch: usize,
 ) -> TrainSession {
-    TrainSession::new(SessionConfig {
-        system: SystemConfig::dac_testbed(),
-        model: ModelConfig::paper_scale(Arch::Bert, hidden, layers).with_tp(2),
-        batch_size: batch,
-        micro_batches: 1,
-        strategy,
-        cache: TensorCacheConfig::default(),
-        symbolic: true,
-        seed: 3,
-        target: TargetKind::Ssd,
-        fault: None,
-    })
-    .expect("session")
+    let cfg = SessionConfig::builder()
+        .model(ModelConfig::paper_scale(Arch::Bert, hidden, layers).with_tp(2))
+        .batch_size(batch)
+        .strategy(strategy)
+        .symbolic(true)
+        .seed(3)
+        .build()
+        .expect("valid config");
+    TrainSession::new(cfg).expect("session")
 }
 
 // ---------------------------------------------------------------------
@@ -81,23 +72,19 @@ fn offload_session_exercises_the_cache() {
 
 #[test]
 fn micro_batches_accumulate_gradients() {
-    let mut s = TrainSession::new(SessionConfig {
-        system: SystemConfig::dac_testbed(),
-        model: ModelConfig::tiny_gpt(),
-        batch_size: 4,
-        micro_batches: 2,
-        strategy: PlacementStrategy::Offload,
-        cache: TensorCacheConfig {
+    let cfg = SessionConfig::builder()
+        .model(ModelConfig::tiny_gpt())
+        .batch_size(4)
+        .micro_batches(2)
+        .cache(TensorCacheConfig {
             min_offload_numel: 0,
             adaptive: false,
             ..TensorCacheConfig::default()
-        },
-        symbolic: false,
-        seed: 11,
-        target: TargetKind::Ssd,
-        fault: None,
-    })
-    .expect("session");
+        })
+        .seed(11)
+        .build()
+        .expect("valid config");
+    let mut s = TrainSession::new(cfg).expect("session");
     let m = s.run_step().expect("step");
     assert!(m.loss.is_finite());
     assert!(m.offload.store_jobs > 0);
@@ -247,19 +234,14 @@ fn offload_io_is_fully_overlapped_at_paper_scale() {
 #[test]
 fn t5_and_gpt_paper_shapes_run_symbolically() {
     for arch in [Arch::Gpt, Arch::T5] {
-        let mut s = TrainSession::new(SessionConfig {
-            system: SystemConfig::dac_testbed(),
-            model: ModelConfig::paper_scale(arch, 2048, 2).with_tp(2),
-            batch_size: 4,
-            micro_batches: 1,
-            strategy: PlacementStrategy::Offload,
-            cache: TensorCacheConfig::default(),
-            symbolic: true,
-            seed: 9,
-            target: TargetKind::Ssd,
-            fault: None,
-        })
-        .expect("session");
+        let cfg = SessionConfig::builder()
+            .model(ModelConfig::paper_scale(arch, 2048, 2).with_tp(2))
+            .batch_size(4)
+            .symbolic(true)
+            .seed(9)
+            .build()
+            .expect("valid config");
+        let mut s = TrainSession::new(cfg).expect("session");
         let m = s.run_step().expect("step");
         assert!(m.step_secs > 0.0, "{arch}");
         assert!(m.offload.offloaded_bytes > 0, "{arch}");
@@ -337,23 +319,19 @@ fn unfused_attention_offload_is_also_bit_identical() {
     let mk = |strategy: PlacementStrategy| -> Vec<f32> {
         let mut model = ModelConfig::tiny_gpt();
         model.fused_attention = false;
-        let mut s = TrainSession::new(SessionConfig {
-            system: SystemConfig::dac_testbed(),
-            model,
-            batch_size: 2,
-            micro_batches: 1,
-            strategy,
-            cache: TensorCacheConfig {
+        let cfg = SessionConfig::builder()
+            .model(model)
+            .batch_size(2)
+            .strategy(strategy)
+            .cache(TensorCacheConfig {
                 min_offload_numel: 0,
                 adaptive: false,
                 ..TensorCacheConfig::default()
-            },
-            symbolic: false,
-            seed: 31,
-            target: TargetKind::Ssd,
-            fault: None,
-        })
-        .expect("session");
+            })
+            .seed(31)
+            .build()
+            .expect("valid config");
+        let mut s = TrainSession::new(cfg).expect("session");
         (0..3).map(|_| s.run_step().expect("step").loss).collect()
     };
     assert_eq!(mk(PlacementStrategy::Keep), mk(PlacementStrategy::Offload));

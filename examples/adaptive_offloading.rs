@@ -7,24 +7,19 @@
 //! ```
 
 use ssdtrain::adaptive::AdaptivePlan;
-use ssdtrain::{PlacementStrategy, TensorCacheConfig};
 use ssdtrain_models::{Arch, ModelConfig};
 use ssdtrain_simhw::SystemConfig;
-use ssdtrain_train::{SessionConfig, TargetKind, TrainSession};
+use ssdtrain_train::{SessionConfig, TrainSession};
 
 fn main() -> std::io::Result<()> {
-    let mut session = TrainSession::new(SessionConfig {
-        system: SystemConfig::dac_testbed(),
-        model: ModelConfig::paper_scale(Arch::Bert, 8192, 4).with_tp(2),
-        batch_size: 16,
-        micro_batches: 1,
-        strategy: PlacementStrategy::Offload,
-        cache: TensorCacheConfig::default(),
-        symbolic: true,
-        seed: 8,
-        target: TargetKind::Ssd,
-        fault: None,
-    })?;
+    let cfg = SessionConfig::builder()
+        .model(ModelConfig::paper_scale(Arch::Bert, 8192, 4).with_tp(2))
+        .batch_size(16)
+        .symbolic(true)
+        .seed(8)
+        .build()
+        .expect("valid config");
+    let mut session = TrainSession::new(cfg)?;
 
     // One profiling step collects the Figure 8 annotations.
     let (profile, plan) = session.profile_step().expect("profile step");

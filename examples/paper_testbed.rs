@@ -8,10 +8,10 @@
 //! cargo run --release --example paper_testbed
 //! ```
 
-use ssdtrain::{PlacementStrategy, TensorCacheConfig};
+use ssdtrain::PlacementStrategy;
 use ssdtrain_models::{Arch, ModelConfig};
 use ssdtrain_simhw::SystemConfig;
-use ssdtrain_train::{SessionConfig, TargetKind, TrainSession};
+use ssdtrain_train::{SessionConfig, TrainSession};
 
 fn main() -> std::io::Result<()> {
     let system = SystemConfig::dac_testbed();
@@ -32,18 +32,16 @@ fn main() -> std::io::Result<()> {
     );
 
     let run = |strategy: PlacementStrategy| -> std::io::Result<()> {
-        let mut s = TrainSession::new(SessionConfig {
-            system: system.clone(),
-            model: model.clone(),
-            batch_size: 16,
-            micro_batches: 1,
-            strategy,
-            cache: TensorCacheConfig::default(),
-            symbolic: true, // paper scale: shape-accurate, simulator-timed
-            seed: 42,
-            target: TargetKind::Ssd,
-            fault: None,
-        })?;
+        let cfg = SessionConfig::builder()
+            .system(system.clone())
+            .model(model.clone())
+            .batch_size(16)
+            .strategy(strategy)
+            .symbolic(true) // paper scale: shape-accurate, simulator-timed
+            .seed(42)
+            .build()
+            .expect("valid config");
+        let mut s = TrainSession::new(cfg)?;
         if strategy == PlacementStrategy::Offload {
             let (profile, plan) = s.profile_step().expect("profile step");
             println!(

@@ -5,27 +5,127 @@
 //! ```sh
 //! cargo run --example quickstart
 //! ```
+//!
+//! Pass `--trace <path>` to additionally run a traced two-step demo (with
+//! a small injected write fault, absorbed bit-identically by the
+//! keep-resident policy) and write its timeline as Chrome-trace JSON —
+//! open it in `chrome://tracing` or <https://ui.perfetto.dev>:
+//!
+//! ```sh
+//! cargo run --example quickstart -- --trace /tmp/step.json
+//! ```
 
-use ssdtrain::{PlacementStrategy, TensorCacheConfig};
+use ssdtrain::{
+    chrome_trace_json, text_summary, PlacementStrategy, RecoveryPolicy, TensorCacheConfig,
+    TraceCategory, TraceSink,
+};
 use ssdtrain_models::ModelConfig;
-use ssdtrain_simhw::SystemConfig;
-use ssdtrain_train::{SessionConfig, TargetKind, TrainSession};
+use ssdtrain_simhw::{FaultKind, FaultPlan, FaultTrigger};
+use ssdtrain_train::{SessionConfig, TrainSession};
 
 fn session(strategy: PlacementStrategy) -> std::io::Result<TrainSession> {
-    TrainSession::new(SessionConfig {
-        system: SystemConfig::dac_testbed(),
-        model: ModelConfig::tiny_gpt(),
-        batch_size: 2,
-        micro_batches: 1,
-        strategy,
+    let cfg = SessionConfig::builder()
+        .model(ModelConfig::tiny_gpt())
+        .batch_size(2)
+        .strategy(strategy)
         // Offload even tiny tensors so this toy model exercises the
         // whole path (real runs keep the paper's 2^20-element floor).
-        cache: TensorCacheConfig::offload_everything(),
-        symbolic: false,
-        seed: 7,
-        target: TargetKind::Ssd,
-        fault: None,
-    })
+        .cache(TensorCacheConfig::offload_everything())
+        .seed(7)
+        .build()
+        .expect("valid config");
+    TrainSession::new(cfg)
+}
+
+fn trace_path_from_args() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return args.next().map(std::path::PathBuf::from);
+        }
+        if let Some(p) = a.strip_prefix("--trace=") {
+            return Some(std::path::PathBuf::from(p));
+        }
+    }
+    None
+}
+
+/// A traced two-step run: fixed seed, keep-resident recovery and one
+/// injected write fault, so the timeline shows every lane — stores,
+/// loads, prefetches, dedup hits, stage scopes, the fault and its
+/// recovery — while the numerics stay bit-identical to a healthy run.
+fn traced_demo(path: &std::path::Path) -> std::io::Result<()> {
+    let sink = TraceSink::enabled();
+    let mut cache = TensorCacheConfig::offload_everything();
+    cache.recovery = RecoveryPolicy::KeepResident;
+    let fault =
+        FaultPlan::new(42).with_fault(FaultTrigger::NthOp { nth: 6 }, FaultKind::WriteError);
+    let cfg = SessionConfig::builder()
+        .model(ModelConfig::tiny_gpt())
+        .batch_size(2)
+        .cache(cache)
+        .seed(7)
+        .fault(fault)
+        .trace(sink.clone())
+        .build()
+        .expect("valid config");
+    let mut s = TrainSession::new(cfg)?;
+    let per_step: Vec<_> = (0..2)
+        .map(|_| {
+            s.run_step()
+                .expect("keep-resident absorbs the injected fault")
+                .offload
+        })
+        .collect();
+
+    // The trace must account for every byte the cache reported moving.
+    let events = sink.events();
+    for (i, stats) in per_step.iter().enumerate() {
+        let step = (i + 1) as u32;
+        let sum = |name: &str| -> u64 {
+            events
+                .iter()
+                .filter(|e| e.step == step && e.name == name)
+                .filter_map(|e| e.bytes())
+                .sum()
+        };
+        let stored = sum("store.enqueue")
+            - sum("store.cancel")
+            - sum("recovery.keep_resident")
+            - sum("recovery.fallback");
+        assert_eq!(stored, stats.offloaded_bytes, "step {step} store bytes");
+        assert_eq!(sum("load"), stats.reloaded_bytes, "step {step} load bytes");
+    }
+    let categories: std::collections::BTreeSet<&str> =
+        events.iter().map(|e| e.cat.as_str()).collect();
+    for required in [
+        TraceCategory::Store,
+        TraceCategory::Load,
+        TraceCategory::Prefetch,
+        TraceCategory::Dedup,
+        TraceCategory::Stage,
+        TraceCategory::Fault,
+        TraceCategory::Recovery,
+    ] {
+        assert!(
+            categories.contains(required.as_str()),
+            "missing category {required:?} in {categories:?}"
+        );
+    }
+
+    std::fs::write(path, chrome_trace_json(&events))?;
+    println!("\n{}", text_summary(&events));
+    println!(
+        "traced {} events over {} categories; chrome trace written to {}",
+        events.len(),
+        categories.len(),
+        path.display()
+    );
+    println!(
+        "metrics registry after the run:\n{}",
+        s.metrics_registry().render_text()
+    );
+    Ok(())
 }
 
 fn main() -> std::io::Result<()> {
@@ -57,5 +157,9 @@ fn main() -> std::io::Result<()> {
     println!("  forwarded        : {}", stats.forwarded);
     println!("  exposed stall    : {:.6}s", stats.stall_secs);
     println!("\nactivations round-tripped through real spill files, gradients unchanged.");
+
+    if let Some(path) = trace_path_from_args() {
+        traced_demo(&path)?;
+    }
     Ok(())
 }

@@ -8,10 +8,9 @@
 //! cargo run --release --example rok_explorer
 //! ```
 
-use ssdtrain::{PlacementStrategy, TensorCacheConfig};
+use ssdtrain::PlacementStrategy;
 use ssdtrain_models::{Arch, ModelConfig};
-use ssdtrain_simhw::SystemConfig;
-use ssdtrain_train::{SessionConfig, TargetKind, TrainSession};
+use ssdtrain_train::{SessionConfig, TrainSession};
 
 const BUDGET_GIB: f64 = 8.0;
 
@@ -36,18 +35,15 @@ fn main() -> std::io::Result<()> {
         },
     ] {
         for batch in [4usize, 8, 16, 32] {
-            let mut s = TrainSession::new(SessionConfig {
-                system: SystemConfig::dac_testbed(),
-                model: ModelConfig::paper_scale(Arch::Bert, hidden, layers).with_tp(2),
-                batch_size: batch,
-                micro_batches: 1,
-                strategy,
-                cache: TensorCacheConfig::default(),
-                symbolic: true,
-                seed: 1,
-                target: TargetKind::Ssd,
-                fault: None,
-            })?;
+            let cfg = SessionConfig::builder()
+                .model(ModelConfig::paper_scale(Arch::Bert, hidden, layers).with_tp(2))
+                .batch_size(batch)
+                .strategy(strategy)
+                .symbolic(true)
+                .seed(1)
+                .build()
+                .expect("valid config");
+            let mut s = TrainSession::new(cfg)?;
             if strategy.uses_cache() {
                 let _ = s.profile_step().expect("profile step");
             }

@@ -7,5 +7,9 @@ export CARGO_NET_OFFLINE=true
 
 cargo build --release
 cargo test -q
+# The observability golden file must stay byte-stable (regenerate with
+# UPDATE_GOLDEN=1 after intentional trace/exporter changes).
+cargo test -q --test trace_observability
 cargo clippy --workspace -- -D warnings
 cargo fmt --check
+RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps

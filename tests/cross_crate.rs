@@ -10,19 +10,14 @@ use ssdtrain_simhw::SystemConfig;
 use ssdtrain_train::{SessionConfig, TargetKind, TrainSession};
 
 fn offload_session(arch: Arch, hidden: usize, layers: usize, batch: usize) -> TrainSession {
-    TrainSession::new(SessionConfig {
-        system: SystemConfig::dac_testbed(),
-        model: ModelConfig::paper_scale(arch, hidden, layers).with_tp(2),
-        batch_size: batch,
-        micro_batches: 1,
-        strategy: PlacementStrategy::Offload,
-        cache: TensorCacheConfig::default(),
-        symbolic: true,
-        seed: 5,
-        target: TargetKind::Ssd,
-        fault: None,
-    })
-    .expect("session")
+    let cfg = SessionConfig::builder()
+        .model(ModelConfig::paper_scale(arch, hidden, layers).with_tp(2))
+        .batch_size(batch)
+        .symbolic(true)
+        .seed(5)
+        .build()
+        .expect("valid config");
+    TrainSession::new(cfg).expect("session")
 }
 
 #[test]
@@ -66,23 +61,18 @@ fn required_bandwidth_model_tracks_the_simulated_step() {
 #[test]
 fn whole_stack_numeric_smoke_for_all_architectures() {
     for arch in [Arch::Gpt, Arch::Bert, Arch::T5] {
-        let mut s = TrainSession::new(SessionConfig {
-            system: SystemConfig::dac_testbed(),
-            model: match arch {
+        let cfg = SessionConfig::builder()
+            .model(match arch {
                 Arch::Gpt => ModelConfig::tiny_gpt(),
                 Arch::Bert => ModelConfig::tiny_bert(),
                 Arch::T5 => ModelConfig::tiny_t5(),
-            },
-            batch_size: 2,
-            micro_batches: 1,
-            strategy: PlacementStrategy::Offload,
-            cache: TensorCacheConfig::offload_everything(),
-            symbolic: false,
-            seed: 3,
-            target: TargetKind::Ssd,
-            fault: None,
-        })
-        .expect("session");
+            })
+            .batch_size(2)
+            .cache(TensorCacheConfig::offload_everything())
+            .seed(3)
+            .build()
+            .expect("valid config");
+        let mut s = TrainSession::new(cfg).expect("session");
         let first = s.run_step().expect("step");
         let mut last = first.loss;
         for _ in 0..4 {
@@ -112,19 +102,15 @@ fn adaptive_plan_respects_the_analysis_bandwidth_ordering() {
 fn oom_detection_fires_when_keep_exceeds_device_memory() {
     // Keep strategy at batch 32 on H16384 L2 overflows a 40 GB A100 —
     // the situation offloading exists to avoid.
-    let mut s = TrainSession::new(SessionConfig {
-        system: SystemConfig::dac_testbed(),
-        model: ModelConfig::paper_scale(Arch::Bert, 16384, 2).with_tp(2),
-        batch_size: 48,
-        micro_batches: 1,
-        strategy: PlacementStrategy::Keep,
-        cache: TensorCacheConfig::default(),
-        symbolic: true,
-        seed: 1,
-        target: TargetKind::Ssd,
-        fault: None,
-    })
-    .expect("session");
+    let cfg = SessionConfig::builder()
+        .model(ModelConfig::paper_scale(Arch::Bert, 16384, 2).with_tp(2))
+        .batch_size(48)
+        .strategy(PlacementStrategy::Keep)
+        .symbolic(true)
+        .seed(1)
+        .build()
+        .expect("valid config");
+    let mut s = TrainSession::new(cfg).expect("session");
     let keep = s.run_step().expect("step");
     assert!(keep.oom, "keep at B48 H16384 must exceed 40 GB");
 
@@ -141,19 +127,15 @@ fn cpu_offload_target_is_numerically_identical_too() {
     // The paper's CPU offloader (Figure 5) shares the tensor-cache logic;
     // only the target and bandwidths differ.
     let run = |target: TargetKind| -> Vec<f32> {
-        let mut s = TrainSession::new(SessionConfig {
-            system: SystemConfig::dac_testbed(),
-            model: ModelConfig::tiny_gpt(),
-            batch_size: 2,
-            micro_batches: 1,
-            strategy: PlacementStrategy::Offload,
-            cache: TensorCacheConfig::offload_everything(),
-            symbolic: false,
-            seed: 17,
-            target,
-            fault: None,
-        })
-        .expect("session");
+        let cfg = SessionConfig::builder()
+            .model(ModelConfig::tiny_gpt())
+            .batch_size(2)
+            .cache(TensorCacheConfig::offload_everything())
+            .seed(17)
+            .target(target)
+            .build()
+            .expect("valid config");
+        let mut s = TrainSession::new(cfg).expect("session");
         (0..3).map(|_| s.run_step().expect("step").loss).collect()
     };
     assert_eq!(run(TargetKind::Ssd), run(TargetKind::Cpu));
@@ -168,19 +150,16 @@ fn cpu_pool_exhaustion_degrades_gracefully() {
     // through the step's offload counters.
     let mut system = SystemConfig::dac_testbed();
     system.host_mem_bytes = 64 << 20; // 64 MiB pinned pool
-    let mut s = TrainSession::new(SessionConfig {
-        system,
-        model: ModelConfig::paper_scale(Arch::Bert, 2048, 2).with_tp(2),
-        batch_size: 8,
-        micro_batches: 1,
-        strategy: PlacementStrategy::Offload,
-        cache: TensorCacheConfig::default(),
-        symbolic: true,
-        seed: 1,
-        target: TargetKind::Cpu,
-        fault: None,
-    })
-    .expect("session");
+    let cfg = SessionConfig::builder()
+        .system(system)
+        .model(ModelConfig::paper_scale(Arch::Bert, 2048, 2).with_tp(2))
+        .batch_size(8)
+        .symbolic(true)
+        .seed(1)
+        .target(TargetKind::Cpu)
+        .build()
+        .expect("valid config");
+    let mut s = TrainSession::new(cfg).expect("session");
     let m = s
         .run_step()
         .expect("keep-resident recovery absorbs the failure");
@@ -209,19 +188,15 @@ fn fused_attention_removes_the_quadratic_activation_term() {
             fused_attention: fused,
             tp: 2,
         };
-        let mut s = TrainSession::new(SessionConfig {
-            system: SystemConfig::dac_testbed(),
-            model,
-            batch_size: 8,
-            micro_batches: 1,
-            strategy: PlacementStrategy::Keep,
-            cache: TensorCacheConfig::default(),
-            symbolic: true,
-            seed: 2,
-            target: TargetKind::Ssd,
-            fault: None,
-        })
-        .expect("session");
+        let cfg = SessionConfig::builder()
+            .model(model)
+            .batch_size(8)
+            .strategy(PlacementStrategy::Keep)
+            .symbolic(true)
+            .seed(2)
+            .build()
+            .expect("valid config");
+        let mut s = TrainSession::new(cfg).expect("session");
         s.run_step().expect("step").act_peak_bytes
     };
     let fused = run(true);
@@ -239,19 +214,15 @@ fn micro_batched_offloading_still_fully_overlaps() {
     // Figure 4's two-micro-batch timeline: records are kept per
     // micro-batch and switching between them (hint ③) must not expose
     // I/O.
-    let mut s = TrainSession::new(SessionConfig {
-        system: SystemConfig::dac_testbed(),
-        model: ModelConfig::paper_scale(Arch::Bert, 8192, 4).with_tp(2),
-        batch_size: 16,
-        micro_batches: 2,
-        strategy: PlacementStrategy::Offload,
-        cache: TensorCacheConfig::default(),
-        symbolic: true,
-        seed: 4,
-        target: TargetKind::Ssd,
-        fault: None,
-    })
-    .expect("session");
+    let cfg = SessionConfig::builder()
+        .model(ModelConfig::paper_scale(Arch::Bert, 8192, 4).with_tp(2))
+        .batch_size(16)
+        .micro_batches(2)
+        .symbolic(true)
+        .seed(4)
+        .build()
+        .expect("valid config");
+    let mut s = TrainSession::new(cfg).expect("session");
     let _ = s.profile_step().expect("profile step");
     let m = s.run_step().expect("step");
     assert!(

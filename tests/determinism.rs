@@ -4,8 +4,7 @@
 
 use ssdtrain::{PlacementStrategy, TensorCacheConfig};
 use ssdtrain_models::{Arch, ModelConfig};
-use ssdtrain_simhw::SystemConfig;
-use ssdtrain_train::{SessionConfig, StepMetrics, TargetKind, TrainSession};
+use ssdtrain_train::{SessionConfig, StepMetrics, TrainSession};
 
 fn run_steps(strategy: PlacementStrategy, symbolic: bool, steps: usize) -> Vec<StepMetrics> {
     let model = if symbolic {
@@ -13,23 +12,20 @@ fn run_steps(strategy: PlacementStrategy, symbolic: bool, steps: usize) -> Vec<S
     } else {
         ModelConfig::tiny_gpt()
     };
-    let mut s = TrainSession::new(SessionConfig {
-        system: SystemConfig::dac_testbed(),
-        model,
-        batch_size: if symbolic { 8 } else { 2 },
-        micro_batches: 1,
-        strategy,
-        cache: if symbolic {
+    let cfg = SessionConfig::builder()
+        .model(model)
+        .batch_size(if symbolic { 8 } else { 2 })
+        .strategy(strategy)
+        .cache(if symbolic {
             TensorCacheConfig::default()
         } else {
             TensorCacheConfig::offload_everything()
-        },
-        symbolic,
-        seed: 99,
-        target: TargetKind::Ssd,
-        fault: None,
-    })
-    .expect("session");
+        })
+        .symbolic(symbolic)
+        .seed(99)
+        .build()
+        .expect("valid config");
+    let mut s = TrainSession::new(cfg).expect("session");
     (0..steps).map(|_| s.run_step().expect("step")).collect()
 }
 
@@ -88,19 +84,15 @@ fn model_flops_are_strategy_independent() {
 fn different_seeds_change_numerics_but_not_timing() {
     // Symbolic timing depends on shapes only; seeds must not perturb it.
     let mk = |seed: u64| {
-        let mut s = TrainSession::new(SessionConfig {
-            system: SystemConfig::dac_testbed(),
-            model: ModelConfig::paper_scale(Arch::Bert, 2048, 2).with_tp(2),
-            batch_size: 8,
-            micro_batches: 1,
-            strategy: PlacementStrategy::Keep,
-            cache: TensorCacheConfig::default(),
-            symbolic: true,
-            seed,
-            target: TargetKind::Ssd,
-            fault: None,
-        })
-        .expect("session");
+        let cfg = SessionConfig::builder()
+            .model(ModelConfig::paper_scale(Arch::Bert, 2048, 2).with_tp(2))
+            .batch_size(8)
+            .strategy(PlacementStrategy::Keep)
+            .symbolic(true)
+            .seed(seed)
+            .build()
+            .expect("valid config");
+        let mut s = TrainSession::new(cfg).expect("session");
         s.run_step().expect("step").step_secs
     };
     assert_eq!(mk(1), mk(2));

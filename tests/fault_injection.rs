@@ -9,29 +9,25 @@
 //! [`RecoveryPolicy`], plus read faults (unrecoverable by design) and
 //! `SlowIo` degradation (numerics preserved, time stretched).
 
-use ssdtrain::{PlacementStrategy, RecoveryPolicy, TensorCacheConfig};
+use ssdtrain::{RecoveryPolicy, TensorCacheConfig};
 use ssdtrain_models::ModelConfig;
-use ssdtrain_simhw::{FaultKind, FaultPlan, FaultTrigger, SystemConfig};
-use ssdtrain_train::{SessionConfig, StepMetrics, TargetKind, TrainSession};
+use ssdtrain_simhw::{FaultKind, FaultPlan, FaultTrigger};
+use ssdtrain_train::{SessionConfig, StepMetrics, TrainSession};
 
 const STEPS: usize = 3;
 
 fn session(fault: Option<FaultPlan>, recovery: RecoveryPolicy) -> TrainSession {
-    let mut cache = TensorCacheConfig::offload_everything();
-    cache.recovery = recovery;
-    TrainSession::new(SessionConfig {
-        system: SystemConfig::dac_testbed(),
-        model: ModelConfig::tiny_gpt(),
-        batch_size: 2,
-        micro_batches: 1,
-        strategy: PlacementStrategy::Offload,
-        cache,
-        symbolic: false,
-        seed: 23,
-        target: TargetKind::Ssd,
-        fault,
-    })
-    .expect("session construction")
+    let mut builder = SessionConfig::builder()
+        .model(ModelConfig::tiny_gpt())
+        .batch_size(2)
+        .cache(TensorCacheConfig::offload_everything())
+        .recovery(recovery)
+        .seed(23);
+    if let Some(plan) = fault {
+        builder = builder.fault(plan);
+    }
+    let cfg = builder.build().expect("valid config");
+    TrainSession::new(cfg).expect("session construction")
 }
 
 /// Runs `STEPS` steps, asserting every one succeeds, and returns the

@@ -142,8 +142,8 @@ proptest! {
     ) {
         use ssdtrain::RecoveryPolicy;
         use ssdtrain_models::ModelConfig;
-        use ssdtrain_simhw::{FaultKind, FaultPlan, FaultTrigger, SystemConfig};
-        use ssdtrain_train::{SessionConfig, TargetKind, TrainSession};
+        use ssdtrain_simhw::{FaultKind, FaultPlan, FaultTrigger};
+        use ssdtrain_train::{SessionConfig, TrainSession};
 
         let trigger = match trigger_idx {
             0 => FaultTrigger::NthOp { nth: knob - 1 },
@@ -157,25 +157,21 @@ proptest! {
             FaultKind::WriteError
         };
         let session = |fault: Option<FaultPlan>| -> TrainSession {
-            let mut cache = ssdtrain::TensorCacheConfig::offload_everything();
-            cache.recovery = if use_fallback {
-                RecoveryPolicy::FallbackTarget
-            } else {
-                RecoveryPolicy::KeepResident
-            };
-            TrainSession::new(SessionConfig {
-                system: SystemConfig::dac_testbed(),
-                model: ModelConfig::tiny_gpt(),
-                batch_size: 1,
-                micro_batches: 1,
-                strategy: ssdtrain::PlacementStrategy::Offload,
-                cache,
-                symbolic: false,
-                seed,
-                target: TargetKind::Ssd,
-                fault,
-            })
-            .expect("session construction")
+            let mut builder = SessionConfig::builder()
+                .model(ModelConfig::tiny_gpt())
+                .batch_size(1)
+                .cache(ssdtrain::TensorCacheConfig::offload_everything())
+                .recovery(if use_fallback {
+                    RecoveryPolicy::FallbackTarget
+                } else {
+                    RecoveryPolicy::KeepResident
+                })
+                .seed(seed);
+            if let Some(plan) = fault {
+                builder = builder.fault(plan);
+            }
+            let cfg = builder.build().expect("valid config");
+            TrainSession::new(cfg).expect("session construction")
         };
         let mut healthy = session(None);
         let mut faulty = session(Some(

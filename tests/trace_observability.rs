@@ -1,0 +1,265 @@
+//! The observability layer's two load-bearing guarantees:
+//!
+//! 1. **Byte stability.** The Chrome-trace JSON for a fixed-seed run is
+//!    a pure function of the configuration — same config, same bytes.
+//!    A golden file pins the exporter's format and the event stream's
+//!    determinism at once; regenerate it after intentional changes with
+//!    `UPDATE_GOLDEN=1 cargo test --test trace_observability`.
+//!
+//! 2. **Accounting.** Trace-derived byte totals must equal the cache's
+//!    own [`OffloadStats`] counters exactly — including under injected
+//!    faults, where failed stores are re-routed (fallback) or kept
+//!    resident and must leave the primary account through the same
+//!    identities the trace records.
+
+use ssdtrain::{
+    chrome_trace_json, OffloadStats, RecoveryPolicy, TensorCacheConfig, TraceCategory, TraceEvent,
+    TraceSink,
+};
+use ssdtrain_models::ModelConfig;
+use ssdtrain_simhw::{FaultKind, FaultPlan, FaultTrigger};
+use ssdtrain_train::{SessionConfig, TargetKind, TrainSession};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+const STEPS: usize = 2;
+
+/// The fixed-seed configuration both the golden file and the accounting
+/// tests run: a numeric tiny-GPT step offloading everything, so every
+/// lane of the trace carries events.
+fn traced_session(
+    sink: TraceSink,
+    target: TargetKind,
+    recovery: RecoveryPolicy,
+    fault: Option<FaultPlan>,
+    fallback: Option<TargetKind>,
+) -> TrainSession {
+    let mut builder = SessionConfig::builder()
+        .model(ModelConfig::tiny_gpt())
+        .batch_size(2)
+        .cache(TensorCacheConfig::offload_everything())
+        .recovery(recovery)
+        .seed(7)
+        .target(target)
+        .trace(sink);
+    if let Some(plan) = fault {
+        builder = builder.fault(plan);
+    }
+    if let Some(fb) = fallback {
+        builder = builder.fallback(fb);
+    }
+    TrainSession::new(builder.build().expect("valid config")).expect("session")
+}
+
+/// Runs `STEPS` steps and returns the per-step offload stats snapshot.
+fn run(session: &mut TrainSession) -> Vec<OffloadStats> {
+    (0..STEPS)
+        .map(|_| session.run_step().expect("step").offload)
+        .collect()
+}
+
+/// Sums the byte payloads of all events named `name` within `step`.
+fn sum_bytes(events: &[TraceEvent], step: u32, name: &str) -> u64 {
+    events
+        .iter()
+        .filter(|e| e.step == step && e.name == name)
+        .filter_map(|e| e.bytes())
+        .sum()
+}
+
+/// Asserts the per-step trace/stat identities the exporter documents:
+/// every byte the cache reports moving is visible in the event stream.
+fn assert_accounting(events: &[TraceEvent], per_step: &[OffloadStats]) {
+    for (i, stats) in per_step.iter().enumerate() {
+        let step = (i + 1) as u32;
+        let stored = sum_bytes(events, step, "store.enqueue")
+            - sum_bytes(events, step, "store.cancel")
+            - sum_bytes(events, step, "recovery.keep_resident")
+            - sum_bytes(events, step, "recovery.fallback");
+        assert_eq!(stored, stats.offloaded_bytes, "step {step}: store bytes");
+        assert_eq!(
+            sum_bytes(events, step, "load"),
+            stats.reloaded_bytes,
+            "step {step}: load bytes"
+        );
+        assert_eq!(
+            sum_bytes(events, step, "recovery.fallback"),
+            stats.fallback_bytes,
+            "step {step}: fallback bytes"
+        );
+        assert_eq!(
+            sum_bytes(events, step, "recovery.keep_resident"),
+            stats.kept_resident_bytes,
+            "step {step}: kept-resident bytes"
+        );
+        assert_eq!(
+            sum_bytes(events, step, "store.cancel"),
+            stats.cancelled_bytes,
+            "step {step}: cancelled bytes"
+        );
+    }
+}
+
+#[test]
+fn golden_chrome_trace_is_byte_stable() {
+    // CPU target: no spill files, so the run touches nothing outside the
+    // simulator — the trace depends on the configuration alone.
+    let sink = TraceSink::enabled();
+    let mut s = traced_session(
+        sink.clone(),
+        TargetKind::Cpu,
+        RecoveryPolicy::KeepResident,
+        None,
+        None,
+    );
+    let _ = run(&mut s);
+    let json = chrome_trace_json(&sink.events());
+
+    let golden = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/quickstart_trace.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden, &json).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&golden).expect(
+        "golden file missing; regenerate with UPDATE_GOLDEN=1 cargo test --test trace_observability",
+    );
+    assert_eq!(
+        json, want,
+        "chrome trace drifted from tests/golden/quickstart_trace.json; if the \
+         change is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn identical_runs_emit_identical_traces() {
+    // The same determinism as the golden test, but self-contained (and
+    // on the SSD target, where real spill files are in the loop).
+    let trace_of = || {
+        let sink = TraceSink::enabled();
+        let mut s = traced_session(
+            sink.clone(),
+            TargetKind::Ssd,
+            RecoveryPolicy::KeepResident,
+            None,
+            None,
+        );
+        let _ = run(&mut s);
+        chrome_trace_json(&sink.events())
+    };
+    assert_eq!(trace_of(), trace_of());
+}
+
+#[test]
+fn trace_byte_totals_match_offload_stats() {
+    let sink = TraceSink::enabled();
+    let mut s = traced_session(
+        sink.clone(),
+        TargetKind::Ssd,
+        RecoveryPolicy::KeepResident,
+        None,
+        None,
+    );
+    let per_step = run(&mut s);
+    assert!(per_step.iter().all(|m| m.offloaded_bytes > 0));
+    assert_accounting(&sink.events(), &per_step);
+}
+
+#[test]
+fn trace_accounting_survives_injected_write_faults() {
+    // Keep-resident: failed stores stay on the GPU and the trace's
+    // recovery lane must carry exactly the bytes the stats report.
+    let plan = FaultPlan::new(42).with_recurring_fault(
+        FaultTrigger::ByteThreshold { bytes: 16 << 10 },
+        FaultKind::WriteError,
+    );
+    let sink = TraceSink::enabled();
+    let mut s = traced_session(
+        sink.clone(),
+        TargetKind::Ssd,
+        RecoveryPolicy::KeepResident,
+        Some(plan),
+        None,
+    );
+    let per_step = run(&mut s);
+    assert!(
+        per_step.iter().any(|m| m.kept_resident_bytes > 0),
+        "the fault plan must actually fire"
+    );
+    let events = sink.events();
+    assert_accounting(&events, &per_step);
+    let cats: BTreeSet<&str> = events.iter().map(|e| e.cat.as_str()).collect();
+    assert!(cats.contains(TraceCategory::Fault.as_str()));
+    assert!(cats.contains(TraceCategory::Recovery.as_str()));
+}
+
+#[test]
+fn trace_accounting_survives_fallback_rerouting() {
+    // Fallback-target: failed stores re-route to the host pool; the
+    // byte identities still close because the fallback lane absorbs
+    // exactly what leaves the primary account.
+    let plan = FaultPlan::new(42).with_recurring_fault(
+        FaultTrigger::ByteThreshold { bytes: 16 << 10 },
+        FaultKind::WriteError,
+    );
+    let sink = TraceSink::enabled();
+    let mut s = traced_session(
+        sink.clone(),
+        TargetKind::Ssd,
+        RecoveryPolicy::FallbackTarget,
+        Some(plan),
+        Some(TargetKind::Cpu),
+    );
+    let per_step = run(&mut s);
+    assert!(
+        per_step.iter().any(|m| m.fallback_bytes > 0),
+        "the fault plan must actually fire"
+    );
+    assert_accounting(&sink.events(), &per_step);
+}
+
+#[test]
+fn traced_run_covers_the_documented_categories() {
+    let plan = FaultPlan::new(42).with_fault(FaultTrigger::NthOp { nth: 6 }, FaultKind::WriteError);
+    let sink = TraceSink::enabled();
+    let mut s = traced_session(
+        sink.clone(),
+        TargetKind::Ssd,
+        RecoveryPolicy::KeepResident,
+        Some(plan),
+        None,
+    );
+    let _ = run(&mut s);
+    let cats: BTreeSet<&str> = sink.events().iter().map(|e| e.cat.as_str()).collect();
+    for required in [
+        TraceCategory::Session,
+        TraceCategory::Stage,
+        TraceCategory::Store,
+        TraceCategory::Load,
+        TraceCategory::Prefetch,
+        TraceCategory::Dedup,
+        TraceCategory::Fault,
+        TraceCategory::Recovery,
+        TraceCategory::Alloc,
+    ] {
+        assert!(
+            cats.contains(required.as_str()),
+            "missing {required:?} in {cats:?}"
+        );
+    }
+}
+
+#[test]
+fn disabled_sink_records_nothing() {
+    // The default session carries a disabled sink: the step must not
+    // accumulate events anywhere (the "free when off" overhead bound).
+    let mut s = traced_session(
+        TraceSink::disabled(),
+        TargetKind::Ssd,
+        RecoveryPolicy::KeepResident,
+        None,
+        None,
+    );
+    let _ = run(&mut s);
+    assert!(s.trace().is_empty());
+    assert!(!s.trace().is_enabled());
+}
