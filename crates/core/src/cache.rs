@@ -959,7 +959,7 @@ impl SavedTensorHooks for TensorCache {
         let rec = inner
             .records
             .get_mut(&id)
-            .unwrap_or_else(|| panic!("unpack of unknown record {id}"));
+            .unwrap_or_else(|| panic!("unpack of unknown record {id}")); // ssdtrain-lint: allow(panic-free-hot-path): unpack of an unregistered id is an engine-integration bug, not a recoverable runtime failure
         match rec.state {
             RecState::Resident => rec.tensor.clone(),
             RecState::Storing { job } => {

@@ -273,11 +273,11 @@ mod tests {
     #[test]
     fn ssd_roundtrip_through_filesystem() {
         let dir = tmpdir("rt");
-        let t = SsdTarget::new(&dir, WearMeter::new(1e12, 1.0)).unwrap();
+        let t = SsdTarget::new(&dir, WearMeter::new(1e12, 1.0)).unwrap(); // ssdtrain-lint: allow(panic-free-hot-path): test-only panic; failure should abort the test
         let k = key(1);
         let payload = vec![1u8, 2, 3, 4];
-        t.write(&k, Some(&payload), 4).unwrap();
-        assert_eq!(t.read(&k).unwrap().unwrap(), payload);
+        t.write(&k, Some(&payload), 4).unwrap(); // ssdtrain-lint: allow(panic-free-hot-path): test-only panic; failure should abort the test
+        assert_eq!(t.read(&k).unwrap().unwrap(), payload); // ssdtrain-lint: allow(panic-free-hot-path): test-only panic; failure should abort the test
         assert_eq!(t.bytes_written(), 4);
         t.remove(&k);
         assert!(t.read(&k).is_err());
@@ -287,10 +287,10 @@ mod tests {
     #[test]
     fn ssd_symbolic_entries_account_without_payload() {
         let dir = tmpdir("sym");
-        let t = SsdTarget::new(&dir, WearMeter::new(1e12, 1.0)).unwrap();
+        let t = SsdTarget::new(&dir, WearMeter::new(1e12, 1.0)).unwrap(); // ssdtrain-lint: allow(panic-free-hot-path): test-only panic; failure should abort the test
         let k = key(2);
-        t.write(&k, None, 1024).unwrap();
-        assert_eq!(t.read(&k).unwrap(), None);
+        t.write(&k, None, 1024).unwrap(); // ssdtrain-lint: allow(panic-free-hot-path): test-only panic; failure should abort the test
+        assert_eq!(t.read(&k).unwrap(), None); // ssdtrain-lint: allow(panic-free-hot-path): test-only panic; failure should abort the test
         assert_eq!(t.bytes_written(), 1024);
         assert!((t.wear().wear_fraction() - 1024.0 / 1e12).abs() < 1e-18);
         t.remove(&k);
@@ -300,9 +300,9 @@ mod tests {
     #[test]
     fn ssd_wear_accumulates_across_writes() {
         let dir = tmpdir("wear");
-        let t = SsdTarget::new(&dir, WearMeter::new(1000.0, 1.0)).unwrap();
-        t.write(&key(3), None, 250).unwrap();
-        t.write(&key(4), None, 250).unwrap();
+        let t = SsdTarget::new(&dir, WearMeter::new(1000.0, 1.0)).unwrap(); // ssdtrain-lint: allow(panic-free-hot-path): test-only panic; failure should abort the test
+        t.write(&key(3), None, 250).unwrap(); // ssdtrain-lint: allow(panic-free-hot-path): test-only panic; failure should abort the test
+        t.write(&key(4), None, 250).unwrap(); // ssdtrain-lint: allow(panic-free-hot-path): test-only panic; failure should abort the test
         assert!((t.wear().wear_fraction() - 0.5).abs() < 1e-12);
         let _ = fs::remove_dir_all(&dir);
     }
@@ -310,20 +310,20 @@ mod tests {
     #[test]
     fn cpu_pool_bounds_capacity() {
         let t = CpuTarget::new(100);
-        t.write(&key(1), None, 60).unwrap();
+        t.write(&key(1), None, 60).unwrap(); // ssdtrain-lint: allow(panic-free-hot-path): test-only panic; failure should abort the test
         let err = t.write(&key(2), None, 60).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::OutOfMemory);
         t.remove(&key(1));
         assert_eq!(t.used_bytes(), 0);
-        t.write(&key(2), None, 60).unwrap();
+        t.write(&key(2), None, 60).unwrap(); // ssdtrain-lint: allow(panic-free-hot-path): test-only panic; failure should abort the test
     }
 
     #[test]
     fn cpu_roundtrip() {
         let t = CpuTarget::new(1024);
         let k = key(5);
-        t.write(&k, Some(&[9, 9]), 2).unwrap();
-        assert_eq!(t.read(&k).unwrap().unwrap(), vec![9, 9]);
+        t.write(&k, Some(&[9, 9]), 2).unwrap(); // ssdtrain-lint: allow(panic-free-hot-path): test-only panic; failure should abort the test
+        assert_eq!(t.read(&k).unwrap().unwrap(), vec![9, 9]); // ssdtrain-lint: allow(panic-free-hot-path): test-only panic; failure should abort the test
         assert_eq!(t.bytes_written(), 2);
         assert!(t.read(&key(6)).is_err());
     }

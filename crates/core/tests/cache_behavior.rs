@@ -542,8 +542,7 @@ fn stage_scopes_drive_microbatch_switch_and_prefetch() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_stage_shims_still_work() {
+fn stage_scopes_cover_the_algorithm1_shim_semantics() {
     use ssdtrain::StageHint;
 
     let r = rig(offload_all_config(), 1e9, 1e9, 0.001);
@@ -556,30 +555,37 @@ fn deprecated_stage_shims_still_work() {
     r.cache.register_parameter(&w1.tensor());
     r.cache.register_parameter(&w2.tensor());
 
-    // Algorithm 1 line 9: a micro-batch load switches the record set.
-    r.cache.set_stage(StageHint::MicroBatchLoad(3));
-    r.graph.set_micro_batch(3);
-    let loss = two_layer_forward(&r.graph, &xt, &w1, &w2);
+    // Algorithm 1 line 9: a micro-batch load switches the record set on
+    // scope entry.
+    let loss = {
+        let _load = r.cache.stage_scope(StageHint::MicroBatchLoad(3));
+        r.graph.set_micro_batch(3);
+        two_layer_forward(&r.graph, &xt, &w1, &w2)
+    };
 
     // Advance past every store's completion so prefetches issue reads.
     r.clock.advance_by(10.0);
 
-    // Lines 10-13: the upcoming stage is a backward pass.
+    // Lines 10-13: announcing an upcoming backward prefetches the tail.
+    let forward = r.cache.stage_scope(StageHint::Forward);
     let before = r.cache.stats().prefetches;
-    r.cache.set_next_stage(StageHint::Backward);
+    forward.announce_next(StageHint::Backward);
     assert!(
         r.cache.stats().prefetches > before,
-        "set_next_stage(Backward) must prefetch the tail module"
+        "announce_next(Backward) must prefetch the tail module"
     );
+    // Dropping a non-backward scope never triggers the I/O wait.
+    drop(forward);
 
+    // Line 15: leaving a backward scope drains I/O — a no-op here (all
+    // loads consumed) but it must not panic or stall.
+    let backward = r.cache.stage_scope(StageHint::Backward);
     r.graph.backward(&loss);
-    // Line 15: waiting after a backward stage is a no-op here (all
-    // loads consumed) but must not panic or stall.
     let t = r.clock.now();
-    r.cache.stage_done(StageHint::Backward);
+    drop(backward);
     assert_eq!(r.clock.now().as_secs(), t.as_secs());
 
-    // Non-backward stages never trigger the wait.
-    r.cache.stage_done(StageHint::Forward);
-    r.cache.set_next_stage(StageHint::Optimizer);
+    // Optimizer announcements are accepted and do nothing.
+    let opt = r.cache.stage_scope(StageHint::Forward);
+    opt.announce_next(StageHint::Optimizer);
 }

@@ -1,0 +1,195 @@
+//! Diagnostics, deterministic ordering, and the two output formats.
+
+use std::fmt::Write as _;
+
+/// One rule violation, anchored to a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Name of the rule that fired (kebab-case).
+    pub rule: &'static str,
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable explanation of the violation.
+    pub message: String,
+}
+
+/// The outcome of linting a workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations, sorted by (path, line, column, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Diagnostics silenced by `ssdtrain-lint: allow(…)` comments.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// Whether the workspace is clean.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Sorts by path, then line, then column, then rule name, and drops
+    /// duplicate (rule, path, line) entries — several token patterns on
+    /// one line are one violation. The order is a pure function of the
+    /// diagnostics, so output is byte-stable across filesystems and
+    /// directory-walk orders.
+    pub fn normalize(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+        });
+        self.diagnostics
+            .dedup_by(|a, b| a.rule == b.rule && a.path == b.path && a.line == b.line);
+    }
+
+    /// Renders the human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(
+                out,
+                "{}:{}:{}: [{}] {}",
+                d.path, d.line, d.col, d.rule, d.message
+            );
+        }
+        let _ = writeln!(
+            out,
+            "ssdtrain-lint: {} violation(s), {} file(s) scanned, {} suppressed",
+            self.diagnostics.len(),
+            self.files_scanned,
+            self.suppressed
+        );
+        out
+    }
+
+    /// Renders the machine-readable report: stable field order, sorted
+    /// violations, 2-space indent, trailing newline.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"version\": 1,");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"suppressed\": {},", self.suppressed);
+        if self.diagnostics.is_empty() {
+            out.push_str("  \"violations\": []\n");
+        } else {
+            out.push_str("  \"violations\": [\n");
+            for (i, d) in self.diagnostics.iter().enumerate() {
+                let comma = if i + 1 == self.diagnostics.len() {
+                    ""
+                } else {
+                    ","
+                };
+                let _ = writeln!(
+                    out,
+                    "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"column\": {}, \
+                     \"message\": {}}}{comma}",
+                    json_str(d.rule),
+                    json_str(&d.path),
+                    d.line,
+                    d.col,
+                    json_str(&d.message)
+                );
+            }
+            out.push_str("  ]\n");
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, path: &str, line: u32, col: u32) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: path.to_owned(),
+            line,
+            col,
+            message: "m".to_owned(),
+        }
+    }
+
+    #[test]
+    fn normalize_sorts_and_dedups_per_line() {
+        let mut r = Report {
+            diagnostics: vec![
+                diag("b-rule", "b.rs", 2, 1),
+                diag("a-rule", "a.rs", 9, 4),
+                diag("a-rule", "a.rs", 9, 1),
+                diag("a-rule", "a.rs", 3, 1),
+            ],
+            files_scanned: 2,
+            suppressed: 0,
+        };
+        r.normalize();
+        let keys: Vec<(String, u32, u32)> = r
+            .diagnostics
+            .iter()
+            .map(|d| (d.path.clone(), d.line, d.col))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("a.rs".to_owned(), 3, 1),
+                ("a.rs".to_owned(), 9, 1),
+                ("b.rs".to_owned(), 2, 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn json_is_escaped_and_terminated() {
+        let mut r = Report::default();
+        r.diagnostics.push(Diagnostic {
+            rule: "r",
+            path: "a\"b.rs".to_owned(),
+            line: 1,
+            col: 1,
+            message: "tab\there".to_owned(),
+        });
+        r.files_scanned = 1;
+        let json = r.render_json();
+        assert!(json.contains("a\\\"b.rs"));
+        assert!(json.contains("tab\\there"));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_report_renders_empty_array() {
+        let r = Report {
+            files_scanned: 3,
+            ..Report::default()
+        };
+        assert!(r.render_json().contains("\"violations\": []"));
+        assert!(r.render_text().contains("0 violation(s)"));
+    }
+}

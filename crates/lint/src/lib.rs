@@ -1,0 +1,119 @@
+//! `ssdtrain-lint` — workspace-aware static analysis for the SSDTrain
+//! reproduction.
+//!
+//! The generic toolchain lints (clippy, rustc) cannot see this
+//! project's invariants: timing must come from the simulated clock,
+//! the offload hot path must not panic, public APIs must carry typed
+//! errors, stage bookkeeping must go through `StageScope`, every
+//! `OffloadStats` counter must be exported, and the preludes must be
+//! documented. This crate lexes every first-party `.rs` file with a
+//! small hand-written scanner (no external parser — the vendor tree is
+//! offline-only) and runs six rules over the token streams.
+//!
+//! Violations can be silenced per line with
+//! `// ssdtrain-lint: allow(<rule>): <reason>` — the reason is
+//! mandatory, so every suppression is explained in the source.
+
+pub mod diagnostics;
+pub mod lexer;
+pub mod rules;
+pub mod suppress;
+pub mod workspace;
+
+pub use diagnostics::{Diagnostic, Report};
+
+use std::collections::BTreeSet;
+use std::io;
+use std::path::Path;
+
+/// Lints every first-party `.rs` file under `root`.
+///
+/// When `only_paths` is `Some`, analysis still covers the whole
+/// workspace (cross-file rules need the full picture) but only
+/// diagnostics anchored in the listed workspace-relative paths are
+/// reported.
+///
+/// # Errors
+/// Returns an error only when the root directory cannot be walked.
+pub fn lint_root(root: &Path, only_paths: Option<&BTreeSet<String>>) -> io::Result<Report> {
+    let ws = workspace::Workspace::load(root)?;
+    let mut raw = Vec::new();
+    for rule in rules::registry() {
+        rule.check(&ws, &mut raw);
+    }
+
+    let names = rules::rule_names();
+    let mut bad_suppressions = Vec::new();
+    let mut report = Report {
+        files_scanned: ws.files.len(),
+        ..Report::default()
+    };
+    for file in &ws.files {
+        let sup = suppress::parse(file, &names, &mut bad_suppressions);
+        for d in raw.iter().filter(|d| d.path == file.rel) {
+            if sup.is_allowed(d.rule, d.line) {
+                report.suppressed += 1;
+            } else {
+                report.diagnostics.push(d.clone());
+            }
+        }
+    }
+    // A malformed allow is itself a violation — and not a suppressible
+    // one, so nobody can silence the silencer.
+    report.diagnostics.extend(bad_suppressions);
+
+    if let Some(only) = only_paths {
+        report.diagnostics.retain(|d| only.contains(&d.path));
+    }
+    report.normalize();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ssdtrain-lint-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(dir.join("crates/core/src")).unwrap();
+        dir
+    }
+
+    #[test]
+    fn suppressed_violations_are_counted_not_reported() {
+        let dir = scratch("sup");
+        fs::write(
+            dir.join("crates/core/src/cache.rs"),
+            "fn f(x: Option<u8>) -> u8 {\n    // ssdtrain-lint: allow(panic-free-hot-path): unit-test scaffold\n    x.unwrap()\n}\n",
+        )
+        .unwrap();
+        let report = lint_root(&dir, None).unwrap();
+        assert!(report.is_clean(), "{}", report.render_text());
+        assert_eq!(report.suppressed, 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn only_paths_filters_reporting_not_analysis() {
+        let dir = scratch("only");
+        fs::write(
+            dir.join("crates/core/src/cache.rs"),
+            "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        )
+        .unwrap();
+        fs::write(
+            dir.join("crates/core/src/io.rs"),
+            "fn g(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        )
+        .unwrap();
+        let full = lint_root(&dir, None).unwrap();
+        assert_eq!(full.diagnostics.len(), 2);
+        let only: BTreeSet<String> = ["crates/core/src/io.rs".to_owned()].into();
+        let filtered = lint_root(&dir, Some(&only)).unwrap();
+        assert_eq!(filtered.diagnostics.len(), 1);
+        assert_eq!(filtered.diagnostics[0].path, "crates/core/src/io.rs");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,137 @@
+//! `ssdtrain-lint` CLI.
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use ssdtrain_lint::{lint_root, rules};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::process::{Command, ExitCode};
+
+const USAGE: &str = "\
+ssdtrain-lint: workspace-aware static analysis for the SSDTrain repo
+
+USAGE:
+    ssdtrain-lint [OPTIONS]
+
+OPTIONS:
+    --root <dir>      Workspace root to lint (default: current directory)
+    --format <fmt>    Output format: text | json (default: text)
+    --changed-only    Only report diagnostics in files changed since the
+                      merge base with origin/main (falls back to main;
+                      lints everything if git is unavailable)
+    --list-rules      Print the rule catalogue and exit
+    -h, --help        Print this help
+";
+
+struct Options {
+    root: PathBuf,
+    json: bool,
+    changed_only: bool,
+    list_rules: bool,
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("ssdtrain-lint: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.list_rules {
+        for rule in rules::registry() {
+            println!("{:<24} {}", rule.name(), rule.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let only = if opts.changed_only {
+        changed_paths(&opts.root)
+    } else {
+        None
+    };
+    let report = match lint_root(&opts.root, only.as_ref()) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("ssdtrain-lint: cannot scan {}: {err}", opts.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if opts.json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        json: false,
+        changed_only: false,
+        list_rules: false,
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root = PathBuf::from(args.next().ok_or("--root needs a directory")?);
+            }
+            "--format" => match args.next().as_deref() {
+                Some("text") => opts.json = false,
+                Some("json") => opts.json = true,
+                other => {
+                    return Err(format!(
+                        "--format must be `text` or `json`, got {}",
+                        other.unwrap_or("nothing")
+                    ));
+                }
+            },
+            "--changed-only" => opts.changed_only = true,
+            "--list-rules" => opts.list_rules = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Workspace-relative paths changed since the merge base with
+/// `origin/main` (or `main`), plus untracked files. `None` (lint
+/// everything) when git is unavailable or no base branch exists —
+/// failing open here would hide violations, so we fail closed to a
+/// full lint instead.
+fn changed_paths(root: &std::path::Path) -> Option<BTreeSet<String>> {
+    let base = ["origin/main", "main"].iter().find_map(|branch| {
+        let out = git(root, &["merge-base", "HEAD", branch])?;
+        let base = out.trim().to_owned();
+        (!base.is_empty()).then_some(base)
+    })?;
+    let mut paths = BTreeSet::new();
+    let diff = git(root, &["diff", "--name-only", &base])?;
+    paths.extend(diff.lines().map(str::to_owned));
+    if let Some(untracked) = git(root, &["ls-files", "--others", "--exclude-standard"]) {
+        paths.extend(untracked.lines().map(str::to_owned));
+    }
+    Some(paths)
+}
+
+fn git(root: &std::path::Path, args: &[&str]) -> Option<String> {
+    let out = Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args(args)
+        .output()
+        .ok()?;
+    out.status
+        .success()
+        .then(|| String::from_utf8_lossy(&out.stdout).into_owned())
+}

@@ -1,0 +1,278 @@
+//! `doc-coverage`: every prelude re-export is documented.
+//!
+//! The preludes are the advertised API surface — `use
+//! ssdtrain::prelude::*` is the first line of every example. An
+//! undocumented re-export is an advertised item nobody can discover
+//! from `cargo doc`. A re-export counts as documented when the
+//! `pub use` itself carries a doc comment, or when the item's
+//! definition anywhere in the workspace does.
+
+use super::Rule;
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{TokKind, Token};
+use crate::workspace::{SourceFile, Workspace};
+use std::collections::HashMap;
+
+/// Keywords that introduce a nameable top-level definition.
+const DEF_KEYWORDS: [&str; 9] = [
+    "struct", "enum", "trait", "fn", "type", "const", "static", "union", "mod",
+];
+
+pub struct DocCoverage;
+
+impl Rule for DocCoverage {
+    fn name(&self) -> &'static str {
+        "doc-coverage"
+    }
+
+    fn description(&self) -> &'static str {
+        "every prelude re-export must have a doc comment"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        // name -> is any top-level definition of it documented?
+        let mut defs: HashMap<String, bool> = HashMap::new();
+        for file in &ws.files {
+            index_definitions(file, &mut defs);
+        }
+        for file in &ws.files {
+            if !file.rel.ends_with("/prelude.rs") {
+                continue;
+            }
+            for leaf in reexport_leaves(file) {
+                if has_doc_above(file, leaf.stmt_line) {
+                    continue;
+                }
+                match defs.get(&leaf.name) {
+                    Some(true) => {}
+                    // A name we cannot resolve (external crate, inline
+                    // module) is out of scope for this rule.
+                    None => {}
+                    Some(false) => out.push(Diagnostic {
+                        rule: "doc-coverage",
+                        path: file.rel.clone(),
+                        line: leaf.line,
+                        col: leaf.col,
+                        message: format!(
+                            "prelude re-export `{}` has no doc comment on its definition \
+                             or on the `pub use`; document the advertised API surface",
+                            leaf.name
+                        ),
+                    }),
+                }
+            }
+        }
+    }
+}
+
+/// One re-exported name in a prelude `pub use` statement.
+struct Leaf {
+    /// Name to resolve against the definition index (pre-`as` name).
+    name: String,
+    /// Line of the `pub` keyword, for doc-comment lookup.
+    stmt_line: u32,
+    line: u32,
+    col: u32,
+}
+
+/// Extracts every leaf name of the file's `pub use` statements. Glob
+/// imports (`::*`) contribute nothing — their doc coverage is the
+/// source module's problem.
+fn reexport_leaves(file: &SourceFile) -> Vec<Leaf> {
+    let toks = &file.lexed.tokens;
+    let mut leaves = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].is_ident("pub") && toks.get(i + 1).is_some_and(|t| t.is_ident("use"))) {
+            i += 1;
+            continue;
+        }
+        let stmt_line = toks[i].line;
+        let mut j = i + 2;
+        // Current path tail since the last separator, and whether an
+        // `as` rename or `*` glob intervened.
+        let mut tail: Option<&Token> = None;
+        let mut glob = false;
+        let mut renamed = false;
+        while j < toks.len() && !toks[j].is_punct(";") {
+            let t = &toks[j];
+            if t.kind == TokKind::Ident {
+                if t.text == "as" {
+                    renamed = true; // keep the pre-`as` name for lookup
+                } else if !renamed {
+                    if t.text == "self" {
+                        // `x::{self, …}` re-exports the module `x`,
+                        // whose tail we have already recorded: keep it.
+                    } else {
+                        tail = Some(t);
+                    }
+                }
+            } else if t.is_punct("*") {
+                glob = true;
+            } else if t.is_punct(",") || t.is_punct("}") {
+                if let Some(leaf) = tail.take() {
+                    if !glob {
+                        leaves.push(Leaf {
+                            name: leaf.text.clone(),
+                            stmt_line,
+                            line: leaf.line,
+                            col: leaf.col,
+                        });
+                    }
+                }
+                glob = false;
+                renamed = false;
+            } else if t.is_punct("{") {
+                // Group opens: the path prefix before it is not a leaf.
+                tail = None;
+                renamed = false;
+            }
+            j += 1;
+        }
+        if let Some(leaf) = tail.take() {
+            if !glob {
+                leaves.push(Leaf {
+                    name: leaf.text.clone(),
+                    stmt_line,
+                    line: leaf.line,
+                    col: leaf.col,
+                });
+            }
+        }
+        i = j;
+    }
+    leaves
+}
+
+/// Records every brace-depth-0 definition of `file` into `defs`,
+/// keeping "documented" sticky across multiple definitions of a name
+/// (e.g. a `cfg`-gated pair).
+fn index_definitions(file: &SourceFile, defs: &mut HashMap<String, bool>) {
+    let toks = &file.lexed.tokens;
+    let mut depth = 0i32;
+    for (i, t) in toks.iter().enumerate() {
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+        } else if depth == 0 && t.kind == TokKind::Ident {
+            let name = if DEF_KEYWORDS.iter().any(|k| t.is_ident(k)) {
+                toks.get(i + 1).filter(|n| n.kind == TokKind::Ident)
+            } else if t.is_ident("macro_rules") && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+            {
+                toks.get(i + 2)
+            } else {
+                None
+            };
+            if let Some(name) = name {
+                let documented = has_doc_above(file, t.line);
+                let entry = defs.entry(name.text.clone()).or_insert(false);
+                *entry = *entry || documented;
+            }
+        }
+    }
+}
+
+/// Whether an outer doc comment (or `#[doc…]` attribute) is attached
+/// above source line `line` — walking back over attributes, plain
+/// comments and blank lines, as rustdoc attachment does.
+fn has_doc_above(file: &SourceFile, line: u32) -> bool {
+    let mut idx = line as usize; // lines are 1-based; start one above
+    while idx >= 2 {
+        idx -= 1;
+        let l = file.lines[idx - 1].trim_start();
+        if (l.starts_with("///") && !l.starts_with("////"))
+            || (l.starts_with("/**") && !l.starts_with("/***") && l != "/**/")
+            || l.starts_with("#[doc")
+        {
+            return true;
+        }
+        let attachment = l.is_empty()
+            || l.starts_with("#[")
+            || l.starts_with("//")
+            || l.starts_with('*') // middle of a block doc comment
+            || l.ends_with("]"); // tail of a multi-line attribute
+        if !attachment {
+            return false;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        SourceFile {
+            rel: rel.to_owned(),
+            lines: src.lines().map(str::to_owned).collect(),
+            lexed: lex(src),
+        }
+    }
+
+    fn run(files: Vec<SourceFile>) -> Vec<Diagnostic> {
+        let ws = Workspace {
+            root: std::path::PathBuf::from("."),
+            files,
+        };
+        let mut out = Vec::new();
+        DocCoverage.check(&ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn undocumented_reexport_is_flagged_at_the_leaf() {
+        let d = run(vec![
+            file("crates/x/src/lib.rs", "pub struct Naked;\n"),
+            file("crates/x/src/prelude.rs", "pub use crate::{Naked};\n"),
+        ]);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("Naked"));
+        assert_eq!(d[0].path, "crates/x/src/prelude.rs");
+    }
+
+    #[test]
+    fn doc_on_definition_or_on_the_use_satisfies_the_rule() {
+        let d = run(vec![
+            file(
+                "crates/x/src/lib.rs",
+                "/// Documented.\n#[derive(Debug)]\npub struct Seen;\npub struct Late;\n",
+            ),
+            file(
+                "crates/x/src/prelude.rs",
+                "pub use crate::Seen;\n/// Documented at the use site.\npub use crate::Late;\n",
+            ),
+        ]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn globs_renames_and_unresolved_names_are_skipped() {
+        let d = run(vec![
+            file(
+                "crates/x/src/lib.rs",
+                "/// Doc.\npub struct Orig;\n",
+            ),
+            file(
+                "crates/x/src/prelude.rs",
+                "pub use other_crate::prelude::*;\npub use crate::Orig as Renamed;\npub use std::io::Read;\n",
+            ),
+        ]);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn group_imports_check_each_leaf() {
+        let d = run(vec![
+            file(
+                "crates/x/src/lib.rs",
+                "/// Doc.\npub struct A;\npub struct B;\n",
+            ),
+            file("crates/x/src/prelude.rs", "pub use crate::{A, B};\n"),
+        ]);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains('B'));
+    }
+}

@@ -1,0 +1,81 @@
+//! The rule registry.
+//!
+//! Each rule checks one project invariant the generic toolchain lints
+//! cannot express. Rules see the whole lexed workspace, so cross-file
+//! invariants (prelude doc coverage, `OffloadStats` export coverage)
+//! are first-class.
+
+use crate::diagnostics::Diagnostic;
+use crate::workspace::Workspace;
+
+mod doc_coverage;
+mod no_deprecated_stage_api;
+mod no_wall_clock;
+mod panic_free_hot_path;
+mod trace_emit_coverage;
+mod typed_errors;
+
+/// One lint rule.
+pub trait Rule {
+    /// Kebab-case rule name (what `allow(<rule>)` refers to).
+    fn name(&self) -> &'static str;
+
+    /// One-line description for `--list-rules`.
+    fn description(&self) -> &'static str;
+
+    /// Appends this rule's violations over the workspace.
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>);
+}
+
+/// Every registered rule, in a fixed order.
+pub fn registry() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(no_wall_clock::NoWallClock),
+        Box::new(panic_free_hot_path::PanicFreeHotPath),
+        Box::new(typed_errors::TypedErrors),
+        Box::new(no_deprecated_stage_api::NoDeprecatedStageApi),
+        Box::new(trace_emit_coverage::TraceEmitCoverage),
+        Box::new(doc_coverage::DocCoverage),
+    ]
+}
+
+/// Names `allow(<rule>)` accepts: every registered rule. The
+/// `suppression` pseudo-rule (malformed allows) is deliberately not
+/// listed — a suppression problem cannot be suppressed.
+pub fn rule_names() -> Vec<&'static str> {
+    registry().iter().map(|r| r.name()).collect()
+}
+
+/// Whether `rel` lives under the `/`-separated directory `dir`.
+pub(crate) fn in_dir(rel: &str, dir: &str) -> bool {
+    rel.strip_prefix(dir)
+        .is_some_and(|rest| rest.starts_with('/'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_the_six_rules() {
+        let names = rule_names();
+        assert_eq!(
+            names,
+            vec![
+                "no-wall-clock",
+                "panic-free-hot-path",
+                "typed-errors",
+                "no-deprecated-stage-api",
+                "trace-emit-coverage",
+                "doc-coverage",
+            ]
+        );
+    }
+
+    #[test]
+    fn in_dir_matches_whole_components() {
+        assert!(in_dir("crates/core/src/cache.rs", "crates/core"));
+        assert!(!in_dir("crates/core_extra/src/x.rs", "crates/core"));
+        assert!(!in_dir("crates/core", "crates/core"));
+    }
+}

@@ -1,0 +1,60 @@
+//! `no-deprecated-stage-api`: stage bookkeeping goes through
+//! `StageScope`.
+//!
+//! The manual `set_stage` / `set_next_stage` / `stage_done` calls are
+//! deprecated shims kept for one release; forgetting the matching
+//! `stage_done` silently corrupts the double-buffer eviction hints.
+//! The RAII `StageScope` cannot be forgotten, so new callers must use
+//! it. The shim definitions (and the deprecation attributes on them)
+//! live in `crates/core/src/cache.rs`, which is exempt.
+
+use super::Rule;
+use crate::diagnostics::Diagnostic;
+use crate::workspace::Workspace;
+
+/// Where the shims are defined (mentioning them there is not a call).
+const DEFINING_FILE: &str = "crates/core/src/cache.rs";
+
+const DEPRECATED: [&str; 3] = ["set_stage", "set_next_stage", "stage_done"];
+
+pub struct NoDeprecatedStageApi;
+
+impl Rule for NoDeprecatedStageApi {
+    fn name(&self) -> &'static str {
+        "no-deprecated-stage-api"
+    }
+
+    fn description(&self) -> &'static str {
+        "callers must use the RAII StageScope, not set_stage/set_next_stage/stage_done"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            if file.rel == DEFINING_FILE {
+                continue;
+            }
+            let toks = &file.lexed.tokens;
+            for (i, t) in toks.iter().enumerate() {
+                if !DEPRECATED.iter().any(|m| t.is_ident(m)) {
+                    continue;
+                }
+                // Only calls: `.name(` or `path::name(`.
+                let qualified = i > 0 && (toks[i - 1].is_punct(".") || toks[i - 1].is_punct("::"));
+                let called = toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+                if qualified && called {
+                    out.push(Diagnostic {
+                        rule: "no-deprecated-stage-api",
+                        path: file.rel.clone(),
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "deprecated `{}()` call; use `stage_scope()`/`announce_next()` \
+                             so the stage is closed by RAII",
+                            t.text
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! `panic-free-hot-path`: the offload path must degrade, not abort.
+//!
+//! PR 1's `RecoveryPolicy` guarantees that target failures are absorbed
+//! or surfaced as typed errors at the step boundary. A stray `unwrap()`
+//! in the store/load path turns a recoverable I/O hiccup into a train
+//! crash, so panicking constructs are banned in the files that make up
+//! the offload hot path. Test-only panics stay behind explicit
+//! `allow(panic-free-hot-path)` annotations with reasons.
+
+use super::Rule;
+use crate::diagnostics::Diagnostic;
+use crate::workspace::Workspace;
+
+/// The offload hot path: cache pack/unpack and recovery, the I/O
+/// engine, the targets, fault injection, and the training executors.
+const HOT_PATH: [&str; 6] = [
+    "crates/core/src/cache.rs",
+    "crates/core/src/io.rs",
+    "crates/core/src/target.rs",
+    "crates/core/src/fault.rs",
+    "crates/train/src/executor.rs",
+    "crates/train/src/pipeline_exec.rs",
+];
+
+const BANNED_METHODS: [&str; 2] = ["unwrap", "expect"];
+const BANNED_MACROS: [&str; 3] = ["panic", "todo", "unreachable"];
+
+pub struct PanicFreeHotPath;
+
+impl Rule for PanicFreeHotPath {
+    fn name(&self) -> &'static str {
+        "panic-free-hot-path"
+    }
+
+    fn description(&self) -> &'static str {
+        "unwrap/expect/panic!/todo!/unreachable! banned in the offload hot path"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            if !HOT_PATH.contains(&file.rel.as_str()) {
+                continue;
+            }
+            let toks = &file.lexed.tokens;
+            for (i, t) in toks.iter().enumerate() {
+                let prev_dot = i > 0 && toks[i - 1].is_punct(".");
+                let next_paren = toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+                let next_bang = toks.get(i + 1).is_some_and(|n| n.is_punct("!"));
+                if prev_dot && next_paren && BANNED_METHODS.iter().any(|m| t.is_ident(m)) {
+                    out.push(Diagnostic {
+                        rule: "panic-free-hot-path",
+                        path: file.rel.clone(),
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "`.{}()` in the offload hot path; propagate a typed \
+                             `OffloadError`/`StepError` instead of panicking",
+                            t.text
+                        ),
+                    });
+                }
+                if next_bang && BANNED_MACROS.iter().any(|m| t.is_ident(m)) {
+                    out.push(Diagnostic {
+                        rule: "panic-free-hot-path",
+                        path: file.rel.clone(),
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "`{}!` in the offload hot path; recovery must absorb or \
+                             surface failures as typed errors",
+                            t.text
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! `trace-emit-coverage`: every `OffloadStats` counter reaches the
+//! metrics registry.
+//!
+//! `OffloadStats` is the ground truth the observability layer exports.
+//! Adding a counter field without touching `export_to` means the new
+//! signal silently never shows up in dashboards or golden metric
+//! files. This rule cross-checks the struct's fields against the
+//! identifiers mentioned in `export_to`'s body, in the same file.
+
+use super::Rule;
+use crate::diagnostics::Diagnostic;
+use crate::lexer::Token;
+use crate::workspace::{SourceFile, Workspace};
+
+const STRUCT_NAME: &str = "OffloadStats";
+const EXPORT_FN: &str = "export_to";
+
+pub struct TraceEmitCoverage;
+
+impl Rule for TraceEmitCoverage {
+    fn name(&self) -> &'static str {
+        "trace-emit-coverage"
+    }
+
+    fn description(&self) -> &'static str {
+        "every OffloadStats field must be exported by export_to"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            let Some(fields) = struct_fields(file) else {
+                continue;
+            };
+            let Some(exported) = fn_body_idents(file, EXPORT_FN) else {
+                // The struct exists but nothing exports it at all.
+                if let Some(at) = find_struct(&file.lexed.tokens) {
+                    let t = &file.lexed.tokens[at];
+                    out.push(Diagnostic {
+                        rule: "trace-emit-coverage",
+                        path: file.rel.clone(),
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "`{STRUCT_NAME}` has no `{EXPORT_FN}` in this file; counters \
+                             are never exported to the metrics registry"
+                        ),
+                    });
+                }
+                continue;
+            };
+            for f in fields {
+                if !exported.contains(&f.text) {
+                    out.push(Diagnostic {
+                        rule: "trace-emit-coverage",
+                        path: file.rel.clone(),
+                        line: f.line,
+                        col: f.col,
+                        message: format!(
+                            "`{STRUCT_NAME}.{}` is never mentioned in `{EXPORT_FN}`; \
+                             the counter will not reach the metrics registry",
+                            f.text
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Index of the `OffloadStats` ident in `struct OffloadStats`.
+fn find_struct(toks: &[Token]) -> Option<usize> {
+    (1..toks.len()).find(|&i| toks[i].is_ident(STRUCT_NAME) && toks[i - 1].is_ident("struct"))
+}
+
+/// The field-name tokens of `struct OffloadStats { … }`, or `None` if
+/// the file does not define it. Field names are the idents at brace
+/// depth 1 that are directly followed by `:`.
+fn struct_fields(file: &SourceFile) -> Option<Vec<Token>> {
+    let toks = &file.lexed.tokens;
+    let at = find_struct(toks)?;
+    let open = (at + 1..toks.len()).find(|&i| toks[i].is_punct("{"))?;
+    let mut depth = 0i32;
+    let mut fields = Vec::new();
+    for i in open..toks.len() {
+        let t = &toks[i];
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if depth == 1
+            && crate::lexer::TokKind::Ident == t.kind
+            && toks.get(i + 1).is_some_and(|n| n.is_punct(":"))
+            && !toks.get(i.wrapping_sub(1)).is_some_and(|p| p.is_punct(":"))
+        {
+            fields.push(t.clone());
+        }
+    }
+    Some(fields)
+}
+
+/// Every ident appearing in the body of `fn <name>` in this file.
+fn fn_body_idents(file: &SourceFile, name: &str) -> Option<Vec<String>> {
+    let toks = &file.lexed.tokens;
+    let at = (1..toks.len()).find(|&i| toks[i].is_ident(name) && toks[i - 1].is_ident("fn"))?;
+    let open = (at + 1..toks.len()).find(|&i| toks[i].is_punct("{"))?;
+    let mut depth = 0i32;
+    let mut idents = Vec::new();
+    for t in &toks[open..] {
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        } else if t.kind == crate::lexer::TokKind::Ident {
+            idents.push(t.text.clone());
+        }
+    }
+    Some(idents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile {
+            rel: "crates/core/src/stats.rs".to_owned(),
+            lines: src.lines().map(str::to_owned).collect(),
+            lexed: lex(src),
+        }
+    }
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let ws = Workspace {
+            root: std::path::PathBuf::from("."),
+            files: vec![file(src)],
+        };
+        let mut out = Vec::new();
+        TraceEmitCoverage.check(&ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn missing_field_in_export_is_flagged_at_the_field() {
+        let d = run(
+            "pub struct OffloadStats {\n    pub hits: u64,\n    pub misses: u64,\n}\n\
+             impl OffloadStats {\n    pub fn export_to(&self) { use_it(self.hits); }\n}\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("misses"));
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn full_coverage_is_clean_and_other_structs_are_ignored() {
+        let d = run("pub struct Other { pub x: u64 }\n\
+             pub struct OffloadStats { pub hits: u64 }\n\
+             impl OffloadStats { pub fn export_to(&self) { emit(self.hits); } }\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn absent_export_fn_is_flagged_at_the_struct() {
+        let d = run("pub struct OffloadStats { pub hits: u64 }\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("no `export_to`"));
+        assert_eq!(d[0].line, 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Per-line suppression comments.
+//!
+//! Syntax: `// ssdtrain-lint: allow(<rule>): <reason>` — the reason is
+//! mandatory; an allow without one is itself a violation (rule
+//! `suppression`), so every silenced diagnostic carries an explanation
+//! in the source. A trailing allow suppresses its own line; a
+//! standalone allow suppresses the next line that holds code.
+
+use crate::diagnostics::Diagnostic;
+use crate::workspace::SourceFile;
+
+const MARKER: &str = "ssdtrain-lint:";
+
+/// One parsed, well-formed allow.
+#[derive(Debug)]
+pub struct Allow {
+    /// The rule being silenced.
+    pub rule: String,
+    /// The source line the allow silences.
+    pub effective_line: u32,
+}
+
+/// Parsed suppressions of one file: well-formed allows, plus
+/// diagnostics for malformed ones.
+#[derive(Debug, Default)]
+pub struct Suppressions {
+    /// Well-formed allows.
+    pub allows: Vec<Allow>,
+}
+
+impl Suppressions {
+    /// Whether `rule` is allowed on `line`.
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.effective_line == line && a.rule == rule)
+    }
+}
+
+/// Parses every suppression comment of `file`. Malformed allows (no
+/// recognisable rule, or a missing/empty reason) are appended to
+/// `bad` as `suppression` diagnostics — they are not suppressible.
+pub fn parse(
+    file: &SourceFile,
+    rule_names: &[&'static str],
+    bad: &mut Vec<Diagnostic>,
+) -> Suppressions {
+    let mut out = Suppressions::default();
+    for comment in &file.lexed.comments {
+        // Doc comments (outer or inner) are documentation — they may
+        // legitimately *describe* the directive syntax without being
+        // directives themselves.
+        if comment.doc || comment.text.starts_with("//!") || comment.text.starts_with("/*!") {
+            continue;
+        }
+        let Some(at) = comment.text.find(MARKER) else {
+            continue;
+        };
+        let directive = comment.text[at + MARKER.len()..].trim();
+        let effective_line = if comment.trailing {
+            comment.line
+        } else {
+            next_code_line(file, comment.line)
+        };
+        match parse_directive(directive, rule_names) {
+            Ok(rule) => out.allows.push(Allow {
+                rule,
+                effective_line,
+            }),
+            Err(why) => bad.push(Diagnostic {
+                rule: "suppression",
+                path: file.rel.clone(),
+                line: comment.line,
+                col: 1,
+                message: format!("malformed `ssdtrain-lint:` comment: {why}"),
+            }),
+        }
+    }
+    out
+}
+
+/// The first line after `line` that holds a code token (a standalone
+/// allow suppresses that line). Falls back to `line + 1`.
+fn next_code_line(file: &SourceFile, line: u32) -> u32 {
+    file.lexed
+        .tokens
+        .iter()
+        .map(|t| t.line)
+        .find(|&l| l > line)
+        .unwrap_or(line + 1)
+}
+
+/// Parses `allow(<rule>): <reason>`, returning the rule name.
+fn parse_directive(directive: &str, rule_names: &[&'static str]) -> Result<String, String> {
+    let rest = directive
+        .strip_prefix("allow(")
+        .ok_or_else(|| "expected `allow(<rule>): <reason>`".to_owned())?;
+    let close = rest
+        .find(')')
+        .ok_or_else(|| "unclosed `allow(` rule name".to_owned())?;
+    let rule = rest[..close].trim();
+    if !rule_names.contains(&rule) {
+        return Err(format!(
+            "unknown rule `{rule}` (known: {})",
+            rule_names.join(", ")
+        ));
+    }
+    let after = rest[close + 1..].trim_start();
+    let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+    if reason.is_empty() {
+        return Err(format!(
+            "allow({rule}) needs a reason: `allow({rule}): <why this is safe>`"
+        ));
+    }
+    Ok(rule.to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile {
+            rel: "x.rs".to_owned(),
+            lines: src.lines().map(str::to_owned).collect(),
+            lexed: lex(src),
+        }
+    }
+
+    const RULES: [&str; 2] = ["panic-free-hot-path", "no-wall-clock"];
+
+    #[test]
+    fn trailing_allow_covers_its_own_line() {
+        let f = file("x.unwrap(); // ssdtrain-lint: allow(panic-free-hot-path): test rig\n");
+        let mut bad = Vec::new();
+        let s = parse(&f, &RULES, &mut bad);
+        assert!(bad.is_empty());
+        assert!(s.is_allowed("panic-free-hot-path", 1));
+        assert!(!s.is_allowed("no-wall-clock", 1));
+    }
+
+    #[test]
+    fn standalone_allow_covers_the_next_code_line() {
+        let f = file(
+            "// ssdtrain-lint: allow(panic-free-hot-path): known-good\n// another comment\nx.unwrap();\n",
+        );
+        let mut bad = Vec::new();
+        let s = parse(&f, &RULES, &mut bad);
+        assert!(bad.is_empty());
+        assert!(s.is_allowed("panic-free-hot-path", 3));
+        assert!(!s.is_allowed("panic-free-hot-path", 1));
+    }
+
+    #[test]
+    fn missing_reason_is_a_violation() {
+        let f = file("// ssdtrain-lint: allow(no-wall-clock)\nlet t = 0;\n");
+        let mut bad = Vec::new();
+        let s = parse(&f, &RULES, &mut bad);
+        assert!(s.allows.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, "suppression");
+        assert!(bad[0].message.contains("needs a reason"));
+    }
+
+    #[test]
+    fn unknown_rule_is_a_violation() {
+        let f = file("// ssdtrain-lint: allow(made-up): because\nlet t = 0;\n");
+        let mut bad = Vec::new();
+        parse(&f, &RULES, &mut bad);
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("unknown rule"));
+    }
+}

@@ -1,0 +1,10 @@
+//! Clean fixture: hot-path code that propagates typed errors.
+
+/// The typed error the clean fixture propagates.
+#[derive(Debug)]
+pub struct MissError;
+
+/// Unpacks a record, surfacing a miss as a typed error.
+pub fn unpack(slot: Option<u64>) -> Result<u64, MissError> {
+    slot.ok_or(MissError)
+}

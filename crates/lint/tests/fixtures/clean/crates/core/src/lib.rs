@@ -1,0 +1,6 @@
+//! Clean fixture: definition source for the documented re-exports.
+
+/// Documented at the definition.
+pub struct Documented;
+
+pub struct AtUseSite;

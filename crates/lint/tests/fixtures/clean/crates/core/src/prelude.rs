@@ -1,0 +1,5 @@
+//! Clean fixture: every re-export is documented.
+
+pub use crate::Documented;
+/// Documented at the use site instead of the definition.
+pub use crate::AtUseSite;

@@ -1,0 +1,16 @@
+//! Clean fixture: every counter reaches `export_to`.
+
+/// Offload counters (fixture copy).
+pub struct OffloadStats {
+    /// Bytes written to the offload target.
+    pub bytes_stored: u64,
+    /// Bytes read back.
+    pub bytes_loaded: u64,
+}
+
+impl OffloadStats {
+    /// Exports every field.
+    pub fn export_to(&self) -> u64 {
+        self.bytes_stored + self.bytes_loaded
+    }
+}

@@ -1,0 +1,6 @@
+//! Clean fixture: time comes from the simulated clock.
+
+/// Simulated nanoseconds since boot.
+pub fn sim_now(clock_ns: u64) -> u64 {
+    clock_ns
+}

@@ -1,0 +1,6 @@
+//! Seeded fixture: definition source for the `doc-coverage` violation.
+
+pub struct Undocumented;
+
+/// Documented, so its re-export passes.
+pub struct Documented;

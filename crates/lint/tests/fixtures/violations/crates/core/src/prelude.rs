@@ -1,0 +1,4 @@
+//! Seeded fixture: `doc-coverage` violation at a prelude re-export.
+
+pub use crate::Documented;
+pub use crate::Undocumented;

@@ -1,0 +1,16 @@
+//! Seeded fixture: `trace-emit-coverage` violation.
+
+/// Offload counters (fixture copy).
+pub struct OffloadStats {
+    /// Exported below.
+    pub bytes_stored: u64,
+    /// Never exported (seeded violation, line 8).
+    pub orphan_counter: u64,
+}
+
+impl OffloadStats {
+    /// Exports only some of the fields.
+    pub fn export_to(&self) -> u64 {
+        self.bytes_stored
+    }
+}

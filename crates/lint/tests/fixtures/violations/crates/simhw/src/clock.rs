@@ -1,0 +1,7 @@
+//! Seeded fixture: `no-wall-clock` violations in a simulated-time crate.
+use std::time::Instant;
+
+/// Reads the host clock (seeded violation, line 6).
+pub fn host_now() -> Instant {
+    Instant::now()
+}

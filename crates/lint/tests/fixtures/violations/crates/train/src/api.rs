@@ -1,0 +1,11 @@
+//! Seeded fixture: `typed-errors` violations in public signatures.
+
+/// Returns a stringly-typed error (seeded violation, line 4).
+pub fn stringly() -> Result<(), String> {
+    Ok(())
+}
+
+/// Returns a type-erased error (seeded violation, line 9).
+pub fn boxed() -> Result<u8, Box<dyn std::error::Error>> {
+    Ok(0)
+}

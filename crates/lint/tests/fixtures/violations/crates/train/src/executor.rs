@@ -1,0 +1,7 @@
+//! Seeded fixture: `no-deprecated-stage-api` violations.
+
+/// Drives a cache with the deprecated shims (seeded violations, lines 5-6).
+pub fn drive(cache: &mut ssdtrain::TensorCache) {
+    cache.set_stage(ssdtrain::StageHint::Forward);
+    cache.stage_done();
+}

@@ -10,7 +10,7 @@
 
 use crate::session::{SessionConfig, TargetKind};
 use ssdtrain::{PlacementStrategy, RecoveryPolicy, TensorCacheConfig};
-use ssdtrain_models::ModelConfig;
+use ssdtrain_models::{Arch, ModelConfig};
 use ssdtrain_simhw::{FaultPlan, SystemConfig};
 use ssdtrain_trace::TraceSink;
 use std::fmt;
@@ -40,6 +40,22 @@ pub enum ConfigError {
     /// A fallback target was named, but the recovery policy is not
     /// [`RecoveryPolicy::FallbackTarget`], so it could never be used.
     FallbackWithoutPolicy,
+    /// The pipeline was asked for zero stages.
+    ZeroStages,
+    /// More pipeline stages than the model has layers to split.
+    StagesExceedLayers {
+        /// Requested pipeline stages.
+        pp: usize,
+        /// Layers the model actually has.
+        layers: usize,
+    },
+    /// The architecture is not supported by the requested execution
+    /// mode (e.g. T5's cross-attention broadcasts the encoder output to
+    /// every decoder stage, which the functional pipeline cannot split).
+    UnsupportedArch {
+        /// The rejected architecture.
+        arch: Arch,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -61,6 +77,16 @@ impl fmt::Display for ConfigError {
             ConfigError::FallbackWithoutPolicy => write!(
                 f,
                 "a fallback target requires RecoveryPolicy::FallbackTarget"
+            ),
+            ConfigError::ZeroStages => write!(f, "the pipeline needs at least one stage"),
+            ConfigError::StagesExceedLayers { pp, layers } => {
+                write!(f, "more pipeline stages than layers ({pp} > {layers})")
+            }
+            ConfigError::UnsupportedArch { arch } => write!(
+                f,
+                "{arch:?} is not supported here: T5's cross-attention broadcasts the \
+                 encoder output to every decoder stage; the functional pipeline trainer \
+                 supports GPT and BERT"
             ),
         }
     }

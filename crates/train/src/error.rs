@@ -35,6 +35,61 @@ impl std::error::Error for StepError {
     }
 }
 
+/// A functional-pipeline step that failed.
+///
+/// Either the offload stack degraded past recovery (the common case —
+/// a [`StepError`], same as the closed-form session reports) or the
+/// 1F1B schedule itself handed a stage a micro-batch whose inputs were
+/// never produced, which means the schedule generator and the executor
+/// disagree and the step's numerics cannot be trusted.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The offload stack reported a failure recovery could not absorb.
+    Offload(StepError),
+    /// A stage was scheduled before its inputs existed: the named
+    /// artifact was missing when `(stage, micro_batch)` ran.
+    Schedule {
+        /// Pipeline stage that could not run.
+        stage: usize,
+        /// Micro-batch being processed.
+        micro_batch: usize,
+        /// Which artifact was missing (activation, gradient, …).
+        what: &'static str,
+    },
+}
+
+impl From<StepError> for PipelineError {
+    fn from(error: StepError) -> PipelineError {
+        PipelineError::Offload(error)
+    }
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Offload(e) => e.fmt(f),
+            PipelineError::Schedule {
+                stage,
+                micro_batch,
+                what,
+            } => write!(
+                f,
+                "pipeline schedule bug: stage {stage} ran micro-batch {micro_batch} \
+                 but {what} was missing"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Offload(e) => Some(e),
+            PipelineError::Schedule { .. } => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

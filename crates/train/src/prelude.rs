@@ -8,7 +8,7 @@
 pub use ssdtrain::prelude::*;
 
 pub use crate::builder::{ConfigError, SessionBuilder};
-pub use crate::error::StepError;
+pub use crate::error::{PipelineError, StepError};
 pub use crate::executor::GpuExecutor;
 pub use crate::metrics::StepMetrics;
 pub use crate::pipeline::{PipelineMetrics, PipelineSim};

@@ -24,9 +24,9 @@ fn config(pp: usize, micro_batches: usize, offload: bool) -> PipelineExecConfig 
 }
 
 fn main() {
-    let mut single = PipelineExec::new(config(1, 4, false));
-    let mut piped = PipelineExec::new(config(2, 4, false));
-    let mut piped_off = PipelineExec::new(config(2, 4, true));
+    let mut single = PipelineExec::new(config(1, 4, false)).expect("valid config");
+    let mut piped = PipelineExec::new(config(2, 4, false)).expect("valid config");
+    let mut piped_off = PipelineExec::new(config(2, 4, true)).expect("valid config");
 
     println!("step | single GPU | 2-stage pipe | 2-stage + offload | identical");
     for step in 0..4 {
@@ -47,7 +47,7 @@ fn main() {
     println!("\nbubble amortisation (2 stages, functional 1F1B):");
     println!("micro-b | step s | s per micro-batch");
     for m in [1usize, 2, 4, 8] {
-        let mut t = PipelineExec::new(config(2, m, false));
+        let mut t = PipelineExec::new(config(2, m, false)).expect("valid config");
         let r = t.run_step().expect("step");
         println!(
             "{m:>7} | {:>6.4} | {:>7.5}",

@@ -11,5 +11,8 @@ cargo test -q
 # UPDATE_GOLDEN=1 after intentional trace/exporter changes).
 cargo test -q --test trace_observability
 cargo clippy --workspace -- -D warnings
+# Project-invariant lint: sim-clock, panic-freedom and error discipline
+# (see DESIGN.md §7). Exits non-zero on any violation.
+cargo run -p ssdtrain-lint --release -- --format json
 cargo fmt --check
 RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps
