@@ -1,0 +1,175 @@
+//! Tiered-backend comparison on the paper testbed: SSD-only vs
+//! DRAM-only vs a bounded DRAM front tier spilling into the SSD array
+//! (BERT H8192 L4, batch 16, TP=2, symbolic). Prints a table and emits
+//! `results/BENCH_tiering.json` with the per-tier traffic split and the
+//! endurance headroom each backend leaves on the SSD array.
+
+use ssdtrain::PlacementStrategy;
+use ssdtrain_bench::{gb, print_table};
+use ssdtrain_models::{Arch, ModelConfig};
+use ssdtrain_simhw::SystemConfig;
+use ssdtrain_train::{OffloadBackend, SessionConfig, StepMetrics, TrainSession};
+
+/// A steady month of training at the measured per-step traffic — long
+/// enough for the endurance split between backends to show.
+const PROJECTION_SECS: f64 = 30.0 * 24.0 * 3600.0;
+
+struct Row {
+    label: &'static str,
+    metrics: StepMetrics,
+    remaining_frac: f64,
+    lifespan_years: Option<f64>,
+}
+
+fn run_backend(label: &'static str, backend: OffloadBackend) -> Row {
+    let cfg = SessionConfig::builder()
+        .model(ModelConfig::paper_scale(Arch::Bert, 8192, 4).with_tp(2))
+        .batch_size(16)
+        .strategy(PlacementStrategy::Offload)
+        .symbolic(true)
+        .seed(42)
+        .backend(backend)
+        .build()
+        .expect("valid config");
+    let mut session = TrainSession::new(cfg).expect("session construction");
+    let _ = session.profile_step().expect("profile step");
+    let metrics = session.run_step().expect("measured step");
+
+    // Project the SSD array's wear under a month of steady training at
+    // this backend's per-step SSD traffic. Only bytes that reach the
+    // "ssd" tier wear the flash — the DRAM tier absorbs the rest.
+    let ssd_bytes_per_step: u64 = metrics
+        .offload
+        .tiers
+        .iter()
+        .filter(|t| t.name == "ssd")
+        .map(|t| t.bytes_written)
+        .sum();
+    let mut meter = SystemConfig::dac_testbed().ssd_array.wear_meter(1.0);
+    let steps = (PROJECTION_SECS / metrics.step_secs) as u64;
+    meter.record_write(ssd_bytes_per_step.saturating_mul(steps));
+    let remaining_frac = meter.remaining_bytes() / meter.endurance_bytes;
+    let lifespan_years = (ssd_bytes_per_step > 0)
+        .then(|| meter.projected_lifespan_years(ssd_bytes_per_step, metrics.step_secs));
+
+    Row {
+        label,
+        metrics,
+        remaining_frac,
+        lifespan_years,
+    }
+}
+
+fn json_escape_free(s: &str) -> &str {
+    // Labels and tier names are ASCII identifiers; nothing to escape.
+    s
+}
+
+fn emit_json(rows: &[Row]) {
+    let mut out = String::from("{\n  \"bench\": \"tiering\",\n  \"model\": \"bert_h8192_l4\",\n  \"batch\": 16,\n  \"backends\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let m = &row.metrics;
+        out.push_str(&format!(
+            "    {{\n      \"name\": \"{}\",\n      \"step_secs\": {:.6},\n      \"offloaded_bytes\": {},\n      \"spilled_bytes\": {},\n      \"ssd_endurance_remaining_after_30d\": {:.6},\n      \"ssd_lifespan_years\": {},\n      \"tiers\": [\n",
+            json_escape_free(row.label),
+            m.step_secs,
+            m.offload.offloaded_bytes,
+            m.offload.spilled_bytes,
+            row.remaining_frac,
+            row.lifespan_years
+                .map(|y| format!("{y:.3}"))
+                .unwrap_or_else(|| "null".into()),
+        ));
+        for (j, t) in m.offload.tiers.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"name\": \"{}\", \"bytes_written\": {}, \"bytes_read\": {}, \"spilled_in_bytes\": {}, \"demoted_in_bytes\": {}}}{}\n",
+                json_escape_free(&t.name),
+                t.bytes_written,
+                t.bytes_read,
+                t.spilled_in_bytes,
+                t.demoted_in_bytes,
+                if j + 1 < m.offload.tiers.len() { "," } else { "" },
+            ));
+        }
+        out.push_str(&format!(
+            "      ]\n    }}{}\n",
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if std::fs::create_dir_all("results").is_ok()
+        && std::fs::write("results/BENCH_tiering.json", &out).is_ok()
+    {
+        println!("\nwritten results/BENCH_tiering.json");
+    }
+}
+
+fn main() {
+    // A 4 GiB pinned front tier holds part of one step's ~10 GB of
+    // activations; the rest spills to the array.
+    let rows = vec![
+        run_backend("ssd", OffloadBackend::Ssd),
+        run_backend("dram", OffloadBackend::Dram),
+        run_backend(
+            "tiered-4g",
+            OffloadBackend::Tiered {
+                dram_bytes: 4 << 30,
+            },
+        ),
+    ];
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|row| {
+            let m = &row.metrics;
+            let ssd_bytes: u64 = m
+                .offload
+                .tiers
+                .iter()
+                .filter(|t| t.name == "ssd")
+                .map(|t| t.bytes_written)
+                .sum();
+            let front_bytes: u64 = m
+                .offload
+                .tiers
+                .iter()
+                .filter(|t| t.name != "ssd")
+                .map(|t| t.bytes_written)
+                .sum();
+            let (ssd_gb, front_gb) = (gb(ssd_bytes), gb(front_bytes));
+            vec![
+                row.label.to_owned(),
+                format!("{:.3}", m.step_secs),
+                format!("{:.2}", gb(m.offload.offloaded_bytes)),
+                format!("{front_gb:.2}"),
+                format!("{ssd_gb:.2}"),
+                format!("{:.2}", gb(m.offload.spilled_bytes)),
+                format!("{:.1}%", row.remaining_frac * 100.0),
+                row.lifespan_years
+                    .map(|y| format!("{y:.1}"))
+                    .unwrap_or_else(|| "∞".into()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Tiered offload backends (BERT H8192 L4, B=16, TP=2)",
+        &[
+            "backend",
+            "step s",
+            "offloaded GB",
+            "front GB",
+            "ssd GB",
+            "spilled GB",
+            "endurance left 30d",
+            "ssd life yrs",
+        ],
+        &table,
+    );
+    emit_json(&rows);
+    println!(
+        "\nthe DRAM front tier absorbs write traffic the flash would otherwise wear\n\
+         through; the tiered point keeps most of the SSD array's endurance headroom\n\
+         while bounding pinned host memory at 4 GiB (vs the 1 TiB the dram-only\n\
+         backend pins)."
+    );
+}

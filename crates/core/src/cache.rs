@@ -22,8 +22,10 @@ use crate::config::{RecoveryPolicy, TensorCacheConfig};
 use crate::error::OffloadError;
 use crate::id::{storage_stamp, tensor_key, TensorKey};
 use crate::io::{IoEngine, JobId};
+use crate::placement::{Placement, PlacementPolicy, PlacementQuery};
 use crate::stats::OffloadStats;
 use crate::target::OffloadTarget;
+use crate::tier::{TierId, TierStack};
 use parking_lot::Mutex;
 use ssdtrain_autograd::{ModuleHooks, Packed, Phase, SavedTensorHooks, ScopeInfo};
 use ssdtrain_simhw::{GpuMemory, SimTime};
@@ -83,8 +85,8 @@ struct Record {
     bytes: u64,
     state: RecState,
     scopes: HashSet<u64>,
-    /// The bytes live on the fallback target (primary refused them).
-    on_fallback: bool,
+    /// The tier holding (or about to hold) the bytes; demotion moves it.
+    tier: TierId,
 }
 
 #[derive(Default)]
@@ -181,34 +183,50 @@ impl Default for Inner {
 /// ```
 pub struct TensorCache {
     config: TensorCacheConfig,
-    target: Arc<dyn OffloadTarget>,
+    placement: PlacementPolicy,
+    tiers: Arc<TierStack>,
     io: IoEngine,
     mem: Arc<GpuMemory>,
     inner: Mutex<Inner>,
     stats: Mutex<OffloadStats>,
     plan: Mutex<AdaptivePlan>,
-    fallback: Mutex<Option<Arc<dyn OffloadTarget>>>,
     pending_error: Mutex<Option<OffloadError>>,
     trace: Mutex<TraceSink>,
 }
 
 impl TensorCache {
-    /// Creates a cache over an offload target and its I/O engine.
+    /// Creates a cache over a single offload target and its I/O engine —
+    /// the flat shape, expressed as a one-tier [`TierStack`]
+    /// ([`TierStack::single`]); behavior is identical to the pre-tier
+    /// design.
     pub fn new(
         config: TensorCacheConfig,
         target: Arc<dyn OffloadTarget>,
         io: IoEngine,
         mem: Arc<GpuMemory>,
     ) -> Arc<TensorCache> {
+        TensorCache::with_tiers(config, Arc::new(TierStack::single(target)), io, mem)
+    }
+
+    /// Creates a cache over an ordered tier stack; each tier's transfers
+    /// are priced on its [`crate::Tier::link`] of `io` (so build the
+    /// engine with [`IoEngine::tiered`] and matching link indices).
+    pub fn with_tiers(
+        config: TensorCacheConfig,
+        tiers: Arc<TierStack>,
+        io: IoEngine,
+        mem: Arc<GpuMemory>,
+    ) -> Arc<TensorCache> {
+        let placement = PlacementPolicy::from_config(&config);
         Arc::new(TensorCache {
             config,
-            target,
+            placement,
+            tiers,
             io,
             mem,
             inner: Mutex::new(Inner::default()),
             stats: Mutex::new(OffloadStats::default()),
             plan: Mutex::new(AdaptivePlan::default()),
-            fallback: Mutex::new(None),
             pending_error: Mutex::new(None),
             trace: Mutex::new(TraceSink::disabled()),
         })
@@ -229,9 +247,11 @@ impl TensorCache {
 
     /// Installs the secondary target [`RecoveryPolicy::FallbackTarget`]
     /// re-routes refused stores to (typically a [`crate::CpuTarget`]
-    /// pinned pool).
+    /// pinned pool) — expressed as a demotion-only tier appended to the
+    /// stack; its loads travel the front tier's simulated link, exactly
+    /// as the flat design priced fallback reads.
     pub fn set_fallback_target(&self, target: Arc<dyn OffloadTarget>) {
-        *self.fallback.lock() = Some(target);
+        self.tiers.push_demotion(target);
     }
 
     /// Takes the first offload failure recovery could not absorb this
@@ -262,14 +282,22 @@ impl TensorCache {
         &self.io
     }
 
-    /// The offload target.
-    pub fn target(&self) -> &Arc<dyn OffloadTarget> {
-        &self.target
+    /// The tier stack (placement capacities, per-tier counters).
+    pub fn tiers(&self) -> &Arc<TierStack> {
+        &self.tiers
     }
 
-    /// Snapshot of this step's statistics.
+    /// The front tier's offload target (the single device in flat
+    /// configurations).
+    pub fn target(&self) -> Arc<dyn OffloadTarget> {
+        self.tiers.front_device()
+    }
+
+    /// Snapshot of this step's statistics, per-tier counters included.
     pub fn stats(&self) -> OffloadStats {
-        *self.stats.lock()
+        let mut stats = self.stats.lock().clone();
+        stats.tiers = self.tiers.counters();
+        stats
     }
 
     /// The adaptive plan currently applied.
@@ -301,6 +329,7 @@ impl TensorCache {
         inner.fwd_start = self.io.clock().now();
         inner.fwd_secs = 0.0;
         *self.stats.lock() = OffloadStats::default();
+        self.tiers.reset_counters();
         // Failures during the flush above belong to the step that
         // already reported; the new step starts clean.
         *self.pending_error.lock() = None;
@@ -434,37 +463,6 @@ impl TensorCache {
         }
     }
 
-    /// Algorithm 1 line 9 (`tc.set_stage(cmd)`): the scheduler is about
-    /// to execute `stage`. Micro-batch loads switch the cache's record
-    /// set (Figure 4 ③).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use TensorCache::stage_scope, which pairs entry/exit automatically and emits the stage trace span"
-    )]
-    pub fn set_stage(&self, stage: StageHint) {
-        self.enter_stage(stage);
-    }
-
-    /// Algorithm 1 lines 10–13 (`tc.set_next_stage(nxcmd)`): if the
-    /// upcoming stage is a backward pass, prefetch the last module so its
-    /// first reloads overlap the tail of forward.
-    #[deprecated(since = "0.2.0", note = "use StageScope::announce_next")]
-    pub fn set_next_stage(&self, next: StageHint) {
-        if matches!(next, StageHint::Backward) {
-            self.prefetch_last_module();
-        }
-    }
-
-    /// Algorithm 1 line 15: called after a stage executes; backward
-    /// passes drain outstanding I/O.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use TensorCache::stage_scope, which runs the exit actions when the guard drops"
-    )]
-    pub fn stage_done(&self, stage: StageHint) {
-        self.exit_stage(stage);
-    }
-
     /// Scheduler hint (Algorithm 1 line 13): the step is about to switch
     /// to backward propagation — prefetch the tail modules' activations.
     pub fn prefetch_last_module(&self) {
@@ -552,7 +550,10 @@ impl TensorCache {
         // The real payload crosses the filesystem here (wall time); the
         // simulated transfer finished at `end`.
         let data = rec.tensor.storage().to_bytes();
-        match self.target.write(&rec.key, data.as_deref(), rec.bytes) {
+        match self
+            .tiers
+            .write(rec.tier, &rec.key, data.as_deref(), rec.bytes)
+        {
             Ok(()) => {
                 self.mem.with_time(end, || rec.tensor.storage().release());
                 rec.state = RecState::Offloaded;
@@ -573,30 +574,32 @@ impl TensorCache {
     fn recover_failed_store(&self, rec: &mut Record, job: JobId, err: io::Error) {
         self.stats.lock().store_failures += 1;
         if self.config.recovery == RecoveryPolicy::FallbackTarget {
-            if let Some(fb) = self.fallback.lock().clone() {
-                let data = rec.tensor.storage().to_bytes();
-                for _ in 0..=self.config.max_io_retries {
-                    if fb.write(&rec.key, data.as_deref(), rec.bytes).is_ok() {
-                        let end = self.io.store_end(job);
-                        self.mem.with_time(end, || rec.tensor.storage().release());
-                        rec.state = RecState::Offloaded;
-                        rec.on_fallback = true;
-                        let mut stats = self.stats.lock();
-                        stats.offloaded_bytes -= rec.bytes;
-                        stats.fallback_bytes += rec.bytes;
-                        drop(stats);
-                        self.trace().instant_with(
-                            TraceCategory::Recovery,
-                            "recovery.fallback",
-                            self.io.clock().now(),
-                            vec![
-                                ("bytes", ArgValue::U64(rec.bytes)),
-                                ("target", ArgValue::from(fb.name())),
-                            ],
-                        );
-                        return;
-                    }
-                }
+            let data = rec.tensor.storage().to_bytes();
+            if let Some(dest) = self.tiers.demote(
+                rec.tier,
+                &rec.key,
+                data.as_deref(),
+                rec.bytes,
+                self.config.max_io_retries,
+            ) {
+                let end = self.io.store_end(job);
+                self.mem.with_time(end, || rec.tensor.storage().release());
+                rec.state = RecState::Offloaded;
+                rec.tier = dest;
+                let mut stats = self.stats.lock();
+                stats.offloaded_bytes -= rec.bytes;
+                stats.fallback_bytes += rec.bytes;
+                drop(stats);
+                self.trace().instant_with(
+                    TraceCategory::Recovery,
+                    "recovery.fallback",
+                    self.io.clock().now(),
+                    vec![
+                        ("bytes", ArgValue::U64(rec.bytes)),
+                        ("target", ArgValue::from(self.tiers.name(dest))),
+                    ],
+                );
+                return;
             }
         }
         // Keep the tensor resident (also the fallback's last resort).
@@ -625,7 +628,7 @@ impl TensorCache {
                 *pending = Some(OffloadError::Store {
                     key: rec.key.clone(),
                     bytes: rec.bytes,
-                    target: self.target.name().to_owned(),
+                    target: self.tiers.name(rec.tier),
                     source: err,
                 });
             }
@@ -638,16 +641,10 @@ impl TensorCache {
     /// executable and a structured error is queued; it surfaces at the
     /// step boundary under *every* policy.
     fn restore_record(&self, rec: &mut Record, ready: SimTime) {
-        let target = if rec.on_fallback {
-            self.fallback.lock().clone()
-        } else {
-            None
-        }
-        .unwrap_or_else(|| self.target.clone());
         let mut attempts = 0u32;
         let data = loop {
             attempts += 1;
-            match target.read(&rec.key) {
+            match self.tiers.read(rec.tier, &rec.key, rec.bytes) {
                 Ok(d) => break d,
                 Err(err) if attempts > self.config.max_io_retries => {
                     let mut stats = self.stats.lock();
@@ -658,7 +655,7 @@ impl TensorCache {
                         *pending = Some(OffloadError::Load {
                             key: rec.key.clone(),
                             bytes: rec.bytes,
-                            target: target.name().to_owned(),
+                            target: self.tiers.name(rec.tier),
                             attempts,
                             source: err,
                         });
@@ -756,7 +753,9 @@ impl TensorCache {
                     now,
                     rec.bytes,
                 );
-                let ready = self.io.submit_load(rec.bytes);
+                let ready = self
+                    .io
+                    .submit_load_from(self.tiers.link(rec.tier), rec.bytes);
                 self.restore_record(rec, ready);
                 rec.state = RecState::Loading { ready };
                 let mut stats = self.stats.lock();
@@ -805,13 +804,9 @@ impl TensorCache {
             }
             RecState::Offloaded => {}
         }
-        if rec.on_fallback {
-            if let Some(fb) = self.fallback.lock().clone() {
-                fb.remove(&rec.key);
-            }
-        } else {
-            self.target.remove(&rec.key);
-        }
+        // Drop the entry wherever it lives and return the admission
+        // reservation — the single release point of a record's bytes.
+        self.tiers.remove(rec.tier, &rec.key, rec.bytes);
     }
 }
 
@@ -863,17 +858,19 @@ impl SavedTensorHooks for TensorCache {
     fn pack(&self, tensor: &Tensor) -> Packed {
         let mut inner = self.inner.lock();
 
-        // Algorithm 2, line 12: parameters and small tensors stay.
+        // Algorithm 2 lines 12 and 15 as a pure policy decision
+        // (parameter / small / backward-phase / kept-module).
         let stamp = storage_stamp(tensor);
-        if inner.param_stamps.contains(&stamp) {
-            return Packed::Tensor(tensor.clone());
-        }
-        if tensor.numel() < self.config.min_offload_numel {
-            return Packed::Tensor(tensor.clone());
-        }
-        // Algorithm 2, line 15: kept module or backward/recompute phase.
-        if inner.phase.in_backward() || self.innermost_kept(&inner) {
-            self.stats.lock().kept += 1;
+        let query = PlacementQuery {
+            is_parameter: inner.param_stamps.contains(&stamp),
+            numel: tensor.numel(),
+            in_backward: inner.phase.in_backward(),
+            module_kept: self.innermost_kept(&inner),
+        };
+        if let Placement::Keep(reason) = self.placement.decide(&query) {
+            if reason.counts_in_stats() {
+                self.stats.lock().kept += 1;
+            }
             return Packed::Tensor(tensor.clone());
         }
 
@@ -908,10 +905,32 @@ impl SavedTensorHooks for TensorCache {
             }
         }
 
-        // New record: submit the store job (Figure 4 ①). The memory
-        // release is deferred until the store commits.
+        // Tier admission: reserve capacity before any store job exists,
+        // so a bounded front tier can never be oversubscribed by jobs
+        // already in flight. A full stack refuses gracefully — the
+        // tensor stays on the graph, numerics untouched.
         let bytes = tensor.bytes();
-        let job = self.io.submit_store(bytes);
+        let Some(placement) = self.tiers.reserve(bytes) else {
+            drop(inner);
+            let mut stats = self.stats.lock();
+            stats.kept += 1;
+            stats.placement_kept_bytes += bytes;
+            drop(stats);
+            self.trace().instant_bytes(
+                TraceCategory::Tier,
+                "tier.full",
+                self.io.clock().now(),
+                bytes,
+            );
+            return Packed::Tensor(tensor.clone());
+        };
+
+        // New record: submit the store job (Figure 4 ①) on the admitting
+        // tier's link. The memory release is deferred until the store
+        // commits.
+        let job = self
+            .io
+            .submit_store_to(self.tiers.link(placement.tier), bytes);
         let id = inner.next_id;
         inner.next_id += 1;
         let mut scopes = HashSet::new();
@@ -930,7 +949,7 @@ impl SavedTensorHooks for TensorCache {
                 bytes,
                 state: RecState::Storing { job },
                 scopes,
-                on_fallback: false,
+                tier: placement.tier,
             },
         );
         inner.by_key.insert(key, id);
@@ -938,13 +957,24 @@ impl SavedTensorHooks for TensorCache {
         let mut stats = self.stats.lock();
         stats.offloaded_bytes += bytes;
         stats.store_jobs += 1;
+        if placement.spilled {
+            stats.spilled_bytes += bytes;
+        }
         drop(stats);
-        self.trace().instant_bytes(
-            TraceCategory::Store,
-            "store.enqueue",
-            self.io.clock().now(),
-            bytes,
-        );
+        let trace = self.trace();
+        let now = self.io.clock().now();
+        trace.instant_bytes(TraceCategory::Store, "store.enqueue", now, bytes);
+        if placement.spilled {
+            trace.instant_with(
+                TraceCategory::Tier,
+                "tier.spill",
+                now,
+                vec![
+                    ("bytes", ArgValue::U64(bytes)),
+                    ("tier", ArgValue::from(self.tiers.name(placement.tier))),
+                ],
+            );
+        }
         Packed::Opaque(id)
     }
 
@@ -1013,7 +1043,9 @@ impl SavedTensorHooks for TensorCache {
                         // left memory, no reload needed.
                         return rec.tensor.clone();
                     }
-                    let ready = self.io.submit_load(rec.bytes);
+                    let ready = self
+                        .io
+                        .submit_load_from(self.tiers.link(rec.tier), rec.bytes);
                     self.restore_record(rec, ready);
                     rec.state = RecState::Resident;
                     let bytes = rec.bytes;
@@ -1037,7 +1069,9 @@ impl SavedTensorHooks for TensorCache {
                 }
             }
             RecState::Offloaded => {
-                let ready = self.io.submit_load(rec.bytes);
+                let ready = self
+                    .io
+                    .submit_load_from(self.tiers.link(rec.tier), rec.bytes);
                 self.restore_record(rec, ready);
                 rec.state = RecState::Resident;
                 let bytes = rec.bytes;

@@ -1,21 +1,53 @@
 //! Store/load job engine — the paper's two I/O thread pools
-//! (Section 3.3.2).
+//! (Section 3.3.2), one pair per offload tier.
 //!
-//! Jobs execute in FIFO order per direction, exactly like the paper's
-//! store and load pools. Timing is modelled on the simulated clock: a job
-//! submitted at `t` starts when the direction's previous job finished and
-//! occupies the channel for `bytes / bandwidth`. Queued (not yet started)
-//! store jobs can be *cancelled* when their tensor was forwarded
-//! (adaptive offloading feature 1), which reflows the queue.
+//! Jobs execute in FIFO order per direction *per tier link*, exactly
+//! like the paper's store and load pools. Timing is modelled on the
+//! simulated clock: a job submitted at `t` starts when the link
+//! direction's previous job finished and occupies it for
+//! `bytes / bandwidth`. Queued (not yet started) store jobs can be
+//! *cancelled* when their tensor was forwarded (adaptive offloading
+//! feature 1), which reflows that link's queue.
+//!
+//! A tiered engine ([`IoEngine::tiered`]) prices each tier's transfers
+//! against its own simulated link — PCIe-to-DRAM for a host pool tier,
+//! PCIe-to-SSD for the array — so a DRAM front tier and an SSD spill
+//! tier proceed concurrently, full duplex each. The single-link
+//! constructor ([`IoEngine::new`]) reproduces the flat pre-tier engine.
 
 use parking_lot::Mutex;
 use ssdtrain_simhw::{Channel, SimClock, SimTime};
 use ssdtrain_trace::{LinkTraceBridge, TraceCategory, TraceSink};
 use std::sync::Arc;
 
-/// Handle to a submitted store job.
+/// Handle to a submitted store job (identifies the link it queues on).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct JobId(usize);
+pub struct JobId {
+    link: usize,
+    idx: usize,
+}
+
+/// The simulated write/read bandwidths of one tier's link.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierLink {
+    /// Link name; the read channel is traced as `"<name>-read"`.
+    pub name: String,
+    /// Store-direction bandwidth, bytes/s.
+    pub write_bps: f64,
+    /// Load-direction bandwidth, bytes/s.
+    pub read_bps: f64,
+}
+
+impl TierLink {
+    /// A full-duplex link with the given per-direction bandwidths.
+    pub fn new(name: impl Into<String>, write_bps: f64, read_bps: f64) -> TierLink {
+        TierLink {
+            name: name.into(),
+            write_bps,
+            read_bps,
+        }
+    }
+}
 
 #[derive(Debug, Clone)]
 struct WriteJob {
@@ -76,6 +108,13 @@ impl WriteQueue {
     }
 }
 
+/// One tier link's queue pair: a FIFO write queue plus a read channel.
+struct LinkQueues {
+    write_bps: f64,
+    writes: Mutex<WriteQueue>,
+    reads: Channel,
+}
+
 /// The simulated store/load engine shared by a tensor cache.
 ///
 /// ```
@@ -87,39 +126,75 @@ impl WriteQueue {
 /// let ready = io.submit_load(1_000_000_000); // full duplex
 /// assert_eq!(ready.as_secs(), 0.5);
 /// ```
+///
+/// Tiered pricing — each link is an independent full-duplex resource:
+///
+/// ```
+/// use ssdtrain::{IoEngine, TierLink};
+/// use ssdtrain_simhw::SimClock;
+/// let io = IoEngine::tiered(
+///     SimClock::new(),
+///     vec![TierLink::new("dram", 2e9, 2e9), TierLink::new("ssd", 1e9, 1e9)],
+/// );
+/// let a = io.submit_store_to(0, 2_000_000_000); // 1 s on the DRAM link
+/// let b = io.submit_store_to(1, 1_000_000_000); // 1 s on the SSD link
+/// assert_eq!(io.store_end(a).as_secs(), 1.0);
+/// assert_eq!(io.store_end(b).as_secs(), 1.0); // no cross-tier queueing
+/// ```
 #[derive(Clone)]
 pub struct IoEngine {
     clock: SimClock,
-    write_bps: f64,
-    writes: Arc<Mutex<WriteQueue>>,
-    reads: Channel,
+    links: Arc<Vec<LinkQueues>>,
     trace: Arc<Mutex<TraceSink>>,
 }
 
 impl IoEngine {
-    /// Creates an engine over one offload target's write/read bandwidths.
+    /// Creates a single-link engine over one offload target's
+    /// write/read bandwidths — the flat pre-tier shape.
     ///
     /// # Panics
     /// Panics if a bandwidth is not positive.
     pub fn new(clock: SimClock, write_bps: f64, read_bps: f64) -> IoEngine {
-        assert!(
-            write_bps > 0.0 && read_bps > 0.0,
-            "bandwidth must be positive"
-        );
+        IoEngine::tiered(clock, vec![TierLink::new("offload", write_bps, read_bps)])
+    }
+
+    /// Creates an engine with one queue pair per tier link, each priced
+    /// independently.
+    ///
+    /// # Panics
+    /// Panics if `links` is empty or any bandwidth is not positive —
+    /// both are construction-time configuration bugs.
+    pub fn tiered(clock: SimClock, links: Vec<TierLink>) -> IoEngine {
+        assert!(!links.is_empty(), "an IoEngine needs at least one link");
+        let links = links
+            .into_iter()
+            .map(|l| {
+                assert!(
+                    l.write_bps > 0.0 && l.read_bps > 0.0,
+                    "bandwidth must be positive"
+                );
+                LinkQueues {
+                    write_bps: l.write_bps,
+                    writes: Mutex::new(WriteQueue::default()),
+                    reads: Channel::new(&format!("{}-read", l.name), l.read_bps),
+                }
+            })
+            .collect();
         IoEngine {
             clock,
-            write_bps,
-            writes: Arc::new(Mutex::new(WriteQueue::default())),
-            reads: Channel::new("offload-read", read_bps),
+            links: Arc::new(links),
             trace: Arc::new(Mutex::new(TraceSink::disabled())),
         }
     }
 
     /// Routes this engine's events into `sink`: load spans (category
     /// `load`) directly, and raw read-channel bookings (category `link`)
-    /// via a [`LinkTraceBridge`]. Clones of this engine share the sink.
+    /// via a [`LinkTraceBridge`] per tier. Clones of this engine share
+    /// the sink.
     pub fn set_trace(&self, sink: TraceSink) {
-        self.reads.set_observer(LinkTraceBridge::new(sink.clone()));
+        for link in self.links.iter() {
+            link.reads.set_observer(LinkTraceBridge::new(sink.clone()));
+        }
         *self.trace.lock() = sink;
     }
 
@@ -132,45 +207,85 @@ impl IoEngine {
         &self.clock
     }
 
-    /// Configured write bandwidth, bytes/s (the adaptive planner's budget).
+    /// Number of tier links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Configured aggregate write bandwidth across every link, bytes/s
+    /// (the adaptive planner's budget).
     pub fn write_bps(&self) -> f64 {
-        self.write_bps
+        self.links.iter().map(|l| l.write_bps).sum()
     }
 
-    /// Configured read bandwidth, bytes/s.
+    /// Configured aggregate read bandwidth, bytes/s.
     pub fn read_bps(&self) -> f64 {
-        self.reads.bandwidth()
+        self.links.iter().map(|l| l.reads.bandwidth()).sum()
     }
 
-    /// Write bandwidth currently delivered, after any injected slowdown.
+    /// Configured write bandwidth of one link, bytes/s.
+    pub fn write_bps_of(&self, link: usize) -> f64 {
+        self.links.get(link).map(|l| l.write_bps).unwrap_or(0.0)
+    }
+
+    /// Configured read bandwidth of one link, bytes/s.
+    pub fn read_bps_of(&self, link: usize) -> f64 {
+        self.links
+            .get(link)
+            .map(|l| l.reads.bandwidth())
+            .unwrap_or(0.0)
+    }
+
+    /// Aggregate write bandwidth currently delivered, after any injected
+    /// slowdown.
     pub fn effective_write_bps(&self) -> f64 {
-        self.write_bps / self.writes.lock().slowdown
+        self.links
+            .iter()
+            .map(|l| l.write_bps / l.writes.lock().slowdown)
+            .sum()
     }
 
-    /// Read bandwidth currently delivered, after any injected slowdown.
+    /// Aggregate read bandwidth currently delivered, after any injected
+    /// slowdown.
     pub fn effective_read_bps(&self) -> f64 {
-        self.reads.effective_bandwidth()
+        self.links
+            .iter()
+            .map(|l| l.reads.effective_bandwidth())
+            .sum()
     }
 
-    /// Degrades both directions by `factor` from the current simulated
-    /// time: queued and in-flight writes are rescheduled (remaining
-    /// bytes at the slower rate, FIFO order preserved) and future reads
-    /// take `factor` times longer. Factors compose multiplicatively and
-    /// persist across [`IoEngine::reset`] — injected hardware
-    /// degradation does not heal between steps.
+    /// Degrades both directions of *every* link by `factor` from the
+    /// current simulated time: queued and in-flight writes are
+    /// rescheduled (remaining bytes at the slower rate, FIFO order
+    /// preserved) and future reads take `factor` times longer. Factors
+    /// compose multiplicatively and persist across [`IoEngine::reset`] —
+    /// injected hardware degradation does not heal between steps.
     ///
     /// # Panics
     /// Panics if `factor` is not positive.
     pub fn throttle(&self, factor: f64) {
         assert!(factor > 0.0, "slowdown factor must be positive");
-        self.writes.lock().throttle(factor, self.clock.now());
-        self.reads.throttle(factor);
+        let now = self.clock.now();
+        for link in self.links.iter() {
+            link.writes.lock().throttle(factor, now);
+            link.reads.throttle(factor);
+        }
     }
 
-    /// Submits a store of `bytes` at the current time; returns its id.
+    /// Submits a store of `bytes` on link 0 at the current time.
     pub fn submit_store(&self, bytes: u64) -> JobId {
+        self.submit_store_to(0, bytes)
+    }
+
+    /// Submits a store of `bytes` on the tier link `link` at the
+    /// current time; returns its id. An out-of-range link is clamped to
+    /// the last one (a misrouted job still makes progress; tier wiring
+    /// bugs surface in tests, not as a training crash).
+    pub fn submit_store_to(&self, link: usize, bytes: u64) -> JobId {
+        let link = link.min(self.links.len() - 1);
+        let l = &self.links[link];
         let now = self.clock.now();
-        let mut q = self.writes.lock();
+        let mut q = l.writes.lock();
         let prev_end = q
             .jobs
             .iter()
@@ -179,7 +294,7 @@ impl IoEngine {
             .map(|j| j.end)
             .unwrap_or(SimTime::ZERO);
         let start = now.max(prev_end);
-        let dur_secs = bytes as f64 * q.slowdown / self.write_bps;
+        let dur_secs = bytes as f64 * q.slowdown / l.write_bps;
         let end = start.plus_secs(dur_secs);
         q.jobs.push(WriteJob {
             bytes,
@@ -189,11 +304,14 @@ impl IoEngine {
             dur_secs,
             cancelled: false,
         });
-        JobId(q.jobs.len() - 1)
+        JobId {
+            link,
+            idx: q.jobs.len() - 1,
+        }
     }
 
     /// Current scheduled completion time of a store (may move earlier if
-    /// queued jobs ahead of it are cancelled).
+    /// queued jobs ahead of it on the same link are cancelled).
     ///
     /// # Panics
     /// Panics on an unknown or cancelled job.
@@ -207,16 +325,16 @@ impl IoEngine {
     /// # Panics
     /// Panics on an unknown or cancelled job.
     pub fn store_span(&self, job: JobId) -> (SimTime, SimTime) {
-        let q = self.writes.lock();
-        let j = &q.jobs[job.0];
+        let q = self.links[job.link].writes.lock();
+        let j = &q.jobs[job.idx];
         assert!(!j.cancelled, "store_span of a cancelled job");
         (j.start, j.end)
     }
 
     /// Whether the store has started transferring by `now`.
     pub fn store_started(&self, job: JobId, now: SimTime) -> bool {
-        let q = self.writes.lock();
-        let j = &q.jobs[job.0];
+        let q = self.links[job.link].writes.lock();
+        let j = &q.jobs[job.idx];
         !j.cancelled && j.start <= now
     }
 
@@ -224,8 +342,8 @@ impl IoEngine {
     /// success (the adaptive-offloading check a store worker performs
     /// before writing a forwarded tensor).
     pub fn try_cancel_store(&self, job: JobId, now: SimTime) -> bool {
-        let mut q = self.writes.lock();
-        let j = &mut q.jobs[job.0];
+        let mut q = self.links[job.link].writes.lock();
+        let j = &mut q.jobs[job.idx];
         if j.cancelled || j.start <= now {
             return false;
         }
@@ -234,66 +352,107 @@ impl IoEngine {
         true
     }
 
-    /// Submits a load of `bytes` at the current time; returns the time
-    /// the data is resident in GPU memory.
+    /// Submits a load of `bytes` on link 0 at the current time.
     pub fn submit_load(&self, bytes: u64) -> SimTime {
-        let (start, end) = self.reads.submit(self.clock.now(), bytes);
+        self.submit_load_from(0, bytes)
+    }
+
+    /// Submits a load of `bytes` on the tier link `link` at the current
+    /// time; returns the time the data is resident in GPU memory. An
+    /// out-of-range link is clamped to the last one.
+    pub fn submit_load_from(&self, link: usize, bytes: u64) -> SimTime {
+        let link = link.min(self.links.len() - 1);
+        let (start, end) = self.links[link].reads.submit(self.clock.now(), bytes);
         self.trace()
             .span_bytes(TraceCategory::Load, "load", start, end, bytes);
         end
     }
 
-    /// When the write direction finishes its last scheduled job.
+    /// When the last scheduled write across every link finishes.
     pub fn writes_drain_at(&self) -> SimTime {
-        self.writes
-            .lock()
-            .jobs
+        self.links
             .iter()
-            .filter(|j| !j.cancelled)
-            .map(|j| j.end)
+            .flat_map(|l| {
+                l.writes
+                    .lock()
+                    .jobs
+                    .iter()
+                    .filter(|j| !j.cancelled)
+                    .map(|j| j.end)
+                    .collect::<Vec<_>>()
+            })
             .fold(SimTime::ZERO, SimTime::max)
     }
 
-    /// Total bytes actually written (cancelled jobs excluded).
+    /// Total bytes actually written across every link (cancelled jobs
+    /// excluded).
     pub fn bytes_written(&self) -> u64 {
-        self.writes
-            .lock()
-            .jobs
-            .iter()
-            .filter(|j| !j.cancelled)
-            .map(|j| j.bytes)
+        (0..self.links.len())
+            .map(|l| self.bytes_written_on(l))
             .sum()
     }
 
-    /// Total bytes read back.
+    /// Bytes written on one tier link (cancelled jobs excluded).
+    pub fn bytes_written_on(&self, link: usize) -> u64 {
+        self.links
+            .get(link)
+            .map(|l| {
+                l.writes
+                    .lock()
+                    .jobs
+                    .iter()
+                    .filter(|j| !j.cancelled)
+                    .map(|j| j.bytes)
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Total bytes read back across every link.
     pub fn bytes_read(&self) -> u64 {
-        self.reads.bytes_total()
+        (0..self.links.len()).map(|l| self.bytes_read_on(l)).sum()
     }
 
-    /// Seconds the write direction was busy.
+    /// Bytes read back on one tier link.
+    pub fn bytes_read_on(&self, link: usize) -> u64 {
+        self.links
+            .get(link)
+            .map(|l| l.reads.bytes_total())
+            .unwrap_or(0)
+    }
+
+    /// Seconds the write directions were busy, summed over links.
     pub fn write_busy_secs(&self) -> f64 {
-        self.writes
-            .lock()
-            .jobs
+        self.links
             .iter()
-            .filter(|j| !j.cancelled)
-            .map(|j| j.dur_secs)
+            .map(|l| {
+                l.writes
+                    .lock()
+                    .jobs
+                    .iter()
+                    .filter(|j| !j.cancelled)
+                    .map(|j| j.dur_secs)
+                    .sum::<f64>()
+            })
             .sum()
     }
 
-    /// Clears all job state (new measured step). An injected slowdown
-    /// persists; see [`IoEngine::throttle`].
+    /// Clears all job state on every link (new measured step). An
+    /// injected slowdown persists; see [`IoEngine::throttle`].
     pub fn reset(&self) {
-        self.writes.lock().jobs.clear();
-        self.reads.reset();
+        for link in self.links.iter() {
+            link.writes.lock().jobs.clear();
+            link.reads.reset();
+        }
     }
 }
 
 impl std::fmt::Debug for IoEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("IoEngine")
-            .field("write_gbps", &(self.write_bps / 1e9))
-            .field("read_gbps", &(self.reads.bandwidth() / 1e9))
+            .field("links", &self.links.len())
+            .field("write_gbps", &(self.write_bps() / 1e9))
+            .field("read_gbps", &(self.read_bps() / 1e9))
             .field("bytes_written", &self.bytes_written())
             .field("bytes_read", &self.bytes_read())
             .finish()
@@ -408,5 +567,74 @@ mod tests {
         clock.advance_by(3.0);
         let a = io.submit_store(1_000_000_000);
         assert_eq!(io.store_end(a).as_secs(), 4.0);
+    }
+
+    fn tiered_engine() -> (SimClock, IoEngine) {
+        let clock = SimClock::new();
+        let io = IoEngine::tiered(
+            clock.clone(),
+            vec![
+                TierLink::new("dram", 2e9, 2e9),
+                TierLink::new("ssd", 1e9, 1e9),
+            ],
+        );
+        (clock, io)
+    }
+
+    #[test]
+    fn tier_links_queue_independently() {
+        let (_c, io) = tiered_engine();
+        let a = io.submit_store_to(0, 2_000_000_000); // 1 s on dram
+        let b = io.submit_store_to(1, 1_000_000_000); // 1 s on ssd
+        let c = io.submit_store_to(0, 2_000_000_000); // queues behind a only
+        assert_eq!(io.store_end(a).as_secs(), 1.0);
+        assert_eq!(io.store_end(b).as_secs(), 1.0);
+        assert_eq!(io.store_end(c).as_secs(), 2.0);
+        assert_eq!(io.bytes_written_on(0), 4_000_000_000);
+        assert_eq!(io.bytes_written_on(1), 1_000_000_000);
+        assert_eq!(io.bytes_written(), 5_000_000_000);
+    }
+
+    #[test]
+    fn tier_loads_price_on_their_own_link() {
+        let (_c, io) = tiered_engine();
+        let dram_ready = io.submit_load_from(0, 2_000_000_000); // 1 s at 2 GB/s
+        let ssd_ready = io.submit_load_from(1, 2_000_000_000); // 2 s at 1 GB/s
+        assert_eq!(dram_ready.as_secs(), 1.0);
+        assert_eq!(ssd_ready.as_secs(), 2.0);
+        assert_eq!(io.bytes_read_on(0), 2_000_000_000);
+        assert_eq!(io.bytes_read_on(1), 2_000_000_000);
+    }
+
+    #[test]
+    fn aggregates_sum_over_links() {
+        let (_c, io) = tiered_engine();
+        assert_eq!(io.link_count(), 2);
+        assert_eq!(io.write_bps(), 3e9);
+        assert_eq!(io.read_bps(), 3e9);
+        assert_eq!(io.write_bps_of(1), 1e9);
+        assert_eq!(io.read_bps_of(0), 2e9);
+        io.submit_store_to(0, 2_000_000_000);
+        io.submit_store_to(1, 1_000_000_000);
+        assert_eq!(io.write_busy_secs(), 2.0);
+        io.reset();
+        assert_eq!(io.bytes_written(), 0);
+    }
+
+    #[test]
+    fn throttle_degrades_every_link() {
+        let (_c, io) = tiered_engine();
+        io.throttle(2.0);
+        assert_eq!(io.effective_write_bps(), 1.5e9);
+        let a = io.submit_store_to(1, 1_000_000_000); // 2 s at slowed 0.5 GB/s
+        assert_eq!(io.store_end(a).as_secs(), 2.0);
+    }
+
+    #[test]
+    fn out_of_range_link_clamps_to_last() {
+        let (_c, io) = tiered_engine();
+        let a = io.submit_store_to(99, 1_000_000_000);
+        assert_eq!(io.store_end(a).as_secs(), 1.0); // priced on the ssd link
+        assert_eq!(io.bytes_written_on(1), 1_000_000_000);
     }
 }

@@ -1,11 +1,12 @@
 //! Offloading statistics collected per training step.
 
+use crate::tier::TierCounters;
 use serde::{Deserialize, Serialize};
 use ssdtrain_trace::MetricsRegistry;
 
 /// Counters the tensor cache maintains; Table 4 and the ablation benches
 /// read these.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct OffloadStats {
     /// Bytes submitted to the store queue (the paper's "offloaded
     /// amount").
@@ -47,6 +48,15 @@ pub struct OffloadStats {
     /// Bytes kept in GPU memory because their store failed and recovery
     /// absorbed it.
     pub kept_resident_bytes: u64,
+    /// Bytes admitted to a slower tier because a faster placement tier
+    /// was full at pack time.
+    pub spilled_bytes: u64,
+    /// Bytes kept resident because every placement tier was full (the
+    /// [`crate::TierStack`] refused admission).
+    pub placement_kept_bytes: u64,
+    /// Per-tier traffic, front tier first (empty until the cache takes
+    /// its first snapshot).
+    pub tiers: Vec<TierCounters>,
 }
 
 impl OffloadStats {
@@ -85,6 +95,17 @@ impl OffloadStats {
         registry.inc_counter("offload.load_retries", self.load_retries);
         registry.inc_counter("offload.fallback_bytes", self.fallback_bytes);
         registry.inc_counter("offload.kept_resident_bytes", self.kept_resident_bytes);
+        registry.inc_counter("offload.spilled_bytes", self.spilled_bytes);
+        registry.inc_counter("offload.placement_kept_bytes", self.placement_kept_bytes);
+        for (idx, tier) in self.tiers.iter().enumerate() {
+            let prefix = format!("offload.tier{idx}.{}", tier.name);
+            registry.inc_counter(&format!("{prefix}.bytes_written"), tier.bytes_written);
+            registry.inc_counter(&format!("{prefix}.bytes_read"), tier.bytes_read);
+            registry.inc_counter(&format!("{prefix}.stores"), tier.stores);
+            registry.inc_counter(&format!("{prefix}.loads"), tier.loads);
+            registry.inc_counter(&format!("{prefix}.spilled_in_bytes"), tier.spilled_in_bytes);
+            registry.inc_counter(&format!("{prefix}.demoted_in_bytes"), tier.demoted_in_bytes);
+        }
         registry.observe("offload.stall_secs", self.stall_secs);
     }
 }
@@ -126,5 +147,30 @@ mod tests {
         let stall = registry.histogram("offload.stall_secs").unwrap();
         assert_eq!(stall.count, 2);
         assert_eq!(stall.sum, 0.5);
+    }
+
+    #[test]
+    fn export_includes_per_tier_counters() {
+        let registry = MetricsRegistry::new();
+        let s = OffloadStats {
+            spilled_bytes: 3,
+            tiers: vec![
+                TierCounters {
+                    name: "dram".to_owned(),
+                    bytes_written: 7,
+                    ..TierCounters::default()
+                },
+                TierCounters {
+                    name: "ssd".to_owned(),
+                    spilled_in_bytes: 3,
+                    ..TierCounters::default()
+                },
+            ],
+            ..OffloadStats::default()
+        };
+        s.export_to(&registry);
+        assert_eq!(registry.counter("offload.spilled_bytes"), 3);
+        assert_eq!(registry.counter("offload.tier0.dram.bytes_written"), 7);
+        assert_eq!(registry.counter("offload.tier1.ssd.spilled_in_bytes"), 3);
     }
 }

@@ -1,12 +1,14 @@
 //! `no-deprecated-stage-api`: stage bookkeeping goes through
 //! `StageScope`.
 //!
-//! The manual `set_stage` / `set_next_stage` / `stage_done` calls are
-//! deprecated shims kept for one release; forgetting the matching
-//! `stage_done` silently corrupts the double-buffer eviction hints.
-//! The RAII `StageScope` cannot be forgotten, so new callers must use
-//! it. The shim definitions (and the deprecation attributes on them)
-//! live in `crates/core/src/cache.rs`, which is exempt.
+//! The manual `set_stage` / `set_next_stage` / `stage_done` shims were
+//! deprecated for one release and have since been removed from
+//! `TensorCache`; forgetting the matching `stage_done` silently
+//! corrupted the double-buffer eviction hints. The RAII `StageScope`
+//! cannot be forgotten, and this rule keeps the old call pattern from
+//! being reintroduced. `crates/core/src/cache.rs` (where the shims
+//! lived, and whose docs still cite the paper's `tc.set_stage` API)
+//! stays exempt.
 
 use super::Rule;
 use crate::diagnostics::Diagnostic;

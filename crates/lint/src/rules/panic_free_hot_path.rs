@@ -11,10 +11,13 @@ use super::Rule;
 use crate::diagnostics::Diagnostic;
 use crate::workspace::Workspace;
 
-/// The offload hot path: cache pack/unpack and recovery, the I/O
-/// engine, the targets, fault injection, and the training executors.
-const HOT_PATH: [&str; 6] = [
+/// The offload hot path: cache pack/unpack and recovery, the placement
+/// policy, the tier stack, the I/O engine, the targets, fault
+/// injection, and the training executors.
+const HOT_PATH: [&str; 8] = [
     "crates/core/src/cache.rs",
+    "crates/core/src/placement.rs",
+    "crates/core/src/tier.rs",
     "crates/core/src/io.rs",
     "crates/core/src/target.rs",
     "crates/core/src/fault.rs",

@@ -91,6 +91,13 @@ impl WearMeter {
         self.host_bytes as f64 / self.endurance_bytes
     }
 
+    /// Host bytes the device can still absorb before its endurance
+    /// budget is spent (0 once worn out). Tiering benches use this to
+    /// report how much write headroom a DRAM front tier preserves.
+    pub fn remaining_bytes(&self) -> f64 {
+        (self.endurance_bytes - self.host_bytes as f64).max(0.0)
+    }
+
     /// Projected lifespan in years given a steady write rate, the paper's
     /// `t_life = S_endurance · t_step / S_activations` (Section 3.4).
     ///

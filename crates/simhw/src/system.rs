@@ -94,6 +94,13 @@ impl SystemConfig {
         self.pcie_bps.min(self.ssd_array.read_bps()) * self.path_efficiency()
     }
 
+    /// Bandwidth of the GPU → PCIe → host-DRAM path, symmetric per
+    /// direction: a host-memory offload tier is capped by the PCIe link
+    /// alone (no SSD array in the way).
+    pub fn host_offload_bps(&self) -> f64 {
+        self.pcie_bps
+    }
+
     /// Instantiates the runtime pieces for one simulated GPU: a clock,
     /// its memory tracker and the two PCIe directions.
     pub fn instantiate(&self) -> GpuRuntime {

@@ -181,6 +181,7 @@ pub fn text_summary(events: &[TraceEvent]) -> String {
             TraceCategory::Stall,
             TraceCategory::Fault,
             TraceCategory::Recovery,
+            TraceCategory::Tier,
             TraceCategory::Link,
             TraceCategory::Alloc,
         ];

@@ -67,6 +67,9 @@ pub enum TraceCategory {
     Stall,
     /// Session-level markers (step begin/end, pipeline commands).
     Session,
+    /// Tier placement events (spill to a slower tier, full-stack
+    /// refusal, demotion between tiers).
+    Tier,
 }
 
 impl TraceCategory {
@@ -85,6 +88,7 @@ impl TraceCategory {
             TraceCategory::Link => "link",
             TraceCategory::Stall => "stall",
             TraceCategory::Session => "session",
+            TraceCategory::Tier => "tier",
         }
     }
 
@@ -101,6 +105,7 @@ impl TraceCategory {
             }
             TraceCategory::Fault | TraceCategory::Recovery => (3, "faults"),
             TraceCategory::Alloc | TraceCategory::Link => (4, "memory+links"),
+            TraceCategory::Tier => (5, "tiers"),
         }
     }
 }

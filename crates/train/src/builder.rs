@@ -8,7 +8,7 @@
 //! [`SessionBuilder::build`] and returns a typed [`ConfigError`] instead
 //! of failing deep inside a step.
 
-use crate::session::{SessionConfig, TargetKind};
+use crate::session::{OffloadBackend, SessionConfig, TargetKind};
 use ssdtrain::{PlacementStrategy, RecoveryPolicy, TensorCacheConfig};
 use ssdtrain_models::{Arch, ModelConfig};
 use ssdtrain_simhw::{FaultPlan, SystemConfig};
@@ -56,6 +56,10 @@ pub enum ConfigError {
         /// The rejected architecture.
         arch: Arch,
     },
+    /// A tiered backend named a zero-byte front tier, which could never
+    /// hold an activation and would silently behave like the plain SSD
+    /// backend.
+    ZeroTierCapacity,
 }
 
 impl fmt::Display for ConfigError {
@@ -81,6 +85,9 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroStages => write!(f, "the pipeline needs at least one stage"),
             ConfigError::StagesExceedLayers { pp, layers } => {
                 write!(f, "more pipeline stages than layers ({pp} > {layers})")
+            }
+            ConfigError::ZeroTierCapacity => {
+                write!(f, "a tiered backend needs a non-zero DRAM tier capacity")
             }
             ConfigError::UnsupportedArch { arch } => write!(
                 f,
@@ -138,7 +145,7 @@ pub struct SessionBuilder {
     cache: TensorCacheConfig,
     symbolic: bool,
     seed: u64,
-    target: TargetKind,
+    backend: OffloadBackend,
     fault: Option<FaultPlan>,
     fallback: Option<TargetKind>,
     trace: TraceSink,
@@ -155,7 +162,7 @@ impl Default for SessionBuilder {
             cache: TensorCacheConfig::default(),
             symbolic: false,
             seed: 0,
-            target: TargetKind::default(),
+            backend: OffloadBackend::default(),
             fault: None,
             fallback: None,
             trace: TraceSink::disabled(),
@@ -223,9 +230,20 @@ impl SessionBuilder {
         self
     }
 
-    /// Offload target kind (SSD by default).
+    /// Offload target kind — shorthand for the single-tier backends.
+    /// `TargetKind::Ssd` maps to [`OffloadBackend::Ssd`] and
+    /// `TargetKind::Cpu` to [`OffloadBackend::Dram`].
     pub fn target(mut self, target: TargetKind) -> SessionBuilder {
-        self.target = target;
+        self.backend = target.into();
+        self
+    }
+
+    /// Full offload backend selection, including the tiered
+    /// DRAM-then-SSD stack. Overrides any earlier [`target`] call.
+    ///
+    /// [`target`]: SessionBuilder::target
+    pub fn backend(mut self, backend: OffloadBackend) -> SessionBuilder {
+        self.backend = backend;
         self
     }
 
@@ -278,6 +296,9 @@ impl SessionBuilder {
         if self.fallback.is_some() && self.cache.recovery != RecoveryPolicy::FallbackTarget {
             return Err(ConfigError::FallbackWithoutPolicy);
         }
+        if self.backend == (OffloadBackend::Tiered { dram_bytes: 0 }) {
+            return Err(ConfigError::ZeroTierCapacity);
+        }
         Ok(SessionConfig {
             system: self.system,
             model: self.model,
@@ -287,7 +308,7 @@ impl SessionBuilder {
             cache: self.cache,
             symbolic: self.symbolic,
             seed: self.seed,
-            target: self.target,
+            backend: self.backend,
             fault: self.fault,
             fallback: self.fallback,
             trace: self.trace,
@@ -304,9 +325,40 @@ mod tests {
         let cfg = SessionConfig::builder().build().expect("defaults valid");
         assert_eq!(cfg.batch_size, 1);
         assert_eq!(cfg.micro_batches, 1);
-        assert_eq!(cfg.target, TargetKind::Ssd);
+        assert_eq!(cfg.backend, OffloadBackend::Ssd);
         assert!(cfg.fault.is_none());
         assert!(!cfg.trace.is_enabled());
+    }
+
+    #[test]
+    fn target_shorthand_maps_onto_backends() {
+        let cfg = SessionConfig::builder()
+            .target(TargetKind::Cpu)
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.backend, OffloadBackend::Dram);
+        let cfg = SessionConfig::builder()
+            .target(TargetKind::Ssd)
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.backend, OffloadBackend::Ssd);
+    }
+
+    #[test]
+    fn zero_capacity_front_tier_is_rejected() {
+        let err = SessionConfig::builder()
+            .backend(OffloadBackend::Tiered { dram_bytes: 0 })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ZeroTierCapacity);
+        assert!(err.to_string().contains("DRAM"), "{err}");
+
+        SessionConfig::builder()
+            .backend(OffloadBackend::Tiered {
+                dram_bytes: 1 << 20,
+            })
+            .build()
+            .expect("non-zero capacity builds");
     }
 
     #[test]

@@ -14,6 +14,6 @@ pub use crate::metrics::StepMetrics;
 pub use crate::pipeline::{PipelineMetrics, PipelineSim};
 pub use crate::pipeline_exec::{PipelineExec, PipelineExecConfig, PipelineStepReport};
 pub use crate::schedule::{single_gpu_schedule, StepCmd};
-pub use crate::session::{SessionConfig, TargetKind, TrainSession};
+pub use crate::session::{OffloadBackend, SessionConfig, TargetKind, TrainSession};
 
 pub use ssdtrain_models::{Arch, Batch, Model, ModelConfig};

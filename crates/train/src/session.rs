@@ -7,7 +7,7 @@ use crate::schedule::{single_gpu_schedule, with_lookahead, StepCmd};
 use ssdtrain::{
     AdaptivePlan, ArgValue, CpuTarget, FaultyTarget, IoEngine, MemoryTraceBridge, MetricsRegistry,
     OffloadTarget, PlacementStrategy, RecoveryPolicy, SsdTarget, StageHint, StepProfile,
-    TensorCache, TensorCacheConfig, TraceCategory, TraceSink,
+    TensorCache, TensorCacheConfig, Tier, TierLink, TierStack, TraceCategory, TraceSink,
 };
 use ssdtrain_autograd::optim::Sgd;
 use ssdtrain_autograd::{Graph, Phase};
@@ -31,6 +31,35 @@ pub enum TargetKind {
     Cpu,
 }
 
+/// The tier stack the session's cache offloads into. The single-tier
+/// backends reproduce the flat designs exactly; `Tiered` is the regime
+/// 10Cache/MemAscend identify — a bounded DRAM front tier spilling into
+/// the high-endurance SSD array, each priced on its own simulated link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OffloadBackend {
+    /// One unbounded SSD-array tier (the paper's configuration).
+    #[default]
+    Ssd,
+    /// One host-DRAM tier bounded by `SystemConfig::host_mem_bytes`,
+    /// priced on the raw PCIe link.
+    Dram,
+    /// DRAM front tier of `dram_bytes` capacity spilling to the SSD
+    /// array when full.
+    Tiered {
+        /// Admission capacity of the DRAM front tier in bytes.
+        dram_bytes: u64,
+    },
+}
+
+impl From<TargetKind> for OffloadBackend {
+    fn from(kind: TargetKind) -> OffloadBackend {
+        match kind {
+            TargetKind::Ssd => OffloadBackend::Ssd,
+            TargetKind::Cpu => OffloadBackend::Dram,
+        }
+    }
+}
+
 /// Configuration of a [`TrainSession`].
 #[derive(Debug, Clone)]
 pub struct SessionConfig {
@@ -52,8 +81,9 @@ pub struct SessionConfig {
     pub symbolic: bool,
     /// Seed for weights, data and dropout.
     pub seed: u64,
-    /// Offload target kind (SSD by default).
-    pub target: TargetKind,
+    /// The offload backend: tier stack plus the links its transfers are
+    /// priced on (single SSD tier by default).
+    pub backend: OffloadBackend,
     /// Deterministic fault schedule injected between the cache and the
     /// offload target (`None` for a healthy device). Recovery follows
     /// `cache.recovery`.
@@ -135,45 +165,113 @@ impl TrainSession {
         ));
         let mut spill_dirs = Vec::new();
         let (cache, faulty) = if cfg.strategy.uses_cache() {
-            let target: Arc<dyn OffloadTarget> = match cfg.target {
-                TargetKind::Ssd => {
-                    let dir = unique_spill_dir(&cfg.model.tag());
-                    let wear = cfg.system.ssd_array.wear_meter(1.0);
-                    let t = Arc::new(SsdTarget::new(&dir, wear)?);
-                    spill_dirs.push(dir);
-                    t
-                }
-                TargetKind::Cpu => {
-                    // The paper sizes the pinned pool by profiling; we
-                    // grant the whole host memory (Figure 2's bound).
-                    Arc::new(CpuTarget::new(cfg.system.host_mem_bytes))
-                }
+            let mut new_ssd = |tag: &str| -> std::io::Result<Arc<dyn OffloadTarget>> {
+                let dir = unique_spill_dir(tag);
+                let wear = cfg.system.ssd_array.wear_meter(1.0);
+                let t = Arc::new(SsdTarget::new(&dir, wear)?);
+                spill_dirs.push(dir);
+                Ok(t)
+            };
+            // One tier to build: its device plus an optional pack-time
+            // admission capacity (links stay per-index alongside).
+            struct TierSpec {
+                name: &'static str,
+                device: Arc<dyn OffloadTarget>,
+                capacity: Option<u64>,
+            }
+            // Build the tier stack and the simulated link each tier's
+            // transfers are priced on. Single-tier backends keep the
+            // flat link name ("offload"), so traces and numerics stay
+            // identical to the pre-tier design; host memory offers
+            // symmetric bandwidth over the raw PCIe link while the SSD
+            // path is capped by the array.
+            let (mut specs, links) = match cfg.backend {
+                OffloadBackend::Ssd => (
+                    vec![TierSpec {
+                        name: "ssd",
+                        device: new_ssd(&cfg.model.tag())?,
+                        capacity: None,
+                    }],
+                    vec![TierLink::new(
+                        "offload",
+                        cfg.system.offload_write_bps(),
+                        cfg.system.offload_read_bps(),
+                    )],
+                ),
+                OffloadBackend::Dram => (
+                    // The paper sizes the pinned pool by profiling;
+                    // we grant the whole host memory (Figure 2).
+                    vec![TierSpec {
+                        name: "cpu",
+                        device: Arc::new(CpuTarget::new(cfg.system.host_mem_bytes)),
+                        capacity: None,
+                    }],
+                    vec![TierLink::new(
+                        "offload",
+                        cfg.system.host_offload_bps(),
+                        cfg.system.host_offload_bps(),
+                    )],
+                ),
+                OffloadBackend::Tiered { dram_bytes } => (
+                    vec![
+                        TierSpec {
+                            name: "dram",
+                            device: Arc::new(CpuTarget::new(dram_bytes)),
+                            capacity: Some(dram_bytes),
+                        },
+                        TierSpec {
+                            name: "ssd",
+                            device: new_ssd(&cfg.model.tag())?,
+                            capacity: None,
+                        },
+                    ],
+                    vec![
+                        TierLink::new(
+                            "dram",
+                            cfg.system.host_offload_bps(),
+                            cfg.system.host_offload_bps(),
+                        ),
+                        TierLink::new(
+                            "ssd",
+                            cfg.system.offload_write_bps(),
+                            cfg.system.offload_read_bps(),
+                        ),
+                    ],
+                ),
             };
             // An injected fault plan sits between the cache and the
-            // real target.
-            let (target, faulty): (Arc<dyn OffloadTarget>, Option<Arc<FaultyTarget>>) =
-                match cfg.fault.clone() {
-                    Some(plan) => {
-                        let ft = FaultyTarget::new(target, plan);
-                        (ft.clone(), Some(ft))
-                    }
-                    None => (target, None),
-                };
-            // Host memory offers symmetric bandwidth over the same PCIe
-            // link; the SSD path is capped by the array.
-            let (wr, rd) = match cfg.target {
-                TargetKind::Ssd => (
-                    cfg.system.offload_write_bps(),
-                    cfg.system.offload_read_bps(),
-                ),
-                TargetKind::Cpu => (cfg.system.pcie_bps, cfg.system.pcie_bps),
+            // *front* tier's device (the one placement hits first).
+            let faulty: Option<Arc<FaultyTarget>> = match cfg.fault.clone() {
+                Some(plan) => {
+                    let front = &mut specs[0].device;
+                    let ft = FaultyTarget::new(front.clone(), plan);
+                    *front = ft.clone();
+                    Some(ft)
+                }
+                None => None,
             };
-            let io = IoEngine::new(runtime.clock.clone(), wr, rd);
+            let io = IoEngine::tiered(runtime.clock.clone(), links);
             if let Some(ft) = &faulty {
                 ft.attach_io(io.clone());
                 ft.set_trace(cfg.trace.clone());
             }
-            let cache = TensorCache::new(cfg.cache.clone(), target, io, runtime.memory.clone());
+            let tiers: Vec<Tier> = specs
+                .into_iter()
+                .enumerate()
+                .map(|(link, spec)| {
+                    let tier = Tier::new(spec.name, spec.device, link);
+                    match spec.capacity {
+                        Some(bytes) => tier.with_capacity(bytes),
+                        None => tier,
+                    }
+                })
+                .collect();
+            let cache = TensorCache::with_tiers(
+                cfg.cache.clone(),
+                Arc::new(TierStack::new(tiers)),
+                io,
+                runtime.memory.clone(),
+            );
             cache.set_trace(cfg.trace.clone());
             if cfg.cache.recovery == RecoveryPolicy::FallbackTarget {
                 // Spill of last resort (host pinned pool by default).

@@ -12,7 +12,11 @@ cargo test -q
 cargo test -q --test trace_observability
 cargo clippy --workspace -- -D warnings
 # Project-invariant lint: sim-clock, panic-freedom and error discipline
-# (see DESIGN.md §7). Exits non-zero on any violation.
+# (see DESIGN.md §7). Exits non-zero on any violation. The full pass
+# keeps the workspace clean; the --changed-only pass is what a PR
+# pipeline gates on (diagnostics scoped to the files the branch touched,
+# against the merge base with origin/main).
 cargo run -p ssdtrain-lint --release -- --format json
+cargo run -p ssdtrain-lint --release -- --changed-only --format json
 cargo fmt --check
 RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps
