@@ -4,7 +4,7 @@
 //! `results/BENCH_tiering.json` with the per-tier traffic split and the
 //! endurance headroom each backend leaves on the SSD array.
 
-use ssdtrain::PlacementStrategy;
+use ssdtrain::{PlacementStrategy, TensorCacheConfig};
 use ssdtrain_bench::{gb, print_table};
 use ssdtrain_models::{Arch, ModelConfig};
 use ssdtrain_simhw::SystemConfig;
@@ -22,6 +22,10 @@ struct Row {
 }
 
 fn run_backend(label: &'static str, backend: OffloadBackend) -> Row {
+    run_backend_with(label, backend, TensorCacheConfig::default())
+}
+
+fn run_backend_with(label: &'static str, backend: OffloadBackend, cache: TensorCacheConfig) -> Row {
     let cfg = SessionConfig::builder()
         .model(ModelConfig::paper_scale(Arch::Bert, 8192, 4).with_tp(2))
         .batch_size(16)
@@ -29,6 +33,7 @@ fn run_backend(label: &'static str, backend: OffloadBackend) -> Row {
         .symbolic(true)
         .seed(42)
         .backend(backend)
+        .cache(cache)
         .build()
         .expect("valid config");
     let mut session = TrainSession::new(cfg).expect("session construction");
@@ -70,9 +75,10 @@ fn emit_json(rows: &[Row]) {
     for (i, row) in rows.iter().enumerate() {
         let m = &row.metrics;
         out.push_str(&format!(
-            "    {{\n      \"name\": \"{}\",\n      \"step_secs\": {:.6},\n      \"offloaded_bytes\": {},\n      \"spilled_bytes\": {},\n      \"ssd_endurance_remaining_after_30d\": {:.6},\n      \"ssd_lifespan_years\": {},\n      \"tiers\": [\n",
+            "    {{\n      \"name\": \"{}\",\n      \"step_secs\": {:.6},\n      \"store_stall_secs\": {:.6},\n      \"offloaded_bytes\": {},\n      \"spilled_bytes\": {},\n      \"ssd_endurance_remaining_after_30d\": {:.6},\n      \"ssd_lifespan_years\": {},\n      \"tiers\": [\n",
             json_escape_free(row.label),
             m.step_secs,
+            m.offload.store_stall_secs,
             m.offload.offloaded_bytes,
             m.offload.spilled_bytes,
             row.remaining_frac,
@@ -116,6 +122,20 @@ fn main() {
                 dram_bytes: 4 << 30,
             },
         ),
+        // Same tier stack, but the profile-guided cost model plans the
+        // per-module placement and trims the offload set until the store
+        // drain hides inside forward compute — the step-time win over
+        // the static front-first walk above.
+        run_backend_with(
+            "tiered-4g-planned",
+            OffloadBackend::Tiered {
+                dram_bytes: 4 << 30,
+            },
+            TensorCacheConfig {
+                profile_guided: true,
+                ..TensorCacheConfig::default()
+            },
+        ),
     ];
 
     let table: Vec<Vec<String>> = rows
@@ -140,6 +160,7 @@ fn main() {
             vec![
                 row.label.to_owned(),
                 format!("{:.3}", m.step_secs),
+                format!("{:.3}", m.offload.store_stall_secs),
                 format!("{:.2}", gb(m.offload.offloaded_bytes)),
                 format!("{front_gb:.2}"),
                 format!("{ssd_gb:.2}"),
@@ -156,6 +177,7 @@ fn main() {
         &[
             "backend",
             "step s",
+            "stall s",
             "offloaded GB",
             "front GB",
             "ssd GB",

@@ -9,6 +9,7 @@
 //! GPU memory. The backward pass is assumed to take `bwd_fwd_ratio`
 //! (default 2×) the forward time.
 
+use crate::costmodel::{CostModel, TierPlan};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
@@ -22,6 +23,13 @@ pub struct ModuleProfile {
     pub offload_bytes: u64,
     /// Forward computation time of the module, seconds.
     pub fwd_secs: f64,
+    /// Observed store-transfer time of the module's offloads, seconds
+    /// (link occupancy, as priced by the I/O engine).
+    #[serde(default)]
+    pub store_secs: f64,
+    /// Observed load-transfer time of the module's reloads, seconds.
+    #[serde(default)]
+    pub load_secs: f64,
 }
 
 /// Whole-step profile (the root annotations of Figure 8).
@@ -143,6 +151,75 @@ impl AdaptivePlan {
         }
     }
 
+    /// Decides the cutoff from a step profile using the placement
+    /// [`CostModel`] instead of a raw bandwidth figure — the paper's ROK
+    /// machinery fed by the same critical-path model the tier planner
+    /// scores with.
+    ///
+    /// Two refinements over [`AdaptivePlan::decide`]:
+    ///
+    /// 1. The bandwidth budget is [`CostModel::effective_write_bps`] of
+    ///    the *planned* byte split — with a shared write bus this is
+    ///    strictly less than the parallel link sum the raw path assumes.
+    /// 2. A stage-barrier trim: backward cannot begin until the forward
+    ///    stage's stores drain (see [`crate::TensorCache::drain_stores`]),
+    ///    so tail modules are kept resident until the planned drain hides
+    ///    inside the forward pass — offload as much as the bus can
+    ///    actually absorb, and no more.
+    pub fn decide_with_cost(
+        profile: &StepProfile,
+        cost: &CostModel,
+        plan: &TierPlan,
+        bwd_fwd_ratio: f64,
+    ) -> AdaptivePlan {
+        let n = profile.modules.len();
+        if n == 0 || cost.tiers().is_empty() {
+            return AdaptivePlan::default();
+        }
+        // Per-module tier index under the plan; unplanned modules take
+        // the front-first fallback the stack itself would apply.
+        let fallback = cost.front_first_assignment(profile);
+        let module_tier: Vec<Option<usize>> = profile
+            .modules
+            .iter()
+            .zip(&fallback)
+            .map(|(m, fb)| {
+                plan.preferred(&m.path)
+                    .and_then(|tid| cost.tier_index(tid))
+                    .or(*fb)
+            })
+            .collect();
+        let mut split = cost.split_for(profile, &module_tier);
+        let budget = cost.effective_write_bps(&split);
+        let mut out = AdaptivePlan::decide(profile, budget, bwd_fwd_ratio);
+        // The split priced every module; drop the ones decide() kept.
+        let offloaded_through = out.last_offloaded.map(|m| m + 1).unwrap_or(0);
+        for (tier, module) in module_tier
+            .iter()
+            .zip(&profile.modules)
+            .skip(offloaded_through)
+        {
+            if let Some(i) = *tier {
+                split[i] = split[i].saturating_sub(module.offload_bytes);
+            }
+        }
+        let total_fwd = profile
+            .fwd_total_secs
+            .max(profile.modules.iter().map(|m| m.fwd_secs).sum::<f64>());
+        let t0 = profile.modules.first().map(|m| m.fwd_secs).unwrap_or(0.0);
+        while let Some(m) = out.last_offloaded {
+            if t0 + cost.store_drain_secs(&split) <= total_fwd {
+                break;
+            }
+            out.keep_paths.insert(profile.modules[m].path.clone());
+            if let Some(i) = module_tier[m] {
+                split[i] = split[i].saturating_sub(profile.modules[m].offload_bytes);
+            }
+            out.last_offloaded = m.checked_sub(1);
+        }
+        out
+    }
+
     /// Whether the module at `path` (or any of its ancestors) is kept.
     pub fn keeps(&self, path: &str) -> bool {
         if self.keep_paths.contains(path) {
@@ -167,6 +244,8 @@ mod tests {
                     path: (*p).into(),
                     offload_bytes: *b,
                     fwd_secs: *t,
+                    store_secs: 0.0,
+                    load_secs: 0.0,
                 })
                 .collect(),
             fwd_total_secs: fwd_total,
@@ -258,6 +337,85 @@ mod tests {
         assert!(plan.keeps("l2"));
         assert!(!plan.keeps("l0"));
         assert_eq!(plan.last_offloaded, Some(1));
+    }
+
+    #[test]
+    fn cost_model_budget_is_bus_aware() {
+        use crate::io::{IoEngine, TierLink};
+        use crate::target::CpuTarget;
+        use crate::tier::{Tier, TierStack};
+        use ssdtrain_simhw::SimClock;
+        use std::sync::Arc;
+
+        // Two 1 GB/s links behind a 1 GB/s bus: the raw planner would
+        // budget 2 GB/s and offload everything; the cost model knows the
+        // bus serialises the stores and keeps a longer tail.
+        let io = IoEngine::tiered_with_bus(
+            SimClock::new(),
+            vec![
+                TierLink::new("dram", 1e9, 1e9),
+                TierLink::new("ssd", 1e9, 1e9),
+            ],
+            1e9,
+        );
+        let stack = TierStack::new(vec![
+            Tier::new("dram", Arc::new(CpuTarget::new(1 << 40)), 0),
+            Tier::new("ssd", Arc::new(CpuTarget::new(1 << 40)), 1),
+        ]);
+        let cost = CostModel::from_parts(&io, &stack);
+        let gb = 1_000_000_000u64;
+        let p = profile(
+            &[
+                ("l0", gb, 0.25),
+                ("l1", gb, 0.25),
+                ("l2", gb, 0.25),
+                ("l3", gb, 0.25),
+            ],
+            1.0,
+        );
+        let plan = cost.plan(&p, 2.0);
+        let raw = AdaptivePlan::decide(&p, io.write_bps(), 2.0);
+        let guided = AdaptivePlan::decide_with_cost(&p, &cost, &plan, 2.0);
+        // Raw 2 GB/s budget: m=1 needs 3 GB by 2 s → 1.5 GB/s, feasible.
+        assert_eq!(raw.last_offloaded, Some(1), "raw budget offloads freely");
+        assert!(
+            guided.last_offloaded < raw.last_offloaded,
+            "bus-aware budget keeps a longer tail: {:?} vs {:?}",
+            guided.last_offloaded,
+            raw.last_offloaded
+        );
+    }
+
+    #[test]
+    fn stage_barrier_trim_hides_the_drain() {
+        use crate::io::IoEngine;
+        use crate::target::CpuTarget;
+        use crate::tier::TierStack;
+        use ssdtrain_simhw::SimClock;
+        use std::sync::Arc;
+
+        // One 1 GB/s link; 4 modules × 0.3 GB in 1 s of forward. The
+        // deadline criterion alone offloads l0..l2 (0.9 GB), but that
+        // drains at t0 + 0.9 = 1.15 s > 1 s; trimming l2 leaves 0.6 GB,
+        // which hides (0.25 + 0.6 ≤ 1.0).
+        let io = IoEngine::new(SimClock::new(), 1e9, 1e9);
+        let stack = TierStack::single(Arc::new(CpuTarget::new(1 << 40)));
+        let cost = CostModel::from_parts(&io, &stack);
+        let mb = 300_000_000u64;
+        let p = profile(
+            &[
+                ("l0", mb, 0.25),
+                ("l1", mb, 0.25),
+                ("l2", mb, 0.25),
+                ("l3", mb, 0.25),
+            ],
+            1.0,
+        );
+        let plan = cost.plan(&p, 2.0);
+        let guided = AdaptivePlan::decide_with_cost(&p, &cost, &plan, 2.0);
+        assert_eq!(guided.last_offloaded, Some(1));
+        assert!(guided.keeps("l2") && guided.keeps("l3"));
+        assert!(!guided.keeps("l1"));
     }
 
     #[test]

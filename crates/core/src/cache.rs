@@ -19,6 +19,7 @@
 
 use crate::adaptive::{AdaptivePlan, ModuleProfile, StepProfile};
 use crate::config::{RecoveryPolicy, TensorCacheConfig};
+use crate::costmodel::{CostModel, TierPlan};
 use crate::error::OffloadError;
 use crate::id::{storage_stamp, tensor_key, TensorKey};
 use crate::io::{IoEngine, JobId};
@@ -96,6 +97,10 @@ struct ScopeMeta {
     enter: SimTime,
     fwd_secs: f64,
     offload_bytes: u64,
+    /// Simulated link occupancy of this module's store jobs.
+    store_secs: f64,
+    /// Simulated link occupancy of this module's reloads.
+    load_secs: f64,
 }
 
 struct Inner {
@@ -190,6 +195,10 @@ pub struct TensorCache {
     inner: Mutex<Inner>,
     stats: Mutex<OffloadStats>,
     plan: Mutex<AdaptivePlan>,
+    tier_plan: Mutex<TierPlan>,
+    /// Per-link stage-barrier stall time this step (see
+    /// [`TensorCache::drain_stores`]); indexed by I/O link.
+    link_stalls: Mutex<Vec<f64>>,
     pending_error: Mutex<Option<OffloadError>>,
     trace: Mutex<TraceSink>,
 }
@@ -227,6 +236,8 @@ impl TensorCache {
             inner: Mutex::new(Inner::default()),
             stats: Mutex::new(OffloadStats::default()),
             plan: Mutex::new(AdaptivePlan::default()),
+            tier_plan: Mutex::new(TierPlan::default()),
+            link_stalls: Mutex::new(Vec::new()),
             pending_error: Mutex::new(None),
             trace: Mutex::new(TraceSink::disabled()),
         })
@@ -294,9 +305,18 @@ impl TensorCache {
     }
 
     /// Snapshot of this step's statistics, per-tier counters included.
+    /// Tier timing (stage-barrier stalls, link busy time) is overlaid
+    /// from the I/O engine so the snapshot and the trace agree.
     pub fn stats(&self) -> OffloadStats {
         let mut stats = self.stats.lock().clone();
         stats.tiers = self.tiers.counters();
+        let stalls = self.link_stalls.lock();
+        for (tier, counters) in self.tiers.tier_ids().iter().zip(stats.tiers.iter_mut()) {
+            let link = self.tiers.link(*tier);
+            counters.stall_secs = stalls.get(link).copied().unwrap_or(0.0);
+            counters.write_busy_secs = self.io.write_busy_secs_on(link);
+            counters.read_busy_secs = self.io.read_busy_secs_on(link);
+        }
         stats
     }
 
@@ -310,13 +330,23 @@ impl TensorCache {
         *self.plan.lock() = plan;
     }
 
+    /// The profile-guided tier plan currently applied (empty until a
+    /// profiling step ran with [`TensorCacheConfig::profile_guided`]).
+    pub fn tier_plan(&self) -> TierPlan {
+        self.tier_plan.lock().clone()
+    }
+
     // ------------------------------------------------------------------
     // Step lifecycle and scheduler hints (Algorithm 1)
     // ------------------------------------------------------------------
 
     /// Starts a measured step: clears per-step structures, the I/O job
     /// queues and statistics. Call after the runtime's clock was reset.
+    /// Under [`TensorCacheConfig::profile_guided`] the previous step's
+    /// observed timings re-derive the tier plan first, so placement
+    /// tracks the workload step over step.
     pub fn begin_step(&self) {
+        self.replan_from_last_step();
         self.flush();
         // Leftover records were just flushed against the old queues; new
         // jobs must not queue behind the previous step's transfers.
@@ -329,6 +359,7 @@ impl TensorCache {
         inner.fwd_start = self.io.clock().now();
         inner.fwd_secs = 0.0;
         *self.stats.lock() = OffloadStats::default();
+        self.link_stalls.lock().clear();
         self.tiers.reset_counters();
         // Failures during the flush above belong to the step that
         // already reported; the new step starts clean.
@@ -345,6 +376,8 @@ impl TensorCache {
 
     /// Ends a profiling step: builds the [`StepProfile`], derives the
     /// adaptive plan (when enabled) and applies it to subsequent steps.
+    /// Under [`TensorCacheConfig::profile_guided`] the same profile also
+    /// drives the [`CostModel`] tier planner.
     pub fn end_profile_step(&self) -> (StepProfile, AdaptivePlan) {
         let profile = {
             let mut inner = self.inner.lock();
@@ -354,40 +387,121 @@ impl TensorCache {
                 // phase switch was observed.
                 inner.fwd_secs = self.io.clock().now().since(inner.fwd_start);
             }
-            let order = inner
-                .forward_order
-                .get(&inner.current_mb)
-                .cloned()
-                .unwrap_or_default();
-            let modules: Vec<ModuleProfile> = order
-                .iter()
-                .filter_map(|seq| {
-                    let meta = inner.scopes.get(seq)?;
-                    if meta.records.is_empty() {
-                        return None;
-                    }
-                    Some(ModuleProfile {
-                        path: meta.path.clone(),
-                        offload_bytes: meta.offload_bytes,
-                        fwd_secs: meta.fwd_secs,
-                    })
-                })
-                .collect();
-            StepProfile {
-                modules,
-                fwd_total_secs: inner.fwd_secs,
-                fwd_io_bytes: self.io.bytes_written(),
-                fwd_io_secs: self.io.write_busy_secs(),
-            }
+            self.build_profile(&inner)
         };
+        let plan = self.replan(&profile);
+        (profile, plan)
+    }
+
+    /// Builds a [`StepProfile`] from the current step's scope metadata
+    /// (shared by [`TensorCache::end_profile_step`] and the between-step
+    /// re-plan).
+    fn build_profile(&self, inner: &Inner) -> StepProfile {
+        let fwd_total_secs = if inner.fwd_secs == 0.0 {
+            self.io.clock().now().since(inner.fwd_start)
+        } else {
+            inner.fwd_secs
+        };
+        let order = inner
+            .forward_order
+            .get(&inner.current_mb)
+            .cloned()
+            .unwrap_or_default();
+        let modules: Vec<ModuleProfile> = order
+            .iter()
+            .filter_map(|seq| {
+                let meta = inner.scopes.get(seq)?;
+                if meta.records.is_empty() {
+                    return None;
+                }
+                Some(ModuleProfile {
+                    path: meta.path.clone(),
+                    offload_bytes: meta.offload_bytes,
+                    fwd_secs: meta.fwd_secs,
+                    store_secs: meta.store_secs,
+                    load_secs: meta.load_secs,
+                })
+            })
+            .collect();
+        StepProfile {
+            modules,
+            fwd_total_secs,
+            fwd_io_bytes: self.io.bytes_written(),
+            fwd_io_secs: self.io.write_busy_secs(),
+        }
+    }
+
+    /// Derives and applies the plans for `profile`: the adaptive ROK
+    /// cutoff always, plus the cost-model tier assignment when
+    /// [`TensorCacheConfig::profile_guided`] is set. The adaptive budget
+    /// is the [`CostModel`]'s effective write bandwidth of the byte
+    /// split the stack would actually produce — bus-serialised when a
+    /// shared write bus is configured — rather than a single link's
+    /// rated figure.
+    fn replan(&self, profile: &StepProfile) -> AdaptivePlan {
         let plan = if self.config.adaptive {
-            AdaptivePlan::decide(&profile, self.io.write_bps(), self.config.bwd_fwd_ratio)
+            let cost = CostModel::from_parts(&self.io, &self.tiers);
+            if self.config.profile_guided && !cost.tiers().is_empty() {
+                let tier_plan = cost.plan(profile, self.config.bwd_fwd_ratio);
+                let plan = AdaptivePlan::decide_with_cost(
+                    profile,
+                    &cost,
+                    &tier_plan,
+                    self.config.bwd_fwd_ratio,
+                );
+                self.trace().instant_with(
+                    TraceCategory::Tier,
+                    "tier.replan",
+                    self.io.clock().now(),
+                    vec![
+                        (
+                            "modeled_step_secs",
+                            ArgValue::F64(tier_plan.modeled_step_secs),
+                        ),
+                        (
+                            "baseline_step_secs",
+                            ArgValue::F64(tier_plan.baseline_step_secs),
+                        ),
+                    ],
+                );
+                *self.tier_plan.lock() = tier_plan;
+                plan
+            } else {
+                let split = cost.split_for(profile, &cost.front_first_assignment(profile));
+                AdaptivePlan::decide(
+                    profile,
+                    cost.effective_write_bps(&split),
+                    self.config.bwd_fwd_ratio,
+                )
+            }
         } else {
             let paths: Vec<String> = profile.modules.iter().map(|m| m.path.clone()).collect();
             AdaptivePlan::keep_last_only(&paths)
         };
         *self.plan.lock() = plan.clone();
-        (profile, plan)
+        plan
+    }
+
+    /// Re-derives the plans from the step that just finished (scope
+    /// metadata still holds its observed timings when this runs at the
+    /// top of [`TensorCache::begin_step`]). Only active under
+    /// [`TensorCacheConfig::profile_guided`]; a profiling step keeps its
+    /// explicit [`TensorCache::end_profile_step`] flow.
+    fn replan_from_last_step(&self) {
+        if !(self.config.adaptive && self.config.profile_guided) {
+            return;
+        }
+        let profile = {
+            let inner = self.inner.lock();
+            if inner.profiling || inner.scopes.is_empty() {
+                return;
+            }
+            self.build_profile(&inner)
+        };
+        if profile.modules.is_empty() {
+            return;
+        }
+        self.replan(&profile);
     }
 
     /// Collects the records of up to `depth` record-holding modules at or
@@ -460,6 +574,99 @@ impl TensorCache {
     fn exit_stage(&self, stage: StageHint) {
         if matches!(stage, StageHint::Backward) {
             self.wait_io();
+        }
+        self.drain_stores();
+        if matches!(stage, StageHint::Optimizer) {
+            self.emit_tier_io();
+        }
+    }
+
+    /// Stage-barrier store drain: the next stage cannot begin while
+    /// store queues are still writing, so the simulated clock advances
+    /// to the last submitted store's completion. The exposed time — the
+    /// drain minus whatever compute already covered it — lands in
+    /// [`OffloadStats::store_stall_secs`] and, per link, in the tier
+    /// counters' `stall_secs`, with a `tier.drain.<link>` span
+    /// ([`TraceCategory::Tier`]) over each link's exposed window. A
+    /// fully-overlapped stage drains for free: no time passes, no span
+    /// or counter is emitted, and the step is byte-identical to the
+    /// pre-barrier behaviour.
+    ///
+    /// This is what makes backends with different [`crate::TierLink`]
+    /// speeds report different step times: the write direction's
+    /// critical-path contribution is `max(compute, store drain)` per
+    /// stage instead of compute alone.
+    pub fn drain_stores(&self) {
+        let now0 = self.io.clock().now();
+        let links = self.io.link_count();
+        let mut drains = Vec::with_capacity(links);
+        let mut latest = now0;
+        for link in 0..links {
+            let d = self.io.writes_drain_at_on(link);
+            latest = latest.max(d);
+            drains.push(d);
+        }
+        let stall = self.io.clock().advance_to(latest);
+        if stall <= 0.0 {
+            return;
+        }
+        self.stats.lock().store_stall_secs += stall;
+        let trace = self.trace();
+        let mut per_link = self.link_stalls.lock();
+        if per_link.len() < links {
+            per_link.resize(links, 0.0);
+        }
+        for (link, drain) in drains.iter().enumerate() {
+            let exposed = drain.since(now0);
+            if exposed > 0.0 {
+                per_link[link] += exposed;
+                trace.span(
+                    TraceCategory::Tier,
+                    format!("tier.drain.{}", self.io.link_name(link)),
+                    now0,
+                    *drain,
+                );
+            }
+        }
+    }
+
+    /// Emits one `tier.io.<name>` instant per tier that saw traffic this
+    /// step (at the optimizer stage's exit, i.e. the end of the step),
+    /// carrying the tier's byte counts and link busy/stall seconds — the
+    /// trace-side mirror of the [`OffloadStats`] tier counters.
+    fn emit_tier_io(&self) {
+        let trace = self.trace();
+        if !trace.is_enabled() {
+            return;
+        }
+        let now = self.io.clock().now();
+        let stalls = self.link_stalls.lock().clone();
+        for (tier, counters) in self.tiers.tier_ids().iter().zip(self.tiers.counters()) {
+            if counters.bytes_written == 0 && counters.bytes_read == 0 {
+                continue;
+            }
+            let link = self.tiers.link(*tier);
+            trace.instant_with(
+                TraceCategory::Tier,
+                format!("tier.io.{}", counters.name),
+                now,
+                vec![
+                    ("bytes_written", ArgValue::U64(counters.bytes_written)),
+                    ("bytes_read", ArgValue::U64(counters.bytes_read)),
+                    (
+                        "write_busy_secs",
+                        ArgValue::F64(self.io.write_busy_secs_on(link)),
+                    ),
+                    (
+                        "read_busy_secs",
+                        ArgValue::F64(self.io.read_busy_secs_on(link)),
+                    ),
+                    (
+                        "stall_secs",
+                        ArgValue::F64(stalls.get(link).copied().unwrap_or(0.0)),
+                    ),
+                ],
+            );
         }
     }
 
@@ -753,14 +960,22 @@ impl TensorCache {
                     now,
                     rec.bytes,
                 );
-                let ready = self
-                    .io
-                    .submit_load_from(self.tiers.link(rec.tier), rec.bytes);
+                let link = self.tiers.link(rec.tier);
+                let busy0 = self.io.read_busy_secs_on(link);
+                let ready = self.io.submit_load_from(link, rec.bytes);
+                let load_secs = self.io.read_busy_secs_on(link) - busy0;
                 self.restore_record(rec, ready);
                 rec.state = RecState::Loading { ready };
+                let bytes = rec.bytes;
+                let seq = rec.scopes.iter().min().copied();
+                if let Some(seq) = seq {
+                    if let Some(meta) = inner.scopes.get_mut(&seq) {
+                        meta.load_secs += load_secs;
+                    }
+                }
                 let mut stats = self.stats.lock();
                 stats.prefetches += 1;
-                stats.reloaded_bytes += rec.bytes;
+                stats.reloaded_bytes += bytes;
             }
         }
     }
@@ -908,9 +1123,23 @@ impl SavedTensorHooks for TensorCache {
         // Tier admission: reserve capacity before any store job exists,
         // so a bounded front tier can never be oversubscribed by jobs
         // already in flight. A full stack refuses gracefully — the
-        // tensor stays on the graph, numerics untouched.
+        // tensor stays on the graph, numerics untouched. Under a
+        // profile-guided tier plan the planned tier is preferred (its
+        // fallback is the plain front-first walk).
         let bytes = tensor.bytes();
-        let Some(placement) = self.tiers.reserve(bytes) else {
+        let preferred = if self.config.profile_guided {
+            cur_scope.and_then(|seq| {
+                let path = &inner.scopes[&seq].path;
+                self.tier_plan.lock().preferred(path)
+            })
+        } else {
+            None
+        };
+        let placement = match preferred {
+            Some(tier) => self.tiers.reserve_preferring(tier, bytes),
+            None => self.tiers.reserve(bytes),
+        };
+        let Some(placement) = placement else {
             drop(inner);
             let mut stats = self.stats.lock();
             stats.kept += 1;
@@ -931,6 +1160,10 @@ impl SavedTensorHooks for TensorCache {
         let job = self
             .io
             .submit_store_to(self.tiers.link(placement.tier), bytes);
+        let store_secs = {
+            let (start, end) = self.io.store_span(job);
+            end.since(start)
+        };
         let id = inner.next_id;
         inner.next_id += 1;
         let mut scopes = HashSet::new();
@@ -939,6 +1172,7 @@ impl SavedTensorHooks for TensorCache {
             if let Some(meta) = inner.scopes.get_mut(&seq) {
                 meta.records.push(id);
                 meta.offload_bytes += bytes;
+                meta.store_secs += store_secs;
             }
         }
         inner.records.insert(
@@ -1043,13 +1277,20 @@ impl SavedTensorHooks for TensorCache {
                         // left memory, no reload needed.
                         return rec.tensor.clone();
                     }
-                    let ready = self
-                        .io
-                        .submit_load_from(self.tiers.link(rec.tier), rec.bytes);
+                    let link = self.tiers.link(rec.tier);
+                    let busy0 = self.io.read_busy_secs_on(link);
+                    let ready = self.io.submit_load_from(link, rec.bytes);
+                    let load_secs = self.io.read_busy_secs_on(link) - busy0;
                     self.restore_record(rec, ready);
                     rec.state = RecState::Resident;
                     let bytes = rec.bytes;
                     let t = rec.tensor.clone();
+                    let seq = rec.scopes.iter().min().copied();
+                    if let Some(seq) = seq {
+                        if let Some(meta) = inner.scopes.get_mut(&seq) {
+                            meta.load_secs += load_secs;
+                        }
+                    }
                     drop(inner);
                     let stall = self.io.clock().advance_to(ready);
                     let mut stats = self.stats.lock();
@@ -1069,13 +1310,20 @@ impl SavedTensorHooks for TensorCache {
                 }
             }
             RecState::Offloaded => {
-                let ready = self
-                    .io
-                    .submit_load_from(self.tiers.link(rec.tier), rec.bytes);
+                let link = self.tiers.link(rec.tier);
+                let busy0 = self.io.read_busy_secs_on(link);
+                let ready = self.io.submit_load_from(link, rec.bytes);
+                let load_secs = self.io.read_busy_secs_on(link) - busy0;
                 self.restore_record(rec, ready);
                 rec.state = RecState::Resident;
                 let bytes = rec.bytes;
                 let t = rec.tensor.clone();
+                let seq = rec.scopes.iter().min().copied();
+                if let Some(seq) = seq {
+                    if let Some(meta) = inner.scopes.get_mut(&seq) {
+                        meta.load_secs += load_secs;
+                    }
+                }
                 drop(inner);
                 let stall = self.io.clock().advance_to(ready);
                 let mut stats = self.stats.lock();
@@ -1129,6 +1377,8 @@ impl ModuleHooks for TensorCache {
                 enter: self.io.clock().now(),
                 fwd_secs: 0.0,
                 offload_bytes: 0,
+                store_secs: 0.0,
+                load_secs: 0.0,
             },
         );
         inner

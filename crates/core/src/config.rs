@@ -133,6 +133,13 @@ pub struct TensorCacheConfig {
     /// Backward-to-forward time ratio assumed by the adaptive planner
     /// (the paper estimates backward ≈ 2× forward).
     pub bwd_fwd_ratio: f64,
+    /// Drive tier placement from the profile-guided cost model
+    /// ([`crate::CostModel`]): profiling plans a per-module tier
+    /// assignment scored by modeled step time, the cache applies it at
+    /// pack time and re-plans between steps. When `false` (the default),
+    /// placement keeps the static front-first tier walk.
+    #[serde(default)]
+    pub profile_guided: bool,
     /// What to do when the offload target fails an I/O operation.
     pub recovery: RecoveryPolicy,
     /// Extra attempts for failed loads (and fallback stores) before the
@@ -151,6 +158,7 @@ impl Default for TensorCacheConfig {
             prefetch: true,
             prefetch_depth: 2,
             bwd_fwd_ratio: 2.0,
+            profile_guided: false,
             recovery: RecoveryPolicy::default(),
             max_io_retries: 2,
         }
@@ -177,6 +185,7 @@ mod tests {
         let c = TensorCacheConfig::default();
         assert_eq!(c.min_offload_numel, 1 << 20);
         assert!(c.dedup && c.forwarding && c.prefetch && c.adaptive);
+        assert!(!c.profile_guided, "cost-model placement is opt-in");
         assert_eq!(c.bwd_fwd_ratio, 2.0);
     }
 

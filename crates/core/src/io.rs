@@ -11,9 +11,15 @@
 //!
 //! A tiered engine ([`IoEngine::tiered`]) prices each tier's transfers
 //! against its own simulated link — PCIe-to-DRAM for a host pool tier,
-//! PCIe-to-SSD for the array — so a DRAM front tier and an SSD spill
-//! tier proceed concurrently, full duplex each. The single-link
+//! PCIe-to-SSD for the array — full duplex each. The single-link
 //! constructor ([`IoEngine::new`]) reproduces the flat pre-tier engine.
+//!
+//! On a real node every offload write leaves the GPU over *one* PCIe
+//! link, whatever tier it lands on; [`IoEngine::tiered_with_bus`]
+//! models that by serialising all store jobs FIFO across links on a
+//! shared write bus (each job still pays its own link's rate, capped by
+//! the bus). Loads stay independent per link — PCIe is full duplex and
+//! the read path is not the paper's bottleneck.
 
 use parking_lot::Mutex;
 use ssdtrain_simhw::{Channel, SimClock, SimTime};
@@ -87,10 +93,11 @@ impl WriteQueue {
         }
     }
 
-    /// Applies a slowdown at `now`: queued jobs stretch fully, a job in
-    /// flight stretches only its remaining portion, finished jobs keep
-    /// their history. FIFO order is untouched.
-    fn throttle(&mut self, factor: f64, now: SimTime) {
+    /// Applies a slowdown at `now` without rescheduling: queued jobs
+    /// stretch fully, a job in flight stretches only its remaining
+    /// portion, finished jobs keep their history. The caller reflows
+    /// (per-queue or bus-wide). FIFO order is untouched.
+    fn stretch(&mut self, factor: f64, now: SimTime) {
         self.slowdown *= factor;
         for j in self.jobs.iter_mut().filter(|j| !j.cancelled) {
             if j.end <= now {
@@ -104,15 +111,30 @@ impl WriteQueue {
                 j.dur_secs = done + remaining * factor;
             }
         }
+    }
+
+    fn throttle(&mut self, factor: f64, now: SimTime) {
+        self.stretch(factor, now);
         self.reflow();
     }
 }
 
 /// One tier link's queue pair: a FIFO write queue plus a read channel.
 struct LinkQueues {
+    name: String,
     write_bps: f64,
     writes: Mutex<WriteQueue>,
     reads: Channel,
+    /// Seconds the read direction was busy this step (sum of transfer
+    /// durations booked on the read channel; cleared by `reset`).
+    read_busy_secs: Mutex<f64>,
+}
+
+/// Shared write-bus state: the global FIFO submission order every
+/// non-cancelled store serialises through when a bus is configured.
+struct BusState {
+    write_bps: f64,
+    order: Mutex<Vec<JobId>>,
 }
 
 /// The simulated store/load engine shared by a tensor cache.
@@ -127,7 +149,9 @@ struct LinkQueues {
 /// assert_eq!(ready.as_secs(), 0.5);
 /// ```
 ///
-/// Tiered pricing — each link is an independent full-duplex resource:
+/// Tiered pricing without a bus ([`IoEngine::tiered`]) treats each link
+/// as an independent full-duplex resource — the right model when tiers
+/// sit behind genuinely separate interconnects:
 ///
 /// ```
 /// use ssdtrain::{IoEngine, TierLink};
@@ -141,10 +165,30 @@ struct LinkQueues {
 /// assert_eq!(io.store_end(a).as_secs(), 1.0);
 /// assert_eq!(io.store_end(b).as_secs(), 1.0); // no cross-tier queueing
 /// ```
+///
+/// With a shared write bus ([`IoEngine::tiered_with_bus`]) — the model a
+/// [`TrainSession`](../ssdtrain_train/index.html) uses, because both
+/// tiers sit behind the same GPU PCIe link — stores serialise FIFO
+/// across links and the second store waits for the first:
+///
+/// ```
+/// use ssdtrain::{IoEngine, TierLink};
+/// use ssdtrain_simhw::SimClock;
+/// let io = IoEngine::tiered_with_bus(
+///     SimClock::new(),
+///     vec![TierLink::new("dram", 2e9, 2e9), TierLink::new("ssd", 1e9, 1e9)],
+///     2e9, // one PCIe write bus shared by both tiers
+/// );
+/// let a = io.submit_store_to(0, 2_000_000_000); // 0..1 s, dram at bus rate
+/// let b = io.submit_store_to(1, 1_000_000_000); // bus busy until 1 s
+/// assert_eq!(io.store_end(a).as_secs(), 1.0);
+/// assert_eq!(io.store_end(b).as_secs(), 2.0); // cross-tier queueing
+/// ```
 #[derive(Clone)]
 pub struct IoEngine {
     clock: SimClock,
     links: Arc<Vec<LinkQueues>>,
+    bus: Option<Arc<BusState>>,
     trace: Arc<Mutex<TraceSink>>,
 }
 
@@ -165,6 +209,24 @@ impl IoEngine {
     /// Panics if `links` is empty or any bandwidth is not positive —
     /// both are construction-time configuration bugs.
     pub fn tiered(clock: SimClock, links: Vec<TierLink>) -> IoEngine {
+        IoEngine::build(clock, links, None)
+    }
+
+    /// Creates an engine whose store jobs all serialise FIFO through one
+    /// shared write bus of `bus_write_bps` bytes/s, whatever link they
+    /// target — the single-PCIe-link reality of the paper's testbed. A
+    /// job transfers at `min(link write bps, bus bps)` (after any
+    /// slowdown); loads stay independent per link (full duplex).
+    ///
+    /// # Panics
+    /// Panics if `links` is empty or any bandwidth (including the bus)
+    /// is not positive — construction-time configuration bugs.
+    pub fn tiered_with_bus(clock: SimClock, links: Vec<TierLink>, bus_write_bps: f64) -> IoEngine {
+        assert!(bus_write_bps > 0.0, "bus bandwidth must be positive");
+        IoEngine::build(clock, links, Some(bus_write_bps))
+    }
+
+    fn build(clock: SimClock, links: Vec<TierLink>, bus_write_bps: Option<f64>) -> IoEngine {
         assert!(!links.is_empty(), "an IoEngine needs at least one link");
         let links = links
             .into_iter()
@@ -174,15 +236,23 @@ impl IoEngine {
                     "bandwidth must be positive"
                 );
                 LinkQueues {
+                    reads: Channel::new(&format!("{}-read", l.name), l.read_bps),
+                    name: l.name,
                     write_bps: l.write_bps,
                     writes: Mutex::new(WriteQueue::default()),
-                    reads: Channel::new(&format!("{}-read", l.name), l.read_bps),
+                    read_busy_secs: Mutex::new(0.0),
                 }
             })
             .collect();
         IoEngine {
             clock,
             links: Arc::new(links),
+            bus: bus_write_bps.map(|write_bps| {
+                Arc::new(BusState {
+                    write_bps,
+                    order: Mutex::new(Vec::new()),
+                })
+            }),
             trace: Arc::new(Mutex::new(TraceSink::disabled())),
         }
     }
@@ -267,8 +337,14 @@ impl IoEngine {
         assert!(factor > 0.0, "slowdown factor must be positive");
         let now = self.clock.now();
         for link in self.links.iter() {
-            link.writes.lock().throttle(factor, now);
+            match &self.bus {
+                Some(_) => link.writes.lock().stretch(factor, now),
+                None => link.writes.lock().throttle(factor, now),
+            }
             link.reads.throttle(factor);
+        }
+        if let Some(bus) = &self.bus {
+            self.reflow_bus(bus);
         }
     }
 
@@ -285,28 +361,57 @@ impl IoEngine {
         let link = link.min(self.links.len() - 1);
         let l = &self.links[link];
         let now = self.clock.now();
-        let mut q = l.writes.lock();
-        let prev_end = q
-            .jobs
-            .iter()
-            .rev()
-            .find(|j| !j.cancelled)
-            .map(|j| j.end)
-            .unwrap_or(SimTime::ZERO);
-        let start = now.max(prev_end);
-        let dur_secs = bytes as f64 * q.slowdown / l.write_bps;
-        let end = start.plus_secs(dur_secs);
-        q.jobs.push(WriteJob {
-            bytes,
-            submit: now,
-            start,
-            end,
-            dur_secs,
-            cancelled: false,
-        });
-        JobId {
-            link,
-            idx: q.jobs.len() - 1,
+        let eff_bps = match &self.bus {
+            Some(bus) => l.write_bps.min(bus.write_bps),
+            None => l.write_bps,
+        };
+        let id = {
+            let mut q = l.writes.lock();
+            let prev_end = q
+                .jobs
+                .iter()
+                .rev()
+                .find(|j| !j.cancelled)
+                .map(|j| j.end)
+                .unwrap_or(SimTime::ZERO);
+            let start = now.max(prev_end);
+            let dur_secs = bytes as f64 * q.slowdown / eff_bps;
+            let end = start.plus_secs(dur_secs);
+            q.jobs.push(WriteJob {
+                bytes,
+                submit: now,
+                start,
+                end,
+                dur_secs,
+                cancelled: false,
+            });
+            JobId {
+                link,
+                idx: q.jobs.len() - 1,
+            }
+        };
+        if let Some(bus) = &self.bus {
+            bus.order.lock().push(id);
+            self.reflow_bus(bus);
+        }
+        id
+    }
+
+    /// Reschedules every live store across every link in global
+    /// submission order: each job starts when the shared bus frees up
+    /// (which also covers its own link — the bus serialises everything).
+    fn reflow_bus(&self, bus: &BusState) {
+        let order = bus.order.lock();
+        let mut queues: Vec<_> = self.links.iter().map(|l| l.writes.lock()).collect();
+        let mut prev_end = SimTime::ZERO;
+        for id in order.iter() {
+            let j = &mut queues[id.link].jobs[id.idx];
+            if j.cancelled {
+                continue;
+            }
+            j.start = j.submit.max(prev_end);
+            j.end = j.start.plus_secs(j.dur_secs);
+            prev_end = j.end;
         }
     }
 
@@ -342,13 +447,20 @@ impl IoEngine {
     /// success (the adaptive-offloading check a store worker performs
     /// before writing a forwarded tensor).
     pub fn try_cancel_store(&self, job: JobId, now: SimTime) -> bool {
-        let mut q = self.links[job.link].writes.lock();
-        let j = &mut q.jobs[job.idx];
-        if j.cancelled || j.start <= now {
-            return false;
+        {
+            let mut q = self.links[job.link].writes.lock();
+            let j = &mut q.jobs[job.idx];
+            if j.cancelled || j.start <= now {
+                return false;
+            }
+            j.cancelled = true;
+            if self.bus.is_none() {
+                q.reflow();
+            }
         }
-        j.cancelled = true;
-        q.reflow();
+        if let Some(bus) = &self.bus {
+            self.reflow_bus(bus);
+        }
         true
     }
 
@@ -363,6 +475,7 @@ impl IoEngine {
     pub fn submit_load_from(&self, link: usize, bytes: u64) -> SimTime {
         let link = link.min(self.links.len() - 1);
         let (start, end) = self.links[link].reads.submit(self.clock.now(), bytes);
+        *self.links[link].read_busy_secs.lock() += end.as_secs() - start.as_secs();
         self.trace()
             .span_bytes(TraceCategory::Load, "load", start, end, bytes);
         end
@@ -370,18 +483,36 @@ impl IoEngine {
 
     /// When the last scheduled write across every link finishes.
     pub fn writes_drain_at(&self) -> SimTime {
+        (0..self.links.len())
+            .map(|l| self.writes_drain_at_on(l))
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// When the last scheduled write on one tier link finishes
+    /// ([`SimTime::ZERO`] when the queue is empty or out of range).
+    pub fn writes_drain_at_on(&self, link: usize) -> SimTime {
         self.links
-            .iter()
-            .flat_map(|l| {
+            .get(link)
+            .map(|l| {
                 l.writes
                     .lock()
                     .jobs
                     .iter()
                     .filter(|j| !j.cancelled)
                     .map(|j| j.end)
-                    .collect::<Vec<_>>()
+                    .fold(SimTime::ZERO, SimTime::max)
             })
-            .fold(SimTime::ZERO, SimTime::max)
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// The name of one tier link (empty when out of range).
+    pub fn link_name(&self, link: usize) -> &str {
+        self.links.get(link).map(|l| l.name.as_str()).unwrap_or("")
+    }
+
+    /// The shared write bus bandwidth, if one is configured.
+    pub fn bus_write_bps(&self) -> Option<f64> {
+        self.bus.as_ref().map(|b| b.write_bps)
     }
 
     /// Total bytes actually written across every link (cancelled jobs
@@ -423,8 +554,16 @@ impl IoEngine {
 
     /// Seconds the write directions were busy, summed over links.
     pub fn write_busy_secs(&self) -> f64 {
+        (0..self.links.len())
+            .map(|l| self.write_busy_secs_on(l))
+            .sum()
+    }
+
+    /// Seconds one tier link's write direction was busy this step
+    /// (cancelled jobs excluded).
+    pub fn write_busy_secs_on(&self, link: usize) -> f64 {
         self.links
-            .iter()
+            .get(link)
             .map(|l| {
                 l.writes
                     .lock()
@@ -434,7 +573,15 @@ impl IoEngine {
                     .map(|j| j.dur_secs)
                     .sum::<f64>()
             })
-            .sum()
+            .unwrap_or(0.0)
+    }
+
+    /// Seconds one tier link's read direction was busy this step.
+    pub fn read_busy_secs_on(&self, link: usize) -> f64 {
+        self.links
+            .get(link)
+            .map(|l| *l.read_busy_secs.lock())
+            .unwrap_or(0.0)
     }
 
     /// Clears all job state on every link (new measured step). An
@@ -443,6 +590,10 @@ impl IoEngine {
         for link in self.links.iter() {
             link.writes.lock().jobs.clear();
             link.reads.reset();
+            *link.read_busy_secs.lock() = 0.0;
+        }
+        if let Some(bus) = &self.bus {
+            bus.order.lock().clear();
         }
     }
 }
@@ -636,5 +787,99 @@ mod tests {
         let a = io.submit_store_to(99, 1_000_000_000);
         assert_eq!(io.store_end(a).as_secs(), 1.0); // priced on the ssd link
         assert_eq!(io.bytes_written_on(1), 1_000_000_000);
+    }
+
+    fn bus_engine() -> (SimClock, IoEngine) {
+        let clock = SimClock::new();
+        let io = IoEngine::tiered_with_bus(
+            clock.clone(),
+            vec![
+                TierLink::new("dram", 2e9, 2e9),
+                TierLink::new("ssd", 1e9, 1e9),
+            ],
+            2e9,
+        );
+        (clock, io)
+    }
+
+    #[test]
+    fn bus_serialises_stores_across_links() {
+        let (_c, io) = bus_engine();
+        let a = io.submit_store_to(0, 2_000_000_000); // 0..1 s at the bus rate
+        let b = io.submit_store_to(1, 1_000_000_000); // bus busy until 1 s
+        let c = io.submit_store_to(0, 2_000_000_000); // behind b on the bus
+        assert_eq!(io.store_end(a).as_secs(), 1.0);
+        assert_eq!(io.store_end(b).as_secs(), 2.0);
+        assert_eq!(io.store_end(c).as_secs(), 3.0);
+        // Per-link drain reflects the bus schedule, not link-local FIFO.
+        assert_eq!(io.writes_drain_at_on(0).as_secs(), 3.0);
+        assert_eq!(io.writes_drain_at_on(1).as_secs(), 2.0);
+        assert_eq!(io.bus_write_bps(), Some(2e9));
+    }
+
+    #[test]
+    fn bus_jobs_pay_the_slower_of_link_and_bus() {
+        let (_c, io) = bus_engine();
+        // The ssd link (1 GB/s) is slower than the bus (2 GB/s).
+        let a = io.submit_store_to(1, 1_000_000_000);
+        assert_eq!(io.store_end(a).as_secs(), 1.0);
+        assert_eq!(io.write_busy_secs_on(1), 1.0);
+    }
+
+    #[test]
+    fn bus_cancellation_reflows_the_global_order() {
+        let (_c, io) = bus_engine();
+        let _a = io.submit_store_to(0, 2_000_000_000); // 0..1 s
+        let b = io.submit_store_to(1, 1_000_000_000); // 1..2 s
+        let c = io.submit_store_to(0, 2_000_000_000); // 2..3 s
+        assert!(io.try_cancel_store(b, SimTime::from_secs(0.5)));
+        // c pulls forward across the freed bus slot.
+        assert_eq!(io.store_end(c).as_secs(), 2.0);
+        assert_eq!(io.bytes_written(), 4_000_000_000);
+    }
+
+    #[test]
+    fn bus_throttle_stretches_the_serialised_schedule() {
+        let (clock, io) = bus_engine();
+        let a = io.submit_store_to(0, 2_000_000_000); // 0..1 s
+        let b = io.submit_store_to(1, 1_000_000_000); // 1..2 s
+        clock.advance_by(0.5);
+        io.throttle(2.0);
+        // a: half done, remaining half at half speed → ends at 1.5 s.
+        assert_eq!(io.store_end(a).as_secs(), 1.5);
+        // b: not started, 2 s at the slowed rate, behind a on the bus.
+        assert_eq!(io.store_end(b).as_secs(), 3.5);
+    }
+
+    #[test]
+    fn single_link_bus_matches_the_flat_engine() {
+        let clock = SimClock::new();
+        let flat = IoEngine::new(clock.clone(), 1e9, 2e9);
+        let bus = IoEngine::tiered_with_bus(
+            clock.clone(),
+            vec![TierLink::new("offload", 1e9, 2e9)],
+            25e9,
+        );
+        for io in [&flat, &bus] {
+            let a = io.submit_store(1_000_000_000);
+            let b = io.submit_store(500_000_000);
+            io.try_cancel_store(b, SimTime::from_secs(0.5));
+            assert_eq!(io.store_end(a).as_secs(), 1.0);
+            assert_eq!(io.writes_drain_at().as_secs(), 1.0);
+            assert_eq!(io.bytes_written(), 1_000_000_000);
+        }
+    }
+
+    #[test]
+    fn per_link_busy_accounting_tracks_reads() {
+        let (_c, io) = tiered_engine();
+        io.submit_load_from(0, 2_000_000_000); // 1 s at 2 GB/s
+        io.submit_load_from(1, 1_000_000_000); // 1 s at 1 GB/s
+        assert_eq!(io.read_busy_secs_on(0), 1.0);
+        assert_eq!(io.read_busy_secs_on(1), 1.0);
+        assert_eq!(io.link_name(0), "dram");
+        assert_eq!(io.link_name(1), "ssd");
+        io.reset();
+        assert_eq!(io.read_busy_secs_on(0), 0.0);
     }
 }

@@ -34,6 +34,7 @@
 pub mod adaptive;
 pub mod cache;
 pub mod config;
+pub mod costmodel;
 pub mod error;
 pub mod fault;
 pub mod id;

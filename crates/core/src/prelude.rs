@@ -21,13 +21,14 @@
 pub use crate::adaptive::{AdaptivePlan, ModuleProfile, StepProfile};
 pub use crate::cache::{StageHint, StageScope, TensorCache};
 pub use crate::config::{PlacementStrategy, RecoveryPolicy, TensorCacheConfig};
+pub use crate::costmodel::{CostModel, TierCost, TierPlan};
 pub use crate::error::OffloadError;
 pub use crate::fault::FaultyTarget;
 pub use crate::io::{IoEngine, TierLink};
 pub use crate::placement::{KeepReason, Placement, PlacementPolicy, PlacementQuery};
 pub use crate::stats::OffloadStats;
 pub use crate::target::{CpuTarget, OffloadTarget, SsdTarget};
-pub use crate::tier::{Tier, TierCounters, TierId, TierPlacement, TierRole, TierStack};
+pub use crate::tier::{Tier, TierCounters, TierId, TierPlacement, TierRole, TierSpec, TierStack};
 
 pub use ssdtrain_trace::{
     chrome_trace_json, text_summary, ArgValue, EventKind, HistogramSummary, LinkTraceBridge,

@@ -37,6 +37,12 @@ pub struct OffloadStats {
     /// Total simulated seconds the GPU stalled waiting for reloads — the
     /// exposed I/O latency; ≈0 when overlap is perfect (paper Q1).
     pub stall_secs: f64,
+    /// Simulated seconds the step stalled at stage barriers waiting for
+    /// store queues to drain — the write-direction exposure that makes
+    /// dram, ssd and tiered backends report different step times; 0 when
+    /// every store hides inside its stage's compute.
+    #[serde(default)]
+    pub store_stall_secs: f64,
     /// Stores the offload target failed (recovery then applied per
     /// [`crate::RecoveryPolicy`]).
     pub store_failures: u64,
@@ -105,8 +111,12 @@ impl OffloadStats {
             registry.inc_counter(&format!("{prefix}.loads"), tier.loads);
             registry.inc_counter(&format!("{prefix}.spilled_in_bytes"), tier.spilled_in_bytes);
             registry.inc_counter(&format!("{prefix}.demoted_in_bytes"), tier.demoted_in_bytes);
+            registry.observe(&format!("{prefix}.stall_secs"), tier.stall_secs);
+            registry.observe(&format!("{prefix}.write_busy_secs"), tier.write_busy_secs);
+            registry.observe(&format!("{prefix}.read_busy_secs"), tier.read_busy_secs);
         }
         registry.observe("offload.stall_secs", self.stall_secs);
+        registry.observe("offload.store_stall_secs", self.store_stall_secs);
     }
 }
 

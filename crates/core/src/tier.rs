@@ -151,6 +151,31 @@ pub struct TierCounters {
     pub spilled_in_bytes: u64,
     /// Bytes demoted here after a faster tier's device refused them.
     pub demoted_in_bytes: u64,
+    /// Seconds the step stalled waiting for this tier's store queue to
+    /// drain at a stage barrier (filled from the I/O engine when the
+    /// stats snapshot is taken).
+    #[serde(default)]
+    pub stall_secs: f64,
+    /// Seconds this tier's link spent transferring stores this step.
+    #[serde(default)]
+    pub write_busy_secs: f64,
+    /// Seconds this tier's link spent transferring loads this step.
+    #[serde(default)]
+    pub read_busy_secs: f64,
+}
+
+/// Static description of one placement-eligible tier — the shape the
+/// profile-guided cost model ([`crate::CostModel`]) consumes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierSpec {
+    /// The tier's id in the stack.
+    pub tier: TierId,
+    /// The tier's display name.
+    pub name: String,
+    /// Index of the simulated link its transfers are priced on.
+    pub link: usize,
+    /// Admission capacity, `None` when unbounded.
+    pub capacity_bytes: Option<u64>,
 }
 
 /// Where [`TierStack::reserve`] admitted a tensor.
@@ -282,6 +307,31 @@ impl TierStack {
     pub fn reserved_bytes(&self, tier: TierId) -> u64 {
         let inner = self.inner.lock();
         inner.get(tier.0).map(|(_, s)| s.reserved).unwrap_or(0)
+    }
+
+    /// Admits `bytes` into `preferred` when that tier is
+    /// placement-eligible and has headroom — a *planned* placement, not
+    /// a spill, even when faster tiers had room. Falls back to the
+    /// front-to-back walk of [`TierStack::reserve`] otherwise, keeping
+    /// its spill accounting (only a capacity-forced deviation counts).
+    pub fn reserve_preferring(&self, preferred: TierId, bytes: u64) -> Option<TierPlacement> {
+        {
+            let mut inner = self.inner.lock();
+            if let Some((tier, state)) = inner.get_mut(preferred.0) {
+                let fits = match tier.capacity_bytes {
+                    Some(cap) => state.reserved.saturating_add(bytes) <= cap,
+                    None => true,
+                };
+                if tier.role == TierRole::Placement && fits {
+                    state.reserved += bytes;
+                    return Some(TierPlacement {
+                        tier: preferred,
+                        spilled: false,
+                    });
+                }
+            }
+        }
+        self.reserve(bytes)
     }
 
     /// Admits `bytes` into the first placement tier with capacity
@@ -451,6 +501,24 @@ impl TierStack {
         None
     }
 
+    /// Static descriptions of the placement-eligible tiers, front
+    /// first — the cost model's view of the stack (demotion-only tiers
+    /// are a fault-recovery path and carry no planned placements).
+    pub fn placement_tiers(&self) -> Vec<TierSpec> {
+        let inner = self.inner.lock();
+        inner
+            .iter()
+            .enumerate()
+            .filter(|(_, (t, _))| t.role == TierRole::Placement)
+            .map(|(idx, (t, _))| TierSpec {
+                tier: TierId(idx),
+                name: t.name.clone(),
+                link: t.link,
+                capacity_bytes: t.capacity_bytes,
+            })
+            .collect()
+    }
+
     /// Snapshot of every tier's counters, front first.
     pub fn counters(&self) -> Vec<TierCounters> {
         let inner = self.inner.lock();
@@ -557,6 +625,45 @@ mod tests {
         ]);
         assert!(stack.reserve(8).is_some());
         assert!(stack.reserve(8).is_none());
+    }
+
+    #[test]
+    fn preferred_reservation_is_not_a_spill() {
+        let stack = two_tier(100);
+        // Planned placement on the back tier: deliberate, not a spill.
+        assert_eq!(
+            stack.reserve_preferring(TierId(1), 40),
+            Some(TierPlacement {
+                tier: TierId(1),
+                spilled: false,
+            })
+        );
+        assert_eq!(stack.counters()[1].spilled_in_bytes, 0);
+        // A full preferred tier falls back to the normal walk.
+        assert_eq!(
+            stack.reserve_preferring(TierId(0), 200).map(|p| p.tier),
+            Some(TierId(1))
+        );
+        assert_eq!(stack.counters()[1].spilled_in_bytes, 200);
+        // An out-of-range preference degrades to plain reserve.
+        assert_eq!(
+            stack.reserve_preferring(TierId(9), 10).map(|p| p.tier),
+            Some(TierId(0))
+        );
+    }
+
+    #[test]
+    fn placement_tiers_skip_demotion_only_levels() {
+        let stack = TierStack::new(vec![
+            Tier::new("dram", Arc::new(CpuTarget::new(10)), 0).with_capacity(10),
+            Tier::new("ssd", Arc::new(CpuTarget::new(1 << 20)), 1),
+            Tier::new("cpu-fb", Arc::new(CpuTarget::new(1 << 20)), 0).demotion_only(),
+        ]);
+        let specs = stack.placement_tiers();
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[0].name, "dram");
+        assert_eq!(specs[0].capacity_bytes, Some(10));
+        assert_eq!(specs[1].link, 1);
     }
 
     #[test]

@@ -12,7 +12,12 @@ use crate::diagnostics::Diagnostic;
 use crate::lexer::Token;
 use crate::workspace::Workspace;
 
-const SCOPED_DIRS: [&str; 3] = ["crates/simhw", "crates/core", "crates/trace"];
+const SCOPED_DIRS: [&str; 4] = [
+    "crates/simhw",
+    "crates/core",
+    "crates/trace",
+    "crates/train",
+];
 const BANNED: [&str; 2] = ["Instant", "SystemTime"];
 
 pub struct NoWallClock;

@@ -12,11 +12,12 @@ use crate::diagnostics::Diagnostic;
 use crate::workspace::Workspace;
 
 /// The offload hot path: cache pack/unpack and recovery, the placement
-/// policy, the tier stack, the I/O engine, the targets, fault
-/// injection, and the training executors.
-const HOT_PATH: [&str; 8] = [
+/// policy and cost model, the tier stack, the I/O engine, the targets,
+/// fault injection, and the training executors.
+const HOT_PATH: [&str; 9] = [
     "crates/core/src/cache.rs",
     "crates/core/src/placement.rs",
+    "crates/core/src/costmodel.rs",
     "crates/core/src/tier.rs",
     "crates/core/src/io.rs",
     "crates/core/src/target.rs",

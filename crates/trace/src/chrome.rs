@@ -79,8 +79,16 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
     out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
 
     // Process/thread naming metadata, in deterministic (step, lane) order.
+    // Lane names come from `TraceCategory::lane` itself so new categories
+    // cannot drift out of sync with this exporter.
     let steps: BTreeSet<u32> = events.iter().map(|e| e.step).collect();
-    let lanes: BTreeSet<(u32, u32)> = events.iter().map(|e| (e.step, e.cat.lane().0)).collect();
+    let lanes: BTreeSet<(u32, u32, &str)> = events
+        .iter()
+        .map(|e| {
+            let (tid, name) = e.cat.lane();
+            (e.step, tid, name)
+        })
+        .collect();
     let mut first = true;
     for step in &steps {
         if !first {
@@ -94,14 +102,7 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
             "{{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":{step},\"tid\":0,\"args\":{{\"sort_index\":{step}}}}}"
         );
     }
-    for (step, tid) in &lanes {
-        let lane_name = [
-            "schedule",
-            "store path",
-            "load path",
-            "faults",
-            "memory+links",
-        ][*tid as usize];
+    for (step, tid, lane_name) in &lanes {
         out.push(',');
         metadata_event(&mut out, "thread_name", *step, *tid, lane_name);
     }

@@ -283,6 +283,11 @@ impl PipelineExec {
         for stage in &self.stages {
             if let Some(c) = &stage.cache {
                 c.wait_io();
+                // The stage's store queue must land before its step can
+                // end; whatever the backward passes did not hide
+                // surfaces on this stage's clock (and so in the
+                // makespan below).
+                c.drain_stores();
                 c.flush();
                 if step_error.is_none() {
                     step_error = c.take_error();
@@ -303,7 +308,13 @@ impl PipelineExec {
         self.optimizer.zero_grad();
         self.step_idx += 1;
 
-        let step_secs = b_done[0].iter().fold(0.0f64, |a, b| a.max(*b));
+        // Makespan: latest stage-0 backward completion, pushed out by
+        // any stage whose store drain outlived its compute.
+        let step_secs = self
+            .stages
+            .iter()
+            .map(|s| s.clock.now().as_secs())
+            .fold(b_done[0].iter().fold(0.0f64, |a, b| a.max(*b)), f64::max);
         self.trace.instant(
             TraceCategory::Session,
             "step.end",

@@ -250,7 +250,13 @@ impl TrainSession {
                 }
                 None => None,
             };
-            let io = IoEngine::tiered(runtime.clock.clone(), links);
+            // Every offload byte crosses the one physical PCIe bus
+            // regardless of which tier absorbs it, so store jobs
+            // serialise across links instead of draining in parallel —
+            // this is what makes the tiered backend's drain land between
+            // dram's and ssd's on the step critical path. Single-link
+            // backends are byte-identical with or without the bus.
+            let io = IoEngine::tiered_with_bus(runtime.clock.clone(), links, cfg.system.pcie_bps);
             if let Some(ft) = &faulty {
                 ft.attach_io(io.clone());
                 ft.set_trace(cfg.trace.clone());
@@ -391,6 +397,7 @@ impl TrainSession {
         cache.prefetch_last_module();
         g.backward(&loss);
         cache.wait_io();
+        cache.drain_stores();
         g.reset_tape();
         cache.flush();
         cache.stats().export_to(&self.metrics);

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Regression gate over results/BENCH_tiering.json: the per-tier critical
+# path must actually differentiate the backends. Two backends reporting
+# byte-identical step times means tier link speed stopped reaching the
+# step clock (the pre-cost-model behaviour this gate exists to catch);
+# the paper testbed must order dram < tiered-4g < ssd, and the
+# profile-guided plan must beat the static front-first walk it replaces.
+# Regenerate the JSON with:
+#   cargo run -p ssdtrain-bench --release --bin bench_tiering
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+json=results/BENCH_tiering.json
+if [ ! -f "$json" ]; then
+    echo "FAIL: missing $json (run the bench_tiering binary first)" >&2
+    exit 1
+fi
+
+awk '
+  /"name":/ {
+    line = $0
+    sub(/.*"name": "/, "", line)
+    sub(/".*/, "", line)
+    name = line
+  }
+  # Only backend objects carry step_secs, so `name` still holds the
+  # backend label here (tier entries never print).
+  /"step_secs":/ {
+    v = $0
+    sub(/.*"step_secs": /, "", v)
+    sub(/,.*/, "", v)
+    steps[name] = v
+    order[n++] = name
+  }
+  END {
+    fail = 0
+    if (n < 2) {
+      print "FAIL: fewer than two backends in the bench report"
+      fail = 1
+    }
+    # Byte-identical step times between any two backends: the timing
+    # model degenerated. Compare the formatted strings, not the floats.
+    for (i = 0; i < n; i++)
+      for (j = i + 1; j < n; j++)
+        if (steps[order[i]] == steps[order[j]]) {
+          printf "FAIL: %s and %s report byte-identical step_secs (%s)\n", \
+                 order[i], order[j], steps[order[i]]
+          fail = 1
+        }
+    if (("dram" in steps) && ("tiered-4g" in steps) && ("ssd" in steps)) {
+      if (!(steps["dram"] + 0 < steps["tiered-4g"] + 0 && \
+            steps["tiered-4g"] + 0 < steps["ssd"] + 0)) {
+        printf "FAIL: expected dram < tiered-4g < ssd, got %s / %s / %s\n", \
+               steps["dram"], steps["tiered-4g"], steps["ssd"]
+        fail = 1
+      }
+    } else {
+      print "FAIL: bench report is missing one of dram / tiered-4g / ssd"
+      fail = 1
+    }
+    if ("tiered-4g-planned" in steps && \
+        !(steps["tiered-4g-planned"] + 0 < steps["tiered-4g"] + 0)) {
+      printf "FAIL: planned placement (%s s) must beat the static walk (%s s)\n", \
+             steps["tiered-4g-planned"], steps["tiered-4g"]
+      fail = 1
+    }
+    if (fail) exit 1
+    printf "bench gate ok: %d backends, step times distinct and ordered\n", n
+  }
+' "$json"

@@ -10,6 +10,16 @@ cargo test -q
 # The observability golden file must stay byte-stable (regenerate with
 # UPDATE_GOLDEN=1 after intentional trace/exporter changes).
 cargo test -q --test trace_observability
+# Tier timing must stay differential: link speeds reach the step clock
+# (tier_timing) and the cost model's predictions track the simulator
+# (proptest_invariants). Run explicitly so a test-harness filter can
+# never silently drop them.
+cargo test -q --test tier_timing
+cargo test -q --test proptest_invariants
+# The checked-in bench report must keep the backends' step times
+# distinct and ordered (see the script header for the regeneration
+# command).
+scripts/bench_check.sh
 cargo clippy --workspace -- -D warnings
 # Project-invariant lint: sim-clock, panic-freedom and error discipline
 # (see DESIGN.md §7). Exits non-zero on any violation. The full pass

@@ -13,12 +13,12 @@
 //!    identities the trace records.
 
 use ssdtrain::{
-    chrome_trace_json, OffloadStats, RecoveryPolicy, TensorCacheConfig, TraceCategory, TraceEvent,
-    TraceSink,
+    chrome_trace_json, ArgValue, EventKind, OffloadStats, RecoveryPolicy, TensorCacheConfig,
+    TraceCategory, TraceEvent, TraceSink,
 };
 use ssdtrain_models::ModelConfig;
-use ssdtrain_simhw::{FaultKind, FaultPlan, FaultTrigger};
-use ssdtrain_train::{SessionConfig, TargetKind, TrainSession};
+use ssdtrain_simhw::{FaultKind, FaultPlan, FaultTrigger, SystemConfig};
+use ssdtrain_train::{OffloadBackend, SessionConfig, TargetKind, TrainSession};
 use std::collections::BTreeSet;
 use std::path::Path;
 
@@ -215,6 +215,91 @@ fn trace_accounting_survives_fallback_rerouting() {
         "the fault plan must actually fire"
     );
     assert_accounting(&sink.events(), &per_step);
+}
+
+#[test]
+fn tier_drain_spans_match_the_stall_counters() {
+    // Per step, the `tier.drain.<link>` spans decompose the stall the
+    // stats report: their summed durations equal the summed per-tier
+    // stall counters, and `store_stall_secs` — the simulated clock's
+    // advance at the barriers — is bounded by that sum (links drain
+    // concurrently inside one barrier) with exact equality on a
+    // single-link backend. The `tier.io.<name>` instants mirror the same
+    // counters byte for byte.
+    //
+    // The testbed's array hides the tiny model's traffic entirely, so
+    // slow its write path until the stage barrier exposes a drain.
+    let mut sys = SystemConfig::dac_testbed();
+    sys.ssd_array.member.write_bps = 1e6;
+    let sink = TraceSink::enabled();
+    let cfg = SessionConfig::builder()
+        .model(ModelConfig::tiny_gpt())
+        .batch_size(2)
+        .cache(TensorCacheConfig::offload_everything())
+        .system(sys)
+        .seed(7)
+        .backend(OffloadBackend::Ssd)
+        .trace(sink.clone())
+        .build()
+        .expect("valid config");
+    let mut s = TrainSession::new(cfg).expect("session");
+    let per_step = run(&mut s);
+    let events = sink.events();
+
+    let mut saw_a_drain = false;
+    for (i, stats) in per_step.iter().enumerate() {
+        let step = (i + 1) as u32;
+        let span_sum: f64 = events
+            .iter()
+            .filter(|e| {
+                e.step == step && e.cat == TraceCategory::Tier && e.name.starts_with("tier.drain.")
+            })
+            .map(|e| match e.kind {
+                EventKind::Span { dur_secs } => dur_secs,
+                _ => panic!("tier.drain must be a span"),
+            })
+            .sum();
+        let counter_sum: f64 = stats.tiers.iter().map(|t| t.stall_secs).sum();
+        assert!(
+            (span_sum - counter_sum).abs() < 1e-9,
+            "step {step}: drain spans {span_sum} vs stall counters {counter_sum}"
+        );
+        // Single-link backend: the clock stall IS the one link's drain.
+        assert!(
+            (stats.store_stall_secs - span_sum).abs() < 1e-9,
+            "step {step}: store_stall_secs {} vs spans {span_sum}",
+            stats.store_stall_secs
+        );
+        saw_a_drain |= span_sum > 0.0;
+
+        for counters in &stats.tiers {
+            let name = format!("tier.io.{}", counters.name);
+            if counters.bytes_written == 0 && counters.bytes_read == 0 {
+                continue;
+            }
+            let ev = events
+                .iter()
+                .find(|e| e.step == step && e.name == name)
+                .unwrap_or_else(|| panic!("step {step}: missing {name} instant"));
+            let arg_u64 = |key: &str| match ev.args.iter().find(|(k, _)| *k == key) {
+                Some((_, ArgValue::U64(v))) => *v,
+                other => panic!("{name} {key}: unexpected arg {other:?}"),
+            };
+            let arg_f64 = |key: &str| match ev.args.iter().find(|(k, _)| *k == key) {
+                Some((_, ArgValue::F64(v))) => *v,
+                other => panic!("{name} {key}: unexpected arg {other:?}"),
+            };
+            assert_eq!(arg_u64("bytes_written"), counters.bytes_written);
+            assert_eq!(arg_u64("bytes_read"), counters.bytes_read);
+            assert!((arg_f64("write_busy_secs") - counters.write_busy_secs).abs() < 1e-12);
+            assert!((arg_f64("read_busy_secs") - counters.read_busy_secs).abs() < 1e-12);
+            assert!((arg_f64("stall_secs") - counters.stall_secs).abs() < 1e-12);
+        }
+    }
+    assert!(
+        saw_a_drain,
+        "the slowed write link must expose at least one drain span"
+    );
 }
 
 #[test]
