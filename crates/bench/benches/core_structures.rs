@@ -121,6 +121,8 @@ fn bench_adaptive_planner(c: &mut Criterion) {
                 path: format!("layer{}/{}", i / 2, if i % 2 == 0 { "attn" } else { "mlp" }),
                 offload_bytes: 1 << 30,
                 fwd_secs: 0.05,
+                store_secs: 0.04,
+                load_secs: 0.04,
             })
             .collect(),
         fwd_total_secs: 3.2,

@@ -23,7 +23,7 @@ use crate::costmodel::{CostModel, TierPlan};
 use crate::error::OffloadError;
 use crate::id::{storage_stamp, tensor_key, TensorKey};
 use crate::io::{IoEngine, JobId};
-use crate::placement::{Placement, PlacementPolicy, PlacementQuery};
+use crate::placement::{OffloadClass, Placement, PlacementPolicy, PlacementQuery};
 use crate::stats::OffloadStats;
 use crate::target::OffloadTarget;
 use crate::tier::{TierId, TierStack};
@@ -88,6 +88,33 @@ struct Record {
     scopes: HashSet<u64>,
     /// The tier holding (or about to hold) the bytes; demotion moves it.
     tier: TierId,
+}
+
+/// Opaque handle to an offloaded state tensor (a gradient or optimizer
+/// state slot created by [`TensorCache::offload_state`]). Unlike
+/// activation records, state slots survive step boundaries: optimizer
+/// state lives across steps and is reloaded by the next step's
+/// optimizer jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StateSlot(u64);
+
+/// A non-activation offload record (gradient / optimizer state). The
+/// bytes are written to their tier eagerly at submit time (there is no
+/// deferred commit: state has no forwarding path), and the slot tracks
+/// when the simulated store drains so a load in the same step can never
+/// observe the bytes before they physically landed.
+struct StateRecord {
+    key: TensorKey,
+    tensor: Tensor,
+    bytes: u64,
+    class: OffloadClass,
+    tier: TierId,
+    /// Bytes are on the tier (false after a load restored them).
+    offloaded: bool,
+    /// Simulated time the store drains; loads this step clamp to it.
+    /// Reset to zero at step boundaries (the optimizer-stage drain
+    /// barrier guarantees every store landed before the step ended).
+    avail: SimTime,
 }
 
 #[derive(Default)]
@@ -193,6 +220,10 @@ pub struct TensorCache {
     io: IoEngine,
     mem: Arc<GpuMemory>,
     inner: Mutex<Inner>,
+    /// State slots (gradients, optimizer state); separate from `inner`
+    /// because they survive the per-step record flush.
+    state_slots: Mutex<HashMap<u64, StateRecord>>,
+    next_state_slot: Mutex<u64>,
     stats: Mutex<OffloadStats>,
     plan: Mutex<AdaptivePlan>,
     tier_plan: Mutex<TierPlan>,
@@ -234,6 +265,8 @@ impl TensorCache {
             io,
             mem,
             inner: Mutex::new(Inner::default()),
+            state_slots: Mutex::new(HashMap::new()),
+            next_state_slot: Mutex::new(0),
             stats: Mutex::new(OffloadStats::default()),
             plan: Mutex::new(AdaptivePlan::default()),
             tier_plan: Mutex::new(TierPlan::default()),
@@ -320,6 +353,13 @@ impl TensorCache {
         stats
     }
 
+    /// A [`CostModel`] over this cache's links and tiers as currently
+    /// priced — what the planner and the capacity bench use to price
+    /// state load/store jobs without replaying them.
+    pub fn cost_model(&self) -> CostModel {
+        CostModel::from_parts(&self.io, &self.tiers)
+    }
+
     /// The adaptive plan currently applied.
     pub fn plan(&self) -> AdaptivePlan {
         self.plan.lock().clone()
@@ -361,6 +401,11 @@ impl TensorCache {
         *self.stats.lock() = OffloadStats::default();
         self.link_stalls.lock().clear();
         self.tiers.reset_counters();
+        // State stores from the previous step drained at its optimizer
+        // barrier; on the fresh clock they are available immediately.
+        for slot in self.state_slots.lock().values_mut() {
+            slot.avail = SimTime::ZERO;
+        }
         // Failures during the flush above belong to the step that
         // already reported; the new step starts clean.
         *self.pending_error.lock() = None;
@@ -630,16 +675,33 @@ impl TensorCache {
         }
     }
 
-    /// Emits one `tier.io.<name>` instant per tier that saw traffic this
-    /// step (at the optimizer stage's exit, i.e. the end of the step),
-    /// carrying the tier's byte counts and link busy/stall seconds — the
-    /// trace-side mirror of the [`OffloadStats`] tier counters.
+    /// Emits one `tier.io.<name>` instant per tier and one
+    /// `class.io.<label>` instant per [`OffloadClass`] that saw traffic
+    /// this step (at the optimizer stage's exit, i.e. the end of the
+    /// step), carrying byte counts — the trace-side mirror of the
+    /// [`OffloadStats`] tier and class counters.
     fn emit_tier_io(&self) {
         let trace = self.trace();
         if !trace.is_enabled() {
             return;
         }
         let now = self.io.clock().now();
+        for c in self.stats.lock().classes.iter() {
+            if c.offloaded_bytes == 0 && c.reloaded_bytes == 0 {
+                continue;
+            }
+            trace.instant_with(
+                TraceCategory::Tier,
+                format!("class.io.{}", c.class),
+                now,
+                vec![
+                    ("offloaded_bytes", ArgValue::U64(c.offloaded_bytes)),
+                    ("reloaded_bytes", ArgValue::U64(c.reloaded_bytes)),
+                    ("stores", ArgValue::U64(c.stores)),
+                    ("loads", ArgValue::U64(c.loads)),
+                ],
+            );
+        }
         let stalls = self.link_stalls.lock().clone();
         for (tier, counters) in self.tiers.tier_ids().iter().zip(self.tiers.counters()) {
             if counters.bytes_written == 0 && counters.bytes_read == 0 {
@@ -728,6 +790,217 @@ impl TensorCache {
     }
 
     // ------------------------------------------------------------------
+    // State offload (gradients, optimizer state)
+    // ------------------------------------------------------------------
+
+    /// Offloads a state tensor (gradient or optimizer state) through the
+    /// same placement → tier → I/O stack activations use. Returns the
+    /// slot handle, or `None` when the tensor stays resident — placement
+    /// keep, full tiers, or a store failure absorbed per the configured
+    /// [`RecoveryPolicy`] (under [`RecoveryPolicy::FailStep`] the error
+    /// additionally lands in [`TensorCache::take_error`]).
+    ///
+    /// The store job rides the admitting tier's [`crate::TierLink`] (and
+    /// the shared write bus, when configured); the tensor's GPU memory is
+    /// freed at the store's simulated completion. A same-step
+    /// [`TensorCache::load_state`] can never complete before that time.
+    pub fn offload_state(&self, tensor: &Tensor, class: OffloadClass) -> Option<StateSlot> {
+        let query = PlacementQuery {
+            class,
+            is_parameter: false,
+            numel: tensor.numel(),
+            in_backward: false,
+            module_kept: false,
+        };
+        if let Placement::Keep(reason) = self.placement.decide(&query) {
+            if reason.counts_in_stats() {
+                self.stats.lock().kept += 1;
+            }
+            return None;
+        }
+        let bytes = tensor.bytes();
+        let Some(placement) = self.tiers.reserve(bytes) else {
+            let mut stats = self.stats.lock();
+            stats.kept += 1;
+            stats.placement_kept_bytes += bytes;
+            drop(stats);
+            self.trace().instant_bytes(
+                TraceCategory::Tier,
+                "tier.full",
+                self.io.clock().now(),
+                bytes,
+            );
+            return None;
+        };
+        let key = tensor_key(tensor);
+        let job = self
+            .io
+            .submit_store_to(self.tiers.link(placement.tier), bytes);
+        let (start, end) = self.io.store_span(job);
+        let trace = self.trace();
+        trace.instant_bytes(TraceCategory::Store, "store.enqueue", start, bytes);
+        // State has no forwarding path: the payload crosses to the tier
+        // now, so recovery runs here rather than at a deferred commit.
+        let data = tensor.storage().to_bytes();
+        let tier = match self
+            .tiers
+            .write(placement.tier, &key, data.as_deref(), bytes)
+        {
+            Ok(()) => placement.tier,
+            Err(err) => {
+                self.stats.lock().store_failures += 1;
+                let demoted = (self.config.recovery == RecoveryPolicy::FallbackTarget)
+                    .then(|| {
+                        self.tiers.demote(
+                            placement.tier,
+                            &key,
+                            data.as_deref(),
+                            bytes,
+                            self.config.max_io_retries,
+                        )
+                    })
+                    .flatten();
+                match demoted {
+                    Some(dest) => {
+                        let mut stats = self.stats.lock();
+                        stats.fallback_bytes += bytes;
+                        drop(stats);
+                        trace.instant_with(
+                            TraceCategory::Recovery,
+                            "recovery.fallback",
+                            self.io.clock().now(),
+                            vec![
+                                ("bytes", ArgValue::U64(bytes)),
+                                ("target", ArgValue::from(self.tiers.name(dest))),
+                            ],
+                        );
+                        dest
+                    }
+                    None => {
+                        // Keep the tensor resident; the reservation and
+                        // the dead store job are both returned.
+                        self.tiers.remove(placement.tier, &key, bytes);
+                        let _ = self.io.try_cancel_store(job, self.io.clock().now());
+                        let mut stats = self.stats.lock();
+                        stats.kept_resident_bytes += bytes;
+                        drop(stats);
+                        trace.instant_bytes(
+                            TraceCategory::Recovery,
+                            "recovery.keep_resident",
+                            self.io.clock().now(),
+                            bytes,
+                        );
+                        if self.config.recovery == RecoveryPolicy::FailStep {
+                            trace.instant(
+                                TraceCategory::Recovery,
+                                "recovery.fail_step",
+                                self.io.clock().now(),
+                            );
+                            let mut pending = self.pending_error.lock();
+                            if pending.is_none() {
+                                *pending = Some(OffloadError::Store {
+                                    key,
+                                    bytes,
+                                    target: self.tiers.name(placement.tier),
+                                    source: err,
+                                });
+                            }
+                        }
+                        return None;
+                    }
+                }
+            }
+        };
+        self.mem.with_time(end, || tensor.storage().release());
+        trace.span_bytes(TraceCategory::Store, "store", start, end, bytes);
+        // Fallback bytes are counted under `fallback_bytes`, not
+        // `offloaded_bytes`, exactly as the activation recovery does.
+        let fell_back = tier != placement.tier;
+        let mut stats = self.stats.lock();
+        stats.store_jobs += 1;
+        if !fell_back {
+            stats.offloaded_bytes += bytes;
+            if placement.spilled {
+                stats.spilled_bytes += bytes;
+            }
+        }
+        let c = stats.class_mut(class);
+        c.stores += 1;
+        if !fell_back {
+            c.offloaded_bytes += bytes;
+        }
+        drop(stats);
+        let id = {
+            let mut next = self.next_state_slot.lock();
+            let id = *next;
+            *next += 1;
+            id
+        };
+        self.state_slots.lock().insert(
+            id,
+            StateRecord {
+                key,
+                tensor: tensor.clone(),
+                bytes,
+                class,
+                tier,
+                offloaded: true,
+                avail: end,
+            },
+        );
+        Some(StateSlot(id))
+    }
+
+    /// Reloads an offloaded state slot's bytes back into its tensor and
+    /// returns the simulated time the load completes. The caller decides
+    /// what to do with that time — the unoverlapped optimizer stalls on
+    /// it, the overlap engine compares it against the next forward's
+    /// arrival. The ready time is clamped to the slot's own store drain,
+    /// so state is never read before its store landed. A slot already
+    /// resident returns `now`; an unknown slot returns `None`.
+    pub fn load_state(&self, slot: StateSlot) -> Option<SimTime> {
+        let now = self.io.clock().now();
+        let mut slots = self.state_slots.lock();
+        let rec = slots.get_mut(&slot.0)?;
+        if !rec.offloaded {
+            return Some(now);
+        }
+        let link = self.tiers.link(rec.tier);
+        let ready = self.io.submit_load_from(link, rec.bytes).max(rec.avail);
+        let (key, tier, bytes) = (rec.key.clone(), rec.tier, rec.bytes);
+        let tensor = rec.tensor.clone();
+        rec.offloaded = false;
+        let class = rec.class;
+        drop(slots);
+        self.read_back(&key, tier, bytes, &tensor, ready);
+        let mut stats = self.stats.lock();
+        stats.reloaded_bytes += bytes;
+        let c = stats.class_mut(class);
+        c.reloaded_bytes += bytes;
+        c.loads += 1;
+        drop(stats);
+        Some(ready)
+    }
+
+    /// The simulated time `slot`'s store drains (its earliest legal
+    /// read), or `None` for unknown or already-resident slots.
+    pub fn state_available_at(&self, slot: StateSlot) -> Option<SimTime> {
+        let slots = self.state_slots.lock();
+        let rec = slots.get(&slot.0)?;
+        rec.offloaded.then_some(rec.avail)
+    }
+
+    /// Drops a state slot, returning its tier reservation. Bytes still
+    /// offloaded are abandoned on the tier (the optimizer overwrites
+    /// state wholesale each step; there is nothing to read back).
+    pub fn release_state(&self, slot: StateSlot) {
+        let Some(rec) = self.state_slots.lock().remove(&slot.0) else {
+            return;
+        };
+        self.tiers.remove(rec.tier, &rec.key, rec.bytes);
+    }
+
+    // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
 
@@ -796,6 +1069,7 @@ impl TensorCache {
                 let mut stats = self.stats.lock();
                 stats.offloaded_bytes -= rec.bytes;
                 stats.fallback_bytes += rec.bytes;
+                stats.class_mut(OffloadClass::Activation).offloaded_bytes -= rec.bytes;
                 drop(stats);
                 self.trace().instant_with(
                     TraceCategory::Recovery,
@@ -817,6 +1091,7 @@ impl TensorCache {
         let mut stats = self.stats.lock();
         stats.offloaded_bytes -= rec.bytes;
         stats.kept_resident_bytes += rec.bytes;
+        stats.class_mut(OffloadClass::Activation).offloaded_bytes -= rec.bytes;
         drop(stats);
         self.trace().instant_bytes(
             TraceCategory::Recovery,
@@ -848,10 +1123,25 @@ impl TensorCache {
     /// executable and a structured error is queued; it surfaces at the
     /// step boundary under *every* policy.
     fn restore_record(&self, rec: &mut Record, ready: SimTime) {
+        self.read_back(&rec.key, rec.tier, rec.bytes, &rec.tensor, ready);
+    }
+
+    /// Shared read-with-retries path for activation records and state
+    /// slots: reloads `bytes` from `tier` into `tensor` (retrying up to
+    /// `max_io_retries`), restoring zeros and queuing a structured
+    /// [`OffloadError::Load`] when the data is permanently gone.
+    fn read_back(
+        &self,
+        key: &TensorKey,
+        tier: TierId,
+        bytes: u64,
+        tensor: &Tensor,
+        ready: SimTime,
+    ) {
         let mut attempts = 0u32;
         let data = loop {
             attempts += 1;
-            match self.tiers.read(rec.tier, &rec.key, rec.bytes) {
+            match self.tiers.read(tier, key, bytes) {
                 Ok(d) => break d,
                 Err(err) if attempts > self.config.max_io_retries => {
                     let mut stats = self.stats.lock();
@@ -860,9 +1150,9 @@ impl TensorCache {
                     let mut pending = self.pending_error.lock();
                     if pending.is_none() {
                         *pending = Some(OffloadError::Load {
-                            key: rec.key.clone(),
-                            bytes: rec.bytes,
-                            target: self.tiers.name(rec.tier),
+                            key: key.clone(),
+                            bytes,
+                            target: self.tiers.name(tier),
                             attempts,
                             source: err,
                         });
@@ -873,13 +1163,13 @@ impl TensorCache {
                         "recovery.load_failed",
                         ready,
                         vec![
-                            ("bytes", ArgValue::U64(rec.bytes)),
+                            ("bytes", ArgValue::U64(bytes)),
                             ("attempts", ArgValue::U64(u64::from(attempts))),
                         ],
                     );
-                    let numel = rec.tensor.numel();
+                    let numel = tensor.numel();
                     self.mem.with_time(ready, || {
-                        rec.tensor.storage().restore_numeric(vec![0.0; numel]);
+                        tensor.storage().restore_numeric(vec![0.0; numel]);
                     });
                     return;
                 }
@@ -893,17 +1183,17 @@ impl TensorCache {
                 "recovery.load_retry",
                 ready,
                 vec![
-                    ("bytes", ArgValue::U64(rec.bytes)),
+                    ("bytes", ArgValue::U64(bytes)),
                     ("retries", ArgValue::U64(u64::from(attempts - 1))),
                 ],
             );
         }
         self.mem.with_time(ready, || match data {
-            Some(bytes) => {
-                let decoded = rec.tensor.storage().decode_bytes(&bytes);
-                rec.tensor.storage().restore_numeric(decoded);
+            Some(raw) => {
+                let decoded = tensor.storage().decode_bytes(&raw);
+                tensor.storage().restore_numeric(decoded);
             }
-            None => rec.tensor.storage().restore_symbolic(),
+            None => tensor.storage().restore_symbolic(),
         });
     }
 
@@ -940,6 +1230,9 @@ impl TensorCache {
                             stats.cancelled_bytes += bytes;
                             stats.offloaded_bytes -= bytes;
                             stats.store_jobs -= 1;
+                            let c = stats.class_mut(OffloadClass::Activation);
+                            c.offloaded_bytes -= bytes;
+                            c.stores -= 1;
                         }
                         drop(stats);
                         let trace = self.trace();
@@ -976,6 +1269,9 @@ impl TensorCache {
                 let mut stats = self.stats.lock();
                 stats.prefetches += 1;
                 stats.reloaded_bytes += bytes;
+                let c = stats.class_mut(OffloadClass::Activation);
+                c.reloaded_bytes += bytes;
+                c.loads += 1;
             }
         }
     }
@@ -1077,6 +1373,7 @@ impl SavedTensorHooks for TensorCache {
         // (parameter / small / backward-phase / kept-module).
         let stamp = storage_stamp(tensor);
         let query = PlacementQuery {
+            class: OffloadClass::Activation,
             is_parameter: inner.param_stamps.contains(&stamp),
             numel: tensor.numel(),
             in_backward: inner.phase.in_backward(),
@@ -1194,6 +1491,9 @@ impl SavedTensorHooks for TensorCache {
         if placement.spilled {
             stats.spilled_bytes += bytes;
         }
+        let c = stats.class_mut(OffloadClass::Activation);
+        c.offloaded_bytes += bytes;
+        c.stores += 1;
         drop(stats);
         let trace = self.trace();
         let now = self.io.clock().now();
@@ -1246,6 +1546,9 @@ impl SavedTensorHooks for TensorCache {
                         stats.cancelled_bytes += bytes;
                         stats.offloaded_bytes -= bytes;
                         stats.store_jobs -= 1;
+                        let c = stats.class_mut(OffloadClass::Activation);
+                        c.offloaded_bytes -= bytes;
+                        c.stores -= 1;
                     }
                     drop(stats);
                     let trace = self.trace();
@@ -1297,6 +1600,9 @@ impl SavedTensorHooks for TensorCache {
                     stats.sync_loads += 1;
                     stats.reloaded_bytes += bytes;
                     stats.stall_secs += stall;
+                    let c = stats.class_mut(OffloadClass::Activation);
+                    c.reloaded_bytes += bytes;
+                    c.loads += 1;
                     drop(stats);
                     if stall > 0.0 {
                         self.trace().span(
@@ -1330,6 +1636,9 @@ impl SavedTensorHooks for TensorCache {
                 stats.sync_loads += 1;
                 stats.reloaded_bytes += bytes;
                 stats.stall_secs += stall;
+                let c = stats.class_mut(OffloadClass::Activation);
+                c.reloaded_bytes += bytes;
+                c.loads += 1;
                 drop(stats);
                 if stall > 0.0 {
                     self.trace().span(

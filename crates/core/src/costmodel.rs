@@ -175,6 +175,25 @@ impl CostModel {
         }
     }
 
+    /// Price of one optimizer-stage state job on `tier`: load the
+    /// stage's optimizer state and gradients back from the tier, then
+    /// store the refreshed state. Reads are full duplex; the store-back
+    /// rides the (possibly bus-capped) write path. The overlap engine
+    /// uses this to decide how much of each stage's update the next
+    /// step's forward can hide (GreedySnake's schedule), on the same
+    /// model the activation planner prices stores with.
+    pub fn state_job_secs(&self, tier_idx: usize, load_bytes: u64, store_bytes: u64) -> f64 {
+        let Some(t) = self.tiers.get(tier_idx) else {
+            return 0.0;
+        };
+        let write_bps = match self.bus_write_bps {
+            Some(b) => b.min(t.write_bps),
+            None => t.write_bps,
+        };
+        load_bytes as f64 / t.read_bps.max(f64::MIN_POSITIVE)
+            + store_bytes as f64 / write_bps.max(f64::MIN_POSITIVE)
+    }
+
     /// Upper bound on deliverable store bandwidth: the link sum, capped
     /// by the shared bus when one is configured.
     pub fn aggregate_write_bps(&self) -> f64 {

@@ -13,6 +13,59 @@
 //! kept-module.
 
 use crate::config::TensorCacheConfig;
+use serde::{Deserialize, Serialize};
+
+/// *What kind* of tensor is leaving GPU memory.
+///
+/// The paper offloads activations only; GreedySnake and ZeRO-Infinity
+/// extend the same store/load machinery to gradients and optimizer
+/// state — the dominant capacity term (12–16 bytes/param vs 2 for
+/// weights). Every placement decision, tier admission and stats counter
+/// is keyed by this class so the planner can trade activation vs state
+/// placement on one modeled critical path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OffloadClass {
+    /// Forward activations saved for backward (the paper's subject).
+    Activation,
+    /// Accumulated gradients, held between backward and the optimizer
+    /// update.
+    Gradient,
+    /// Optimizer state (momentum/variance), live across steps.
+    OptimizerState,
+}
+
+impl OffloadClass {
+    /// All classes, in stats/trace-lane order.
+    pub const ALL: [OffloadClass; 3] = [
+        OffloadClass::Activation,
+        OffloadClass::Gradient,
+        OffloadClass::OptimizerState,
+    ];
+
+    /// Stable lowercase label used in stats, trace lane names and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            OffloadClass::Activation => "activation",
+            OffloadClass::Gradient => "gradient",
+            OffloadClass::OptimizerState => "optimizer_state",
+        }
+    }
+
+    /// Index into per-class counter arrays ([`OffloadClass::ALL`] order).
+    pub fn index(self) -> usize {
+        match self {
+            OffloadClass::Activation => 0,
+            OffloadClass::Gradient => 1,
+            OffloadClass::OptimizerState => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for OffloadClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
 
 /// Why a tensor stays resident instead of being offloaded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +120,9 @@ impl Placement {
 /// hands the policy a plain value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PlacementQuery {
+    /// What kind of tensor this is; non-activation classes skip the
+    /// activation-lifecycle keeps (backward-phase, kept-module).
+    pub class: OffloadClass,
     /// The tensor shares storage with a registered parameter.
     pub is_parameter: bool,
     /// Element count.
@@ -81,10 +137,11 @@ pub struct PlacementQuery {
 /// Decides whether a saved tensor leaves GPU memory.
 ///
 /// ```
-/// use ssdtrain::{KeepReason, Placement, PlacementPolicy, PlacementQuery};
+/// use ssdtrain::{KeepReason, OffloadClass, Placement, PlacementPolicy, PlacementQuery};
 ///
 /// let policy = PlacementPolicy::new(1024);
 /// let q = PlacementQuery {
+///     class: OffloadClass::Activation,
 ///     is_parameter: false,
 ///     numel: 64,
 ///     in_backward: false,
@@ -119,6 +176,12 @@ impl PlacementPolicy {
     }
 
     /// Algorithm 2's keep/offload sequence, in its original order.
+    ///
+    /// Gradients and optimizer state share the parameter and threshold
+    /// keeps, but skip the two activation-lifecycle conditions
+    /// (backward-phase, kept-module): their live ranges are bounded by
+    /// the optimizer schedule, not the autograd phase, so Algorithm 2's
+    /// thrash guards do not apply.
     pub fn decide(&self, query: &PlacementQuery) -> Placement {
         if query.is_parameter {
             return Placement::Keep(KeepReason::Parameter);
@@ -126,11 +189,13 @@ impl PlacementPolicy {
         if query.numel < self.min_offload_numel {
             return Placement::Keep(KeepReason::BelowThreshold);
         }
-        if query.in_backward {
-            return Placement::Keep(KeepReason::BackwardPhase);
-        }
-        if query.module_kept {
-            return Placement::Keep(KeepReason::KeptModule);
+        if query.class == OffloadClass::Activation {
+            if query.in_backward {
+                return Placement::Keep(KeepReason::BackwardPhase);
+            }
+            if query.module_kept {
+                return Placement::Keep(KeepReason::KeptModule);
+            }
         }
         Placement::Offload
     }
@@ -142,6 +207,7 @@ mod tests {
 
     fn q() -> PlacementQuery {
         PlacementQuery {
+            class: OffloadClass::Activation,
             is_parameter: false,
             numel: 1 << 20,
             in_backward: false,
@@ -155,6 +221,7 @@ mod tests {
         // A parameter wins over every other reason.
         assert_eq!(
             p.decide(&PlacementQuery {
+                class: OffloadClass::Activation,
                 is_parameter: true,
                 numel: 1,
                 in_backward: true,
@@ -208,5 +275,49 @@ mod tests {
         let p = PlacementPolicy::from_config(&cfg);
         assert_eq!(p.min_offload_numel(), 777);
         assert!(p.decide(&PlacementQuery { numel: 776, ..q() }).is_keep());
+    }
+
+    #[test]
+    fn state_classes_skip_the_activation_lifecycle_keeps() {
+        let p = PlacementPolicy::new(1024);
+        for class in [OffloadClass::Gradient, OffloadClass::OptimizerState] {
+            // Backward-phase and kept-module do not apply to state.
+            assert_eq!(
+                p.decide(&PlacementQuery {
+                    class,
+                    in_backward: true,
+                    module_kept: true,
+                    ..q()
+                }),
+                Placement::Offload
+            );
+            // Parameter and threshold keeps still do.
+            assert!(p
+                .decide(&PlacementQuery {
+                    class,
+                    is_parameter: true,
+                    ..q()
+                })
+                .is_keep());
+            assert_eq!(
+                p.decide(&PlacementQuery {
+                    class,
+                    numel: 8,
+                    ..q()
+                }),
+                Placement::Keep(KeepReason::BelowThreshold)
+            );
+        }
+    }
+
+    #[test]
+    fn class_labels_are_stable() {
+        assert_eq!(OffloadClass::Activation.label(), "activation");
+        assert_eq!(OffloadClass::Gradient.label(), "gradient");
+        assert_eq!(OffloadClass::OptimizerState.label(), "optimizer_state");
+        for (i, class) in OffloadClass::ALL.iter().enumerate() {
+            assert_eq!(class.index(), i);
+            assert_eq!(format!("{class}"), class.label());
+        }
     }
 }

@@ -1,8 +1,29 @@
 //! Offloading statistics collected per training step.
 
+use crate::placement::OffloadClass;
 use crate::tier::TierCounters;
 use serde::{Deserialize, Serialize};
 use ssdtrain_trace::MetricsRegistry;
+
+/// Per-[`OffloadClass`] traffic split: how much of the step's offload
+/// I/O was activations vs gradients vs optimizer state. Every byte in
+/// [`OffloadStats::offloaded_bytes`] / `reloaded_bytes` is attributed to
+/// exactly one class (the conservation invariant the proptest suite
+/// pins).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ClassCounters {
+    /// The class label ([`OffloadClass::label`]).
+    pub class: String,
+    /// Bytes submitted to store queues for this class (net of
+    /// cancellations, like the global counter).
+    pub offloaded_bytes: u64,
+    /// Bytes reloaded from the tiers for this class.
+    pub reloaded_bytes: u64,
+    /// Store jobs submitted for this class.
+    pub stores: u64,
+    /// Load jobs issued for this class.
+    pub loads: u64,
+}
 
 /// Counters the tensor cache maintains; Table 4 and the ablation benches
 /// read these.
@@ -63,9 +84,34 @@ pub struct OffloadStats {
     /// Per-tier traffic, front tier first (empty until the cache takes
     /// its first snapshot).
     pub tiers: Vec<TierCounters>,
+    /// Per-class traffic split in [`OffloadClass::ALL`] order
+    /// (activation, gradient, optimizer_state). Empty in a default
+    /// struct; [`OffloadStats::class_mut`] materialises all three.
+    #[serde(default)]
+    pub classes: Vec<ClassCounters>,
 }
 
 impl OffloadStats {
+    /// The counters for `class`, materialising the full
+    /// [`OffloadClass::ALL`]-ordered vector on first touch so exported
+    /// stats always show all three lanes once any class moves bytes.
+    pub fn class_mut(&mut self, class: OffloadClass) -> &mut ClassCounters {
+        if self.classes.is_empty() {
+            self.classes = OffloadClass::ALL
+                .iter()
+                .map(|c| ClassCounters {
+                    class: c.label().to_owned(),
+                    ..ClassCounters::default()
+                })
+                .collect();
+        }
+        &mut self.classes[class.index()]
+    }
+
+    /// The counters for `class`, if any class has moved bytes this step.
+    pub fn class(&self, class: OffloadClass) -> Option<&ClassCounters> {
+        self.classes.get(class.index())
+    }
     /// Sum of write and read traffic to the offload target.
     pub fn io_bytes(&self) -> u64 {
         self.offloaded_bytes + self.reloaded_bytes
@@ -114,6 +160,13 @@ impl OffloadStats {
             registry.observe(&format!("{prefix}.stall_secs"), tier.stall_secs);
             registry.observe(&format!("{prefix}.write_busy_secs"), tier.write_busy_secs);
             registry.observe(&format!("{prefix}.read_busy_secs"), tier.read_busy_secs);
+        }
+        for c in self.classes.iter() {
+            let prefix = format!("offload.class.{}", c.class);
+            registry.inc_counter(&format!("{prefix}.offloaded_bytes"), c.offloaded_bytes);
+            registry.inc_counter(&format!("{prefix}.reloaded_bytes"), c.reloaded_bytes);
+            registry.inc_counter(&format!("{prefix}.stores"), c.stores);
+            registry.inc_counter(&format!("{prefix}.loads"), c.loads);
         }
         registry.observe("offload.stall_secs", self.stall_secs);
         registry.observe("offload.store_stall_secs", self.store_stall_secs);
@@ -182,5 +235,52 @@ mod tests {
         assert_eq!(registry.counter("offload.spilled_bytes"), 3);
         assert_eq!(registry.counter("offload.tier0.dram.bytes_written"), 7);
         assert_eq!(registry.counter("offload.tier1.ssd.spilled_in_bytes"), 3);
+    }
+
+    #[test]
+    fn class_mut_materialises_all_lanes_in_order() {
+        let mut s = OffloadStats::default();
+        assert!(s.classes.is_empty());
+        s.class_mut(OffloadClass::OptimizerState).offloaded_bytes += 64;
+        assert_eq!(s.classes.len(), 3);
+        assert_eq!(s.classes[0].class, "activation");
+        assert_eq!(s.classes[1].class, "gradient");
+        assert_eq!(s.classes[2].class, "optimizer_state");
+        assert_eq!(
+            s.class(OffloadClass::OptimizerState)
+                .map(|c| c.offloaded_bytes),
+            Some(64)
+        );
+    }
+
+    #[test]
+    fn export_includes_per_class_counters() {
+        let registry = MetricsRegistry::new();
+        let mut s = OffloadStats::default();
+        {
+            let g = s.class_mut(OffloadClass::Gradient);
+            g.offloaded_bytes = 40;
+            g.stores = 2;
+        }
+        {
+            let o = s.class_mut(OffloadClass::OptimizerState);
+            o.reloaded_bytes = 16;
+            o.loads = 1;
+        }
+        s.export_to(&registry);
+        assert_eq!(
+            registry.counter("offload.class.gradient.offloaded_bytes"),
+            40
+        );
+        assert_eq!(registry.counter("offload.class.gradient.stores"), 2);
+        assert_eq!(
+            registry.counter("offload.class.optimizer_state.reloaded_bytes"),
+            16
+        );
+        assert_eq!(registry.counter("offload.class.optimizer_state.loads"), 1);
+        assert_eq!(
+            registry.counter("offload.class.activation.offloaded_bytes"),
+            0
+        );
     }
 }

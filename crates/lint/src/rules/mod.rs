@@ -10,6 +10,7 @@ use crate::workspace::Workspace;
 
 mod doc_coverage;
 mod no_deprecated_stage_api;
+mod no_deprecated_target_api;
 mod no_wall_clock;
 mod panic_free_hot_path;
 mod trace_emit_coverage;
@@ -34,6 +35,7 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(panic_free_hot_path::PanicFreeHotPath),
         Box::new(typed_errors::TypedErrors),
         Box::new(no_deprecated_stage_api::NoDeprecatedStageApi),
+        Box::new(no_deprecated_target_api::NoDeprecatedTargetApi),
         Box::new(trace_emit_coverage::TraceEmitCoverage),
         Box::new(doc_coverage::DocCoverage),
     ]
@@ -57,7 +59,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_the_six_rules() {
+    fn registry_has_the_seven_rules() {
         let names = rule_names();
         assert_eq!(
             names,
@@ -66,6 +68,7 @@ mod tests {
                 "panic-free-hot-path",
                 "typed-errors",
                 "no-deprecated-stage-api",
+                "no-deprecated-target-api",
                 "trace-emit-coverage",
                 "doc-coverage",
             ]

@@ -1,0 +1,92 @@
+//! `no-deprecated-target-api`: backends are chosen by `OffloadBackend`.
+//!
+//! The builder's old `target(..)` shim took a two-variant enum that
+//! predated the placement/tier/device stack and could not express
+//! tiered backends, so callers silently lost the DRAM+SSD option. The
+//! enum and the shim have been removed in favour of
+//! `SessionBuilder::backend(OffloadBackend)`; this rule keeps the old
+//! type from being reintroduced anywhere in the workspace. Only the
+//! type name is matched — `backend(..)`, `OffloadError::target()` and
+//! `cache.target()` are all legitimate and stay untouched.
+
+use super::Rule;
+use crate::diagnostics::Diagnostic;
+use crate::workspace::Workspace;
+
+/// The removed enum's name, as an identifier. (A string literal here,
+/// so this file does not flag itself.)
+const REMOVED_TYPE: &str = "TargetKind";
+
+pub struct NoDeprecatedTargetApi;
+
+impl Rule for NoDeprecatedTargetApi {
+    fn name(&self) -> &'static str {
+        "no-deprecated-target-api"
+    }
+
+    fn description(&self) -> &'static str {
+        "the removed TargetKind enum must not come back; use OffloadBackend"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+        for file in &ws.files {
+            for t in &file.lexed.tokens {
+                if t.is_ident(REMOVED_TYPE) {
+                    out.push(Diagnostic {
+                        rule: "no-deprecated-target-api",
+                        path: file.rel.clone(),
+                        line: t.line,
+                        col: t.col,
+                        message: format!(
+                            "`{REMOVED_TYPE}` was removed; select backends with \
+                             `SessionBuilder::backend(OffloadBackend)`"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::workspace::SourceFile;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let ws = Workspace {
+            root: std::path::PathBuf::from("."),
+            files: vec![SourceFile {
+                rel: "crates/train/src/session.rs".to_owned(),
+                lines: src.lines().map(str::to_owned).collect(),
+                lexed: lex(src),
+            }],
+        };
+        let mut out = Vec::new();
+        NoDeprecatedTargetApi.check(&ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn any_mention_of_the_removed_enum_is_flagged() {
+        let d = run("pub enum TargetKind { Cpu, Ssd }\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("OffloadBackend"));
+    }
+
+    #[test]
+    fn legitimate_target_methods_are_not_flagged() {
+        let d = run(
+            "fn f(cache: &TensorCache) {\n    let _ = cache.target();\n    \
+             let _ = OffloadError::target(\"ssd0\", 4);\n    b.backend(OffloadBackend::Ssd);\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn string_literals_do_not_count_as_identifiers() {
+        let d = run("const DOC: &str = \"TargetKind\";\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -13,8 +13,9 @@ use crate::workspace::Workspace;
 
 /// The offload hot path: cache pack/unpack and recovery, the placement
 /// policy and cost model, the tier stack, the I/O engine, the targets,
-/// fault injection, and the training executors.
-const HOT_PATH: [&str; 9] = [
+/// fault injection, the training executors, and the overlapped
+/// optimizer engine.
+const HOT_PATH: [&str; 10] = [
     "crates/core/src/cache.rs",
     "crates/core/src/placement.rs",
     "crates/core/src/costmodel.rs",
@@ -24,6 +25,7 @@ const HOT_PATH: [&str; 9] = [
     "crates/core/src/fault.rs",
     "crates/train/src/executor.rs",
     "crates/train/src/pipeline_exec.rs",
+    "crates/train/src/opt_engine.rs",
 ];
 
 const BANNED_METHODS: [&str; 2] = ["unwrap", "expect"];

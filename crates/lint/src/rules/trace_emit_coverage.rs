@@ -1,10 +1,11 @@
-//! `trace-emit-coverage`: every `OffloadStats` counter reaches the
-//! metrics registry.
+//! `trace-emit-coverage`: every offload counter reaches the metrics
+//! registry.
 //!
-//! `OffloadStats` is the ground truth the observability layer exports.
+//! `OffloadStats` — and the per-class `ClassCounters` rows nested
+//! inside it — are the ground truth the observability layer exports.
 //! Adding a counter field without touching `export_to` means the new
 //! signal silently never shows up in dashboards or golden metric
-//! files. This rule cross-checks the struct's fields against the
+//! files. This rule cross-checks each struct's fields against the
 //! identifiers mentioned in `export_to`'s body, in the same file.
 
 use super::Rule;
@@ -12,7 +13,9 @@ use crate::diagnostics::Diagnostic;
 use crate::lexer::Token;
 use crate::workspace::{SourceFile, Workspace};
 
-const STRUCT_NAME: &str = "OffloadStats";
+/// The exported counter structs; every field of each must be mentioned
+/// in `export_to`.
+const STRUCTS: [&str; 2] = ["OffloadStats", "ClassCounters"];
 const EXPORT_FN: &str = "export_to";
 
 pub struct TraceEmitCoverage;
@@ -23,61 +26,63 @@ impl Rule for TraceEmitCoverage {
     }
 
     fn description(&self) -> &'static str {
-        "every OffloadStats field must be exported by export_to"
+        "every OffloadStats/ClassCounters field must be exported by export_to"
     }
 
     fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
         for file in &ws.files {
-            let Some(fields) = struct_fields(file) else {
-                continue;
-            };
-            let Some(exported) = fn_body_idents(file, EXPORT_FN) else {
-                // The struct exists but nothing exports it at all.
-                if let Some(at) = find_struct(&file.lexed.tokens) {
-                    let t = &file.lexed.tokens[at];
-                    out.push(Diagnostic {
-                        rule: "trace-emit-coverage",
-                        path: file.rel.clone(),
-                        line: t.line,
-                        col: t.col,
-                        message: format!(
-                            "`{STRUCT_NAME}` has no `{EXPORT_FN}` in this file; counters \
-                             are never exported to the metrics registry"
-                        ),
-                    });
-                }
-                continue;
-            };
-            for f in fields {
-                if !exported.contains(&f.text) {
-                    out.push(Diagnostic {
-                        rule: "trace-emit-coverage",
-                        path: file.rel.clone(),
-                        line: f.line,
-                        col: f.col,
-                        message: format!(
-                            "`{STRUCT_NAME}.{}` is never mentioned in `{EXPORT_FN}`; \
-                             the counter will not reach the metrics registry",
-                            f.text
-                        ),
-                    });
+            for struct_name in STRUCTS {
+                let Some(fields) = struct_fields(file, struct_name) else {
+                    continue;
+                };
+                let Some(exported) = fn_body_idents(file, EXPORT_FN) else {
+                    // The struct exists but nothing exports it at all.
+                    if let Some(at) = find_struct(&file.lexed.tokens, struct_name) {
+                        let t = &file.lexed.tokens[at];
+                        out.push(Diagnostic {
+                            rule: "trace-emit-coverage",
+                            path: file.rel.clone(),
+                            line: t.line,
+                            col: t.col,
+                            message: format!(
+                                "`{struct_name}` has no `{EXPORT_FN}` in this file; counters \
+                                 are never exported to the metrics registry"
+                            ),
+                        });
+                    }
+                    continue;
+                };
+                for f in fields {
+                    if !exported.contains(&f.text) {
+                        out.push(Diagnostic {
+                            rule: "trace-emit-coverage",
+                            path: file.rel.clone(),
+                            line: f.line,
+                            col: f.col,
+                            message: format!(
+                                "`{struct_name}.{}` is never mentioned in `{EXPORT_FN}`; \
+                                 the counter will not reach the metrics registry",
+                                f.text
+                            ),
+                        });
+                    }
                 }
             }
         }
     }
 }
 
-/// Index of the `OffloadStats` ident in `struct OffloadStats`.
-fn find_struct(toks: &[Token]) -> Option<usize> {
-    (1..toks.len()).find(|&i| toks[i].is_ident(STRUCT_NAME) && toks[i - 1].is_ident("struct"))
+/// Index of the `name` ident in `struct <name>`.
+fn find_struct(toks: &[Token], name: &str) -> Option<usize> {
+    (1..toks.len()).find(|&i| toks[i].is_ident(name) && toks[i - 1].is_ident("struct"))
 }
 
-/// The field-name tokens of `struct OffloadStats { … }`, or `None` if
-/// the file does not define it. Field names are the idents at brace
-/// depth 1 that are directly followed by `:`.
-fn struct_fields(file: &SourceFile) -> Option<Vec<Token>> {
+/// The field-name tokens of `struct <name> { … }`, or `None` if the
+/// file does not define it. Field names are the idents at brace depth 1
+/// that are directly followed by `:`.
+fn struct_fields(file: &SourceFile, name: &str) -> Option<Vec<Token>> {
     let toks = &file.lexed.tokens;
-    let at = find_struct(toks)?;
+    let at = find_struct(toks, name)?;
     let open = (at + 1..toks.len()).find(|&i| toks[i].is_punct("{"))?;
     let mut depth = 0i32;
     let mut fields = Vec::new();
@@ -171,5 +176,29 @@ mod tests {
         assert_eq!(d.len(), 1);
         assert!(d[0].message.contains("no `export_to`"));
         assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn class_counter_fields_must_reach_export_to_as_well() {
+        let d = run(
+            "pub struct ClassCounters {\n    pub class: String,\n    pub stores: u64,\n}\n\
+             pub struct OffloadStats { pub hits: u64 }\n\
+             impl OffloadStats {\n    pub fn export_to(&self) \
+             { emit(self.hits); emit(c.class); }\n}\n",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("ClassCounters.stores"));
+        assert_eq!(d[0].line, 3);
+    }
+
+    #[test]
+    fn fully_exported_class_counters_are_clean() {
+        let d = run(
+            "pub struct ClassCounters { pub class: String, pub stores: u64 }\n\
+             pub struct OffloadStats { pub hits: u64 }\n\
+             impl OffloadStats {\n    pub fn export_to(&self) \
+             { emit(self.hits); emit(c.class); emit(c.stores); }\n}\n",
+        );
+        assert!(d.is_empty(), "{d:?}");
     }
 }

@@ -8,8 +8,8 @@
 //! [`SessionBuilder::build`] and returns a typed [`ConfigError`] instead
 //! of failing deep inside a step.
 
-use crate::session::{OffloadBackend, SessionConfig, TargetKind};
-use ssdtrain::{PlacementStrategy, RecoveryPolicy, TensorCacheConfig};
+use crate::session::{OffloadBackend, OffloadClassSet, SessionConfig};
+use ssdtrain::{OffloadClass, PlacementStrategy, RecoveryPolicy, TensorCacheConfig};
 use ssdtrain_models::{Arch, ModelConfig};
 use ssdtrain_simhw::{FaultPlan, SystemConfig};
 use ssdtrain_trace::TraceSink;
@@ -60,6 +60,17 @@ pub enum ConfigError {
     /// hold an activation and would silently behave like the plain SSD
     /// backend.
     ZeroTierCapacity,
+    /// The spill-of-last-resort fallback must be a single device; the
+    /// tiered backend is itself a spill chain and cannot back one.
+    TieredFallback,
+    /// The `OptimizerState` class was selected, but the optimizer is
+    /// stateless (`momentum == 0`) — there would be nothing to offload,
+    /// and the configuration almost certainly meant to set a momentum.
+    StatelessOptimizerOffload,
+    /// The `Activation` class was switched off while the placement
+    /// strategy offloads activations — contradictory; pick a keep or
+    /// recompute strategy instead.
+    ActivationClassRequired,
 }
 
 impl fmt::Display for ConfigError {
@@ -89,6 +100,20 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroTierCapacity => {
                 write!(f, "a tiered backend needs a non-zero DRAM tier capacity")
             }
+            ConfigError::TieredFallback => write!(
+                f,
+                "the fallback must be a single device (ssd or dram), not the tiered stack"
+            ),
+            ConfigError::StatelessOptimizerOffload => write!(
+                f,
+                "offloading optimizer state requires a stateful optimizer; set a \
+                 non-zero momentum"
+            ),
+            ConfigError::ActivationClassRequired => write!(
+                f,
+                "the activation class cannot be disabled while the placement strategy \
+                 offloads activations; use a keep or recompute strategy"
+            ),
             ConfigError::UnsupportedArch { arch } => write!(
                 f,
                 "{arch:?} is not supported here: T5's cross-attention broadcasts the \
@@ -146,8 +171,11 @@ pub struct SessionBuilder {
     symbolic: bool,
     seed: u64,
     backend: OffloadBackend,
+    offload: OffloadClassSet,
+    overlap_optimizer: bool,
+    momentum: f32,
     fault: Option<FaultPlan>,
-    fallback: Option<TargetKind>,
+    fallback: Option<OffloadBackend>,
     trace: TraceSink,
 }
 
@@ -163,6 +191,9 @@ impl Default for SessionBuilder {
             symbolic: false,
             seed: 0,
             backend: OffloadBackend::default(),
+            offload: OffloadClassSet::default(),
+            overlap_optimizer: false,
+            momentum: 0.0,
             fault: None,
             fallback: None,
             trace: TraceSink::disabled(),
@@ -230,20 +261,53 @@ impl SessionBuilder {
         self
     }
 
-    /// Offload target kind — shorthand for the single-tier backends.
-    /// `TargetKind::Ssd` maps to [`OffloadBackend::Ssd`] and
-    /// `TargetKind::Cpu` to [`OffloadBackend::Dram`].
-    pub fn target(mut self, target: TargetKind) -> SessionBuilder {
-        self.backend = target.into();
+    /// The offload backend: one of the single-tier devices
+    /// ([`OffloadBackend::Ssd`], [`OffloadBackend::Dram`]) or the tiered
+    /// DRAM-then-SSD stack.
+    pub fn backend(mut self, backend: OffloadBackend) -> SessionBuilder {
+        self.backend = backend;
         self
     }
 
-    /// Full offload backend selection, including the tiered
-    /// DRAM-then-SSD stack. Overrides any earlier [`target`] call.
+    /// Selects which tensor class rides the tier stack: activations (on
+    /// by default), gradients, optimizer state. State classes work under
+    /// any activation strategy; `OptimizerState` additionally needs a
+    /// stateful optimizer (see [`momentum`]).
     ///
-    /// [`target`]: SessionBuilder::target
-    pub fn backend(mut self, backend: OffloadBackend) -> SessionBuilder {
-        self.backend = backend;
+    /// ```
+    /// use ssdtrain_train::prelude::*;
+    ///
+    /// let cfg = SessionConfig::builder()
+    ///     .offload(OffloadClass::Gradient, true)
+    ///     .offload(OffloadClass::OptimizerState, true)
+    ///     .momentum(0.9)
+    ///     .build()
+    ///     .expect("valid config");
+    /// assert!(cfg.offload.contains(OffloadClass::OptimizerState));
+    /// ```
+    ///
+    /// [`momentum`]: SessionBuilder::momentum
+    pub fn offload(mut self, class: OffloadClass, enabled: bool) -> SessionBuilder {
+        self.offload = self.offload.with(class, enabled);
+        self
+    }
+
+    /// Defers each step's optimizer update into the next step's forward
+    /// window, as per-stage jobs racing the forecast layer arrivals (the
+    /// GreedySnake overlap). Off by default: the per-stage jobs then run
+    /// inline at the `OptimizerStep` stage when a state class is
+    /// enabled, or the legacy whole-model update runs outside the
+    /// measured window when none is.
+    pub fn overlap_optimizer(mut self, overlap: bool) -> SessionBuilder {
+        self.overlap_optimizer = overlap;
+        self
+    }
+
+    /// SGD momentum. Zero (the default) keeps the paper's stateless
+    /// optimizer; a positive value allocates per-parameter velocity —
+    /// the state the `OptimizerState` class moves through the tiers.
+    pub fn momentum(mut self, momentum: f32) -> SessionBuilder {
+        self.momentum = momentum;
         self
     }
 
@@ -254,13 +318,14 @@ impl SessionBuilder {
         self
     }
 
-    /// Names the spill-of-last-resort target for
-    /// [`RecoveryPolicy::FallbackTarget`]. Rejected by [`build`] when
-    /// the recovery policy would never consult it.
+    /// Names the spill-of-last-resort backend for
+    /// [`RecoveryPolicy::FallbackTarget`]. Must be a single device
+    /// (ssd or dram); rejected by [`build`] when the recovery policy
+    /// would never consult it, or when handed the tiered stack.
     ///
     /// [`build`]: SessionBuilder::build
-    pub fn fallback(mut self, target: TargetKind) -> SessionBuilder {
-        self.fallback = Some(target);
+    pub fn fallback(mut self, backend: OffloadBackend) -> SessionBuilder {
+        self.fallback = Some(backend);
         self
     }
 
@@ -296,8 +361,17 @@ impl SessionBuilder {
         if self.fallback.is_some() && self.cache.recovery != RecoveryPolicy::FallbackTarget {
             return Err(ConfigError::FallbackWithoutPolicy);
         }
+        if matches!(self.fallback, Some(OffloadBackend::Tiered { .. })) {
+            return Err(ConfigError::TieredFallback);
+        }
         if self.backend == (OffloadBackend::Tiered { dram_bytes: 0 }) {
             return Err(ConfigError::ZeroTierCapacity);
+        }
+        if self.offload.contains(OffloadClass::OptimizerState) && self.momentum <= 0.0 {
+            return Err(ConfigError::StatelessOptimizerOffload);
+        }
+        if !self.offload.contains(OffloadClass::Activation) && self.strategy.uses_cache() {
+            return Err(ConfigError::ActivationClassRequired);
         }
         Ok(SessionConfig {
             system: self.system,
@@ -309,6 +383,9 @@ impl SessionBuilder {
             symbolic: self.symbolic,
             seed: self.seed,
             backend: self.backend,
+            offload: self.offload,
+            overlap_optimizer: self.overlap_optimizer,
+            momentum: self.momentum,
             fault: self.fault,
             fallback: self.fallback,
             trace: self.trace,
@@ -331,17 +408,56 @@ mod tests {
     }
 
     #[test]
-    fn target_shorthand_maps_onto_backends() {
+    fn offload_classes_accumulate_fluently() {
         let cfg = SessionConfig::builder()
-            .target(TargetKind::Cpu)
+            .offload(OffloadClass::Gradient, true)
+            .offload(OffloadClass::OptimizerState, true)
+            .momentum(0.9)
+            .overlap_optimizer(true)
             .build()
             .expect("valid");
-        assert_eq!(cfg.backend, OffloadBackend::Dram);
-        let cfg = SessionConfig::builder()
-            .target(TargetKind::Ssd)
+        assert_eq!(cfg.offload, OffloadClassSet::all());
+        assert!(cfg.overlap_optimizer);
+        assert_eq!(cfg.momentum, 0.9);
+        // Default: activations only, no overlap, stateless SGD.
+        let cfg = SessionConfig::builder().build().expect("valid");
+        assert_eq!(cfg.offload, OffloadClassSet::activation_only());
+        assert!(!cfg.overlap_optimizer);
+        assert_eq!(cfg.momentum, 0.0);
+    }
+
+    #[test]
+    fn optimizer_state_offload_needs_a_stateful_optimizer() {
+        let err = SessionConfig::builder()
+            .offload(OffloadClass::OptimizerState, true)
             .build()
-            .expect("valid");
-        assert_eq!(cfg.backend, OffloadBackend::Ssd);
+            .unwrap_err();
+        assert_eq!(err, ConfigError::StatelessOptimizerOffload);
+        assert!(err.to_string().contains("momentum"), "{err}");
+        SessionConfig::builder()
+            .offload(OffloadClass::OptimizerState, true)
+            .momentum(0.5)
+            .build()
+            .expect("momentum makes it stateful");
+    }
+
+    #[test]
+    fn disabling_activations_under_an_offload_strategy_is_rejected() {
+        let err = SessionConfig::builder()
+            .offload(OffloadClass::Activation, false)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::ActivationClassRequired);
+        // The GreedySnake corner: keep activations on GPU, move only
+        // the gradients through the tiers.
+        let cfg = SessionConfig::builder()
+            .strategy(PlacementStrategy::Keep)
+            .offload(OffloadClass::Activation, false)
+            .offload(OffloadClass::Gradient, true)
+            .build()
+            .expect("state-only offload is a valid configuration");
+        assert!(cfg.offload.any_state());
+        assert!(!cfg.offload.contains(OffloadClass::Activation));
     }
 
     #[test]
@@ -411,16 +527,29 @@ mod tests {
     #[test]
     fn fallback_requires_the_matching_recovery_policy() {
         let err = SessionConfig::builder()
-            .fallback(TargetKind::Cpu)
+            .fallback(OffloadBackend::Dram)
             .build()
             .unwrap_err();
         assert_eq!(err, ConfigError::FallbackWithoutPolicy);
 
         let cfg = SessionConfig::builder()
             .recovery(RecoveryPolicy::FallbackTarget)
-            .fallback(TargetKind::Cpu)
+            .fallback(OffloadBackend::Dram)
             .build()
             .expect("policy matches");
-        assert_eq!(cfg.fallback, Some(TargetKind::Cpu));
+        assert_eq!(cfg.fallback, Some(OffloadBackend::Dram));
+    }
+
+    #[test]
+    fn a_tiered_fallback_is_rejected() {
+        let err = SessionConfig::builder()
+            .recovery(RecoveryPolicy::FallbackTarget)
+            .fallback(OffloadBackend::Tiered {
+                dram_bytes: 1 << 20,
+            })
+            .build()
+            .unwrap_err();
+        assert_eq!(err, ConfigError::TieredFallback);
+        assert!(err.to_string().contains("single device"), "{err}");
     }
 }

@@ -37,6 +37,7 @@ pub mod builder;
 pub mod error;
 pub mod executor;
 pub mod metrics;
+pub mod opt_engine;
 pub mod pipeline;
 pub mod pipeline_exec;
 pub mod prelude;

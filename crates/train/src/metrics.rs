@@ -13,8 +13,11 @@ pub struct StepMetrics {
     pub model: String,
     /// Global batch size (sequences).
     pub batch: usize,
-    /// Simulated step time (forward + backward; the optimizer adds a
-    /// constant offset in the paper's setup and is excluded, Section 4.1).
+    /// Simulated step time. Forward + backward in the legacy
+    /// configuration (the optimizer adds a constant offset in the
+    /// paper's setup and is excluded, Section 4.1); once a state class
+    /// or the overlapped schedule is enabled, the optimizer's exposed
+    /// seconds join the window (see [`StepMetrics::opt_secs`]).
     pub step_secs: f64,
     /// Simulated forward-propagation time.
     pub fwd_secs: f64,
@@ -41,6 +44,16 @@ pub struct StepMetrics {
     pub oom: bool,
     /// Training loss (`NaN` in symbolic runs).
     pub loss: f32,
+    /// Simulated seconds the per-stage optimizer update spent inside the
+    /// measured window (inline state loads and stalls; 0 for the legacy
+    /// outside-the-window optimizer and for the overlapped schedule).
+    #[serde(default)]
+    pub opt_secs: f64,
+    /// Simulated seconds of the *overlapped* update the forecast forward
+    /// window could not hide (the GreedySnake exposure; 0 when every
+    /// state load lands before its stage's forward arrival).
+    #[serde(default)]
+    pub opt_exposed_secs: f64,
 }
 
 impl StepMetrics {
@@ -89,6 +102,8 @@ mod tests {
             alloc: AllocatorStats::default(),
             oom: false,
             loss: 1.0,
+            opt_secs: 0.0,
+            opt_exposed_secs: 0.0,
         }
     }
 

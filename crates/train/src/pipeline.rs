@@ -344,6 +344,8 @@ mod tests {
             alloc: ssdtrain_simhw::AllocatorStats::default(),
             oom: false,
             loss: 0.0,
+            opt_secs: 0.0,
+            opt_exposed_secs: 0.0,
         };
         m.step_secs = 3.0;
         let sim = PipelineSim::from_step_metrics(4, 8, &m, 10, 0.01);

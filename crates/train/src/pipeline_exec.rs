@@ -14,6 +14,7 @@ use crate::builder::ConfigError;
 use crate::error::{PipelineError, StepError};
 use crate::executor::GpuExecutor;
 use crate::pipeline::{one_f1b_commands, StageCmd};
+use crate::schedule::stage_ranges;
 use ssdtrain::{CpuTarget, IoEngine, TensorCache, TensorCacheConfig, TraceCategory, TraceSink};
 use ssdtrain_autograd::{Graph, Phase, Value};
 use ssdtrain_models::{Arch, Batch, BertModel, GptModel, ModelConfig, Recompute, StagedModel};
@@ -304,7 +305,14 @@ impl PipelineExec {
             }
             .into());
         }
-        self.optimizer.step();
+        // The update runs as one per-stage job per pipeline stage, in
+        // 1F1B completion order (the last stage's backward drains
+        // first). The ranges are disjoint and cover every parameter, so
+        // the numerics match a monolithic `step()` exactly — this is
+        // the same job shape the overlapped single-GPU engine schedules.
+        for range in stage_ranges(self.optimizer.len(), pp).into_iter().rev() {
+            self.optimizer.step_range(range);
+        }
         self.optimizer.zero_grad();
         self.step_idx += 1;
 

@@ -82,6 +82,27 @@ pub fn with_lookahead(cmds: &[StepCmd]) -> impl Iterator<Item = (StepCmd, Option
         .map(|(i, c)| (*c, cmds.get(i + 1).copied()))
 }
 
+/// Partitions `n` optimizer parameters into `stages` contiguous,
+/// disjoint ranges covering `0..n` (the remainder goes to the early
+/// stages, mirroring the pipeline's layer split). This is the unit of
+/// work of the per-stage optimizer jobs: stage *j* updates exactly
+/// `stage_ranges(n, s)[j]`, whether the jobs run inline at the
+/// `OptimizerStep` command or overlapped into the next step's forward.
+pub fn stage_ranges(n: usize, stages: usize) -> Vec<std::ops::Range<usize>> {
+    let stages = stages.clamp(1, n.max(1));
+    let per = n / stages;
+    let extra = n % stages;
+    let mut start = 0;
+    (0..stages)
+        .map(|s| {
+            let len = per + usize::from(s < extra);
+            let r = start..start + len;
+            start += len;
+            r
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -126,5 +147,24 @@ mod tests {
     fn zero_micro_batches_still_builds_one() {
         let cmds = single_gpu_schedule(0);
         assert!(cmds.iter().any(|c| c.is_backward()));
+    }
+
+    #[test]
+    fn stage_ranges_cover_all_params_disjointly() {
+        for (n, s) in [(10, 3), (4, 4), (7, 2), (5, 1), (3, 8)] {
+            let ranges = stage_ranges(n, s);
+            assert_eq!(ranges.len(), s.clamp(1, n));
+            let mut covered = Vec::new();
+            for r in &ranges {
+                covered.extend(r.clone());
+            }
+            assert_eq!(covered, (0..n).collect::<Vec<_>>(), "n={n} s={s}");
+        }
+    }
+
+    #[test]
+    fn stage_ranges_tolerate_degenerate_shapes() {
+        assert_eq!(stage_ranges(0, 4), vec![0..0]);
+        assert_eq!(stage_ranges(6, 0), vec![0..6]);
     }
 }

@@ -3,11 +3,13 @@
 use crate::error::StepError;
 use crate::executor::GpuExecutor;
 use crate::metrics::StepMetrics;
+use crate::opt_engine::{OptEngine, OptReport};
 use crate::schedule::{single_gpu_schedule, with_lookahead, StepCmd};
 use ssdtrain::{
     AdaptivePlan, ArgValue, CpuTarget, FaultyTarget, IoEngine, MemoryTraceBridge, MetricsRegistry,
-    OffloadTarget, PlacementStrategy, RecoveryPolicy, SsdTarget, StageHint, StepProfile,
-    TensorCache, TensorCacheConfig, Tier, TierLink, TierStack, TraceCategory, TraceSink,
+    OffloadClass, OffloadTarget, PlacementStrategy, RecoveryPolicy, SsdTarget, StageHint,
+    StepProfile, TensorCache, TensorCacheConfig, Tier, TierLink, TierStack, TraceCategory,
+    TraceSink,
 };
 use ssdtrain_autograd::optim::Sgd;
 use ssdtrain_autograd::{Graph, Phase};
@@ -19,16 +21,70 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Which offload target the session's cache uses (paper Figure 5: the
-/// SSD offloader is the system's point; the CPU offloader exists for
-/// future remote-storage work and is bounded by the host-pinned pool).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum TargetKind {
-    /// NVMe SSD array through the direct (GDS) path.
-    #[default]
-    Ssd,
-    /// Host pinned-memory pool (limited by `SystemConfig::host_mem_bytes`).
-    Cpu,
+/// Which [`OffloadClass`]es the session moves through the tier stack.
+///
+/// Activations follow the placement strategy as before; the gradient
+/// and optimizer-state lanes are what turn the session into the
+/// GreedySnake-style configuration — state lives off-GPU between steps
+/// and the weight update becomes per-stage jobs (see
+/// [`crate::opt_engine::OptEngine`]). Built fluently through
+/// [`SessionBuilder::offload`](crate::builder::SessionBuilder::offload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OffloadClassSet {
+    enabled: [bool; 3],
+}
+
+impl Default for OffloadClassSet {
+    /// Activations only — the paper's original configuration.
+    fn default() -> OffloadClassSet {
+        OffloadClassSet::activation_only()
+    }
+}
+
+impl OffloadClassSet {
+    /// Activations only (the pre-class default).
+    pub fn activation_only() -> OffloadClassSet {
+        OffloadClassSet {
+            enabled: [true, false, false],
+        }
+    }
+
+    /// Every class: activations, gradients and optimizer state.
+    pub fn all() -> OffloadClassSet {
+        OffloadClassSet {
+            enabled: [true, true, true],
+        }
+    }
+
+    /// No class at all (everything stays resident).
+    pub fn none() -> OffloadClassSet {
+        OffloadClassSet {
+            enabled: [false; 3],
+        }
+    }
+
+    /// Returns the set with `class` switched to `enabled`.
+    pub fn with(mut self, class: OffloadClass, enabled: bool) -> OffloadClassSet {
+        self.enabled[class.index()] = enabled;
+        self
+    }
+
+    /// Whether `class` is selected for offloading.
+    pub fn contains(&self, class: OffloadClass) -> bool {
+        self.enabled[class.index()]
+    }
+
+    /// Whether any *state* class (gradient or optimizer state) is
+    /// selected — these are what require the cache even when the
+    /// activation strategy is keep/recompute.
+    pub fn any_state(&self) -> bool {
+        self.contains(OffloadClass::Gradient) || self.contains(OffloadClass::OptimizerState)
+    }
+
+    /// The selected classes, in [`OffloadClass::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = OffloadClass> + '_ {
+        OffloadClass::ALL.into_iter().filter(|c| self.contains(*c))
+    }
 }
 
 /// The tier stack the session's cache offloads into. The single-tier
@@ -49,15 +105,6 @@ pub enum OffloadBackend {
         /// Admission capacity of the DRAM front tier in bytes.
         dram_bytes: u64,
     },
-}
-
-impl From<TargetKind> for OffloadBackend {
-    fn from(kind: TargetKind) -> OffloadBackend {
-        match kind {
-            TargetKind::Ssd => OffloadBackend::Ssd,
-            TargetKind::Cpu => OffloadBackend::Dram,
-        }
-    }
 }
 
 /// Configuration of a [`TrainSession`].
@@ -84,14 +131,27 @@ pub struct SessionConfig {
     /// The offload backend: tier stack plus the links its transfers are
     /// priced on (single SSD tier by default).
     pub backend: OffloadBackend,
+    /// Which tensor classes ride the tier stack (activations only by
+    /// default). State classes work under any activation strategy: the
+    /// cache is built for them even when activations stay resident.
+    pub offload: OffloadClassSet,
+    /// Defer each step's optimizer update into the next step's forward
+    /// window (the GreedySnake overlap); `false` runs the per-stage
+    /// update jobs inline at the `OptimizerStep` stage.
+    pub overlap_optimizer: bool,
+    /// SGD momentum (0 keeps the paper's stateless configuration; a
+    /// positive value allocates per-parameter velocity, the optimizer
+    /// state the `OptimizerState` class moves off-GPU).
+    pub momentum: f32,
     /// Deterministic fault schedule injected between the cache and the
     /// offload target (`None` for a healthy device). Recovery follows
     /// `cache.recovery`.
     pub fault: Option<FaultPlan>,
-    /// Spill-of-last-resort target kind for
+    /// Spill-of-last-resort backend for
     /// [`RecoveryPolicy::FallbackTarget`] (`None` defaults to the host
-    /// pinned pool).
-    pub fallback: Option<TargetKind>,
+    /// pinned pool; the tiered backend is rejected at build time — a
+    /// fallback must be a single device).
+    pub fallback: Option<OffloadBackend>,
     /// Trace sink receiving the session's tensor-lifecycle events
     /// (disabled by default; see [`TraceSink::enabled`]).
     pub trace: TraceSink,
@@ -114,6 +174,7 @@ pub struct TrainSession {
     cache: Option<Arc<TensorCache>>,
     faulty: Option<Arc<FaultyTarget>>,
     optimizer: Sgd,
+    opt_engine: Option<OptEngine>,
     spill_dirs: Vec<PathBuf>,
     trace: TraceSink,
     metrics: MetricsRegistry,
@@ -164,7 +225,11 @@ impl TrainSession {
             cfg.model.tp,
         ));
         let mut spill_dirs = Vec::new();
-        let (cache, faulty) = if cfg.strategy.uses_cache() {
+        // State classes (gradients, optimizer state) need the tier stack
+        // even when the activation strategy keeps or recomputes — the
+        // GreedySnake configuration offloads *only* state.
+        let wants_cache = cfg.strategy.uses_cache() || cfg.offload.any_state();
+        let (cache, faulty) = if wants_cache {
             let mut new_ssd = |tag: &str| -> std::io::Result<Arc<dyn OffloadTarget>> {
                 let dir = unique_spill_dir(tag);
                 let wear = cfg.system.ssd_array.wear_meter(1.0);
@@ -281,17 +346,19 @@ impl TrainSession {
             cache.set_trace(cfg.trace.clone());
             if cfg.cache.recovery == RecoveryPolicy::FallbackTarget {
                 // Spill of last resort (host pinned pool by default).
-                let fallback: Arc<dyn OffloadTarget> = match cfg.fallback.unwrap_or(TargetKind::Cpu)
-                {
-                    TargetKind::Cpu => Arc::new(CpuTarget::new(cfg.system.host_mem_bytes)),
-                    TargetKind::Ssd => {
-                        let dir = unique_spill_dir(&format!("{}-fb", cfg.model.tag()));
-                        let wear = cfg.system.ssd_array.wear_meter(1.0);
-                        let t = Arc::new(SsdTarget::new(&dir, wear)?);
-                        spill_dirs.push(dir);
-                        t
-                    }
-                };
+                // `Tiered` is rejected by the builder, so any other
+                // value maps to the pinned pool here.
+                let fallback: Arc<dyn OffloadTarget> =
+                    match cfg.fallback.unwrap_or(OffloadBackend::Dram) {
+                        OffloadBackend::Ssd => {
+                            let dir = unique_spill_dir(&format!("{}-fb", cfg.model.tag()));
+                            let wear = cfg.system.ssd_array.wear_meter(1.0);
+                            let t = Arc::new(SsdTarget::new(&dir, wear)?);
+                            spill_dirs.push(dir);
+                            t
+                        }
+                        _ => Arc::new(CpuTarget::new(cfg.system.host_mem_bytes)),
+                    };
                 cache.set_fallback_target(fallback);
             }
             for p in model.parameters() {
@@ -306,7 +373,18 @@ impl TrainSession {
                 .memory
                 .set_peak_observer(MemoryTraceBridge::new(cfg.trace.clone()));
         }
-        let optimizer = Sgd::new(model.parameters(), 0.05);
+        let optimizer = Sgd::with_momentum(model.parameters(), 0.05, cfg.momentum);
+        // The per-stage scheduling engine exists whenever the session
+        // moves state classes or overlaps the update; the legacy
+        // outside-the-window optimizer is kept byte-identical otherwise.
+        let opt_engine = (cfg.offload.any_state() || cfg.overlap_optimizer).then(|| {
+            OptEngine::new(
+                cfg.offload,
+                cfg.overlap_optimizer,
+                optimizer.len(),
+                cfg.model.layers.max(1),
+            )
+        });
         let trace = cfg.trace.clone();
         Ok(TrainSession {
             cfg,
@@ -317,6 +395,7 @@ impl TrainSession {
             cache,
             faulty,
             optimizer,
+            opt_engine,
             spill_dirs,
             trace,
             metrics: MetricsRegistry::new(),
@@ -361,7 +440,12 @@ impl TrainSession {
         let g = Graph::new(&self.device, self.cfg.seed ^ (self.step_idx << 17));
         g.set_observer(self.executor.clone());
         if let Some(cache) = &self.cache {
-            cache.install(&g);
+            // The activation lane hooks the graph only when the strategy
+            // offloads activations; a state-only session still owns the
+            // cache for its gradient/optimizer-state slots.
+            if self.cfg.strategy.uses_cache() {
+                cache.install(&g);
+            }
         }
         g
     }
@@ -380,6 +464,11 @@ impl TrainSession {
             .cache
             .clone()
             .expect("profile_step requires the offload strategy");
+        if let Some(engine) = self.opt_engine.as_mut() {
+            // A profiling step never updates weights; drop any deferred
+            // update so its gradients are not half-consumed.
+            engine.abort(self.cache.as_deref());
+        }
         self.runtime.reset();
         self.executor.reset();
         self.trace.next_step();
@@ -460,6 +549,19 @@ impl TrainSession {
         if let Some(cache) = &self.cache {
             cache.begin_step();
         }
+        // Overlapped optimizer: the previous step's deferred update runs
+        // now, at t = 0, its state loads racing the forecast forward
+        // arrivals (GreedySnake). Only the delay the forward window
+        // cannot hide lands on the clock.
+        let mut opt_report = OptReport::default();
+        if let Some(engine) = self.opt_engine.as_mut() {
+            opt_report = engine.begin_step(
+                self.cache.as_deref(),
+                &mut self.optimizer,
+                &self.runtime.clock,
+                &self.trace,
+            );
+        }
         let g = self.fresh_graph();
         let recompute = self.recompute_policy();
         let mut losses = Vec::new();
@@ -499,9 +601,30 @@ impl TrainSession {
                     g.reset_tape();
                 }
                 StepCmd::StageBoundary => {}
-                StepCmd::ReduceGrads | StepCmd::OptimizerStep => {
-                    // Data parallelism degree 1; the optimizer runs
-                    // outside the measured window (below).
+                StepCmd::ReduceGrads => {
+                    // Data parallelism degree 1: nothing to reduce, but
+                    // this is where the gradient class leaves the GPU —
+                    // the stores drain at this stage scope's exit, on
+                    // the step that produced the gradients.
+                    if let Some(engine) = self.opt_engine.as_mut() {
+                        engine.stash_grads(self.cache.as_deref(), &self.optimizer);
+                    }
+                }
+                StepCmd::OptimizerStep => {
+                    // With the engine, the update joins the measured
+                    // window (inline per-stage jobs) or is deferred to
+                    // the next step's begin (overlap). Without it, the
+                    // legacy optimizer runs outside the window (below).
+                    if let Some(engine) = self.opt_engine.as_mut() {
+                        let r = engine.end_of_step(
+                            self.cache.as_deref(),
+                            &mut self.optimizer,
+                            &self.runtime.clock,
+                            &self.trace,
+                        );
+                        opt_report.inline_secs += r.inline_secs;
+                        opt_report.exposed_secs += r.exposed_secs;
+                    }
                 }
             }
             match scope {
@@ -517,6 +640,9 @@ impl TrainSession {
 
         if let Some(cache) = &self.cache {
             cache.flush();
+        }
+        if let Some(engine) = self.opt_engine.as_mut() {
+            engine.note_forward_secs(self.executor.phase_secs(Phase::Forward));
         }
         let step_secs = self.runtime.clock.now().as_secs();
         let timeline = self.runtime.memory.timeline();
@@ -552,10 +678,18 @@ impl TrainSession {
             alloc: self.runtime.memory.allocator_stats(),
             oom: self.runtime.memory.oom(),
             loss: losses.iter().copied().sum::<f32>() / losses.len().max(1) as f32,
+            opt_secs: opt_report.inline_secs,
+            opt_exposed_secs: opt_report.exposed_secs,
         };
         metrics.offload.export_to(&self.metrics);
         self.metrics.inc_counter("session.steps", 1);
         self.metrics.observe("session.step_secs", step_secs);
+        if self.opt_engine.is_some() {
+            self.metrics
+                .observe("session.opt_secs", opt_report.inline_secs);
+            self.metrics
+                .observe("session.opt_exposed_secs", opt_report.exposed_secs);
+        }
         self.trace.instant_with(
             TraceCategory::Session,
             "step.end",
@@ -563,9 +697,12 @@ impl TrainSession {
             vec![("secs", ArgValue::F64(step_secs))],
         );
         if let Some(error) = self.cache.as_ref().and_then(|c| c.take_error()) {
-            // The step is tainted: skip the weight update, clear the
-            // accumulated gradients and hand the degraded metrics to
-            // the caller inside the error.
+            // The step is tainted: skip the weight update (dropping any
+            // deferred one with it), clear the accumulated gradients and
+            // hand the degraded metrics to the caller inside the error.
+            if let Some(engine) = self.opt_engine.as_mut() {
+                engine.abort(self.cache.as_deref());
+            }
             self.optimizer.zero_grad();
             self.step_idx += 1;
             return Err(StepError {
@@ -573,10 +710,14 @@ impl TrainSession {
                 metrics: Some(Box::new(metrics)),
             });
         }
-        // The optimizer runs outside the measured window (constant
-        // offset in the paper's comparison, Section 4.1).
-        self.optimizer.step();
-        self.optimizer.zero_grad();
+        // Without the engine, the optimizer runs outside the measured
+        // window (constant offset in the paper's comparison, Section
+        // 4.1). The engine paths already updated inline — or deferred
+        // the update (and its still-needed gradients) to the next step.
+        if self.opt_engine.is_none() {
+            self.optimizer.step();
+            self.optimizer.zero_grad();
+        }
         self.step_idx += 1;
         Ok(metrics)
     }

@@ -16,8 +16,8 @@
 //! ```
 
 use ssdtrain::{
-    chrome_trace_json, text_summary, PlacementStrategy, RecoveryPolicy, TensorCacheConfig,
-    TraceCategory, TraceSink,
+    chrome_trace_json, text_summary, OffloadClass, PlacementStrategy, RecoveryPolicy,
+    TensorCacheConfig, TraceCategory, TraceSink,
 };
 use ssdtrain_models::ModelConfig;
 use ssdtrain_simhw::{FaultKind, FaultPlan, FaultTrigger};
@@ -31,6 +31,25 @@ fn session(strategy: PlacementStrategy) -> std::io::Result<TrainSession> {
         // Offload even tiny tensors so this toy model exercises the
         // whole path (real runs keep the paper's 2^20-element floor).
         .cache(TensorCacheConfig::offload_everything())
+        .seed(7)
+        .build()
+        .expect("valid config");
+    TrainSession::new(cfg)
+}
+
+/// Same run, but offloading every class — activations, gradients and
+/// momentum — with the optimizer update overlapped into the next
+/// step's forward. Still bit-identical: offload classes and the
+/// overlap are performance knobs, not numerics knobs.
+fn all_classes_session() -> std::io::Result<TrainSession> {
+    let cfg = SessionConfig::builder()
+        .model(ModelConfig::tiny_gpt())
+        .batch_size(2)
+        .cache(TensorCacheConfig::offload_everything())
+        .offload(OffloadClass::Gradient, true)
+        .offload(OffloadClass::OptimizerState, true)
+        .overlap_optimizer(true)
+        .momentum(0.9)
         .seed(7)
         .build()
         .expect("valid config");
@@ -157,6 +176,40 @@ fn main() -> std::io::Result<()> {
     println!("  forwarded        : {}", stats.forwarded);
     println!("  exposed stall    : {:.6}s", stats.stall_secs);
     println!("\nactivations round-tripped through real spill files, gradients unchanged.");
+
+    // Now widen the offload to every class: gradients and momentum ride
+    // the same cache, and the optimizer update hides under the next
+    // step's forward. A plain in-memory momentum run is the reference.
+    let inmem = SessionConfig::builder()
+        .model(ModelConfig::tiny_gpt())
+        .batch_size(2)
+        .strategy(PlacementStrategy::Keep)
+        .momentum(0.9)
+        .seed(7)
+        .build()
+        .expect("valid config");
+    let mut inmem = TrainSession::new(inmem)?;
+    let mut all = all_classes_session()?;
+    println!("\nall-class offload (gradients + momentum, overlapped update):");
+    for step in 0..5 {
+        let mi = inmem.run_step().expect("step");
+        let ma = all.run_step().expect("step");
+        assert_eq!(
+            mi.loss, ma.loss,
+            "class offload and overlap must not change numerics"
+        );
+        println!(
+            "{step:>4} | loss {:>11.6} | identical | opt exposed {:.6}s",
+            ma.loss, ma.opt_exposed_secs
+        );
+    }
+    let stats = all.cache().expect("cache").stats();
+    for class in stats.classes.iter() {
+        println!(
+            "  class {:<15}: {:>8} B stored over {} jobs, {:>8} B reloaded",
+            class.class, class.offloaded_bytes, class.stores, class.reloaded_bytes
+        );
+    }
 
     if let Some(path) = trace_path_from_args() {
         traced_demo(&path)?;

@@ -68,3 +68,76 @@ awk '
     printf "bench gate ok: %d backends, step times distinct and ordered\n", n
   }
 ' "$json"
+
+# Capacity gate over results/BENCH_capacity.json: offloading optimizer
+# state to the array must buy model size the bounded host pool cannot
+# (ssd/tiered max_hidden strictly above dram-only), and the overlapped
+# optimizer update must expose strictly less time than the inline one.
+# Regenerate with:
+#   cargo run -p ssdtrain-bench --release --bin bench_capacity
+capacity=results/BENCH_capacity.json
+if [ ! -f "$capacity" ]; then
+    echo "FAIL: missing $capacity (run the bench_capacity binary first)" >&2
+    exit 1
+fi
+
+awk '
+  /"name":/ {
+    line = $0
+    sub(/.*"name": "/, "", line)
+    sub(/".*/, "", line)
+    name = line
+    ov = ($0 ~ /"overlap": true/) ? "yes" : "no"
+    v = $0
+    sub(/.*"max_hidden": /, "", v)
+    sub(/,.*/, "", v)
+    hidden[name "/" ov] = v + 0
+  }
+  /"backend":/ {
+    line = $0
+    sub(/.*"backend": "/, "", line)
+    sub(/".*/, "", line)
+    b = line
+    inline = $0
+    sub(/.*"opt_secs_inline": /, "", inline)
+    sub(/,.*/, "", inline)
+    exposed = $0
+    sub(/.*"opt_exposed_overlap": /, "", exposed)
+    sub(/[,}].*/, "", exposed)
+    timed[b] = 1
+    if (!(exposed + 0 < inline + 0)) {
+      printf "FAIL: %s: overlapped exposure (%s s) must stay strictly below the inline update (%s s)\n", \
+             b, exposed, inline
+      fail = 1
+    }
+  }
+  END {
+    for (b in timed) nb++
+    if (nb < 3) {
+      print "FAIL: capacity report is missing backend timings"
+      fail = 1
+    }
+    split("no yes", ovs, " ")
+    for (i in ovs) {
+      ov = ovs[i]
+      if (!(("ssd/" ov) in hidden) || !(("dram/" ov) in hidden) || \
+          !(("tiered-4g/" ov) in hidden)) {
+        printf "FAIL: capacity report is missing a backend at overlap=%s\n", ov
+        fail = 1
+        continue
+      }
+      if (!(hidden["ssd/" ov] > hidden["dram/" ov])) {
+        printf "FAIL: overlap=%s: ssd max_hidden (%d) must exceed dram-only (%d)\n", \
+               ov, hidden["ssd/" ov], hidden["dram/" ov]
+        fail = 1
+      }
+      if (!(hidden["tiered-4g/" ov] > hidden["dram/" ov])) {
+        printf "FAIL: overlap=%s: tiered max_hidden (%d) must exceed dram-only (%d)\n", \
+               ov, hidden["tiered-4g/" ov], hidden["dram/" ov]
+        fail = 1
+      }
+    }
+    if (fail) exit 1
+    printf "capacity gate ok: array-backed capacity above dram-only, overlap exposure below inline\n"
+  }
+' "$capacity"

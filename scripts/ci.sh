@@ -16,6 +16,10 @@ cargo test -q --test trace_observability
 # never silently drop them.
 cargo test -q --test tier_timing
 cargo test -q --test proptest_invariants
+# The offload-class differential suite: losses must stay bit-identical
+# across the in-memory, inline-offloaded and overlapped optimizer
+# paths, healthy or faulted. Run explicitly for the same reason.
+cargo test -q --test optimizer_offload
 # The checked-in bench report must keep the backends' step times
 # distinct and ordered (see the script header for the regeneration
 # command).

@@ -7,7 +7,7 @@ use ssdtrain::{PlacementStrategy, TensorCacheConfig};
 use ssdtrain_analysis::ActivationModel;
 use ssdtrain_models::{Arch, ModelConfig};
 use ssdtrain_simhw::SystemConfig;
-use ssdtrain_train::{SessionConfig, TargetKind, TrainSession};
+use ssdtrain_train::{OffloadBackend, SessionConfig, TrainSession};
 
 fn offload_session(arch: Arch, hidden: usize, layers: usize, batch: usize) -> TrainSession {
     let cfg = SessionConfig::builder()
@@ -126,19 +126,19 @@ fn oom_detection_fires_when_keep_exceeds_device_memory() {
 fn cpu_offload_target_is_numerically_identical_too() {
     // The paper's CPU offloader (Figure 5) shares the tensor-cache logic;
     // only the target and bandwidths differ.
-    let run = |target: TargetKind| -> Vec<f32> {
+    let run = |backend: OffloadBackend| -> Vec<f32> {
         let cfg = SessionConfig::builder()
             .model(ModelConfig::tiny_gpt())
             .batch_size(2)
             .cache(TensorCacheConfig::offload_everything())
             .seed(17)
-            .target(target)
+            .backend(backend)
             .build()
             .expect("valid config");
         let mut s = TrainSession::new(cfg).expect("session");
         (0..3).map(|_| s.run_step().expect("step").loss).collect()
     };
-    assert_eq!(run(TargetKind::Ssd), run(TargetKind::Cpu));
+    assert_eq!(run(OffloadBackend::Ssd), run(OffloadBackend::Dram));
 }
 
 #[test]
@@ -156,7 +156,7 @@ fn cpu_pool_exhaustion_degrades_gracefully() {
         .batch_size(8)
         .symbolic(true)
         .seed(1)
-        .target(TargetKind::Cpu)
+        .backend(OffloadBackend::Dram)
         .build()
         .expect("valid config");
     let mut s = TrainSession::new(cfg).expect("session");

@@ -207,6 +207,107 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Offload classes
+// ---------------------------------------------------------------------
+
+proptest! {
+    // Full training sessions again: a handful of cases sweeps the
+    // class-subset x overlap space.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn class_lanes_partition_the_global_byte_account(
+        seed in 0u64..1_000,
+        grads in any::<bool>(),
+        states in any::<bool>(),
+        overlap in any::<bool>(),
+    ) {
+        use ssdtrain::{OffloadClass, TensorCacheConfig};
+        use ssdtrain_models::ModelConfig;
+        use ssdtrain_train::{SessionConfig, TrainSession};
+
+        let cfg = SessionConfig::builder()
+            .model(ModelConfig::tiny_gpt())
+            .batch_size(1)
+            .cache(TensorCacheConfig::offload_everything())
+            .offload(OffloadClass::Gradient, grads)
+            .offload(OffloadClass::OptimizerState, states)
+            .overlap_optimizer(overlap)
+            .momentum(if states { 0.9 } else { 0.0 })
+            .seed(seed)
+            .build()
+            .expect("valid config");
+        let mut s = TrainSession::new(cfg).expect("session");
+        for _ in 0..2 {
+            let _ = s.run_step().expect("step");
+        }
+        let stats = s.cache().expect("cache").stats();
+        // Every byte the cache moved is attributed to exactly one class.
+        let (off, re) = stats
+            .classes
+            .iter()
+            .fold((0, 0), |(o, r), c| (o + c.offloaded_bytes, r + c.reloaded_bytes));
+        prop_assert_eq!(off, stats.offloaded_bytes);
+        prop_assert_eq!(re, stats.reloaded_bytes);
+        // Disabled classes move nothing (the lane may exist zeroed —
+        // `class_mut` materialises lanes in label order).
+        let moved = |class| {
+            stats
+                .class(class)
+                .is_some_and(|c| c.offloaded_bytes + c.reloaded_bytes + c.stores + c.loads > 0)
+        };
+        if !grads {
+            prop_assert!(!moved(OffloadClass::Gradient));
+        }
+        if !states {
+            prop_assert!(!moved(OffloadClass::OptimizerState));
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn state_loads_never_complete_before_their_stores_drain(
+        sizes in prop::collection::vec(1usize..4_000, 1..16),
+        write_bps in 1e6f64..1e10,
+        read_bps in 1e6f64..1e10,
+        advance_ms in 0u32..100,
+    ) {
+        use ssdtrain::{OffloadClass, TensorCache, TensorCacheConfig};
+
+        let clock = SimClock::new();
+        let io = IoEngine::new(clock.clone(), write_bps, read_bps);
+        let mem = Arc::new(GpuMemory::new(clock.clone(), 1 << 60));
+        let cache = TensorCache::new(
+            TensorCacheConfig::offload_everything(),
+            Arc::new(CpuTarget::new(1 << 40)),
+            io,
+            mem,
+        );
+        let dev = Device::cpu();
+        let slots: Vec<_> = sizes
+            .iter()
+            .map(|n| {
+                let t = Tensor::zeros([*n], &dev);
+                cache
+                    .offload_state(&t, OffloadClass::OptimizerState)
+                    .expect("offload-everything admits state")
+            })
+            .collect();
+        clock.advance_by(advance_ms as f64 / 1000.0);
+        for slot in slots {
+            let stored = cache.state_available_at(slot).expect("live slot");
+            let ready = cache.load_state(slot).expect("live slot");
+            // The reload can never observe bytes the store has not yet
+            // landed on the tier: ready >= store completion, and at
+            // least the load's own transfer time from now.
+            prop_assert!(ready >= stored, "{} < {}", ready.as_secs(), stored.as_secs());
+            prop_assert!(ready >= clock.now());
+            cache.release_state(slot);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Memory timeline
 // ---------------------------------------------------------------------
 

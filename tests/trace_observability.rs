@@ -18,7 +18,7 @@ use ssdtrain::{
 };
 use ssdtrain_models::ModelConfig;
 use ssdtrain_simhw::{FaultKind, FaultPlan, FaultTrigger, SystemConfig};
-use ssdtrain_train::{OffloadBackend, SessionConfig, TargetKind, TrainSession};
+use ssdtrain_train::{OffloadBackend, SessionConfig, TrainSession};
 use std::collections::BTreeSet;
 use std::path::Path;
 
@@ -29,10 +29,10 @@ const STEPS: usize = 2;
 /// lane of the trace carries events.
 fn traced_session(
     sink: TraceSink,
-    target: TargetKind,
+    backend: OffloadBackend,
     recovery: RecoveryPolicy,
     fault: Option<FaultPlan>,
-    fallback: Option<TargetKind>,
+    fallback: Option<OffloadBackend>,
 ) -> TrainSession {
     let mut builder = SessionConfig::builder()
         .model(ModelConfig::tiny_gpt())
@@ -40,7 +40,7 @@ fn traced_session(
         .cache(TensorCacheConfig::offload_everything())
         .recovery(recovery)
         .seed(7)
-        .target(target)
+        .backend(backend)
         .trace(sink);
     if let Some(plan) = fault {
         builder = builder.fault(plan);
@@ -107,7 +107,7 @@ fn golden_chrome_trace_is_byte_stable() {
     let sink = TraceSink::enabled();
     let mut s = traced_session(
         sink.clone(),
-        TargetKind::Cpu,
+        OffloadBackend::Dram,
         RecoveryPolicy::KeepResident,
         None,
         None,
@@ -138,7 +138,7 @@ fn identical_runs_emit_identical_traces() {
         let sink = TraceSink::enabled();
         let mut s = traced_session(
             sink.clone(),
-            TargetKind::Ssd,
+            OffloadBackend::Ssd,
             RecoveryPolicy::KeepResident,
             None,
             None,
@@ -154,7 +154,7 @@ fn trace_byte_totals_match_offload_stats() {
     let sink = TraceSink::enabled();
     let mut s = traced_session(
         sink.clone(),
-        TargetKind::Ssd,
+        OffloadBackend::Ssd,
         RecoveryPolicy::KeepResident,
         None,
         None,
@@ -175,7 +175,7 @@ fn trace_accounting_survives_injected_write_faults() {
     let sink = TraceSink::enabled();
     let mut s = traced_session(
         sink.clone(),
-        TargetKind::Ssd,
+        OffloadBackend::Ssd,
         RecoveryPolicy::KeepResident,
         Some(plan),
         None,
@@ -204,10 +204,10 @@ fn trace_accounting_survives_fallback_rerouting() {
     let sink = TraceSink::enabled();
     let mut s = traced_session(
         sink.clone(),
-        TargetKind::Ssd,
+        OffloadBackend::Ssd,
         RecoveryPolicy::FallbackTarget,
         Some(plan),
-        Some(TargetKind::Cpu),
+        Some(OffloadBackend::Dram),
     );
     let per_step = run(&mut s);
     assert!(
@@ -308,7 +308,7 @@ fn traced_run_covers_the_documented_categories() {
     let sink = TraceSink::enabled();
     let mut s = traced_session(
         sink.clone(),
-        TargetKind::Ssd,
+        OffloadBackend::Ssd,
         RecoveryPolicy::KeepResident,
         Some(plan),
         None,
@@ -339,7 +339,7 @@ fn disabled_sink_records_nothing() {
     // accumulate events anywhere (the "free when off" overhead bound).
     let mut s = traced_session(
         TraceSink::disabled(),
-        TargetKind::Ssd,
+        OffloadBackend::Ssd,
         RecoveryPolicy::KeepResident,
         None,
         None,
