@@ -1563,6 +1563,7 @@ impl SavedTensorHooks for TensorCache {
                     if now < end {
                         // Forwarding disabled: the load cannot begin
                         // until the store finishes.
+                        // ssdtrain-lint: allow(lock-discipline): `rec` borrows from the guard and is committed right after the drain; the simulation is single-threaded, so the hold cannot block a peer, and dropping/relocking would re-look-up the record mid-commit
                         let stall = self.io.clock().advance_to(end);
                         self.stats.lock().stall_secs += stall;
                         if stall > 0.0 {

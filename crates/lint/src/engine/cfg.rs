@@ -1,0 +1,792 @@
+//! Intraprocedural control-flow graph over the token stream.
+//!
+//! Each node holds the token indices that execute together; edges
+//! follow `if`/`else`, `match` arms, loops (with back edges), `?`
+//! splits, `return`/`break`/`continue`, and `let … else` divergence.
+//! The graph is deliberately conservative: constructs it does not model
+//! (closure bodies, `unsafe` blocks, macros) are appended to the
+//! current node verbatim, which keeps their tokens visible to the
+//! reachability queries without inventing paths around them.
+//!
+//! Two queries drive every flow rule:
+//!
+//! * [`Cfg::exit_reachable`] — "can execution leave the function
+//!   without passing one of these tokens?" (reservation/span leaks)
+//! * [`Cfg::reach`] — "can execution hit one of these tokens before
+//!   any of those?" (a second lock while the first guard is live)
+
+use super::items::FileItems;
+use crate::lexer::Token;
+use std::collections::{HashMap, HashSet};
+use std::ops::Range;
+
+/// One straight-line run of tokens.
+#[derive(Debug, Default)]
+pub struct Node {
+    /// Token indices in execution order.
+    pub toks: Vec<usize>,
+    /// Successor node ids.
+    pub succ: Vec<usize>,
+}
+
+/// The CFG of one function body.
+#[derive(Debug)]
+pub struct Cfg {
+    /// All nodes; unreachable (post-`return`) code keeps its own
+    /// orphan nodes so queries on its tokens stay well-defined.
+    pub nodes: Vec<Node>,
+    /// Entry node id.
+    pub entry: usize,
+    /// Exit node id (empty; every function-leaving edge lands here).
+    pub exit: usize,
+    node_of: HashMap<usize, usize>,
+}
+
+struct Builder<'a> {
+    toks: &'a [Token],
+    items: &'a FileItems,
+    nodes: Vec<Node>,
+    exit: usize,
+    /// `(continue_target, break_target)` per enclosing loop.
+    loops: Vec<(usize, usize)>,
+}
+
+impl Cfg {
+    /// Builds the CFG for a function body token range (braces
+    /// included).
+    pub fn build(toks: &[Token], items: &FileItems, body: Range<usize>) -> Cfg {
+        let mut b = Builder {
+            toks,
+            items,
+            nodes: vec![Node::default(), Node::default()],
+            exit: 1,
+            loops: Vec::new(),
+        };
+        let entry = 0;
+        b.push_tok(entry, body.start); // `{`
+        let inner = body.start + 1..body.end.saturating_sub(1);
+        let last = b.seq(entry, inner);
+        if body.end > body.start {
+            b.push_tok(last, body.end - 1); // `}`
+        }
+        b.edge(last, b.exit);
+        let mut node_of = HashMap::new();
+        for (id, n) in b.nodes.iter().enumerate() {
+            for &t in &n.toks {
+                node_of.insert(t, id);
+            }
+        }
+        Cfg {
+            nodes: b.nodes,
+            entry,
+            exit: b.exit,
+            node_of,
+        }
+    }
+
+    /// Whether a path from `from` reaches the function exit without
+    /// passing any token in `stops`. `include_from` starts the scan at
+    /// `from` itself rather than just after it.
+    pub fn exit_reachable(&self, from: usize, include_from: bool, stops: &HashSet<usize>) -> bool {
+        self.walk(from, include_from, &HashSet::new(), stops, true)
+            .is_some()
+    }
+
+    /// The first token of `targets` reachable from `from` without
+    /// passing any token in `stops`, if any.
+    pub fn reach(
+        &self,
+        from: usize,
+        include_from: bool,
+        targets: &HashSet<usize>,
+        stops: &HashSet<usize>,
+    ) -> Option<usize> {
+        self.walk(from, include_from, targets, stops, false)
+    }
+
+    /// Every token of `targets` reachable from `from` without passing
+    /// any token in `stops`, sorted by token index. A reached target
+    /// does not block the path (one path may hit several targets).
+    pub fn reach_all(
+        &self,
+        from: usize,
+        include_from: bool,
+        targets: &HashSet<usize>,
+        stops: &HashSet<usize>,
+    ) -> Vec<usize> {
+        let mut found = HashSet::new();
+        let Some(&start_node) = self.node_of.get(&from) else {
+            return Vec::new();
+        };
+        let Some(start_pos) = self.nodes[start_node].toks.iter().position(|&t| t == from) else {
+            return Vec::new();
+        };
+        let first = if include_from {
+            start_pos
+        } else {
+            start_pos + 1
+        };
+        let mut stack: Vec<usize> = Vec::new();
+        let mut seen: HashSet<usize> = HashSet::new();
+        if self.scan_collect(start_node, first, targets, stops, &mut found) {
+            stack.extend(self.nodes[start_node].succ.iter().copied());
+        }
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            if self.scan_collect(id, 0, targets, stops, &mut found) {
+                stack.extend(self.nodes[id].succ.iter().copied());
+            }
+        }
+        let mut out: Vec<usize> = found.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Collects targets along one node; returns whether the scan ran
+    /// through (no stop).
+    fn scan_collect(
+        &self,
+        node: usize,
+        from_pos: usize,
+        targets: &HashSet<usize>,
+        stops: &HashSet<usize>,
+        found: &mut HashSet<usize>,
+    ) -> bool {
+        for &t in self.nodes[node].toks.iter().skip(from_pos) {
+            if targets.contains(&t) {
+                found.insert(t);
+            }
+            if stops.contains(&t) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Shared DFS. Returns the reached target token (or `usize::MAX`
+    /// for the exit when `want_exit`).
+    fn walk(
+        &self,
+        from: usize,
+        include_from: bool,
+        targets: &HashSet<usize>,
+        stops: &HashSet<usize>,
+        want_exit: bool,
+    ) -> Option<usize> {
+        let &start_node = self.node_of.get(&from)?;
+        let start_pos = self.nodes[start_node]
+            .toks
+            .iter()
+            .position(|&t| t == from)?;
+        let first = if include_from {
+            start_pos
+        } else {
+            start_pos + 1
+        };
+        // (node, scan-from-start); the initial partial scan is seeded
+        // separately and the node may legitimately be revisited in full
+        // through a loop back edge.
+        let mut stack: Vec<usize> = Vec::new();
+        let mut seen: HashSet<usize> = HashSet::new();
+        match self.scan(start_node, first, targets, stops) {
+            Scan::Hit(t) => return Some(t),
+            Scan::Blocked => return None,
+            Scan::Through => stack.extend(self.nodes[start_node].succ.iter().copied()),
+        }
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            if id == self.exit {
+                if want_exit {
+                    return Some(usize::MAX);
+                }
+                continue;
+            }
+            match self.scan(id, 0, targets, stops) {
+                Scan::Hit(t) => return Some(t),
+                Scan::Blocked => {}
+                Scan::Through => stack.extend(self.nodes[id].succ.iter().copied()),
+            }
+        }
+        None
+    }
+
+    fn scan(
+        &self,
+        node: usize,
+        from_pos: usize,
+        targets: &HashSet<usize>,
+        stops: &HashSet<usize>,
+    ) -> Scan {
+        for &t in self.nodes[node].toks.iter().skip(from_pos) {
+            if targets.contains(&t) {
+                return Scan::Hit(t);
+            }
+            if stops.contains(&t) {
+                return Scan::Blocked;
+            }
+        }
+        Scan::Through
+    }
+}
+
+enum Scan {
+    Hit(usize),
+    Blocked,
+    Through,
+}
+
+impl Builder<'_> {
+    fn new_node(&mut self) -> usize {
+        self.nodes.push(Node::default());
+        self.nodes.len() - 1
+    }
+
+    fn edge(&mut self, a: usize, b: usize) {
+        if !self.nodes[a].succ.contains(&b) {
+            self.nodes[a].succ.push(b);
+        }
+    }
+
+    fn push_tok(&mut self, node: usize, i: usize) {
+        self.nodes[node].toks.push(i);
+    }
+
+    fn tok(&self, i: usize) -> Option<&Token> {
+        self.toks.get(i)
+    }
+
+    /// Processes the statements of `range` starting in node `cur`;
+    /// returns the node live at the end of the range.
+    fn seq(&mut self, mut cur: usize, range: Range<usize>) -> usize {
+        let mut i = range.start;
+        while i < range.end {
+            let t = &self.toks[i];
+            if t.is_ident("if") {
+                let (join, next) = self.handle_if(cur, i, range.end);
+                cur = join;
+                i = next;
+            } else if t.is_ident("match") {
+                let (join, next) = self.handle_match(cur, i, range.end);
+                cur = join;
+                i = next;
+            } else if t.is_ident("loop") || t.is_ident("while") || t.is_ident("for") {
+                let (after, next) = self.handle_loop(cur, i, range.end);
+                cur = after;
+                i = next;
+            } else if t.is_ident("return") {
+                let (c, next) = self.flat_stmt(cur, i, range.end);
+                self.edge(c, self.exit);
+                cur = self.new_node();
+                i = next;
+            } else if t.is_ident("break") || t.is_ident("continue") {
+                let is_continue = t.is_ident("continue");
+                let (c, next) = self.flat_stmt(cur, i, range.end);
+                let target = match self.loops.last() {
+                    Some(&(cont, brk)) => {
+                        if is_continue {
+                            cont
+                        } else {
+                            brk
+                        }
+                    }
+                    None => self.exit,
+                };
+                self.edge(c, target);
+                cur = self.new_node();
+                i = next;
+            } else if t.is_ident("let") {
+                let (c, next) = self.handle_let(cur, i, range.end);
+                cur = c;
+                i = next;
+            } else if t.is_punct("{") {
+                // Bare block statement.
+                let close = self.close_of(i, range.end);
+                self.push_tok(cur, i);
+                cur = self.seq(cur, i + 1..close);
+                self.push_tok(cur, close);
+                i = close + 1;
+            } else {
+                let (c, next) = self.flat_stmt(cur, i, range.end);
+                cur = c;
+                // Guarantee progress on malformed input (stray closers
+                // from macro definitions and the like).
+                if next <= i {
+                    self.push_tok(cur, i);
+                    i += 1;
+                } else {
+                    i = next;
+                }
+            }
+        }
+        cur
+    }
+
+    fn close_of(&self, open: usize, end: usize) -> usize {
+        self.items
+            .close_of
+            .get(&open)
+            .copied()
+            .unwrap_or(end.saturating_sub(1))
+            .min(end.saturating_sub(1))
+    }
+
+    /// Appends one statement with no statement-level control flow:
+    /// tokens through the terminating depth-0 `;` (or the range end),
+    /// splitting at every `?`. Macro bodies, closures and struct
+    /// literals pass through verbatim.
+    fn flat_stmt(&mut self, mut cur: usize, start: usize, end: usize) -> (usize, usize) {
+        let mut depth = 0i32;
+        let opens_item = self.toks[start].is_ident("fn") || self.toks[start].is_ident("unsafe");
+        let mut i = start;
+        while i < end {
+            let t = &self.toks[i];
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                depth -= 1;
+                if depth < 0 {
+                    // Ran past the enclosing block (tail expression).
+                    return (cur, i);
+                }
+                self.push_tok(cur, i);
+                if depth == 0 && opens_item && t.is_punct("}") {
+                    // A nested `fn`/`unsafe` item ends at its brace.
+                    return (cur, i + 1);
+                }
+                i += 1;
+                continue;
+            } else if t.is_punct("?") {
+                self.push_tok(cur, i);
+                let cont = self.new_node();
+                self.edge(cur, self.exit);
+                self.edge(cur, cont);
+                cur = cont;
+                i += 1;
+                continue;
+            } else if depth == 0 && t.is_punct(";") {
+                self.push_tok(cur, i);
+                return (cur, i + 1);
+            }
+            self.push_tok(cur, i);
+            i += 1;
+        }
+        (cur, end)
+    }
+
+    /// `if cond { … } [else if … | else { … }]`; returns the join node.
+    fn handle_if(&mut self, cur: usize, i: usize, end: usize) -> (usize, usize) {
+        // Condition tokens run in `cur` up to the depth-0 `{`.
+        let mut j = i;
+        let mut depth = 0i32;
+        while j < end {
+            let t = &self.toks[j];
+            if t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct("{") {
+                break;
+            }
+            self.push_tok(cur, j);
+            j += 1;
+        }
+        if j >= end {
+            return (cur, end);
+        }
+        let open = j;
+        let close = self.close_of(open, end);
+        let then = self.new_node();
+        self.edge(cur, then);
+        self.push_tok(then, open);
+        let then_end = self.seq(then, open + 1..close);
+        self.push_tok(then_end, close);
+        let join = self.new_node();
+        self.edge(then_end, join);
+        let mut next = close + 1;
+        if self.tok(next).is_some_and(|t| t.is_ident("else")) {
+            let els = self.new_node();
+            self.edge(cur, els);
+            self.push_tok(els, next);
+            if self.tok(next + 1).is_some_and(|t| t.is_ident("if")) {
+                let (inner_join, after) = self.handle_if(els, next + 1, end);
+                self.edge(inner_join, join);
+                next = after;
+            } else if self.tok(next + 1).is_some_and(|t| t.is_punct("{")) {
+                let eopen = next + 1;
+                let eclose = self.close_of(eopen, end);
+                self.push_tok(els, eopen);
+                let els_end = self.seq(els, eopen + 1..eclose);
+                self.push_tok(els_end, eclose);
+                self.edge(els_end, join);
+                next = eclose + 1;
+            } else {
+                self.edge(els, join);
+                next += 1;
+            }
+        } else {
+            self.edge(cur, join); // no else: fall through
+        }
+        (join, next)
+    }
+
+    /// `match scrutinee { arms… }`; each arm branches from `cur` and
+    /// joins after the match.
+    fn handle_match(&mut self, cur: usize, i: usize, end: usize) -> (usize, usize) {
+        let mut j = i;
+        let mut depth = 0i32;
+        while j < end {
+            let t = &self.toks[j];
+            if t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct("{") {
+                break;
+            }
+            self.push_tok(cur, j);
+            j += 1;
+        }
+        if j >= end {
+            return (cur, end);
+        }
+        let open = j;
+        let close = self.close_of(open, end);
+        self.push_tok(cur, open);
+        let join = self.new_node();
+        let mut k = open + 1;
+        while k < close {
+            // Pattern (+ guard) up to the arm arrow.
+            let arm = self.new_node();
+            self.edge(cur, arm);
+            let mut depth = 0i32;
+            let mut arrow = None;
+            let mut m = k;
+            while m < close {
+                let t = &self.toks[m];
+                if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                    depth += 1;
+                } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                    depth -= 1;
+                } else if depth == 0 && self.is_arm_arrow(m) {
+                    self.push_tok(arm, m);
+                    self.push_tok(arm, m + 1);
+                    arrow = Some(m);
+                    break;
+                }
+                self.push_tok(arm, m);
+                m += 1;
+            }
+            let Some(arrow) = arrow else {
+                // Trailing tokens without an arrow (macro arm soup).
+                self.edge(arm, join);
+                break;
+            };
+            let body_start = arrow + 2;
+            let arm_end;
+            let next_k;
+            if self.tok(body_start).is_some_and(|t| t.is_punct("{")) {
+                let bclose = self.close_of(body_start, close);
+                self.push_tok(arm, body_start);
+                let e = self.seq(arm, body_start + 1..bclose);
+                self.push_tok(e, bclose);
+                arm_end = e;
+                next_k = if self.tok(bclose + 1).is_some_and(|t| t.is_punct(",")) {
+                    self.push_tok(arm_end, bclose + 1);
+                    bclose + 2
+                } else {
+                    bclose + 1
+                };
+            } else {
+                // Expression arm: runs to the depth-0 `,` (or close).
+                let mut m = body_start;
+                let mut depth = 0i32;
+                while m < close {
+                    let t = &self.toks[m];
+                    if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                        depth += 1;
+                    } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                        depth -= 1;
+                    } else if depth == 0 && t.is_punct(",") {
+                        break;
+                    }
+                    m += 1;
+                }
+                arm_end = self.seq(arm, body_start..m);
+                next_k = if m < close {
+                    self.push_tok(arm_end, m);
+                    m + 1
+                } else {
+                    close
+                };
+            }
+            self.edge(arm_end, join);
+            k = next_k;
+        }
+        self.push_tok(join, close);
+        (join, close + 1)
+    }
+
+    /// `loop`/`while`/`for` with a body, back edge, and break target.
+    fn handle_loop(&mut self, cur: usize, i: usize, end: usize) -> (usize, usize) {
+        let is_loop = self.toks[i].is_ident("loop");
+        let mut j = i;
+        let mut depth = 0i32;
+        while j < end {
+            let t = &self.toks[j];
+            if t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct("{") {
+                break;
+            }
+            self.push_tok(cur, j);
+            j += 1;
+        }
+        if j >= end {
+            return (cur, end);
+        }
+        let open = j;
+        let close = self.close_of(open, end);
+        let body = self.new_node();
+        let after = self.new_node();
+        self.edge(cur, body);
+        if !is_loop {
+            self.edge(cur, after); // zero iterations
+        }
+        self.push_tok(body, open);
+        self.loops.push((body, after));
+        let body_end = self.seq(body, open + 1..close);
+        self.loops.pop();
+        self.push_tok(body_end, close);
+        self.edge(body_end, body); // next iteration
+        self.edge(body_end, after);
+        (after, close + 1)
+    }
+
+    /// `let` statement; recognises `let … else { diverge }`. A block
+    /// expression (`if`/`match`/…) in the RHS keeps its tokens inline —
+    /// the binding takes effect only after the statement, so the rules'
+    /// queries never start inside it.
+    fn handle_let(&mut self, cur: usize, i: usize, end: usize) -> (usize, usize) {
+        // Scan ahead for a depth-0 `else {` before the terminating `;`,
+        // unless the RHS starts a block expression (whose own `else`
+        // belongs to it — and after which a let-else is illegal).
+        let mut depth = 0i32;
+        let mut block_rhs = false;
+        let mut else_at = None;
+        let mut j = i;
+        while j < end {
+            let t = &self.toks[j];
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                depth -= 1;
+                if depth < 0 {
+                    break;
+                }
+            } else if depth == 0
+                && (t.is_ident("if")
+                    || t.is_ident("match")
+                    || t.is_ident("loop")
+                    || t.is_ident("while"))
+            {
+                block_rhs = true;
+            } else if depth == 0 && t.is_punct(";") {
+                break;
+            } else if depth == 0
+                && t.is_ident("else")
+                && !block_rhs
+                && self.tok(j + 1).is_some_and(|t| t.is_punct("{"))
+            {
+                else_at = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let Some(else_at) = else_at else {
+            return self.flat_stmt(cur, i, end);
+        };
+        // Tokens up to the `else` (the pattern and the scrutinee, with
+        // `?` splits) stay in `cur`.
+        let (c, _) = self.flat_stmt(cur, i, else_at);
+        self.push_tok(c, else_at);
+        let open = else_at + 1;
+        let close = self.close_of(open, end);
+        let els = self.new_node();
+        self.edge(c, els);
+        self.push_tok(els, open);
+        let els_end = self.seq(els, open + 1..close);
+        self.push_tok(els_end, close);
+        // The else block must diverge; no join edge. Its returns have
+        // already been routed to the exit.
+        let cont = self.new_node();
+        self.edge(c, cont);
+        let next = if self.tok(close + 1).is_some_and(|t| t.is_punct(";")) {
+            self.push_tok(cont, close + 1);
+            close + 2
+        } else {
+            close + 1
+        };
+        (cont, next)
+    }
+
+    /// `=>` is two adjacent tokens in this lexer.
+    fn is_arm_arrow(&self, m: usize) -> bool {
+        let (Some(a), Some(b)) = (self.tok(m), self.tok(m + 1)) else {
+            return false;
+        };
+        a.is_punct("=") && b.is_punct(">") && a.line == b.line && b.col == a.col + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::items::index_file;
+    use crate::lexer::lex;
+    use crate::workspace::SourceFile;
+
+    fn cfg_of(src: &str) -> (SourceFile, Cfg) {
+        let file = SourceFile {
+            rel: "x.rs".to_owned(),
+            lines: src.lines().map(str::to_owned).collect(),
+            lexed: lex(src),
+        };
+        let items = index_file(&file);
+        let body = items.functions[0].body.clone().expect("fn body");
+        let cfg = Cfg::build(&file.lexed.tokens, &items, body);
+        (file, cfg)
+    }
+
+    /// Token index of the `n`-th occurrence of ident `name`.
+    fn ident_at(file: &SourceFile, name: &str, n: usize) -> usize {
+        file.lexed
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident(name))
+            .map(|(i, _)| i)
+            .nth(n)
+            .expect("ident occurrence")
+    }
+
+    #[test]
+    fn question_mark_opens_an_exit_path() {
+        let (f, cfg) = cfg_of("fn f() -> Option<u8> { acquire(); step()?; settle(); None }");
+        let acq = ident_at(&f, "acquire", 0);
+        let settle = ident_at(&f, "settle", 0);
+        // Without stops, exit is reachable; the settle blocks only the
+        // fallthrough path, not the `?` path.
+        assert!(cfg.exit_reachable(acq, false, &HashSet::from([settle])));
+        // Settling before the `?` blocks every path.
+        let (f, cfg) = cfg_of("fn f() -> Option<u8> { acquire(); settle(); step()?; None }");
+        let acq = ident_at(&f, "acquire", 0);
+        let settle = ident_at(&f, "settle", 0);
+        assert!(!cfg.exit_reachable(acq, false, &HashSet::from([settle])));
+    }
+
+    #[test]
+    fn both_if_branches_are_paths() {
+        let (f, cfg) = cfg_of("fn f(c: bool) { acquire(); if c { settle(); } end(); }");
+        let acq = ident_at(&f, "acquire", 0);
+        let settle = ident_at(&f, "settle", 0);
+        // The no-else path skips the settle.
+        assert!(cfg.exit_reachable(acq, false, &HashSet::from([settle])));
+        let (f, cfg) =
+            cfg_of("fn f(c: bool) { acquire(); if c { settle(); } else { settle(); } end(); }");
+        let acq = ident_at(&f, "acquire", 0);
+        let stops = HashSet::from([ident_at(&f, "settle", 0), ident_at(&f, "settle", 1)]);
+        assert!(!cfg.exit_reachable(acq, false, &stops));
+    }
+
+    #[test]
+    fn early_return_in_a_branch_reaches_exit() {
+        let (f, cfg) = cfg_of("fn f(c: bool) { acquire(); if c { return; } settle(); }");
+        let acq = ident_at(&f, "acquire", 0);
+        let settle = ident_at(&f, "settle", 0);
+        assert!(cfg.exit_reachable(acq, false, &HashSet::from([settle])));
+    }
+
+    #[test]
+    fn match_arms_are_independent_paths() {
+        let src =
+            "fn f(x: Option<u8>) { acquire(); match x { Some(_) => settle(), None => {} } end(); }";
+        let (f, cfg) = cfg_of(src);
+        let acq = ident_at(&f, "acquire", 0);
+        let settle = ident_at(&f, "settle", 0);
+        // The None arm leaks through.
+        assert!(cfg.exit_reachable(acq, false, &HashSet::from([settle])));
+        let src = "fn f(x: Option<u8>) { acquire(); match x { Some(_) => settle(), None => settle() } end(); }";
+        let (f, cfg) = cfg_of(src);
+        let acq = ident_at(&f, "acquire", 0);
+        let stops = HashSet::from([ident_at(&f, "settle", 0), ident_at(&f, "settle", 1)]);
+        assert!(!cfg.exit_reachable(acq, false, &stops));
+    }
+
+    #[test]
+    fn let_else_divergent_path_is_not_searched_from_the_continuation() {
+        let src = "fn f() -> Option<u8> {\n\
+            let Some(x) = acquire() else { bail(); return None; };\n\
+            settle(x);\n    Some(x)\n}";
+        let (f, cfg) = cfg_of(src);
+        // Start after the let statement's `;` — i.e. at `settle`.
+        let settle = ident_at(&f, "settle", 0);
+        let x_use = ident_at(&f, "x", 2); // settle(x)'s argument
+        assert!(!cfg.exit_reachable(settle, true, &HashSet::from([x_use, settle])));
+        // The else block's `bail` is not reachable from the
+        // continuation.
+        let bail = ident_at(&f, "bail", 0);
+        assert!(cfg
+            .reach(settle, true, &HashSet::from([bail]), &HashSet::new())
+            .is_none());
+    }
+
+    #[test]
+    fn loops_have_back_edges_but_scoped_stops_block_them() {
+        let src = "fn f(v: Vec<u8>) { for x in v { acquire(); settle(); } }";
+        let (f, cfg) = cfg_of(src);
+        let acq = ident_at(&f, "acquire", 0);
+        // Back edge: a second acquire is reachable from the first …
+        assert!(cfg
+            .reach(acq, false, &HashSet::from([acq]), &HashSet::new())
+            .is_some());
+        // … but not when the settle between them is a stop.
+        let settle = ident_at(&f, "settle", 0);
+        assert!(cfg
+            .reach(acq, false, &HashSet::from([acq]), &HashSet::from([settle]))
+            .is_none());
+    }
+
+    #[test]
+    fn break_routes_to_after_the_loop() {
+        let src = "fn f() { acquire(); loop { if done() { break; } } settle(); }";
+        let (f, cfg) = cfg_of(src);
+        let acq = ident_at(&f, "acquire", 0);
+        let settle = ident_at(&f, "settle", 0);
+        assert!(cfg
+            .reach(acq, false, &HashSet::from([settle]), &HashSet::new())
+            .is_some());
+        // `loop` without break does not fall through on its own, but
+        // the break edge is the only route to settle.
+        assert!(!cfg.exit_reachable(acq, false, &HashSet::from([settle])));
+    }
+
+    #[test]
+    fn reach_respects_statement_order_within_a_node() {
+        let (f, cfg) = cfg_of("fn f() { a(); b(); }");
+        let a = ident_at(&f, "a", 0);
+        let b = ident_at(&f, "b", 0);
+        assert!(cfg
+            .reach(a, false, &HashSet::from([b]), &HashSet::new())
+            .is_some());
+        // b cannot reach a (no loop).
+        assert!(cfg
+            .reach(b, false, &HashSet::from([a]), &HashSet::new())
+            .is_none());
+    }
+}

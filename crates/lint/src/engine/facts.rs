@@ -1,0 +1,626 @@
+//! Symbolic acquisition/release facts over the item index.
+//!
+//! The flow rules all reason about the same shape: a call acquires
+//! something (a reservation, a lock guard, an open span), the value is
+//! bound (or not), and later tokens settle it (a commit, a `drop`, an
+//! `end`). This module recovers those facts from the token stream:
+//! method-call sites with their receiver chains, and the binding idiom
+//! of any call expression — which names hold the result, from where the
+//! binding is live, and where its scope ends.
+
+use super::items::FileItems;
+use crate::lexer::{TokKind, Token};
+use std::ops::Range;
+
+/// One `recv.name(args)` call site.
+#[derive(Debug, Clone)]
+pub struct MethodCall {
+    /// Token index of the method-name identifier.
+    pub name_tok: usize,
+    /// Method name.
+    pub name: String,
+    /// Receiver chain identifiers (`self.tiers.reserve` → `["self",
+    /// "tiers"]`); empty when the receiver is opaque (a call result, an
+    /// index, …).
+    pub recv: Vec<String>,
+    /// Token index of the argument list's `(`.
+    pub open_paren: usize,
+    /// Token index of the matching `)`.
+    pub close_paren: usize,
+    /// The call takes no arguments (`.lock()`, `.read()`, …).
+    pub args_empty: bool,
+}
+
+/// How a call expression's result is consumed.
+#[derive(Debug)]
+pub enum Binding {
+    /// Bound to names via `let`/`if let`/`while let`/assignment.
+    Bound {
+        /// Binding identifiers (pattern idents, lowercase-initial).
+        names: Vec<String>,
+        /// Token index from which the binding is live: the statement's
+        /// `;` for a plain `let` (scan strictly after it), or the `{`
+        /// of the success block for `if let`/`while let`.
+        acq: usize,
+        /// Token index bounding the binding's scope (exclusive): the
+        /// close brace of the enclosing (or success) block.
+        scope_end: usize,
+    },
+    /// Returned, a tail expression, or passed straight to another call
+    /// — responsibility transfers out of this function.
+    Escapes,
+    /// Dropped on the spot: a bare statement or `let _ =`.
+    Discarded,
+}
+
+/// Collects every `.name(` method-call site inside `range`.
+pub fn method_calls(toks: &[Token], items: &FileItems, range: Range<usize>) -> Vec<MethodCall> {
+    let mut out = Vec::new();
+    for i in range.clone() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident
+            || i == 0
+            || !toks[i - 1].is_punct(".")
+            || !toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+        {
+            continue;
+        }
+        let open = i + 1;
+        let Some(&close) = items.close_of.get(&open) else {
+            continue;
+        };
+        let mut recv = Vec::new();
+        let mut k = i - 1; // the `.`
+        loop {
+            if k == 0 {
+                break;
+            }
+            let p = &toks[k - 1];
+            if p.kind == TokKind::Ident {
+                recv.push(p.text.clone());
+                if k >= 2 && toks[k - 2].is_punct(".") {
+                    k -= 2;
+                    continue;
+                }
+                if k >= 2 && toks[k - 2].is_punct("::") {
+                    // A path (`Self::x.lock()` does not occur; a path
+                    // receiver is opaque for field resolution).
+                    recv.clear();
+                }
+                break;
+            }
+            // Call result / index / literal receiver: opaque.
+            recv.clear();
+            break;
+        }
+        recv.reverse();
+        out.push(MethodCall {
+            name_tok: i,
+            name: t.text.clone(),
+            recv,
+            open_paren: open,
+            close_paren: close,
+            args_empty: close == open + 1,
+        });
+    }
+    out
+}
+
+/// Token index where the call's receiver chain starts (the first chain
+/// identifier, skipping `&`/`&mut`/`*` prefixes for context checks).
+fn expr_start(toks: &[Token], call: &MethodCall) -> usize {
+    let mut k = call.name_tok - 1; // the `.`
+    loop {
+        if k == 0 {
+            return k;
+        }
+        let p = &toks[k - 1];
+        if p.kind == TokKind::Ident || p.kind == TokKind::Num {
+            if k >= 2 && (toks[k - 2].is_punct(".") || toks[k - 2].is_punct("::")) {
+                k -= 2;
+                continue;
+            }
+            return k - 1;
+        }
+        if p.is_punct(")") || p.is_punct("]") {
+            return k; // opaque group; context starts at the `.`
+        }
+        return k;
+    }
+}
+
+/// Classifies how the result of `call` is consumed.
+///
+/// The walk goes backwards from the call expression to the statement
+/// context, jumping over matched groups and stepping out through the
+/// headers of `match`/`if` value expressions (an arm's value *is* the
+/// construct's value).
+pub fn classify_binding(
+    toks: &[Token],
+    items: &FileItems,
+    call: &MethodCall,
+    fn_body: &Range<usize>,
+) -> Binding {
+    let start = expr_start(toks, call);
+    let mut k = start; // walk back from just before the expression
+    let mut eq_at: Option<usize> = None;
+    loop {
+        if k <= fn_body.start + 1 {
+            return finish_without_let(toks, items, call, eq_at, fn_body);
+        }
+        let p = &toks[k - 1];
+        if p.is_punct(")") || p.is_punct("]") {
+            match items.open_of.get(&(k - 1)) {
+                Some(&o) => {
+                    k = o;
+                    continue;
+                }
+                None => return Binding::Escapes,
+            }
+        }
+        if p.is_punct("}") {
+            // A matched `{…}` group before us (a previous block
+            // statement, or an if/match value we sit after): jump it.
+            match items.open_of.get(&(k - 1)) {
+                Some(&o) => {
+                    k = o;
+                    continue;
+                }
+                None => return finish_without_let(toks, items, call, eq_at, fn_body),
+            }
+        }
+        if p.is_punct(";") {
+            return finish_without_let(toks, items, call, eq_at, fn_body);
+        }
+        if p.is_punct("{") {
+            // Unmatched opener: we are inside this block. If its header
+            // is a `match`/`if`/`while` value expression, the call's
+            // value flows out of the construct — keep walking from
+            // before the header keyword. `else` headers diverge or
+            // rejoin a construct we already account for.
+            match block_header_keyword(toks, k - 1, fn_body) {
+                Some(h) if toks[h].is_ident("else") => return Binding::Escapes,
+                Some(h) => {
+                    k = h;
+                    continue;
+                }
+                None => return finish_without_let(toks, items, call, eq_at, fn_body),
+            }
+        }
+        if p.is_ident("return") {
+            return Binding::Escapes;
+        }
+        if p.is_punct("(") || p.is_punct("[") {
+            return Binding::Escapes; // argument position
+        }
+        if p.is_punct(",") {
+            // A comma directly inside a `match { … }` block is an arm
+            // separator: the arm's value flows to the match's own
+            // consumer. Any other comma (argument, tuple or struct
+            // element) escapes.
+            match enclosing_open_brace(toks, items, k - 1, fn_body) {
+                Some(open) => match block_header_keyword(toks, open, fn_body) {
+                    Some(h) if toks[h].is_ident("match") => {
+                        k = h;
+                        continue;
+                    }
+                    _ => return Binding::Escapes,
+                },
+                None => return Binding::Escapes,
+            }
+        }
+        if p.is_punct("=") && !is_part_of_compound_eq(toks, k - 1) {
+            eq_at = Some(k - 1);
+            k -= 1;
+            continue;
+        }
+        if p.is_ident("let") {
+            let Some(eq) = eq_at else {
+                return Binding::Escapes; // `let … else`? malformed; bail
+            };
+            let names = pattern_names(&toks[k..eq]);
+            if names.is_empty() {
+                return Binding::Discarded; // `let _ = …`
+            }
+            let scoped = k >= 2 && (toks[k - 2].is_ident("if") || toks[k - 2].is_ident("while"));
+            return bound_at(toks, items, call, names, scoped, fn_body);
+        }
+        k -= 1;
+    }
+}
+
+/// Whether the `=` at `i` is part of `==`, `!=`, `<=`, `>=`, `+=` … or
+/// an arm arrow `=>`.
+fn is_part_of_compound_eq(toks: &[Token], i: usize) -> bool {
+    let adjacent = |a: usize, b: usize| {
+        toks[a].line == toks[b].line && toks[b].col == toks[a].col + toks[a].text.len() as u32
+    };
+    if i > 0 && toks[i - 1].kind == TokKind::Punct && !toks[i - 1].is_punct("=") {
+        let ops = ["!", "<", ">", "+", "-", "*", "/", "%", "&", "|", "^"];
+        if ops.contains(&toks[i - 1].text.as_str()) && adjacent(i - 1, i) {
+            return true;
+        }
+    }
+    if i > 0 && toks[i - 1].is_punct("=") && adjacent(i - 1, i) {
+        return true; // second half of `==`
+    }
+    if toks.get(i + 1).is_some_and(|t| t.is_punct("=")) && adjacent(i, i + 1) {
+        return true; // first half of `==`
+    }
+    if toks.get(i + 1).is_some_and(|t| t.is_punct(">")) && adjacent(i, i + 1) {
+        return true; // arm arrow
+    }
+    false
+}
+
+/// First unmatched `{` opener strictly before token `from`, jumping
+/// matched groups; `None` when an unmatched `(`/`[` (or nothing) comes
+/// first.
+fn enclosing_open_brace(
+    toks: &[Token],
+    items: &FileItems,
+    from: usize,
+    fn_body: &Range<usize>,
+) -> Option<usize> {
+    let mut k = from;
+    loop {
+        if k <= fn_body.start + 1 {
+            return None;
+        }
+        let p = &toks[k - 1];
+        if p.is_punct(")") || p.is_punct("]") || p.is_punct("}") {
+            match items.open_of.get(&(k - 1)) {
+                Some(&o) => {
+                    k = o;
+                    continue;
+                }
+                None => return None,
+            }
+        }
+        if p.is_punct("{") {
+            return Some(k - 1);
+        }
+        if p.is_punct("(") || p.is_punct("[") {
+            return None;
+        }
+        k -= 1;
+    }
+}
+
+/// For an unmatched `{` at `open`, the keyword introducing it when the
+/// block is a `match`/`if`/`while`/`loop`/`else` header.
+fn block_header_keyword(toks: &[Token], open: usize, fn_body: &Range<usize>) -> Option<usize> {
+    let mut k = open;
+    let mut depth = 0i32;
+    while k > fn_body.start {
+        k -= 1;
+        let t = &toks[k];
+        if t.is_punct(")") || t.is_punct("]") {
+            depth += 1;
+        } else if t.is_punct("(") || t.is_punct("[") {
+            depth -= 1;
+        } else if depth == 0 && (t.is_punct(";") || t.is_punct("{") || t.is_punct("}")) {
+            return None;
+        } else if depth == 0
+            && (t.is_ident("match")
+                || t.is_ident("if")
+                || t.is_ident("while")
+                || t.is_ident("loop")
+                || t.is_ident("else"))
+        {
+            // `else if …` reports the `else`.
+            if t.is_ident("if") && k > 0 && toks[k - 1].is_ident("else") {
+                return Some(k - 1);
+            }
+            return Some(k);
+        }
+    }
+    None
+}
+
+/// Binding identifiers of a pattern token run: lowercase-initial idents
+/// minus keywords (`Some(mut placement)` → `["placement"]`).
+fn pattern_names(pattern: &[Token]) -> Vec<String> {
+    pattern
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .filter(|t| {
+            t.text
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_lowercase())
+                && !["mut", "ref", "box"].contains(&t.text.as_str())
+        })
+        .map(|t| t.text.clone())
+        .collect()
+}
+
+/// No `let` in the statement: an `x = call();` re-assignment binds
+/// whatever idents precede the recorded `=`; otherwise the statement
+/// form decides between discarded and escaping.
+fn finish_without_let(
+    toks: &[Token],
+    items: &FileItems,
+    call: &MethodCall,
+    eq_at: Option<usize>,
+    fn_body: &Range<usize>,
+) -> Binding {
+    if let Some(eq) = eq_at {
+        // Re-assignment: the LHS run ends at the `=`; take its idents.
+        let mut lhs_start = eq;
+        while lhs_start > fn_body.start {
+            let t = &toks[lhs_start - 1];
+            if t.kind == TokKind::Ident || t.is_punct(".") || t.is_punct("*") {
+                lhs_start -= 1;
+            } else {
+                break;
+            }
+        }
+        let names = pattern_names(&toks[lhs_start..eq]);
+        if !names.is_empty() {
+            return bound_at(toks, items, call, names, false, fn_body);
+        }
+        return Binding::Escapes;
+    }
+    // Walk the postfix chain after the call to the statement boundary.
+    let mut k = call.close_paren + 1;
+    loop {
+        let Some(t) = toks.get(k) else {
+            return Binding::Escapes;
+        };
+        if t.is_punct("?") {
+            k += 1;
+            continue;
+        }
+        if t.is_punct(".") {
+            // `.ident` (+ optional arg list): still the same value.
+            k += 1;
+            if toks.get(k).is_some_and(|t| t.kind == TokKind::Ident) {
+                k += 1;
+            }
+            if toks.get(k).is_some_and(|t| t.is_punct("(")) {
+                match items.close_of.get(&k) {
+                    Some(&c) => k = c + 1,
+                    None => return Binding::Escapes,
+                }
+            }
+            continue;
+        }
+        if t.is_punct(";") {
+            return Binding::Discarded;
+        }
+        return Binding::Escapes; // `}`/`,`/`)` — tail or argument
+    }
+}
+
+/// Builds the `Bound` fact: where the binding becomes live and where
+/// its scope ends.
+fn bound_at(
+    toks: &[Token],
+    items: &FileItems,
+    call: &MethodCall,
+    names: Vec<String>,
+    scoped: bool,
+    fn_body: &Range<usize>,
+) -> Binding {
+    if scoped {
+        // `if let`/`while let`: live inside the success block only.
+        let mut k = call.close_paren + 1;
+        let mut depth = 0i32;
+        while k < fn_body.end {
+            let t = &toks[k];
+            if t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct("{") {
+                let scope_end = items.close_of.get(&k).copied().unwrap_or(fn_body.end - 1);
+                return Binding::Bound {
+                    names,
+                    acq: k,
+                    scope_end,
+                };
+            }
+            k += 1;
+        }
+        return Binding::Escapes;
+    }
+    // Plain `let` (possibly let-else): the statement's terminating `;`.
+    // The call may sit inside match/if braces of the initialiser, so
+    // the `;` can be at *negative* depth relative to the call — any
+    // deeper `;` (a nested block's own statement) is not ours.
+    let mut k = call.close_paren + 1;
+    let mut depth = 0i32;
+    while k < fn_body.end {
+        let t = &toks[k];
+        if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            depth -= 1;
+        } else if depth <= 0 && t.is_punct(";") {
+            // Scope = the block holding the *statement*, not the call.
+            let scope_end = enclosing_block_end(toks, items, k, fn_body);
+            return Binding::Bound {
+                names,
+                acq: k,
+                scope_end,
+            };
+        }
+        k += 1;
+    }
+    Binding::Escapes
+}
+
+/// Close-brace token of the innermost block containing token `at`.
+fn enclosing_block_end(
+    toks: &[Token],
+    items: &FileItems,
+    at: usize,
+    fn_body: &Range<usize>,
+) -> usize {
+    let mut k = at;
+    let mut depth = 0i32;
+    while k > fn_body.start {
+        k -= 1;
+        let t = &toks[k];
+        if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+            depth += 1;
+        } else if t.is_punct("(") || t.is_punct("[") {
+            depth -= 1;
+        } else if t.is_punct("{") {
+            if depth == 0 {
+                return items.close_of.get(&k).copied().unwrap_or(fn_body.end - 1);
+            }
+            depth -= 1;
+        }
+    }
+    fn_body.end - 1
+}
+
+/// Token indices in `(after, before)` where one of `names` occurs.
+pub fn uses_of(toks: &[Token], names: &[String], after: usize, before: usize) -> Vec<usize> {
+    (after + 1..before.min(toks.len()))
+        .filter(|&i| toks[i].kind == TokKind::Ident && names.iter().any(|n| *n == toks[i].text))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::items::index_file;
+    use crate::lexer::lex;
+    use crate::workspace::SourceFile;
+
+    fn setup(src: &str) -> (SourceFile, FileItems) {
+        let f = SourceFile {
+            rel: "x.rs".to_owned(),
+            lines: src.lines().map(str::to_owned).collect(),
+            lexed: lex(src),
+        };
+        let items = index_file(&f);
+        (f, items)
+    }
+
+    fn call_named<'a>(calls: &'a [MethodCall], name: &str) -> &'a MethodCall {
+        calls.iter().find(|c| c.name == name).expect("call site")
+    }
+
+    #[test]
+    fn receiver_chains_and_arity_are_recovered() {
+        let src = "fn f(&self) { self.tiers.reserve(bytes); self.stats.lock(); x().write(); }";
+        let (f, items) = setup(src);
+        let body = items.functions[0].body.clone().unwrap();
+        let calls = method_calls(&f.lexed.tokens, &items, body);
+        let reserve = call_named(&calls, "reserve");
+        assert_eq!(reserve.recv, vec!["self", "tiers"]);
+        assert!(!reserve.args_empty);
+        let lock = call_named(&calls, "lock");
+        assert_eq!(lock.recv, vec!["self", "stats"]);
+        assert!(lock.args_empty);
+        // Opaque receiver: chain is empty.
+        assert!(call_named(&calls, "write").recv.is_empty());
+    }
+
+    fn classify(src: &str, name: &str) -> Binding {
+        let (f, items) = setup(src);
+        let body = items.functions[0].body.clone().unwrap();
+        let calls = method_calls(&f.lexed.tokens, &items, body.clone());
+        classify_binding(&f.lexed.tokens, &items, call_named(&calls, name), &body)
+    }
+
+    #[test]
+    fn plain_let_binds_from_the_statement_end() {
+        let b = classify(
+            "fn f(&self) { let g = self.stats.lock(); g.x += 1; }",
+            "lock",
+        );
+        let Binding::Bound { names, .. } = b else {
+            panic!("expected Bound, got {b:?}");
+        };
+        assert_eq!(names, vec!["g"]);
+    }
+
+    #[test]
+    fn let_else_patterns_bind_their_inner_name() {
+        let src = "fn f(&self) { let Some(p) = self.t.reserve(b) else { return; }; use_it(p); }";
+        let Binding::Bound { names, .. } = classify(src, "reserve") else {
+            panic!("expected Bound");
+        };
+        assert_eq!(names, vec!["p"]);
+    }
+
+    #[test]
+    fn match_arm_values_flow_to_the_let_of_the_match() {
+        let src = "fn f(&self) { let p = match x { Some(t) => self.t.reserve_preferring(t, b), None => self.t.reserve(b), }; done(p); }";
+        for call in ["reserve_preferring", "reserve"] {
+            let Binding::Bound { names, .. } = classify(src, call) else {
+                panic!("{call}: expected Bound");
+            };
+            assert_eq!(names, vec!["p"], "{call}");
+        }
+    }
+
+    #[test]
+    fn bare_statement_and_let_underscore_are_discarded() {
+        assert!(matches!(
+            classify("fn f(&self) { self.t.reserve(b); }", "reserve"),
+            Binding::Discarded
+        ));
+        assert!(matches!(
+            classify("fn f(&self) { let _ = self.t.reserve(b); }", "reserve"),
+            Binding::Discarded
+        ));
+    }
+
+    #[test]
+    fn returns_tails_and_arguments_escape() {
+        assert!(matches!(
+            classify("fn f(&self) { return self.t.reserve(b); }", "reserve"),
+            Binding::Escapes
+        ));
+        assert!(matches!(
+            classify("fn f(&self) -> Option<P> { self.t.reserve(b) }", "reserve"),
+            Binding::Escapes
+        ));
+        assert!(matches!(
+            classify("fn f(&self) { settle(self.t.reserve(b)); }", "reserve"),
+            Binding::Escapes
+        ));
+        // Tail position through a match arm (tier.rs idiom).
+        assert!(matches!(
+            classify(
+                "fn g(&self) -> Option<P> { match pref { Some(_) => None, None => self.reserve(b), } }",
+                "reserve"
+            ),
+            Binding::Escapes
+        ));
+    }
+
+    #[test]
+    fn if_let_bindings_are_scoped_to_the_success_block() {
+        let src = "fn f(&self) { if let Some(p) = self.t.reserve(b) { settle(p); } done(); }";
+        let (f, items) = setup(src);
+        let body = items.functions[0].body.clone().unwrap();
+        let calls = method_calls(&f.lexed.tokens, &items, body.clone());
+        let b = classify_binding(
+            &f.lexed.tokens,
+            &items,
+            call_named(&calls, "reserve"),
+            &body,
+        );
+        let Binding::Bound { acq, scope_end, .. } = b else {
+            panic!("expected Bound");
+        };
+        assert!(f.lexed.tokens[acq].is_punct("{"));
+        assert!(f.lexed.tokens[scope_end].is_punct("}"));
+        assert!(acq < scope_end);
+        // The scope ends before `done` — uses outside don't settle.
+        let done = f
+            .lexed
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("done"))
+            .unwrap();
+        assert!(scope_end < done);
+    }
+}

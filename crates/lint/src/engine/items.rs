@@ -1,0 +1,408 @@
+//! The item index: functions, structs and impl blocks recovered from
+//! the flat token stream.
+//!
+//! The lexer is exact about tokens but knows nothing about structure;
+//! this pass brace-matches the stream and recovers the three shapes the
+//! flow rules need:
+//!
+//! 1. **Functions** — name, enclosing `impl` type, body token range,
+//!    and whether the function is test-only (`#[test]`, or anywhere
+//!    under a `#[cfg(test)]` item). The flow rules analyse non-test
+//!    functions; tests intentionally leak reservations and hold guards
+//!    to probe edge cases.
+//! 2. **Structs** — field names with their (token-joined) type text, so
+//!    `Mutex`/`RwLock` fields can be recognised as lock sites.
+//! 3. **Brace matching** — `open_of`/`close_of` maps over the whole
+//!    stream, shared by the CFG builder and the idiom classifiers.
+
+use crate::lexer::{TokKind, Token};
+use crate::workspace::SourceFile;
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// One function item (free, impl method, or nested).
+#[derive(Debug)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Self type of the innermost enclosing `impl`, if any.
+    pub impl_type: Option<String>,
+    /// Token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// Token range of the body *including* its braces; `None` for
+    /// trait-method declarations without a body.
+    pub body: Option<Range<usize>>,
+    /// 1-based source line of the `fn` keyword.
+    pub line: u32,
+    /// Inside `#[cfg(test)]` / under `#[test]`.
+    pub is_test: bool,
+}
+
+/// One struct field.
+#[derive(Debug)]
+pub struct FieldItem {
+    /// Field name.
+    pub name: String,
+    /// Type text, tokens joined by single spaces (e.g. `Mutex < u64 >`).
+    pub ty: String,
+}
+
+/// One struct with named fields.
+#[derive(Debug)]
+pub struct StructItem {
+    /// Struct name.
+    pub name: String,
+    /// Named fields (empty for tuple/unit structs).
+    pub fields: Vec<FieldItem>,
+}
+
+/// Everything the engine recovered from one file.
+#[derive(Debug, Default)]
+pub struct FileItems {
+    /// Functions in source order.
+    pub functions: Vec<FnItem>,
+    /// Structs in source order.
+    pub structs: Vec<StructItem>,
+    /// `close_of[i] = j` for every `{`/`(`/`[` at token `i` whose
+    /// matching closer is at token `j`.
+    pub close_of: HashMap<usize, usize>,
+    /// Inverse of `close_of`.
+    pub open_of: HashMap<usize, usize>,
+    /// Per-token: inside a test item.
+    pub in_test: Vec<bool>,
+}
+
+impl FileItems {
+    /// Whether token `i` sits inside test-only code.
+    pub fn is_test_tok(&self, i: usize) -> bool {
+        self.in_test.get(i).copied().unwrap_or(false)
+    }
+}
+
+/// Builds the index for one lexed file.
+pub fn index_file(file: &SourceFile) -> FileItems {
+    let toks = &file.lexed.tokens;
+    let mut out = FileItems {
+        in_test: vec![false; toks.len()],
+        ..FileItems::default()
+    };
+    match_brackets(toks, &mut out);
+    mark_tests(toks, &mut out);
+    collect_structs(toks, &mut out);
+    collect_functions(toks, &mut out);
+    out
+}
+
+/// Is this token any opening bracket?
+fn is_open(t: &Token) -> bool {
+    t.is_punct("{") || t.is_punct("(") || t.is_punct("[")
+}
+
+/// Is this token any closing bracket?
+fn is_close(t: &Token) -> bool {
+    t.is_punct("}") || t.is_punct(")") || t.is_punct("]")
+}
+
+fn match_brackets(toks: &[Token], out: &mut FileItems) {
+    let mut stack: Vec<usize> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if is_open(t) {
+            stack.push(i);
+        } else if is_close(t) {
+            // Tolerate mismatches (macro soup): pop whatever is open.
+            if let Some(open) = stack.pop() {
+                out.close_of.insert(open, i);
+                out.open_of.insert(i, open);
+            }
+        }
+    }
+}
+
+/// Marks the token ranges of test-only items: an item annotated
+/// `#[test]` (or any `#[…test…]` attribute such as `#[cfg(test)]`),
+/// including everything nested inside its braces.
+fn mark_tests(toks: &[Token], out: &mut FileItems) {
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].is_punct("#") && toks.get(i + 1).is_some_and(|t| t.is_punct("["))) {
+            i += 1;
+            continue;
+        }
+        let Some(&attr_close) = out.close_of.get(&(i + 1)) else {
+            i += 1;
+            continue;
+        };
+        let is_test_attr = toks[i + 2..attr_close].iter().any(|t| t.is_ident("test"));
+        if !is_test_attr {
+            i = attr_close + 1;
+            continue;
+        }
+        // The attribute applies to the next item; mark up to the end of
+        // its body (the matching `}` of the first top-level `{`).
+        let mut j = attr_close + 1;
+        let mut body_end = None;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct("#") && toks.get(j + 1).is_some_and(|t| t.is_punct("[")) {
+                // Stacked attributes: skip.
+                match out.close_of.get(&(j + 1)) {
+                    Some(&c) => j = c + 1,
+                    None => break,
+                }
+                continue;
+            }
+            if t.is_punct(";") {
+                body_end = Some(j); // item without a body
+                break;
+            }
+            if is_open(t) && !t.is_punct("{") {
+                match out.close_of.get(&j) {
+                    Some(&c) => j = c + 1,
+                    None => break,
+                }
+                continue;
+            }
+            if t.is_punct("{") {
+                body_end = out.close_of.get(&j).copied();
+                break;
+            }
+            j += 1;
+        }
+        if let Some(end) = body_end {
+            for flag in &mut out.in_test[i..=end.min(toks.len() - 1)] {
+                *flag = true;
+            }
+            i = end + 1;
+        } else {
+            i = attr_close + 1;
+        }
+    }
+}
+
+fn collect_structs(toks: &[Token], out: &mut FileItems) {
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("struct") {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            continue;
+        };
+        // Find the field block: the first `{` before any `;`/`(` at
+        // angle-depth 0 (tuple and unit structs carry no named fields).
+        let mut j = i + 2;
+        let mut angle = 0i32;
+        let mut open = None;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct("<") {
+                angle += 1;
+            } else if t.is_punct(">") {
+                angle -= 1;
+            } else if angle == 0 && (t.is_punct(";") || t.is_punct("(")) {
+                break;
+            } else if angle == 0 && t.is_punct("{") {
+                open = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let mut fields = Vec::new();
+        if let Some(open) = open {
+            if let Some(&close) = out.close_of.get(&open) {
+                let mut k = open + 1;
+                while k < close {
+                    let t = &toks[k];
+                    if is_open(t) {
+                        // Nested braces (default exprs, attrs) — skip.
+                        match out.close_of.get(&k) {
+                            Some(&c) => k = c + 1,
+                            None => k += 1,
+                        }
+                        continue;
+                    }
+                    if t.kind == TokKind::Ident
+                        && toks.get(k + 1).is_some_and(|n| n.is_punct(":"))
+                        && !toks.get(k.wrapping_sub(1)).is_some_and(|p| p.is_punct(":"))
+                    {
+                        // Type runs to the `,` at this level or to close.
+                        let mut ty = Vec::new();
+                        let mut m = k + 2;
+                        let mut depth = 0i32;
+                        while m < close {
+                            let tt = &toks[m];
+                            if tt.is_punct("<") || tt.is_punct("(") || tt.is_punct("[") {
+                                depth += 1;
+                            } else if tt.is_punct(">") || tt.is_punct(")") || tt.is_punct("]") {
+                                depth -= 1;
+                            } else if depth == 0 && tt.is_punct(",") {
+                                break;
+                            }
+                            ty.push(tt.text.as_str());
+                            m += 1;
+                        }
+                        fields.push(FieldItem {
+                            name: t.text.clone(),
+                            ty: ty.join(" "),
+                        });
+                        k = m + 1;
+                        continue;
+                    }
+                    k += 1;
+                }
+            }
+        }
+        out.structs.push(StructItem {
+            name: name.text.clone(),
+            fields,
+        });
+    }
+}
+
+/// The self-type name of an `impl` header starting at token `i` (the
+/// `impl` keyword): the last identifier at angle-depth 0 before the
+/// body `{` (cut at `where`; after `for` when present).
+fn impl_self_type(toks: &[Token], i: usize, out: &FileItems) -> Option<(String, Range<usize>)> {
+    let mut j = i + 1;
+    let mut angle = 0i32;
+    let mut last_ident = None;
+    let mut after_for = false;
+    while j < toks.len() {
+        let t = &toks[j];
+        if t.is_punct("<") {
+            angle += 1;
+        } else if t.is_punct(">") {
+            angle -= 1;
+        } else if angle == 0 && t.is_punct("{") {
+            let close = out.close_of.get(&j).copied()?;
+            return last_ident.map(|name: String| (name, j..close + 1));
+        } else if angle == 0 && t.is_ident("where") {
+            // The bound list may mention many types; freeze the name.
+            after_for = true; // stop updating
+        } else if angle == 0 && t.is_ident("for") {
+            last_ident = None; // the trait name was not the self type
+            after_for = false;
+        } else if angle == 0 && t.kind == TokKind::Ident && !after_for {
+            last_ident = Some(t.text.clone());
+        }
+        j += 1;
+    }
+    None
+}
+
+fn collect_functions(toks: &[Token], out: &mut FileItems) {
+    // Impl contexts: (body range, self type), innermost last.
+    let mut impls: Vec<(Range<usize>, String)> = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].is_ident("impl") {
+            if let Some((name, range)) = impl_self_type(toks, i, out) {
+                impls.push((range, name));
+            }
+        }
+        if !toks[i].is_ident("fn") {
+            continue;
+        }
+        // `fn` as a type (`fn(u8) -> u8`) has no name ident after it.
+        let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            continue;
+        };
+        // Walk to the body `{` (or the decl-only `;`) at bracket depth 0.
+        let mut j = i + 2;
+        let mut depth = 0i32;
+        let mut body = None;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct(";") {
+                break;
+            } else if depth == 0 && t.is_punct("{") {
+                body = out.close_of.get(&j).map(|&c| j..c + 1);
+                break;
+            }
+            j += 1;
+        }
+        let impl_type = impls
+            .iter()
+            .rev()
+            .find(|(r, _)| r.contains(&i))
+            .map(|(_, n)| n.clone());
+        out.functions.push(FnItem {
+            name: name.text.clone(),
+            impl_type,
+            fn_tok: i,
+            body,
+            line: toks[i].line,
+            is_test: out.is_test_tok(i),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile {
+            rel: "x.rs".to_owned(),
+            lines: src.lines().map(str::to_owned).collect(),
+            lexed: lex(src),
+        }
+    }
+
+    #[test]
+    fn functions_carry_impl_type_and_body_ranges() {
+        let f = file(
+            "pub struct Cache { stats: Mutex<u64> }\n\
+             impl Cache {\n    fn store(&self) { self.stats.lock(); }\n}\n\
+             fn free() {}\n",
+        );
+        let idx = index_file(&f);
+        let names: Vec<(&str, Option<&str>)> = idx
+            .functions
+            .iter()
+            .map(|f| (f.name.as_str(), f.impl_type.as_deref()))
+            .collect();
+        assert_eq!(names, vec![("store", Some("Cache")), ("free", None)]);
+        assert!(idx.functions[0].body.is_some());
+    }
+
+    #[test]
+    fn trait_impls_use_the_self_type_after_for() {
+        let f = file("impl Drop for Guard<'_> {\n    fn drop(&mut self) {}\n}\n");
+        let idx = index_file(&f);
+        assert_eq!(idx.functions[0].impl_type.as_deref(), Some("Guard"));
+    }
+
+    #[test]
+    fn struct_fields_keep_their_type_text() {
+        let f = file("struct S { a: Mutex<u64>, b: Vec<(u8, u8)>, c: u8 }\nstruct T(u8);\n");
+        let idx = index_file(&f);
+        let s = &idx.structs[0];
+        assert_eq!(s.fields.len(), 3);
+        assert_eq!(s.fields[0].ty, "Mutex < u64 >");
+        assert_eq!(s.fields[1].name, "b");
+        assert!(idx.structs[1].fields.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_modules_and_test_fns_are_marked() {
+        let f = file(
+            "fn live() {}\n\
+             #[cfg(test)]\nmod tests {\n    #[test]\n    fn probe() {}\n}\n",
+        );
+        let idx = index_file(&f);
+        let by_name = |n: &str| idx.functions.iter().find(|f| f.name == n).unwrap();
+        assert!(!by_name("live").is_test);
+        assert!(by_name("probe").is_test);
+    }
+
+    #[test]
+    fn where_clauses_do_not_steal_the_impl_type() {
+        let f = file("impl<T> Stack<T> where T: Clone {\n    fn push(&self) {}\n}\n");
+        let idx = index_file(&f);
+        assert_eq!(idx.functions[0].impl_type.as_deref(), Some("Stack"));
+    }
+}

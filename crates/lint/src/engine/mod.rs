@@ -1,0 +1,186 @@
+//! The flow-analysis engine: item index, intraprocedural CFG, and
+//! symbolic acquisition/release facts.
+//!
+//! Layering (each stage consumes only the one below):
+//!
+//! ```text
+//! lexer  ──►  items  ──►  cfg  ──►  facts
+//! tokens      fns/structs  paths    acquire/settle queries
+//! ```
+//!
+//! [`LintContext`] packages one workspace with every file's item index
+//! plus the workspace-wide lock-field table, and is what rules receive
+//! instead of a bare [`Workspace`].
+
+pub mod cfg;
+pub mod facts;
+pub mod items;
+
+use crate::workspace::{SourceFile, Workspace};
+use cfg::Cfg;
+use facts::MethodCall;
+use items::{FileItems, FnItem};
+use std::collections::BTreeMap;
+
+/// One workspace file with its item index.
+pub struct FileCtx<'w> {
+    /// The lexed source file.
+    pub file: &'w SourceFile,
+    /// Functions, structs, brace matching, test ranges.
+    pub items: FileItems,
+}
+
+impl FileCtx<'_> {
+    /// The CFG of one of this file's functions.
+    pub fn cfg_of(&self, f: &FnItem) -> Option<Cfg> {
+        let body = f.body.clone()?;
+        Some(Cfg::build(&self.file.lexed.tokens, &self.items, body))
+    }
+
+    /// Method-call sites inside one function's body.
+    pub fn calls_in(&self, f: &FnItem) -> Vec<MethodCall> {
+        match &f.body {
+            Some(body) => facts::method_calls(&self.file.lexed.tokens, &self.items, body.clone()),
+            None => Vec::new(),
+        }
+    }
+
+    /// The innermost function whose body contains token `tok`.
+    pub fn fn_containing(&self, tok: usize) -> Option<&FnItem> {
+        self.items
+            .functions
+            .iter()
+            .filter(|f| f.body.as_ref().is_some_and(|b| b.contains(&tok)))
+            .min_by_key(|f| {
+                let b = f.body.as_ref().expect("filtered on body");
+                b.end - b.start
+            })
+    }
+}
+
+/// The whole workspace, indexed for the rules.
+pub struct LintContext<'w> {
+    /// The raw workspace (file list, root).
+    pub ws: &'w Workspace,
+    /// Per-file item indexes, parallel to `ws.files`.
+    pub files: Vec<FileCtx<'w>>,
+    /// `struct name → lock-typed field names` (`Mutex`/`RwLock`,
+    /// including through `Arc<…>`), workspace-wide.
+    lock_fields: BTreeMap<String, Vec<String>>,
+}
+
+impl<'w> LintContext<'w> {
+    /// Indexes every file of the workspace.
+    pub fn new(ws: &'w Workspace) -> LintContext<'w> {
+        let files: Vec<FileCtx<'w>> = ws
+            .files
+            .iter()
+            .map(|file| FileCtx {
+                file,
+                items: items::index_file(file),
+            })
+            .collect();
+        let mut lock_fields: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        for fc in &files {
+            for s in &fc.items.structs {
+                for field in &s.fields {
+                    if field.ty.contains("Mutex <") || field.ty.contains("RwLock <") {
+                        lock_fields
+                            .entry(s.name.clone())
+                            .or_default()
+                            .push(field.name.clone());
+                    }
+                }
+            }
+        }
+        LintContext {
+            ws,
+            files,
+            lock_fields,
+        }
+    }
+
+    /// Resolves a lock call's receiver chain to its `Type.field`
+    /// symbol. A `self.<field>` chain resolves against the enclosing
+    /// impl type; any other chain resolves by its final identifier when
+    /// exactly one struct in the workspace declares a lock field of
+    /// that name.
+    pub fn lock_symbol(&self, impl_type: Option<&str>, recv: &[String]) -> Option<String> {
+        let field = recv.last()?;
+        if recv.first().is_some_and(|r| r == "self") && recv.len() == 2 {
+            if let Some(ty) = impl_type {
+                if self
+                    .lock_fields
+                    .get(ty)
+                    .is_some_and(|fs| fs.iter().any(|f| f == field))
+                {
+                    return Some(format!("{ty}.{field}"));
+                }
+            }
+        }
+        let owners: Vec<&String> = self
+            .lock_fields
+            .iter()
+            .filter(|(_, fs)| fs.iter().any(|f| f == field))
+            .map(|(ty, _)| ty)
+            .collect();
+        match owners.as_slice() {
+            [only] => Some(format!("{only}.{field}")),
+            _ => None, // unknown or ambiguous: stay silent
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use std::path::PathBuf;
+
+    fn ws_of(files: &[(&str, &str)]) -> Workspace {
+        Workspace {
+            root: PathBuf::from("."),
+            files: files
+                .iter()
+                .map(|(rel, src)| SourceFile {
+                    rel: (*rel).to_owned(),
+                    lines: src.lines().map(str::to_owned).collect(),
+                    lexed: lex(src),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn lock_symbols_resolve_through_self_and_unique_fields() {
+        let ws = ws_of(&[
+            (
+                "a.rs",
+                "pub struct Cache { stats: Mutex<u64>, inner: Mutex<Inner> }\n\
+                 pub struct Stack { inner: Mutex<Vec<u8>> }\n",
+            ),
+            ("b.rs", "pub struct Clock { now: RwLock<f64> }\n"),
+        ]);
+        let ctx = LintContext::new(&ws);
+        let own = |s: &str| s.split('.').map(str::to_owned).collect::<Vec<_>>();
+        // self.<field> against the impl type.
+        assert_eq!(
+            ctx.lock_symbol(Some("Cache"), &own("self.stats")),
+            Some("Cache.stats".to_owned())
+        );
+        // `inner` is declared by two structs: self-resolution works,
+        // bare resolution stays silent.
+        assert_eq!(
+            ctx.lock_symbol(Some("Stack"), &own("self.inner")),
+            Some("Stack.inner".to_owned())
+        );
+        assert_eq!(ctx.lock_symbol(None, &own("x.inner")), None);
+        // A unique field name resolves from anywhere.
+        assert_eq!(
+            ctx.lock_symbol(None, &own("clock.now")),
+            Some("Clock.now".to_owned())
+        );
+        // Non-lock fields never resolve.
+        assert_eq!(ctx.lock_symbol(Some("Cache"), &own("self.missing")), None);
+    }
+}

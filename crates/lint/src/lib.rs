@@ -8,15 +8,21 @@
 //! `OffloadStats` counter must be exported, and the preludes must be
 //! documented. This crate lexes every first-party `.rs` file with a
 //! small hand-written scanner (no external parser — the vendor tree is
-//! offline-only) and runs six rules over the token streams.
+//! offline-only), indexes it into items and control-flow graphs (the
+//! [`engine`]), and runs the rules over the result. Beyond the token
+//! rules, the flow rules prove path properties: reservations settle on
+//! every exit, lock acquisition order is globally consistent, manually
+//! begun trace spans always close.
 //!
 //! Violations can be silenced per line with
 //! `// ssdtrain-lint: allow(<rule>): <reason>` — the reason is
 //! mandatory, so every suppression is explained in the source.
 
 pub mod diagnostics;
+pub mod engine;
 pub mod lexer;
 pub mod rules;
+pub mod sarif;
 pub mod suppress;
 pub mod workspace;
 
@@ -37,9 +43,10 @@ use std::path::Path;
 /// Returns an error only when the root directory cannot be walked.
 pub fn lint_root(root: &Path, only_paths: Option<&BTreeSet<String>>) -> io::Result<Report> {
     let ws = workspace::Workspace::load(root)?;
+    let ctx = engine::LintContext::new(&ws);
     let mut raw = Vec::new();
     for rule in rules::registry() {
-        rule.check(&ws, &mut raw);
+        rule.check(&ctx, &mut raw);
     }
 
     let names = rules::rule_names();
@@ -114,6 +121,82 @@ mod tests {
         let filtered = lint_root(&dir, Some(&only)).unwrap();
         assert_eq!(filtered.diagnostics.len(), 1);
         assert_eq!(filtered.diagnostics[0].path, "crates/core/src/io.rs");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn one_comment_can_allow_several_rules_on_a_line() {
+        let dir = scratch("multi");
+        // Both a panic-free and (via a seeded `Instant::now`) a
+        // wall-clock violation on one line, silenced by one comment.
+        fs::write(
+            dir.join("crates/core/src/cache.rs"),
+            "fn f(x: Option<u8>) -> u8 {\n    \
+             // ssdtrain-lint: allow(panic-free-hot-path): scaffold; allow(no-wall-clock): scaffold\n    \
+             let _t = Instant::now(); x.unwrap()\n}\n",
+        )
+        .unwrap();
+        let report = lint_root(&dir, None).unwrap();
+        assert!(report.is_clean(), "{}", report.render_text());
+        assert_eq!(report.suppressed, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn allow_for_unknown_rule_is_reported_not_silenced() {
+        let dir = scratch("unknown");
+        fs::write(
+            dir.join("crates/core/src/cache.rs"),
+            "fn f(x: Option<u8>) -> u8 {\n    \
+             // ssdtrain-lint: allow(totally-made-up): please\n    x.unwrap()\n}\n",
+        )
+        .unwrap();
+        let report = lint_root(&dir, None).unwrap();
+        // The unwrap still fires AND the bogus allow is a violation.
+        assert_eq!(report.diagnostics.len(), 2, "{}", report.render_text());
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "suppression" && d.message.contains("unknown rule")));
+        assert_eq!(report.suppressed, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn changed_only_filters_suppression_diagnostics_like_any_other() {
+        let dir = scratch("chg-sup");
+        // A malformed allow in a file outside the changed set must not
+        // fail a --changed-only run; in the changed set it must.
+        fs::write(
+            dir.join("crates/core/src/cache.rs"),
+            "// ssdtrain-lint: allow(panic-free-hot-path)\nfn f() {}\n",
+        )
+        .unwrap();
+        fs::write(dir.join("crates/core/src/io.rs"), "fn g() {}\n").unwrap();
+        let other: BTreeSet<String> = ["crates/core/src/io.rs".to_owned()].into();
+        let report = lint_root(&dir, Some(&other)).unwrap();
+        assert!(report.is_clean(), "{}", report.render_text());
+        let changed: BTreeSet<String> = ["crates/core/src/cache.rs".to_owned()].into();
+        let report = lint_root(&dir, Some(&changed)).unwrap();
+        assert_eq!(report.diagnostics.len(), 1, "{}", report.render_text());
+        assert_eq!(report.diagnostics[0].rule, "suppression");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn suppression_of_a_flow_rule_works_end_to_end() {
+        let dir = scratch("flow-sup");
+        fs::write(
+            dir.join("crates/core/src/tier.rs"),
+            "impl T { fn store(&mut self, b: u64) -> Option<u64> {\n    \
+             // ssdtrain-lint: allow(reservation-pairing): fixture proves flow-rule suppression\n    \
+             let p = self.tiers.reserve(b)?;\n    if b > 4 { return None; }\n    \
+             self.commit(p); Some(b)\n} }\n",
+        )
+        .unwrap();
+        let report = lint_root(&dir, None).unwrap();
+        assert!(report.is_clean(), "{}", report.render_text());
+        assert_eq!(report.suppressed, 1);
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
 
-use ssdtrain_lint::{lint_root, rules};
+use ssdtrain_lint::{lint_root, rules, sarif};
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 use std::process::{Command, ExitCode};
@@ -15,7 +15,7 @@ USAGE:
 
 OPTIONS:
     --root <dir>      Workspace root to lint (default: current directory)
-    --format <fmt>    Output format: text | json (default: text)
+    --format <fmt>    Output format: text | json | sarif (default: text)
     --changed-only    Only report diagnostics in files changed since the
                       merge base with origin/main (falls back to main;
                       lints everything if git is unavailable)
@@ -23,9 +23,16 @@ OPTIONS:
     -h, --help        Print this help
 ";
 
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 struct Options {
     root: PathBuf,
-    json: bool,
+    format: Format,
     changed_only: bool,
     list_rules: bool,
 }
@@ -57,10 +64,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    if opts.json {
-        print!("{}", report.render_json());
-    } else {
-        print!("{}", report.render_text());
+    match opts.format {
+        Format::Text => print!("{}", report.render_text()),
+        Format::Json => print!("{}", report.render_json()),
+        Format::Sarif => print!("{}", sarif::render_sarif(&report)),
     }
     if report.is_clean() {
         ExitCode::SUCCESS
@@ -72,7 +79,7 @@ fn main() -> ExitCode {
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
     let mut opts = Options {
         root: PathBuf::from("."),
-        json: false,
+        format: Format::Text,
         changed_only: false,
         list_rules: false,
     };
@@ -83,11 +90,12 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
                 opts.root = PathBuf::from(args.next().ok_or("--root needs a directory")?);
             }
             "--format" => match args.next().as_deref() {
-                Some("text") => opts.json = false,
-                Some("json") => opts.json = true,
+                Some("text") => opts.format = Format::Text,
+                Some("json") => opts.format = Format::Json,
+                Some("sarif") => opts.format = Format::Sarif,
                 other => {
                     return Err(format!(
-                        "--format must be `text` or `json`, got {}",
+                        "--format must be `text`, `json` or `sarif`, got {}",
                         other.unwrap_or("nothing")
                     ));
                 }

@@ -9,8 +9,9 @@
 
 use super::Rule;
 use crate::diagnostics::Diagnostic;
+use crate::engine::LintContext;
 use crate::lexer::{TokKind, Token};
-use crate::workspace::{SourceFile, Workspace};
+use crate::workspace::SourceFile;
 use std::collections::HashMap;
 
 /// Keywords that introduce a nameable top-level definition.
@@ -29,13 +30,13 @@ impl Rule for DocCoverage {
         "every prelude re-export must have a doc comment"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
+    fn check(&self, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
         // name -> is any top-level definition of it documented?
         let mut defs: HashMap<String, bool> = HashMap::new();
-        for file in &ws.files {
+        for file in &ctx.ws.files {
             index_definitions(file, &mut defs);
         }
-        for file in &ws.files {
+        for file in &ctx.ws.files {
             if !file.rel.ends_with("/prelude.rs") {
                 continue;
             }
@@ -213,12 +214,12 @@ mod tests {
     }
 
     fn run(files: Vec<SourceFile>) -> Vec<Diagnostic> {
-        let ws = Workspace {
+        let ws = crate::workspace::Workspace {
             root: std::path::PathBuf::from("."),
             files,
         };
         let mut out = Vec::new();
-        DocCoverage.check(&ws, &mut out);
+        DocCoverage.check(&LintContext::new(&ws), &mut out);
         out
     }
 

@@ -1,0 +1,354 @@
+//! `lock-discipline`: a workspace-wide lock-order graph plus two
+//! intra-function hold checks.
+//!
+//! The cache, tier stack and trace sink all guard shared state with
+//! `Mutex`/`RwLock` fields. Three bug classes the type system cannot
+//! see:
+//!
+//! 1. **Order inversion** — function `f` acquires `A` then `B` while
+//!    `g` acquires `B` then `A`. Each is fine alone; together they
+//!    deadlock under concurrency. We collect every "acquired `B` while
+//!    `A` held" edge across the workspace into one order graph and flag
+//!    every edge that sits on a cycle.
+//! 2. **Re-acquisition** — locking a mutex whose guard is already held
+//!    in the same function. `std`'s mutex deadlocks, parking-lot-style
+//!    mutexes do too; either way the thread hangs.
+//! 3. **Held across a clock advance** — in hot-path modules, holding a
+//!    guard across `advance_to`/`advance_by`/`drain_stores`/`wait_io`
+//!    serialises the simulated I/O engine behind a lock that other
+//!    stages contend on.
+//!
+//! A guard is considered held from its binding statement until an
+//! explicit `drop(guard)` or the end of its lexical scope, following
+//! the function's CFG (so a `drop` on one branch releases only that
+//! branch). Inline temporaries (`self.stats.lock().x += 1;`) hold the
+//! guard for a single expression and contribute no edges. Guards that
+//! escape the function (returned/passed on) are not tracked —
+//! interprocedural holds are out of scope, which is why returning
+//! guards from helpers is worth avoiding.
+//!
+//! A lock *site* is a `.lock()`/`.read()`/`.write()` call with empty
+//! argument parens whose receiver resolves to a declared
+//! `Mutex`/`RwLock` field (`Type.field`); `TierStack::write(tier, …)`
+//! and friends take arguments and are never mistaken for lock calls.
+
+use super::panic_free_hot_path::HOT_PATH;
+use super::Rule;
+use crate::diagnostics::Diagnostic;
+use crate::engine::facts::{self, Binding};
+use crate::engine::LintContext;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+const LOCK_METHODS: [&str; 3] = ["lock", "read", "write"];
+
+/// Calls that advance the simulated clock or drain queued I/O; holding
+/// a lock across one of these in a hot-path module is flagged.
+const CLOCK_ADVANCING: [&str; 4] = ["advance_to", "advance_by", "drain_stores", "wait_io"];
+
+/// One "acquired `to` while `from` was held" observation.
+struct Edge {
+    from: String,
+    to: String,
+    path: String,
+    line: u32,
+    col: u32,
+    fn_name: String,
+}
+
+pub struct LockDiscipline;
+
+impl Rule for LockDiscipline {
+    fn name(&self) -> &'static str {
+        "lock-discipline"
+    }
+
+    fn description(&self) -> &'static str {
+        "lock-order cycles, re-acquisition of held guards, guards held across clock advances"
+    }
+
+    fn check(&self, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+        let mut edges: Vec<Edge> = Vec::new();
+        let mut diags: Vec<Diagnostic> = Vec::new();
+
+        for fc in &ctx.files {
+            let toks = &fc.file.lexed.tokens;
+            let hot = HOT_PATH.contains(&fc.file.rel.as_str());
+            for f in &fc.items.functions {
+                if f.is_test {
+                    continue;
+                }
+                let Some(body) = f.body.clone() else { continue };
+                let calls = fc.calls_in(f);
+                // name_tok → lock symbol, for every resolvable lock site.
+                let mut lock_sites: HashMap<usize, String> = HashMap::new();
+                for c in &calls {
+                    if c.args_empty && LOCK_METHODS.contains(&c.name.as_str()) && !c.recv.is_empty()
+                    {
+                        if let Some(sym) = ctx.lock_symbol(f.impl_type.as_deref(), &c.recv) {
+                            lock_sites.insert(c.name_tok, sym);
+                        }
+                    }
+                }
+                if lock_sites.is_empty() {
+                    continue;
+                }
+                let advance_sites: HashMap<usize, &str> = if hot {
+                    calls
+                        .iter()
+                        .filter(|c| CLOCK_ADVANCING.contains(&c.name.as_str()))
+                        .map(|c| (c.name_tok, c.name.as_str()))
+                        .collect()
+                } else {
+                    HashMap::new()
+                };
+                let cfg = match fc.cfg_of(f) {
+                    Some(c) => c,
+                    None => continue,
+                };
+                for c in &calls {
+                    let Some(sym) = lock_sites.get(&c.name_tok) else {
+                        continue;
+                    };
+                    // A projection chain (`self.inner.lock().records…`)
+                    // binds a *derived* value; the guard itself is a
+                    // temporary dying at the statement's end. Only a
+                    // lock call that is the entire initialiser hands
+                    // its guard to the binding.
+                    if !toks.get(c.close_paren + 1).is_some_and(|t| t.is_punct(";")) {
+                        continue;
+                    }
+                    // Only a *bound* guard has a cross-statement extent.
+                    let Binding::Bound {
+                        names,
+                        acq,
+                        scope_end,
+                    } = facts::classify_binding(toks, &fc.items, c, &body)
+                    else {
+                        continue;
+                    };
+                    // Held until scope end or an explicit `drop(guard)`.
+                    let mut stops: HashSet<usize> = HashSet::new();
+                    stops.insert(scope_end);
+                    for u in facts::uses_of(toks, &names, acq, scope_end) {
+                        if u >= 2 && toks[u - 1].is_punct("(") && toks[u - 2].is_ident("drop") {
+                            stops.insert(u);
+                        }
+                    }
+                    let mut targets: HashSet<usize> = lock_sites
+                        .keys()
+                        .copied()
+                        .filter(|&t| t != c.name_tok)
+                        .collect();
+                    targets.extend(advance_sites.keys().copied());
+                    for t in cfg.reach_all(acq, false, &targets, &stops) {
+                        let at = &toks[t];
+                        if let Some(tsym) = lock_sites.get(&t) {
+                            if tsym == sym {
+                                diags.push(Diagnostic {
+                                    rule: "lock-discipline",
+                                    path: fc.file.rel.clone(),
+                                    line: at.line,
+                                    col: at.col,
+                                    message: format!(
+                                        "`{}` re-acquired in `{}` while the guard from line {} \
+                                         is still held; this self-deadlocks — drop the first \
+                                         guard before relocking",
+                                        sym, f.name, toks[c.name_tok].line
+                                    ),
+                                });
+                            } else {
+                                edges.push(Edge {
+                                    from: sym.clone(),
+                                    to: tsym.clone(),
+                                    path: fc.file.rel.clone(),
+                                    line: at.line,
+                                    col: at.col,
+                                    fn_name: f.name.clone(),
+                                });
+                            }
+                        } else if let Some(m) = advance_sites.get(&t) {
+                            diags.push(Diagnostic {
+                                rule: "lock-discipline",
+                                path: fc.file.rel.clone(),
+                                line: at.line,
+                                col: at.col,
+                                message: format!(
+                                    "guard of `{}` held across `.{}()` in `{}`; the call \
+                                     advances the simulated clock while the lock blocks other \
+                                     users — drop the guard first",
+                                    sym, m, f.name
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Workspace order graph: flag every edge that sits on a cycle.
+        let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for e in &edges {
+            adj.entry(&e.from).or_default().insert(&e.to);
+        }
+        for e in &edges {
+            if graph_reaches(&adj, &e.to, &e.from) {
+                diags.push(Diagnostic {
+                    rule: "lock-discipline",
+                    path: e.path.clone(),
+                    line: e.line,
+                    col: e.col,
+                    message: format!(
+                        "lock order inversion in `{}`: `{}` acquired while `{}` is held, but \
+                         elsewhere in the workspace the opposite order occurs; pick one global \
+                         acquisition order",
+                        e.fn_name, e.to, e.from
+                    ),
+                });
+            }
+        }
+
+        // Overlapping guards of the same symbol can rediscover the same
+        // site; report each (site, message) once.
+        let mut seen = HashSet::new();
+        diags.retain(|d| seen.insert((d.path.clone(), d.line, d.col, d.message.clone())));
+        out.extend(diags);
+    }
+}
+
+/// Whether `to` is reachable from `from` in the order graph.
+fn graph_reaches(adj: &BTreeMap<&str, BTreeSet<&str>>, from: &str, to: &str) -> bool {
+    let mut stack = vec![from];
+    let mut seen: HashSet<&str> = HashSet::new();
+    while let Some(n) = stack.pop() {
+        if n == to {
+            return true;
+        }
+        if !seen.insert(n) {
+            continue;
+        }
+        if let Some(next) = adj.get(n) {
+            stack.extend(next.iter().copied());
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::LintContext;
+    use crate::lexer::lex;
+    use crate::workspace::{SourceFile, Workspace};
+
+    fn run_in(rel: &str, src: &str) -> Vec<Diagnostic> {
+        let ws = Workspace {
+            root: std::path::PathBuf::from("."),
+            files: vec![SourceFile {
+                rel: rel.to_owned(),
+                lines: src.lines().map(str::to_owned).collect(),
+                lexed: lex(src),
+            }],
+        };
+        let mut out = Vec::new();
+        LockDiscipline.check(&LintContext::new(&ws), &mut out);
+        out
+    }
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        run_in("crates/core/src/state.rs", src)
+    }
+
+    const TWO_LOCKS: &str = "struct S { a: Mutex<u64>, b: Mutex<u64> }\n";
+
+    #[test]
+    fn order_inversion_across_functions_is_flagged_at_both_sites() {
+        let d = run(&format!(
+            "{TWO_LOCKS}impl S {{\n\
+             fn f(&self) {{ let ga = self.a.lock(); let gb = self.b.lock(); drop(gb); drop(ga); }}\n\
+             fn g(&self) {{ let gb = self.b.lock(); let ga = self.a.lock(); drop(ga); drop(gb); }}\n\
+             }}"
+        ));
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert!(d.iter().all(|d| d.message.contains("lock order inversion")));
+    }
+
+    #[test]
+    fn consistent_order_everywhere_is_clean() {
+        let d = run(&format!(
+            "{TWO_LOCKS}impl S {{\n\
+             fn f(&self) {{ let ga = self.a.lock(); let gb = self.b.lock(); drop(gb); drop(ga); }}\n\
+             fn g(&self) {{ let ga = self.a.lock(); let gb = self.b.lock(); drop(gb); drop(ga); }}\n\
+             }}"
+        ));
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn reacquiring_a_held_mutex_is_flagged() {
+        let d = run(&format!(
+            "{TWO_LOCKS}impl S {{ fn f(&self) {{ let g = self.a.lock(); let h = self.a.lock(); }} }}"
+        ));
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("re-acquired"));
+    }
+
+    #[test]
+    fn dropped_guard_allows_relocking() {
+        let d = run(&format!(
+            "{TWO_LOCKS}impl S {{ fn f(&self) {{ let g = self.a.lock(); drop(g); \
+             let h = self.a.lock(); drop(h); }} }}"
+        ));
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn guard_held_across_clock_advance_in_hot_path_is_flagged() {
+        let d = run_in(
+            "crates/core/src/io.rs",
+            "struct E { q: Mutex<u64> }\n\
+             impl E { fn run(&self) { let g = self.q.lock(); self.clock.advance_to(t); drop(g); } }",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("held across `.advance_to()`"));
+    }
+
+    #[test]
+    fn guard_dropped_before_the_advance_is_clean() {
+        let d = run_in(
+            "crates/core/src/io.rs",
+            "struct E { q: Mutex<u64> }\n\
+             impl E { fn run(&self) { let g = self.q.lock(); drop(g); self.clock.advance_to(t); } }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn inline_temporary_guards_contribute_nothing() {
+        let d = run(&format!(
+            "{TWO_LOCKS}impl S {{ fn f(&self) {{ *self.a.lock() += 1; *self.b.lock() += 1; }} }}"
+        ));
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn projection_chains_do_not_hold_the_guard() {
+        // `self.b.lock().count()` binds the count; the guard dies at
+        // the `;`, so `g` contributes no b → a edge and no cycle forms
+        // with `f`'s a → b.
+        let d = run(&format!(
+            "{TWO_LOCKS}impl S {{\n\
+             fn f(&self) {{ let ga = self.a.lock(); let gb = self.b.lock(); drop(gb); drop(ga); }}\n\
+             fn g(&self) {{ let n = self.b.lock().count(); let ga = self.a.lock(); drop(ga); }}\n\
+             }}"
+        ));
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn write_with_arguments_is_not_a_lock_site() {
+        let d = run("struct T { inner: Mutex<u64> }\n\
+             impl T { fn f(&self) { let g = self.inner.lock(); \
+             self.tiers.write(tier, key, data); drop(g); } }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -1,18 +1,22 @@
 //! The rule registry.
 //!
 //! Each rule checks one project invariant the generic toolchain lints
-//! cannot express. Rules see the whole lexed workspace, so cross-file
-//! invariants (prelude doc coverage, `OffloadStats` export coverage)
-//! are first-class.
+//! cannot express. Rules see the whole indexed workspace (a
+//! [`LintContext`]), so cross-file invariants (prelude doc coverage,
+//! the workspace-wide lock-order graph) are first-class, and the flow
+//! rules can query per-function CFGs.
 
 use crate::diagnostics::Diagnostic;
-use crate::workspace::Workspace;
+use crate::engine::LintContext;
 
 mod doc_coverage;
+mod lock_discipline;
 mod no_deprecated_stage_api;
 mod no_deprecated_target_api;
 mod no_wall_clock;
 mod panic_free_hot_path;
+mod reservation_pairing;
+mod span_balance;
 mod trace_emit_coverage;
 mod typed_errors;
 
@@ -25,7 +29,7 @@ pub trait Rule {
     fn description(&self) -> &'static str;
 
     /// Appends this rule's violations over the workspace.
-    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>);
+    fn check(&self, ctx: &LintContext, out: &mut Vec<Diagnostic>);
 }
 
 /// Every registered rule, in a fixed order.
@@ -38,6 +42,9 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(no_deprecated_target_api::NoDeprecatedTargetApi),
         Box::new(trace_emit_coverage::TraceEmitCoverage),
         Box::new(doc_coverage::DocCoverage),
+        Box::new(lock_discipline::LockDiscipline),
+        Box::new(reservation_pairing::ReservationPairing),
+        Box::new(span_balance::SpanBalance),
     ]
 }
 
@@ -59,7 +66,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_the_seven_rules() {
+    fn registry_has_the_ten_rules() {
         let names = rule_names();
         assert_eq!(
             names,
@@ -71,6 +78,9 @@ mod tests {
                 "no-deprecated-target-api",
                 "trace-emit-coverage",
                 "doc-coverage",
+                "lock-discipline",
+                "reservation-pairing",
+                "span-balance",
             ]
         );
     }

@@ -12,7 +12,7 @@
 
 use super::Rule;
 use crate::diagnostics::Diagnostic;
-use crate::workspace::Workspace;
+use crate::engine::LintContext;
 
 /// Where the shims are defined (mentioning them there is not a call).
 const DEFINING_FILE: &str = "crates/core/src/cache.rs";
@@ -30,8 +30,8 @@ impl Rule for NoDeprecatedStageApi {
         "callers must use the RAII StageScope, not set_stage/set_next_stage/stage_done"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
-        for file in &ws.files {
+    fn check(&self, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+        for file in &ctx.ws.files {
             if file.rel == DEFINING_FILE {
                 continue;
             }

@@ -11,7 +11,7 @@
 
 use super::Rule;
 use crate::diagnostics::Diagnostic;
-use crate::workspace::Workspace;
+use crate::engine::LintContext;
 
 /// The removed enum's name, as an identifier. (A string literal here,
 /// so this file does not flag itself.)
@@ -28,8 +28,8 @@ impl Rule for NoDeprecatedTargetApi {
         "the removed TargetKind enum must not come back; use OffloadBackend"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
-        for file in &ws.files {
+    fn check(&self, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+        for file in &ctx.ws.files {
             for t in &file.lexed.tokens {
                 if t.is_ident(REMOVED_TYPE) {
                     out.push(Diagnostic {
@@ -52,7 +52,7 @@ impl Rule for NoDeprecatedTargetApi {
 mod tests {
     use super::*;
     use crate::lexer::lex;
-    use crate::workspace::SourceFile;
+    use crate::workspace::{SourceFile, Workspace};
 
     fn run(src: &str) -> Vec<Diagnostic> {
         let ws = Workspace {
@@ -64,7 +64,7 @@ mod tests {
             }],
         };
         let mut out = Vec::new();
-        NoDeprecatedTargetApi.check(&ws, &mut out);
+        NoDeprecatedTargetApi.check(&LintContext::new(&ws), &mut out);
         out
     }
 

@@ -9,14 +9,17 @@
 
 use super::{in_dir, Rule};
 use crate::diagnostics::Diagnostic;
+use crate::engine::LintContext;
 use crate::lexer::Token;
-use crate::workspace::Workspace;
 
-const SCOPED_DIRS: [&str; 4] = [
+/// The lint itself is scoped too: its text/JSON/SARIF output must be
+/// byte-stable across runs, which a wall-clock read would break.
+const SCOPED_DIRS: [&str; 5] = [
     "crates/simhw",
     "crates/core",
     "crates/trace",
     "crates/train",
+    "crates/lint",
 ];
 const BANNED: [&str; 2] = ["Instant", "SystemTime"];
 
@@ -31,8 +34,8 @@ impl Rule for NoWallClock {
         "std::time::{Instant,SystemTime} banned in simhw/core/trace; use the simulated clock"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
-        for file in &ws.files {
+    fn check(&self, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+        for file in &ctx.ws.files {
             if !SCOPED_DIRS.iter().any(|d| in_dir(&file.rel, d)) {
                 continue;
             }

@@ -3,19 +3,21 @@
 //! PR 1's `RecoveryPolicy` guarantees that target failures are absorbed
 //! or surfaced as typed errors at the step boundary. A stray `unwrap()`
 //! in the store/load path turns a recoverable I/O hiccup into a train
-//! crash, so panicking constructs are banned in the files that make up
-//! the offload hot path. Test-only panics stay behind explicit
-//! `allow(panic-free-hot-path)` annotations with reasons.
+//! crash, so panicking constructs are banned in the functions that make
+//! up the offload hot path. The rule is scoped per *function*, not per
+//! file: `#[test]` functions and `#[cfg(test)]` modules inside hot-path
+//! files probe failure edges on purpose and are exempt, while every
+//! non-test function is named in its diagnostic.
 
 use super::Rule;
 use crate::diagnostics::Diagnostic;
-use crate::workspace::Workspace;
+use crate::engine::LintContext;
 
 /// The offload hot path: cache pack/unpack and recovery, the placement
 /// policy and cost model, the tier stack, the I/O engine, the targets,
 /// fault injection, the training executors, and the overlapped
 /// optimizer engine.
-const HOT_PATH: [&str; 10] = [
+pub(crate) const HOT_PATH: [&str; 10] = [
     "crates/core/src/cache.rs",
     "crates/core/src/placement.rs",
     "crates/core/src/costmodel.rs",
@@ -39,42 +41,52 @@ impl Rule for PanicFreeHotPath {
     }
 
     fn description(&self) -> &'static str {
-        "unwrap/expect/panic!/todo!/unreachable! banned in the offload hot path"
+        "unwrap/expect/panic!/todo!/unreachable! banned in non-test offload hot-path functions"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
-        for file in &ws.files {
-            if !HOT_PATH.contains(&file.rel.as_str()) {
+    fn check(&self, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+        for fc in &ctx.files {
+            if !HOT_PATH.contains(&fc.file.rel.as_str()) {
                 continue;
             }
-            let toks = &file.lexed.tokens;
+            let toks = &fc.file.lexed.tokens;
             for (i, t) in toks.iter().enumerate() {
+                if fc.items.is_test_tok(i) {
+                    continue;
+                }
+                let in_fn = || {
+                    fc.fn_containing(i)
+                        .map(|f| format!(" (in `{}`)", f.name))
+                        .unwrap_or_default()
+                };
                 let prev_dot = i > 0 && toks[i - 1].is_punct(".");
                 let next_paren = toks.get(i + 1).is_some_and(|n| n.is_punct("("));
                 let next_bang = toks.get(i + 1).is_some_and(|n| n.is_punct("!"));
                 if prev_dot && next_paren && BANNED_METHODS.iter().any(|m| t.is_ident(m)) {
                     out.push(Diagnostic {
                         rule: "panic-free-hot-path",
-                        path: file.rel.clone(),
+                        path: fc.file.rel.clone(),
                         line: t.line,
                         col: t.col,
                         message: format!(
-                            "`.{}()` in the offload hot path; propagate a typed \
+                            "`.{}()` in the offload hot path{}; propagate a typed \
                              `OffloadError`/`StepError` instead of panicking",
-                            t.text
+                            t.text,
+                            in_fn()
                         ),
                     });
                 }
                 if next_bang && BANNED_MACROS.iter().any(|m| t.is_ident(m)) {
                     out.push(Diagnostic {
                         rule: "panic-free-hot-path",
-                        path: file.rel.clone(),
+                        path: fc.file.rel.clone(),
                         line: t.line,
                         col: t.col,
                         message: format!(
-                            "`{}!` in the offload hot path; recovery must absorb or \
+                            "`{}!` in the offload hot path{}; recovery must absorb or \
                              surface failures as typed errors",
-                            t.text
+                            t.text,
+                            in_fn()
                         ),
                     });
                 }

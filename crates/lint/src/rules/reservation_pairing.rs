@@ -1,0 +1,178 @@
+//! `reservation-pairing`: a tier reservation must be settled on every
+//! path.
+//!
+//! `TierStack::reserve`/`reserve_preferring` debit capacity counters
+//! immediately; the bytes come back only when the placement is handed
+//! to `write` (commit) or given back via `release`. A code path that
+//! lets the returned `TierPlacement` fall on the floor — an early `?`,
+//! a forgotten error arm — leaks capacity forever and slowly starves
+//! the tier, which the capacity-accounting tests only catch when the
+//! leak happens to be on the tested path. This rule walks each
+//! function's CFG in the two files that own reservations and demands
+//! that every `reserve`-family call either escapes the function (the
+//! caller inherits the obligation) or is *settled* — the bound
+//! placement is mentioned again — before any reachable exit.
+
+use super::Rule;
+use crate::diagnostics::Diagnostic;
+use crate::engine::facts::{self, Binding};
+use crate::engine::LintContext;
+use std::collections::HashSet;
+
+/// The files that create and settle reservations. Everything else only
+/// sees placements second-hand.
+const SCOPED_FILES: [&str; 2] = ["crates/core/src/tier.rs", "crates/core/src/cache.rs"];
+
+/// A call that debits tier capacity and returns a placement obligation.
+fn is_reserve_family(name: &str) -> bool {
+    name == "reserve" || name == "try_reserve" || name.starts_with("reserve_")
+}
+
+pub struct ReservationPairing;
+
+impl Rule for ReservationPairing {
+    fn name(&self) -> &'static str {
+        "reservation-pairing"
+    }
+
+    fn description(&self) -> &'static str {
+        "every tier reserve must reach a commit/release (or escape) on all CFG paths"
+    }
+
+    fn check(&self, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+        for fc in &ctx.files {
+            if !SCOPED_FILES.contains(&fc.file.rel.as_str()) {
+                continue;
+            }
+            let toks = &fc.file.lexed.tokens;
+            for f in &fc.items.functions {
+                // The reserve family itself manipulates the counters it
+                // guards; wrappers like `reserve_preferring` tail-call
+                // `reserve` and hand the obligation to their caller.
+                if f.is_test || is_reserve_family(&f.name) {
+                    continue;
+                }
+                let Some(body) = f.body.clone() else { continue };
+                let calls: Vec<_> = fc
+                    .calls_in(f)
+                    .into_iter()
+                    .filter(|c| is_reserve_family(&c.name))
+                    .collect();
+                if calls.is_empty() {
+                    continue;
+                }
+                let cfg = match fc.cfg_of(f) {
+                    Some(c) => c,
+                    None => continue,
+                };
+                for call in calls {
+                    let at = &toks[call.name_tok];
+                    match facts::classify_binding(toks, &fc.items, &call, &body) {
+                        // Returned / passed on: the caller owns it now.
+                        Binding::Escapes => {}
+                        Binding::Discarded => out.push(Diagnostic {
+                            rule: "reservation-pairing",
+                            path: fc.file.rel.clone(),
+                            line: at.line,
+                            col: at.col,
+                            message: format!(
+                                "result of `.{}()` is discarded in `{}`; bind the placement \
+                                 and commit it (`write`) or `release` it",
+                                call.name, f.name
+                            ),
+                        }),
+                        Binding::Bound {
+                            names,
+                            acq,
+                            scope_end,
+                        } => {
+                            let settles: HashSet<usize> =
+                                facts::uses_of(toks, &names, acq, scope_end)
+                                    .into_iter()
+                                    .collect();
+                            let leak = if settles.is_empty() {
+                                true
+                            } else {
+                                cfg.exit_reachable(acq, false, &settles)
+                            };
+                            if leak {
+                                out.push(Diagnostic {
+                                    rule: "reservation-pairing",
+                                    path: fc.file.rel.clone(),
+                                    line: at.line,
+                                    col: at.col,
+                                    message: format!(
+                                        "reservation from `.{}()` in `{}` can reach a function \
+                                         exit without being settled; commit or `release` it on \
+                                         every path (early `?`/`return` paths included)",
+                                        call.name, f.name
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::LintContext;
+    use crate::lexer::lex;
+    use crate::workspace::{SourceFile, Workspace};
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let ws = Workspace {
+            root: std::path::PathBuf::from("."),
+            files: vec![SourceFile {
+                rel: "crates/core/src/tier.rs".to_owned(),
+                lines: src.lines().map(str::to_owned).collect(),
+                lexed: lex(src),
+            }],
+        };
+        let mut out = Vec::new();
+        ReservationPairing.check(&LintContext::new(&ws), &mut out);
+        out
+    }
+
+    #[test]
+    fn leak_on_early_return_is_flagged() {
+        let d = run("impl Cache { fn store(&mut self, b: u64) -> Option<()> {\n\
+             let p = self.tiers.reserve(b)?;\n\
+             if b > 4 { return None; }\n\
+             self.commit(p); Some(())\n\
+             } }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("can reach a function exit"));
+    }
+
+    #[test]
+    fn settled_on_all_paths_is_clean() {
+        let d = run("impl Cache { fn store(&mut self, b: u64) -> Option<()> {\n\
+             let p = self.tiers.reserve(b)?;\n\
+             if b > 4 { self.tiers.release(p.tier, b); return None; }\n\
+             self.commit(p); Some(())\n\
+             } }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn escaping_reserve_is_the_callers_problem() {
+        let d = run(
+            "impl Cache { fn grab(&mut self, b: u64) -> Option<Placement> {\n\
+             self.tiers.reserve(b)\n\
+             } }",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn discarded_reserve_is_flagged() {
+        let d = run("impl Cache { fn poke(&mut self, b: u64) { self.tiers.reserve(b); } }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("discarded"));
+    }
+}

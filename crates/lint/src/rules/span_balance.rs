@@ -1,0 +1,158 @@
+//! `span-balance`: a manually opened trace span must be closed on
+//! every path.
+//!
+//! `TraceSink::begin_span` exists because a span's end timestamp comes
+//! from the simulated clock, which a `Drop` impl cannot read — so the
+//! RAII route is closed and the obligation is manual: every
+//! [`OpenSpan`](../../../trace/src/lib.rs) must reach `.end(ts)` or
+//! `.cancel()` on every CFG path, or the Chrome trace grows
+//! `<name>.open` markers where a duration should be. RAII
+//! `StageScope`/`stage_scope` helpers close themselves and are
+//! naturally outside this rule (they are not `begin_span` calls).
+
+use super::Rule;
+use crate::diagnostics::Diagnostic;
+use crate::engine::facts::{self, Binding};
+use crate::engine::LintContext;
+use std::collections::HashSet;
+
+pub struct SpanBalance;
+
+impl Rule for SpanBalance {
+    fn name(&self) -> &'static str {
+        "span-balance"
+    }
+
+    fn description(&self) -> &'static str {
+        "every begin_span must reach end/cancel (or escape) on all CFG paths"
+    }
+
+    fn check(&self, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+        for fc in &ctx.files {
+            let toks = &fc.file.lexed.tokens;
+            for f in &fc.items.functions {
+                // `begin_span` itself returns the open span by design.
+                if f.is_test || f.name == "begin_span" {
+                    continue;
+                }
+                let Some(body) = f.body.clone() else { continue };
+                let calls: Vec<_> = fc
+                    .calls_in(f)
+                    .into_iter()
+                    .filter(|c| c.name == "begin_span")
+                    .collect();
+                if calls.is_empty() {
+                    continue;
+                }
+                let cfg = match fc.cfg_of(f) {
+                    Some(c) => c,
+                    None => continue,
+                };
+                for call in calls {
+                    let at = &toks[call.name_tok];
+                    match facts::classify_binding(toks, &fc.items, &call, &body) {
+                        Binding::Escapes => {}
+                        Binding::Discarded => out.push(Diagnostic {
+                            rule: "span-balance",
+                            path: fc.file.rel.clone(),
+                            line: at.line,
+                            col: at.col,
+                            message: format!(
+                                "open span from `begin_span` is dropped immediately in `{}`; \
+                                 bind it and call `.end(ts)` (or `.cancel()`)",
+                                f.name
+                            ),
+                        }),
+                        Binding::Bound {
+                            names,
+                            acq,
+                            scope_end,
+                        } => {
+                            let closes: HashSet<usize> =
+                                facts::uses_of(toks, &names, acq, scope_end)
+                                    .into_iter()
+                                    .collect();
+                            let leak = if closes.is_empty() {
+                                true
+                            } else {
+                                cfg.exit_reachable(acq, false, &closes)
+                            };
+                            if leak {
+                                out.push(Diagnostic {
+                                    rule: "span-balance",
+                                    path: fc.file.rel.clone(),
+                                    line: at.line,
+                                    col: at.col,
+                                    message: format!(
+                                        "span opened by `begin_span` in `{}` can reach a \
+                                         function exit without `.end`/`.cancel`; close it on \
+                                         every path (early `?`/`return` paths included)",
+                                        f.name
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::LintContext;
+    use crate::lexer::lex;
+    use crate::workspace::{SourceFile, Workspace};
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let ws = Workspace {
+            root: std::path::PathBuf::from("."),
+            files: vec![SourceFile {
+                rel: "crates/train/src/session.rs".to_owned(),
+                lines: src.lines().map(str::to_owned).collect(),
+                lexed: lex(src),
+            }],
+        };
+        let mut out = Vec::new();
+        SpanBalance.check(&LintContext::new(&ws), &mut out);
+        out
+    }
+
+    #[test]
+    fn span_leaked_on_error_path_is_flagged() {
+        let d = run("impl S { fn step(&mut self) -> Result<(), E> {\n\
+             let span = self.trace.begin_span(Cat::Session, \"step\", t0);\n\
+             self.run()?;\n\
+             span.end(self.clock.now());\n\
+             Ok(())\n\
+             } }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("can reach a function exit"));
+    }
+
+    #[test]
+    fn span_closed_on_all_paths_is_clean() {
+        let d = run("impl S { fn step(&mut self) -> Result<(), E> {\n\
+             let span = self.trace.begin_span(Cat::Session, \"step\", t0);\n\
+             if let Err(e) = self.run() { span.cancel(); return Err(e); }\n\
+             span.end(self.clock.now());\n\
+             Ok(())\n\
+             } }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn immediately_dropped_span_is_flagged() {
+        let d = run("impl S { fn step(&mut self) { self.trace.begin_span(Cat::S, \"x\", t0); } }");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("dropped immediately"));
+    }
+
+    #[test]
+    fn raii_stage_scope_is_not_this_rules_business() {
+        let d = run("impl S { fn step(&mut self) { let _scope = self.stage_scope(Stage::Fwd); } }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -10,8 +10,9 @@
 
 use super::Rule;
 use crate::diagnostics::Diagnostic;
+use crate::engine::LintContext;
 use crate::lexer::Token;
-use crate::workspace::{SourceFile, Workspace};
+use crate::workspace::SourceFile;
 
 /// The exported counter structs; every field of each must be mentioned
 /// in `export_to`.
@@ -29,8 +30,8 @@ impl Rule for TraceEmitCoverage {
         "every OffloadStats/ClassCounters field must be exported by export_to"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
-        for file in &ws.files {
+    fn check(&self, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+        for file in &ctx.ws.files {
             for struct_name in STRUCTS {
                 let Some(fields) = struct_fields(file, struct_name) else {
                     continue;
@@ -142,12 +143,12 @@ mod tests {
     }
 
     fn run(src: &str) -> Vec<Diagnostic> {
-        let ws = Workspace {
+        let ws = crate::workspace::Workspace {
             root: std::path::PathBuf::from("."),
             files: vec![file(src)],
         };
         let mut out = Vec::new();
-        TraceEmitCoverage.check(&ws, &mut out);
+        TraceEmitCoverage.check(&LintContext::new(&ws), &mut out);
         out
     }
 

@@ -7,8 +7,8 @@
 
 use super::Rule;
 use crate::diagnostics::Diagnostic;
+use crate::engine::LintContext;
 use crate::lexer::{TokKind, Token};
-use crate::workspace::Workspace;
 
 pub struct TypedErrors;
 
@@ -21,8 +21,8 @@ impl Rule for TypedErrors {
         "no Box<dyn Error> or Result<_, String> in pub fn signatures"
     }
 
-    fn check(&self, ws: &Workspace, out: &mut Vec<Diagnostic>) {
-        for file in &ws.files {
+    fn check(&self, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+        for file in &ctx.ws.files {
             let toks = &file.lexed.tokens;
             let mut i = 0;
             while i < toks.len() {

@@ -4,7 +4,10 @@
 //! mandatory; an allow without one is itself a violation (rule
 //! `suppression`), so every silenced diagnostic carries an explanation
 //! in the source. A trailing allow suppresses its own line; a
-//! standalone allow suppresses the next line that holds code.
+//! standalone allow suppresses the next line that holds code. One
+//! comment may carry several allows separated by `;`:
+//! `// ssdtrain-lint: allow(a): why; allow(b): why` — each segment is
+//! parsed (and reported when malformed) independently.
 
 use crate::diagnostics::Diagnostic;
 use crate::workspace::SourceFile;
@@ -62,18 +65,20 @@ pub fn parse(
         } else {
             next_code_line(file, comment.line)
         };
-        match parse_directive(directive, rule_names) {
-            Ok(rule) => out.allows.push(Allow {
-                rule,
-                effective_line,
-            }),
-            Err(why) => bad.push(Diagnostic {
-                rule: "suppression",
-                path: file.rel.clone(),
-                line: comment.line,
-                col: 1,
-                message: format!("malformed `ssdtrain-lint:` comment: {why}"),
-            }),
+        for segment in split_allows(directive) {
+            match parse_directive(&segment, rule_names) {
+                Ok(rule) => out.allows.push(Allow {
+                    rule,
+                    effective_line,
+                }),
+                Err(why) => bad.push(Diagnostic {
+                    rule: "suppression",
+                    path: file.rel.clone(),
+                    line: comment.line,
+                    col: 1,
+                    message: format!("malformed `ssdtrain-lint:` comment: {why}"),
+                }),
+            }
         }
     }
     out
@@ -88,6 +93,24 @@ fn next_code_line(file: &SourceFile, line: u32) -> u32 {
         .map(|t| t.line)
         .find(|&l| l > line)
         .unwrap_or(line + 1)
+}
+
+/// Splits a directive into `;`-separated allow segments. A `;` inside
+/// a reason does not start a new segment unless what follows is itself
+/// an `allow(`, so reasons stay free-form.
+fn split_allows(directive: &str) -> Vec<String> {
+    let mut segs: Vec<String> = Vec::new();
+    for part in directive.split(';') {
+        let t = part.trim();
+        match segs.last_mut() {
+            Some(last) if !t.starts_with("allow(") => {
+                last.push_str("; ");
+                last.push_str(t);
+            }
+            _ => segs.push(t.to_owned()),
+        }
+    }
+    segs
 }
 
 /// Parses `allow(<rule>): <reason>`, returning the rule name.
@@ -161,6 +184,42 @@ mod tests {
         assert_eq!(bad.len(), 1);
         assert_eq!(bad[0].rule, "suppression");
         assert!(bad[0].message.contains("needs a reason"));
+    }
+
+    #[test]
+    fn several_allows_share_one_comment() {
+        let f = file(
+            "x.unwrap(); // ssdtrain-lint: allow(panic-free-hot-path): rig; \
+             allow(no-wall-clock): fixture clock\n",
+        );
+        let mut bad = Vec::new();
+        let s = parse(&f, &RULES, &mut bad);
+        assert!(bad.is_empty(), "{bad:?}");
+        assert!(s.is_allowed("panic-free-hot-path", 1));
+        assert!(s.is_allowed("no-wall-clock", 1));
+    }
+
+    #[test]
+    fn semicolon_inside_a_reason_stays_in_the_reason() {
+        let f = file("x.unwrap(); // ssdtrain-lint: allow(panic-free-hot-path): a; b; c\n");
+        let mut bad = Vec::new();
+        let s = parse(&f, &RULES, &mut bad);
+        assert!(bad.is_empty(), "{bad:?}");
+        assert_eq!(s.allows.len(), 1);
+        assert!(s.is_allowed("panic-free-hot-path", 1));
+    }
+
+    #[test]
+    fn one_bad_segment_does_not_poison_the_good_one() {
+        let f = file(
+            "// ssdtrain-lint: allow(panic-free-hot-path): fine; allow(made-up): because\n\
+             x.unwrap();\n",
+        );
+        let mut bad = Vec::new();
+        let s = parse(&f, &RULES, &mut bad);
+        assert!(s.is_allowed("panic-free-hot-path", 2));
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("unknown rule"));
     }
 
     #[test]

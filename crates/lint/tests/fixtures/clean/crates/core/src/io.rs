@@ -1,0 +1,55 @@
+//! Near-miss fixture: the same locks as the seeded inversion, taken in
+//! one consistent order, with guards dropped before the clock moves —
+//! `lock-discipline` must stay quiet.
+
+struct IoEngine {
+    queue: Mutex<u64>,
+    stats: Mutex<u64>,
+}
+
+impl IoEngine {
+    /// `queue` before `stats`, like everywhere else.
+    fn submit(&self) {
+        let q = self.queue.lock();
+        let s = self.stats.lock();
+        drop(s);
+        drop(q);
+    }
+
+    /// Same order as `submit`: a one-way edge, no cycle.
+    fn flush(&self) {
+        let q = self.queue.lock();
+        let s = self.stats.lock();
+        drop(s);
+        drop(q);
+    }
+
+    /// Relocking is fine once the first guard is dropped.
+    fn double_count(&self) {
+        let s = self.stats.lock();
+        drop(s);
+        let t = self.stats.lock();
+        drop(t);
+    }
+
+    /// The guard dies before the clock advances.
+    fn drain(&self) {
+        let q = self.queue.lock();
+        drop(q);
+        self.clock.advance_to(0);
+    }
+
+    /// An inline temporary holds the guard for one expression only.
+    fn bump(&self) {
+        *self.stats.lock() += 1;
+    }
+
+    /// A projection chain binds the derived count, not the guard: the
+    /// temporary dies at the `;`, so no stats → queue edge exists and
+    /// the `queue` → `stats` order stays acyclic.
+    fn rekey(&self) {
+        let held = self.stats.lock().count();
+        let q = self.queue.lock();
+        drop(q);
+    }
+}

@@ -1,0 +1,24 @@
+//! Near-miss fixture: reservations settled on every path, or escaping
+//! to the caller — `reservation-pairing` must stay quiet.
+
+struct TierStack {
+    cap: u64,
+}
+
+impl TierStack {
+    /// Same shape as the seeded leak, but the early path releases.
+    fn store(&mut self, bytes: u64) -> Option<u64> {
+        let placement = self.tiers.reserve(bytes)?;
+        if bytes > self.cap {
+            self.tiers.release(placement.tier, bytes);
+            return None;
+        }
+        self.commit(placement);
+        Some(bytes)
+    }
+
+    /// Tail position: the obligation transfers to the caller.
+    fn grab(&mut self, bytes: u64) -> Option<Placement> {
+        self.tiers.reserve(bytes)
+    }
+}

@@ -1,0 +1,25 @@
+//! Near-miss fixture: the span closes on both the error and the happy
+//! path — `span-balance` must stay quiet.
+
+struct Session {
+    trace: TraceSink,
+}
+
+impl Session {
+    /// Same shape as the seeded leak, but the error path cancels.
+    fn run_step(&mut self) -> Result<(), StepError> {
+        let span = self.trace.begin_span(TraceCategory::Session, "step", 0);
+        if let Err(e) = self.advance() {
+            span.cancel();
+            return Err(e);
+        }
+        span.end(1);
+        Ok(())
+    }
+
+    /// RAII stage scopes balance themselves and are out of scope here.
+    fn forward(&mut self) {
+        let _scope = self.executor.stage_scope(Stage::Forward);
+        self.executor.run();
+    }
+}

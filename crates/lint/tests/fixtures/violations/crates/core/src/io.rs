@@ -1,0 +1,42 @@
+//! Seeded fixture: `lock-discipline` violations — an order inversion
+//! between `queue` and `stats`, a re-acquisition, and a guard held
+//! across a clock advance.
+
+struct IoEngine {
+    queue: Mutex<u64>,
+    stats: Mutex<u64>,
+}
+
+impl IoEngine {
+    /// Acquires `queue` then `stats` (one half of the inversion; the
+    /// inner acquisition is the seeded violation, line 15).
+    fn submit(&self) {
+        let q = self.queue.lock();
+        let s = self.stats.lock();
+        drop(s);
+        drop(q);
+    }
+
+    /// Acquires `stats` then `queue` (the other half, line 23).
+    fn flush(&self) {
+        let s = self.stats.lock();
+        let q = self.queue.lock();
+        drop(q);
+        drop(s);
+    }
+
+    /// Relocks `stats` while its first guard is held (line 31).
+    fn double_count(&self) {
+        let s = self.stats.lock();
+        let t = self.stats.lock();
+        drop(t);
+        drop(s);
+    }
+
+    /// Holds the `queue` guard across a clock advance (line 39).
+    fn drain(&self) {
+        let q = self.queue.lock();
+        self.clock.advance_to(0);
+        drop(q);
+    }
+}

@@ -1,0 +1,18 @@
+//! Seeded fixture: a `reservation-pairing` leak.
+
+struct TierStack {
+    cap: u64,
+}
+
+impl TierStack {
+    /// Leaks the reservation when `bytes > cap` (seeded violation,
+    /// line 11).
+    fn store(&mut self, bytes: u64) -> Option<u64> {
+        let placement = self.tiers.reserve(bytes)?;
+        if bytes > self.cap {
+            return None;
+        }
+        self.commit(placement);
+        Some(bytes)
+    }
+}

@@ -1,0 +1,15 @@
+//! Seeded fixture: a `span-balance` leak on the error path.
+
+struct Session {
+    trace: TraceSink,
+}
+
+impl Session {
+    /// The `?` exit skips `span.end` (seeded violation, line 10).
+    fn run_step(&mut self) -> Result<(), StepError> {
+        let span = self.trace.begin_span(TraceCategory::Session, "step", 0);
+        self.advance()?;
+        span.end(1);
+        Ok(())
+    }
+}

@@ -57,6 +57,14 @@ fn each_rule_fires_at_its_seeded_anchor() {
         ("trace-emit-coverage", "crates/core/src/stats.rs", 8),
         ("doc-coverage", "crates/core/src/prelude.rs", 4),
         ("suppression", "crates/core/src/cache.rs", 13),
+        // Flow rules: true positives seeded next to near-misses that
+        // live in the `clean` tree.
+        ("lock-discipline", "crates/core/src/io.rs", 15),
+        ("lock-discipline", "crates/core/src/io.rs", 23),
+        ("lock-discipline", "crates/core/src/io.rs", 31),
+        ("lock-discipline", "crates/core/src/io.rs", 39),
+        ("reservation-pairing", "crates/core/src/tier.rs", 11),
+        ("span-balance", "crates/train/src/session.rs", 10),
     ];
     for (rule, path, line) in anchors {
         assert!(
@@ -111,7 +119,7 @@ fn violations_fixture_makes_binary_exit_one() {
 }
 
 #[test]
-fn list_rules_names_all_six() {
+fn list_rules_names_all_ten() {
     let out = Command::new(env!("CARGO_BIN_EXE_ssdtrain-lint"))
         .arg("--list-rules")
         .output()
@@ -123,9 +131,39 @@ fn list_rules_names_all_six() {
         "panic-free-hot-path",
         "typed-errors",
         "no-deprecated-stage-api",
+        "no-deprecated-target-api",
         "trace-emit-coverage",
         "doc-coverage",
+        "lock-discipline",
+        "reservation-pairing",
+        "span-balance",
     ] {
         assert!(text.contains(rule), "--list-rules missing {rule}:\n{text}");
     }
+}
+
+#[test]
+fn sarif_output_is_wellformed_and_byte_stable() {
+    let run_once = || {
+        Command::new(env!("CARGO_BIN_EXE_ssdtrain-lint"))
+            .args(["--root"])
+            .arg(fixture_root("violations"))
+            .args(["--format", "sarif"])
+            .output()
+            .expect("run ssdtrain-lint")
+    };
+    let first = run_once();
+    assert_eq!(first.status.code(), Some(1), "violations still exit 1");
+    let text = String::from_utf8_lossy(&first.stdout);
+    assert!(text.contains("\"version\": \"2.1.0\""), "{text}");
+    assert!(text.contains("\"ruleId\": \"lock-discipline\""), "{text}");
+    assert!(
+        text.contains("\"uri\": \"crates/core/src/io.rs\""),
+        "{text}"
+    );
+    let second = run_once();
+    assert_eq!(
+        first.stdout, second.stdout,
+        "SARIF output must be byte-identical across runs"
+    );
 }

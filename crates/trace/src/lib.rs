@@ -368,6 +368,26 @@ impl TraceSink {
         }
     }
 
+    /// Opens a span at `start`; the caller must close it with
+    /// [`OpenSpan::end`] (or discard it with [`OpenSpan::cancel`]) on
+    /// every path. The end timestamp comes from the simulated clock,
+    /// which a `Drop` impl cannot read, so closing is deliberately
+    /// manual — the `span-balance` lint proves the pairing.
+    pub fn begin_span(
+        &self,
+        cat: TraceCategory,
+        name: impl Into<String>,
+        start: SimTime,
+    ) -> OpenSpan {
+        OpenSpan {
+            sink: self.clone(),
+            cat,
+            name: name.into(),
+            start,
+            closed: false,
+        }
+    }
+
     /// Records a counter sample; each `(series, value)` pair becomes one
     /// plotted series in the Chrome-trace view.
     pub fn counter(
@@ -423,6 +443,53 @@ impl TraceSink {
     /// Renders the plain-text per-step timeline summary.
     pub fn to_text_summary(&self) -> String {
         text_summary(&self.events())
+    }
+}
+
+/// A manually opened span returned by [`TraceSink::begin_span`].
+///
+/// Unlike the RAII stage scopes, an open span cannot close itself: the
+/// end timestamp is simulated time, and `Drop` has no way to read the
+/// clock. [`OpenSpan::end`] records the span, [`OpenSpan::cancel`]
+/// discards it. Dropping an open span without either emits a
+/// `<name>.open` instant at the start time, so an unbalanced span shows
+/// up in the trace instead of silently vanishing.
+#[must_use = "close the span with `.end(ts)` or `.cancel()`"]
+pub struct OpenSpan {
+    sink: TraceSink,
+    cat: TraceCategory,
+    name: String,
+    start: SimTime,
+    closed: bool,
+}
+
+impl OpenSpan {
+    /// Closes the span at `end`, recording `[start, end]`.
+    pub fn end(mut self, end: SimTime) {
+        self.closed = true;
+        let name = std::mem::take(&mut self.name);
+        self.sink.span(self.cat, name, self.start, end);
+    }
+
+    /// Discards the span without recording anything.
+    pub fn cancel(mut self) {
+        self.closed = true;
+    }
+
+    /// The span's start time (useful when the closer recomputes
+    /// durations).
+    pub fn start(&self) -> SimTime {
+        self.start
+    }
+}
+
+impl Drop for OpenSpan {
+    fn drop(&mut self) {
+        if !self.closed {
+            let name = std::mem::take(&mut self.name);
+            self.sink
+                .instant(self.cat, format!("{name}.open"), self.start);
+        }
     }
 }
 
@@ -536,6 +603,38 @@ mod tests {
         );
         let ev = &sink.events()[0];
         assert_eq!(ev.end(), SimTime::from_secs(2.5));
+    }
+
+    #[test]
+    fn open_span_end_records_the_span() {
+        let sink = TraceSink::enabled();
+        let span = sink.begin_span(TraceCategory::Session, "step", SimTime::from_secs(1.0));
+        span.end(SimTime::from_secs(3.0));
+        let evs = sink.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].name, "step");
+        assert_eq!(evs[0].end(), SimTime::from_secs(3.0));
+    }
+
+    #[test]
+    fn open_span_cancel_records_nothing() {
+        let sink = TraceSink::enabled();
+        let span = sink.begin_span(TraceCategory::Session, "step", SimTime::ZERO);
+        span.cancel();
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn leaked_open_span_surfaces_as_an_open_instant() {
+        let sink = TraceSink::enabled();
+        {
+            let _span = sink.begin_span(TraceCategory::Session, "step", SimTime::ZERO);
+            // dropped without end/cancel
+        }
+        let evs = sink.events();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].name, "step.open");
+        assert!(matches!(evs[0].kind, EventKind::Instant));
     }
 
     #[test]

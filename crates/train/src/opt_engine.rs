@@ -14,9 +14,12 @@
 //! * **Overlapped** (`overlap = true`): the update of step *k* is
 //!   deferred to the start of step *k+1*. Stage *j*'s loads are
 //!   submitted at `t = 0` and compared against the forecast arrival of
-//!   the forward pass at stage *j* (`fwd_secs · j / S`, taken from the
-//!   previous step); only the delay that exceeds that window is exposed
-//!   on the clock. The re-offloaded state's store jobs occupy the tier
+//!   the forward pass at stage *j* — `fwd_secs · frac(j)`, where
+//!   `fwd_secs` is the previous step's measured forward time and
+//!   `frac(j)` is the cumulative per-stage forward fraction observed by
+//!   a profiling step ([`OptEngine::note_profile`]), falling back to
+//!   the uniform `j / S` when no profile ran; only the delay that
+//!   exceeds that window is exposed on the clock. The re-offloaded state's store jobs occupy the tier
 //!   links and the shared write bus while the forward runs, so the
 //!   overlap's contention with activation offloading is priced rather
 //!   than assumed free. Numerics are unchanged: the deferred update
@@ -27,7 +30,9 @@
 
 use crate::schedule::stage_ranges;
 use crate::session::OffloadClassSet;
-use ssdtrain::{ArgValue, OffloadClass, StateSlot, TensorCache, TraceCategory, TraceSink};
+use ssdtrain::{
+    ArgValue, OffloadClass, StateSlot, StepProfile, TensorCache, TraceCategory, TraceSink,
+};
 use ssdtrain_autograd::optim::Sgd;
 use ssdtrain_simhw::{SimClock, SimTime};
 use std::ops::Range;
@@ -59,6 +64,10 @@ pub struct OptEngine {
     state_slots: Vec<Vec<StateSlot>>,
     pending: bool,
     fwd_estimate: f64,
+    /// Cumulative forward-time fraction elapsed when the forward pass
+    /// reaches each stage's parameters (`fracs[0] == 0.0`), measured by
+    /// a profiling step. `None` falls back to the uniform `j / S`.
+    arrival_fracs: Option<Vec<f64>>,
 }
 
 impl OptEngine {
@@ -80,6 +89,7 @@ impl OptEngine {
             state_slots: vec![Vec::new(); stages],
             pending: false,
             fwd_estimate: 0.0,
+            arrival_fracs: None,
         }
     }
 
@@ -106,6 +116,45 @@ impl OptEngine {
         }
     }
 
+    /// Records a profiling step's per-module forward times: the forward
+    /// pass is not uniform (embeddings, heads and attention blocks cost
+    /// different amounts), so the stage-`j` arrival forecast becomes the
+    /// observed cumulative fraction of forward time instead of `j / S`.
+    /// Modules are mapped onto stages by the same contiguous partition
+    /// the parameters use. A degenerate profile (no modules, or no
+    /// positive forward time) leaves the uniform fallback in place.
+    pub fn note_profile(&mut self, profile: &StepProfile) {
+        let stages = self.ranges.len();
+        let total: f64 = profile.modules.iter().map(|m| m.fwd_secs.max(0.0)).sum();
+        if stages == 0 || profile.modules.is_empty() || !total.is_finite() || total <= 0.0 {
+            return;
+        }
+        let groups = stage_ranges(profile.modules.len(), stages);
+        let mut fracs = Vec::with_capacity(stages);
+        let mut elapsed = 0.0;
+        for g in &groups {
+            fracs.push(elapsed / total);
+            elapsed += g
+                .clone()
+                .map(|m| profile.modules[m].fwd_secs.max(0.0))
+                .sum::<f64>();
+        }
+        // More stages than modules: the forward has fully passed the
+        // last module before these stages' parameters are touched.
+        fracs.resize(stages, 1.0);
+        self.arrival_fracs = Some(fracs);
+    }
+
+    /// The forecast fraction of the forward window elapsed when stage
+    /// `j`'s parameters arrive: measured when a profile was noted,
+    /// uniform otherwise.
+    fn arrival_frac(&self, j: usize) -> f64 {
+        match &self.arrival_fracs {
+            Some(fracs) if j < fracs.len() => fracs[j],
+            _ => j as f64 / self.ranges.len().max(1) as f64,
+        }
+    }
+
     /// Start-of-step hook: applies the previous step's deferred update,
     /// overlapped against the forecast forward. Returns the exposed
     /// delay (already advanced on `clock`). No-op unless overlapping
@@ -121,7 +170,6 @@ impl OptEngine {
             return OptReport::default();
         }
         self.pending = false;
-        let stages = self.ranges.len().max(1) as f64;
         let mut delay = 0.0;
         for j in 0..self.ranges.len() {
             let range = self.ranges[j].clone();
@@ -144,7 +192,7 @@ impl OptEngine {
             // GreedySnake: stage j's update must land before the next
             // forward reaches stage j. Whatever the window cannot hide
             // accumulates as exposed delay.
-            let arrival = self.fwd_estimate * j as f64 / stages + delay;
+            let arrival = self.fwd_estimate * self.arrival_frac(j) + delay;
             let late = (ready.as_secs() - arrival).max(0.0);
             delay += late;
             self.apply_stage(cache, opt, j, range);
@@ -156,6 +204,7 @@ impl OptEngine {
                     ("ready_secs", ArgValue::F64(ready.as_secs())),
                     ("arrival_secs", ArgValue::F64(arrival)),
                     ("exposed_secs", ArgValue::F64(late)),
+                    ("fwd_estimate_secs", ArgValue::F64(self.fwd_estimate)),
                 ],
             );
         }
@@ -381,6 +430,68 @@ mod tests {
         assert!(!engine.pending());
         assert_eq!(opt.params()[0].tensor().to_vec(), vec![0.5]);
         assert_eq!(report.exposed_secs, 0.0);
+    }
+
+    fn profile_of(fwd: &[f64]) -> StepProfile {
+        StepProfile {
+            modules: fwd
+                .iter()
+                .enumerate()
+                .map(|(i, &fwd_secs)| ssdtrain::ModuleProfile {
+                    path: format!("m{i}"),
+                    offload_bytes: 0,
+                    fwd_secs,
+                    store_secs: 0.0,
+                    load_secs: 0.0,
+                })
+                .collect(),
+            fwd_total_secs: fwd.iter().sum(),
+            fwd_io_bytes: 0,
+            fwd_io_secs: 0.0,
+        }
+    }
+
+    #[test]
+    fn profiled_arrivals_follow_observed_forward_fractions() {
+        let mut engine = OptEngine::new(OffloadClassSet::default(), true, 4, 2);
+        // Front-loaded forward: stage 1's parameters are reached after
+        // 3 of the 4 forward seconds, not at the uniform halfway mark.
+        engine.note_profile(&profile_of(&[3.0, 1.0]));
+        engine.note_forward_secs(4.0);
+        assert_eq!(engine.arrival_frac(0), 0.0);
+        assert_eq!(engine.arrival_frac(1), 0.75);
+        let clock = SimClock::new();
+        let trace = TraceSink::enabled();
+        let mut opt = opt_with(4, 0.0);
+        engine.end_of_step(None, &mut opt, &clock, &trace);
+        engine.begin_step(None, &mut opt, &clock, &trace);
+        let arrivals: Vec<f64> = trace
+            .events()
+            .iter()
+            .filter(|e| e.name.starts_with("opt.overlap.s"))
+            .map(
+                |e| match e.args.iter().find(|(k, _)| *k == "arrival_secs") {
+                    Some((_, ArgValue::F64(v))) => *v,
+                    other => panic!("arrival arg missing: {other:?}"),
+                },
+            )
+            .collect();
+        assert_eq!(arrivals, vec![0.0, 3.0]);
+    }
+
+    #[test]
+    fn degenerate_profiles_keep_the_uniform_fallback() {
+        let mut engine = OptEngine::new(OffloadClassSet::default(), true, 4, 2);
+        assert_eq!(engine.arrival_frac(1), 0.5, "uniform before any profile");
+        engine.note_profile(&profile_of(&[]));
+        engine.note_profile(&profile_of(&[0.0, 0.0]));
+        engine.note_profile(&profile_of(&[f64::NAN]));
+        assert_eq!(engine.arrival_frac(1), 0.5, "degenerate profiles ignored");
+        // A single-module profile maps onto both stages: stage 0 at the
+        // start, stage 1 only after the whole forward has passed it.
+        engine.note_profile(&profile_of(&[2.0]));
+        assert_eq!(engine.arrival_frac(0), 0.0);
+        assert_eq!(engine.arrival_frac(1), 1.0);
     }
 
     #[test]

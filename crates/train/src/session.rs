@@ -499,7 +499,15 @@ impl TrainSession {
                 error,
                 metrics: None,
             }),
-            None => Ok(result),
+            None => {
+                // The profile's per-module forward times sharpen the
+                // overlapped optimizer's stage-arrival forecast (the
+                // forward is not uniform across modules).
+                if let Some(engine) = self.opt_engine.as_mut() {
+                    engine.note_profile(&result.0);
+                }
+                Ok(result)
+            }
         }
     }
 
@@ -546,6 +554,12 @@ impl TrainSession {
             "step.begin",
             self.runtime.clock.now(),
         );
+        // The whole measured step as one manually closed span: the end
+        // timestamp is simulated time, so RAII cannot close it — the
+        // span-balance lint proves both exits below end it.
+        let step_span =
+            self.trace
+                .begin_span(TraceCategory::Session, "step", self.runtime.clock.now());
         if let Some(cache) = &self.cache {
             cache.begin_step();
         }
@@ -705,6 +719,7 @@ impl TrainSession {
             }
             self.optimizer.zero_grad();
             self.step_idx += 1;
+            step_span.end(self.runtime.clock.now());
             return Err(StepError {
                 error,
                 metrics: Some(Box::new(metrics)),
@@ -719,6 +734,7 @@ impl TrainSession {
             self.optimizer.zero_grad();
         }
         self.step_idx += 1;
+        step_span.end(self.runtime.clock.now());
         Ok(metrics)
     }
 }

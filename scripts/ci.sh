@@ -25,12 +25,18 @@ cargo test -q --test optimizer_offload
 # command).
 scripts/bench_check.sh
 cargo clippy --workspace -- -D warnings
-# Project-invariant lint: sim-clock, panic-freedom and error discipline
-# (see DESIGN.md §7). Exits non-zero on any violation. The full pass
-# keeps the workspace clean; the --changed-only pass is what a PR
-# pipeline gates on (diagnostics scoped to the files the branch touched,
-# against the merge base with origin/main).
+# Project-invariant lint: sim-clock, panic-freedom, error discipline and
+# the flow rules (see DESIGN.md §7). Exits non-zero on any violation.
+# The full pass keeps the workspace clean; the --changed-only pass is
+# what a PR pipeline gates on (diagnostics scoped to the files the
+# branch touched, against the merge base with origin/main).
 cargo run -p ssdtrain-lint --release -- --format json
 cargo run -p ssdtrain-lint --release -- --changed-only --format json
+# SARIF is what code-scanning dashboards ingest: the run must stay clean
+# in that mode too, and the report must be byte-stable — two runs over
+# an unchanged tree may not differ, or diff-based upload dedup breaks.
+cargo run -p ssdtrain-lint --release -- --format sarif > target/lint-run1.sarif
+cargo run -p ssdtrain-lint --release -- --format sarif > target/lint-run2.sarif
+cmp target/lint-run1.sarif target/lint-run2.sarif
 cargo fmt --check
 RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps
