@@ -133,6 +133,9 @@ impl Sgd {
             } else {
                 grad
             };
+            // ssdtrain-lint: allow(no-alloc-hot-loop): the staging copy
+            // honours the gradient's view layout (offset, contiguity); a
+            // storage-level zip would silently ignore both
             let u = update.to_vec();
             t.storage().with_data_mut(|w| {
                 for (wi, gi) in w.iter_mut().zip(&u) {

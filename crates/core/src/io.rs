@@ -402,6 +402,8 @@ impl IoEngine {
     /// (which also covers its own link — the bus serialises everything).
     fn reflow_bus(&self, bus: &BusState) {
         let order = bus.order.lock();
+        // ssdtrain-lint: allow(no-alloc-hot-loop): guard vector bounded by
+        // the link count (a handful), rebuilt once per bus reflow
         let mut queues: Vec<_> = self.links.iter().map(|l| l.writes.lock()).collect();
         let mut prev_end = SimTime::ZERO;
         for id in order.iter() {

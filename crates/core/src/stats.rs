@@ -103,6 +103,8 @@ impl OffloadStats {
                     class: c.label().to_owned(),
                     ..ClassCounters::default()
                 })
+                // ssdtrain-lint: allow(no-alloc-hot-loop): one-time lazy init
+                // of the class table; later calls take the index fast path
                 .collect();
         }
         &mut self.classes[class.index()]

@@ -2,6 +2,20 @@
 
 use std::fmt::Write as _;
 
+/// A secondary location an interprocedural diagnostic points at: the
+/// intermediate call sites and the effect seed of a chain finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelatedLocation {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What this location contributes to the finding.
+    pub message: String,
+}
+
 /// One rule violation, anchored to a source position.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -15,6 +29,23 @@ pub struct Diagnostic {
     pub col: u32,
     /// Human-readable explanation of the violation.
     pub message: String,
+    /// Chain locations for interprocedural findings (empty for local
+    /// ones); SARIF renders them as `relatedLocations`.
+    pub related: Vec<RelatedLocation>,
+}
+
+impl Diagnostic {
+    /// A diagnostic with no related locations.
+    pub fn new(rule: &'static str, path: String, line: u32, col: u32, message: String) -> Self {
+        Diagnostic {
+            rule,
+            path,
+            line,
+            col,
+            message,
+            related: Vec::new(),
+        }
+    }
 }
 
 /// The outcome of linting a workspace.
@@ -85,10 +116,27 @@ impl Report {
                 } else {
                     ","
                 };
+                let mut related = String::new();
+                if !d.related.is_empty() {
+                    related.push_str(", \"related\": [");
+                    for (j, r) in d.related.iter().enumerate() {
+                        let rcomma = if j + 1 == d.related.len() { "" } else { ", " };
+                        let _ = write!(
+                            related,
+                            "{{\"path\": {}, \"line\": {}, \"column\": {}, \
+                             \"message\": {}}}{rcomma}",
+                            json_str(&r.path),
+                            r.line,
+                            r.col,
+                            json_str(&r.message)
+                        );
+                    }
+                    related.push(']');
+                }
                 let _ = writeln!(
                     out,
                     "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"column\": {}, \
-                     \"message\": {}}}{comma}",
+                     \"message\": {}{related}}}{comma}",
                     json_str(d.rule),
                     json_str(&d.path),
                     d.line,
@@ -129,13 +177,7 @@ mod tests {
     use super::*;
 
     fn diag(rule: &'static str, path: &str, line: u32, col: u32) -> Diagnostic {
-        Diagnostic {
-            rule,
-            path: path.to_owned(),
-            line,
-            col,
-            message: "m".to_owned(),
-        }
+        Diagnostic::new(rule, path.to_owned(), line, col, "m".to_owned())
     }
 
     #[test]
@@ -169,18 +211,40 @@ mod tests {
     #[test]
     fn json_is_escaped_and_terminated() {
         let mut r = Report::default();
-        r.diagnostics.push(Diagnostic {
-            rule: "r",
-            path: "a\"b.rs".to_owned(),
-            line: 1,
-            col: 1,
-            message: "tab\there".to_owned(),
-        });
+        r.diagnostics.push(Diagnostic::new(
+            "r",
+            "a\"b.rs".to_owned(),
+            1,
+            1,
+            "tab\there".to_owned(),
+        ));
         r.files_scanned = 1;
         let json = r.render_json();
         assert!(json.contains("a\\\"b.rs"));
         assert!(json.contains("tab\\there"));
         assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn related_locations_render_only_when_present() {
+        let mut r = Report::default();
+        r.diagnostics.push(diag("r", "a.rs", 1, 1));
+        let mut with = diag("r", "b.rs", 2, 1);
+        with.related.push(RelatedLocation {
+            path: "c.rs".to_owned(),
+            line: 9,
+            col: 3,
+            message: "effect seed: panic!".to_owned(),
+        });
+        r.diagnostics.push(with);
+        r.files_scanned = 3;
+        let json = r.render_json();
+        // The local diagnostic has no `related` key at all.
+        let local = json.lines().find(|l| l.contains("\"a.rs\"")).unwrap();
+        assert!(!local.contains("related"));
+        let chained = json.lines().find(|l| l.contains("\"b.rs\"")).unwrap();
+        assert!(chained.contains("\"related\": [{\"path\": \"c.rs\", \"line\": 9"));
+        assert!(chained.contains("effect seed: panic!"));
     }
 
     #[test]

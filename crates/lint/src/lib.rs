@@ -49,14 +49,14 @@ pub fn lint_root(root: &Path, only_paths: Option<&BTreeSet<String>>) -> io::Resu
         rule.check(&ctx, &mut raw);
     }
 
-    let names = rules::rule_names();
-    let mut bad_suppressions = Vec::new();
     let mut report = Report {
         files_scanned: ws.files.len(),
         ..Report::default()
     };
-    for file in &ws.files {
-        let sup = suppress::parse(file, &names, &mut bad_suppressions);
+    // The context already parsed every suppression comment (the effect
+    // inference honours seed-level allows); reuse it for reporting.
+    for (fi, file) in ws.files.iter().enumerate() {
+        let sup = &ctx.suppressions[fi];
         for d in raw.iter().filter(|d| d.path == file.rel) {
             if sup.is_allowed(d.rule, d.line) {
                 report.suppressed += 1;
@@ -67,7 +67,9 @@ pub fn lint_root(root: &Path, only_paths: Option<&BTreeSet<String>>) -> io::Resu
     }
     // A malformed allow is itself a violation — and not a suppressible
     // one, so nobody can silence the silencer.
-    report.diagnostics.extend(bad_suppressions);
+    report
+        .diagnostics
+        .extend(ctx.bad_suppressions.iter().cloned());
 
     if let Some(only) = only_paths {
         report.diagnostics.retain(|d| only.contains(&d.path));

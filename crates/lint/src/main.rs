@@ -20,6 +20,8 @@ OPTIONS:
                       merge base with origin/main (falls back to main;
                       lints everything if git is unavailable)
     --list-rules      Print the rule catalogue and exit
+    --explain <rule>  Print one rule's full documentation (what, why,
+                      example, suppression syntax) and exit
     -h, --help        Print this help
 ";
 
@@ -35,6 +37,7 @@ struct Options {
     format: Format,
     changed_only: bool,
     list_rules: bool,
+    explain: Option<String>,
 }
 
 fn main() -> ExitCode {
@@ -50,6 +53,9 @@ fn main() -> ExitCode {
             println!("{:<24} {}", rule.name(), rule.description());
         }
         return ExitCode::SUCCESS;
+    }
+    if let Some(name) = &opts.explain {
+        return explain(name);
     }
 
     let only = if opts.changed_only {
@@ -76,12 +82,79 @@ fn main() -> ExitCode {
     }
 }
 
+/// Prints the full documentation of one rule. The `suppression`
+/// pseudo-rule (not in the registry, not suppressible) is documented
+/// too — it shows up in reports, so `--explain suppression` must work.
+fn explain(name: &str) -> ExitCode {
+    if name == "suppression" {
+        println!("suppression");
+        println!("  malformed or unknown `ssdtrain-lint: allow(...)` directive\n");
+        println!("WHY");
+        println!(
+            "  An allow comment that names an unknown rule or omits its reason silences\n  \
+             nothing — pretending otherwise would hide real violations. Malformed allows\n  \
+             are therefore violations themselves, and they cannot be suppressed: nobody\n  \
+             can silence the silencer."
+        );
+        println!("\nSUPPRESSION");
+        println!("  Not suppressible. Fix the directive instead.");
+        return ExitCode::SUCCESS;
+    }
+    let registry = rules::registry();
+    let Some(rule) = registry.iter().find(|r| r.name() == name) else {
+        let names = rules::rule_names();
+        let hint = rules::did_you_mean(name, &names)
+            .map(|m| format!(" — did you mean `{m}`?"))
+            .unwrap_or_default();
+        eprintln!("ssdtrain-lint: unknown rule `{name}`{hint} (see --list-rules)");
+        return ExitCode::from(2);
+    };
+    println!("{}", rule.name());
+    println!("  {}\n", rule.description());
+    println!("WHY");
+    for line in wrap(rule.rationale(), 76) {
+        println!("  {line}");
+    }
+    println!("\nEXAMPLE");
+    for line in rule.example().lines() {
+        println!("  {}", line.trim_end());
+    }
+    println!("\nSUPPRESSION");
+    println!("  // ssdtrain-lint: allow({}): <reason>", rule.name());
+    println!(
+        "  Trailing form suppresses its own line; standalone form suppresses the next\n  \
+         code line. The reason is mandatory. For effect-driven findings, an allow at\n  \
+         the seed releases every transitive caller."
+    );
+    ExitCode::SUCCESS
+}
+
+/// Greedy word-wrap at `width` columns.
+fn wrap(text: &str, width: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut line = String::new();
+    for word in text.split_whitespace() {
+        if !line.is_empty() && line.len() + 1 + word.len() > width {
+            out.push(std::mem::take(&mut line));
+        }
+        if !line.is_empty() {
+            line.push(' ');
+        }
+        line.push_str(word);
+    }
+    if !line.is_empty() {
+        out.push(line);
+    }
+    out
+}
+
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
     let mut opts = Options {
         root: PathBuf::from("."),
         format: Format::Text,
         changed_only: false,
         list_rules: false,
+        explain: None,
     };
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
@@ -102,6 +175,9 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
             },
             "--changed-only" => opts.changed_only = true,
             "--list-rules" => opts.list_rules = true,
+            "--explain" => {
+                opts.explain = Some(args.next().ok_or("--explain needs a rule name")?);
+            }
             "-h" | "--help" => {
                 println!("{USAGE}");
                 std::process::exit(0);

@@ -30,6 +30,21 @@ impl Rule for DocCoverage {
         "every prelude re-export must have a doc comment"
     }
 
+    fn rationale(&self) -> &'static str {
+        "`use ssdtrain::prelude::*` is the first line of every example, so the preludes \
+         *are* the advertised API surface. An undocumented re-export is an advertised item \
+         that renders as a bare name in `cargo doc` — discoverable by grep only. Requiring \
+         a doc comment on the definition or on the `pub use` keeps the front door labelled."
+    }
+
+    fn example(&self) -> &'static str {
+        "    // crates/core/src/prelude.rs\n\
+             pub use crate::cache::{TensorCache, EvictionHint};  // <-- EvictionHint flagged\n\
+         \n\
+         Fix: document the definition (`/// Hint consumed by the eviction scan…`)\n\
+         or the `pub use` itself."
+    }
+
     fn check(&self, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
         // name -> is any top-level definition of it documented?
         let mut defs: HashMap<String, bool> = HashMap::new();
@@ -49,17 +64,17 @@ impl Rule for DocCoverage {
                     // A name we cannot resolve (external crate, inline
                     // module) is out of scope for this rule.
                     None => {}
-                    Some(false) => out.push(Diagnostic {
-                        rule: "doc-coverage",
-                        path: file.rel.clone(),
-                        line: leaf.line,
-                        col: leaf.col,
-                        message: format!(
+                    Some(false) => out.push(Diagnostic::new(
+                        "doc-coverage",
+                        file.rel.clone(),
+                        leaf.line,
+                        leaf.col,
+                        format!(
                             "prelude re-export `{}` has no doc comment on its definition \
                              or on the `pub use`; document the advertised API surface",
                             leaf.name
                         ),
-                    }),
+                    )),
                 }
             }
         }

@@ -14,9 +14,13 @@
 //!    in the same function. `std`'s mutex deadlocks, parking-lot-style
 //!    mutexes do too; either way the thread hangs.
 //! 3. **Held across a clock advance** — in hot-path modules, holding a
-//!    guard across `advance_to`/`advance_by`/`drain_stores`/`wait_io`
-//!    serialises the simulated I/O engine behind a lock that other
-//!    stages contend on.
+//!    guard across anything that advances the simulated clock
+//!    serialises the I/O engine behind a lock that other stages contend
+//!    on. A clock advance is either a *direct* call to one of
+//!    [`CLOCK_ADVANCING`], or a resolved call to any workspace function
+//!    whose inferred effects contain [`Effect::AdvancesClock`] — a
+//!    wrapper like `flush()` that ends in `advance_to` three calls down
+//!    is flagged with its full chain, not silently missed.
 //!
 //! A guard is considered held from its binding statement until an
 //! explicit `drop(guard)` or the end of its lexical scope, following
@@ -35,15 +39,13 @@
 use super::panic_free_hot_path::HOT_PATH;
 use super::Rule;
 use crate::diagnostics::Diagnostic;
+use crate::engine::callgraph::FnId;
+use crate::engine::effects::{Effect, CLOCK_ADVANCING};
 use crate::engine::facts::{self, Binding};
 use crate::engine::LintContext;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 const LOCK_METHODS: [&str; 3] = ["lock", "read", "write"];
-
-/// Calls that advance the simulated clock or drain queued I/O; holding
-/// a lock across one of these in a hot-path module is flagged.
-const CLOCK_ADVANCING: [&str; 4] = ["advance_to", "advance_by", "drain_stores", "wait_io"];
 
 /// One "acquired `to` while `from` was held" observation.
 struct Edge {
@@ -53,6 +55,15 @@ struct Edge {
     line: u32,
     col: u32,
     fn_name: String,
+}
+
+/// A call site inside a hot-path function that advances the clock.
+enum AdvanceSite<'a> {
+    /// A direct call to one of [`CLOCK_ADVANCING`], by name.
+    Direct(&'a str),
+    /// A resolved call to a workspace function whose effect set
+    /// contains `AdvancesClock`.
+    Via(FnId),
 }
 
 pub struct LockDiscipline;
@@ -66,14 +77,39 @@ impl Rule for LockDiscipline {
         "lock-order cycles, re-acquisition of held guards, guards held across clock advances"
     }
 
+    fn rationale(&self) -> &'static str {
+        "Deadlocks and lock-serialised I/O do not show up in unit tests — they need \
+         concurrency and contention. The order graph catches inversions across the whole \
+         workspace before they can interleave; the re-acquisition check catches guaranteed \
+         self-deadlocks; and the hold-across-advance check keeps the simulated I/O engine \
+         from running with a stage's lock held, which in the real system would stall every \
+         other stage for the duration of an SSD write. The advance check is effect-driven: \
+         calling a wrapper that transitively reaches `advance_to` is as bad as calling \
+         `advance_to` itself."
+    }
+
+    fn example(&self) -> &'static str {
+        "    impl Engine {\n\
+             fn run(&self) {\n\
+                 let g = self.q.lock();\n\
+                 self.flush();          // <-- flagged: run → flush → advance_to\n\
+                 drop(g);\n\
+             }\n\
+             fn flush(&self) { self.clock.advance_to(self.t); }\n\
+         }\n\
+         \n\
+         Fix: drop the guard before the advancing call, or restructure so the\n\
+         clock-advancing work happens outside the critical section."
+    }
+
     fn check(&self, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
         let mut edges: Vec<Edge> = Vec::new();
         let mut diags: Vec<Diagnostic> = Vec::new();
 
-        for fc in &ctx.files {
+        for (fi, fc) in ctx.files.iter().enumerate() {
             let toks = &fc.file.lexed.tokens;
             let hot = HOT_PATH.contains(&fc.file.rel.as_str());
-            for f in &fc.items.functions {
+            for (k, f) in fc.items.functions.iter().enumerate() {
                 if f.is_test {
                     continue;
                 }
@@ -92,15 +128,24 @@ impl Rule for LockDiscipline {
                 if lock_sites.is_empty() {
                     continue;
                 }
-                let advance_sites: HashMap<usize, &str> = if hot {
-                    calls
-                        .iter()
-                        .filter(|c| CLOCK_ADVANCING.contains(&c.name.as_str()))
-                        .map(|c| (c.name_tok, c.name.as_str()))
-                        .collect()
-                } else {
-                    HashMap::new()
-                };
+                let mut advance_sites: HashMap<usize, AdvanceSite> = HashMap::new();
+                if hot {
+                    // Effect-carrying resolved calls first; direct
+                    // clock-named calls override them (same token), so
+                    // the seed site keeps its precise message.
+                    for site in ctx.graph.calls_of((fi, k)) {
+                        if let Some(callee) = site.callee {
+                            if ctx.effects.has(callee, Effect::AdvancesClock) {
+                                advance_sites.insert(site.name_tok, AdvanceSite::Via(callee));
+                            }
+                        }
+                    }
+                    for c in &calls {
+                        if CLOCK_ADVANCING.contains(&c.name.as_str()) {
+                            advance_sites.insert(c.name_tok, AdvanceSite::Direct(c.name.as_str()));
+                        }
+                    }
+                }
                 let cfg = match fc.cfg_of(f) {
                     Some(c) => c,
                     None => continue,
@@ -144,18 +189,18 @@ impl Rule for LockDiscipline {
                         let at = &toks[t];
                         if let Some(tsym) = lock_sites.get(&t) {
                             if tsym == sym {
-                                diags.push(Diagnostic {
-                                    rule: "lock-discipline",
-                                    path: fc.file.rel.clone(),
-                                    line: at.line,
-                                    col: at.col,
-                                    message: format!(
+                                diags.push(Diagnostic::new(
+                                    "lock-discipline",
+                                    fc.file.rel.clone(),
+                                    at.line,
+                                    at.col,
+                                    format!(
                                         "`{}` re-acquired in `{}` while the guard from line {} \
                                          is still held; this self-deadlocks — drop the first \
                                          guard before relocking",
                                         sym, f.name, toks[c.name_tok].line
                                     ),
-                                });
+                                ));
                             } else {
                                 edges.push(Edge {
                                     from: sym.clone(),
@@ -166,19 +211,48 @@ impl Rule for LockDiscipline {
                                     fn_name: f.name.clone(),
                                 });
                             }
-                        } else if let Some(m) = advance_sites.get(&t) {
-                            diags.push(Diagnostic {
-                                rule: "lock-discipline",
-                                path: fc.file.rel.clone(),
-                                line: at.line,
-                                col: at.col,
-                                message: format!(
-                                    "guard of `{}` held across `.{}()` in `{}`; the call \
-                                     advances the simulated clock while the lock blocks other \
-                                     users — drop the guard first",
-                                    sym, m, f.name
-                                ),
-                            });
+                        } else {
+                            match advance_sites.get(&t) {
+                                Some(AdvanceSite::Direct(m)) => {
+                                    diags.push(Diagnostic::new(
+                                        "lock-discipline",
+                                        fc.file.rel.clone(),
+                                        at.line,
+                                        at.col,
+                                        format!(
+                                            "guard of `{}` held across `.{}()` in `{}`; the call \
+                                             advances the simulated clock while the lock blocks \
+                                             other users — drop the guard first",
+                                            sym, m, f.name
+                                        ),
+                                    ));
+                                }
+                                Some(AdvanceSite::Via(callee)) => {
+                                    let Some(chain) =
+                                        ctx.effect_chain(&f.name, *callee, Effect::AdvancesClock)
+                                    else {
+                                        continue;
+                                    };
+                                    let mut d = Diagnostic::new(
+                                        "lock-discipline",
+                                        fc.file.rel.clone(),
+                                        at.line,
+                                        at.col,
+                                        format!(
+                                            "guard of `{}` held across call to `{}` in `{}`; the \
+                                             callee advances the simulated clock (`{}`) while \
+                                             the lock blocks other users — drop the guard first",
+                                            sym,
+                                            ctx.fn_item(*callee).name,
+                                            f.name,
+                                            chain.path
+                                        ),
+                                    );
+                                    d.related = chain.related;
+                                    diags.push(d);
+                                }
+                                None => {}
+                            }
                         }
                     }
                 }
@@ -192,18 +266,18 @@ impl Rule for LockDiscipline {
         }
         for e in &edges {
             if graph_reaches(&adj, &e.to, &e.from) {
-                diags.push(Diagnostic {
-                    rule: "lock-discipline",
-                    path: e.path.clone(),
-                    line: e.line,
-                    col: e.col,
-                    message: format!(
+                diags.push(Diagnostic::new(
+                    "lock-discipline",
+                    e.path.clone(),
+                    e.line,
+                    e.col,
+                    format!(
                         "lock order inversion in `{}`: `{}` acquired while `{}` is held, but \
                          elsewhere in the workspace the opposite order occurs; pick one global \
                          acquisition order",
                         e.fn_name, e.to, e.from
                     ),
-                });
+                ));
             }
         }
 
@@ -310,6 +384,41 @@ mod tests {
         );
         assert_eq!(d.len(), 1, "{d:?}");
         assert!(d[0].message.contains("held across `.advance_to()`"));
+    }
+
+    #[test]
+    fn guard_held_across_a_transitive_advance_is_flagged_with_the_chain() {
+        let d = run_in(
+            "crates/core/src/io.rs",
+            "struct E { q: Mutex<u64> }\n\
+             impl E {\n\
+             fn run(&self) { let g = self.q.lock(); self.flush(); drop(g); }\n\
+             fn flush(&self) { self.clock.advance_to(self.t); }\n\
+             }",
+        );
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(
+            d[0].message
+                .contains("held across call to `flush` in `run`"),
+            "{d:?}"
+        );
+        assert!(d[0].message.contains("run → flush → advance_to"));
+        // Related locations: the seed inside `flush`.
+        assert_eq!(d[0].related.len(), 1, "{:?}", d[0].related);
+        assert_eq!(d[0].related[0].message, "effect seed: advance_to");
+    }
+
+    #[test]
+    fn transitive_advance_outside_hot_path_is_ignored() {
+        let d = run_in(
+            "crates/core/src/state.rs",
+            "struct E { q: Mutex<u64> }\n\
+             impl E {\n\
+             fn run(&self) { let g = self.q.lock(); self.flush(); drop(g); }\n\
+             fn flush(&self) { self.clock.advance_to(self.t); }\n\
+             }",
+        );
+        assert!(d.is_empty(), "{d:?}");
     }
 
     #[test]

@@ -3,14 +3,16 @@
 //! Each rule checks one project invariant the generic toolchain lints
 //! cannot express. Rules see the whole indexed workspace (a
 //! [`LintContext`]), so cross-file invariants (prelude doc coverage,
-//! the workspace-wide lock-order graph) are first-class, and the flow
-//! rules can query per-function CFGs.
+//! the workspace-wide lock-order graph) are first-class, the flow
+//! rules can query per-function CFGs, and the interprocedural rules
+//! can walk the call graph and the inferred effect labels.
 
 use crate::diagnostics::Diagnostic;
 use crate::engine::LintContext;
 
 mod doc_coverage;
 mod lock_discipline;
+mod no_alloc_hot_loop;
 mod no_deprecated_stage_api;
 mod no_deprecated_target_api;
 mod no_wall_clock;
@@ -27,6 +29,14 @@ pub trait Rule {
 
     /// One-line description for `--list-rules`.
     fn description(&self) -> &'static str;
+
+    /// Why the invariant matters for this codebase — the paragraph
+    /// `--explain <rule>` prints under WHY.
+    fn rationale(&self) -> &'static str;
+
+    /// A minimal violating snippet (and, where useful, the fix) for
+    /// `--explain <rule>`.
+    fn example(&self) -> &'static str;
 
     /// Appends this rule's violations over the workspace.
     fn check(&self, ctx: &LintContext, out: &mut Vec<Diagnostic>);
@@ -45,6 +55,7 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(lock_discipline::LockDiscipline),
         Box::new(reservation_pairing::ReservationPairing),
         Box::new(span_balance::SpanBalance),
+        Box::new(no_alloc_hot_loop::NoAllocHotLoop),
     ]
 }
 
@@ -61,12 +72,42 @@ pub(crate) fn in_dir(rel: &str, dir: &str) -> bool {
         .is_some_and(|rest| rest.starts_with('/'))
 }
 
+/// The closest candidate to `input` by edit distance, if it is close
+/// enough to be a plausible typo (distance ≤ 1/3 of the input length,
+/// minimum 2). Used by `--explain` and unknown-`allow` diagnostics.
+pub fn did_you_mean<'a>(input: &str, candidates: &[&'a str]) -> Option<&'a str> {
+    let budget = (input.len() / 3).max(2);
+    candidates
+        .iter()
+        .map(|c| (levenshtein(input, c), *c))
+        .filter(|&(d, _)| d <= budget)
+        .min() // ties break alphabetically — deterministic output
+        .map(|(_, c)| c)
+}
+
+/// Classic two-row Levenshtein distance.
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_the_ten_rules() {
+    fn registry_has_the_eleven_rules() {
         let names = rule_names();
         assert_eq!(
             names,
@@ -81,8 +122,17 @@ mod tests {
                 "lock-discipline",
                 "reservation-pairing",
                 "span-balance",
+                "no-alloc-hot-loop",
             ]
         );
+    }
+
+    #[test]
+    fn every_rule_has_explain_content() {
+        for rule in registry() {
+            assert!(!rule.rationale().is_empty(), "{}", rule.name());
+            assert!(!rule.example().is_empty(), "{}", rule.name());
+        }
     }
 
     #[test]
@@ -90,5 +140,26 @@ mod tests {
         assert!(in_dir("crates/core/src/cache.rs", "crates/core"));
         assert!(!in_dir("crates/core_extra/src/x.rs", "crates/core"));
         assert!(!in_dir("crates/core", "crates/core"));
+    }
+
+    #[test]
+    fn did_you_mean_suggests_close_names_only() {
+        let names = rule_names();
+        assert_eq!(
+            did_you_mean("panic-free-hotpath", &names),
+            Some("panic-free-hot-path")
+        );
+        assert_eq!(
+            did_you_mean("lockdiscipline", &names),
+            Some("lock-discipline")
+        );
+        assert_eq!(did_you_mean("totally-made-up", &names), None);
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
     }
 }

@@ -1,0 +1,341 @@
+//! `no-alloc-hot-loop`: the per-step loops must not allocate.
+//!
+//! The cache eviction scan, the I/O submission/drain loops, the tier
+//! walk and the overlapped optimizer sweep run once per training step,
+//! over every block. An allocation inside those loops turns into
+//! thousands of allocator round-trips per step and — worse — into
+//! allocator lock contention against the I/O threads. The fix is
+//! almost always mechanical: hoist the container out of the loop and
+//! `clear()` it, or take a scratch buffer.
+//!
+//! The rule is effect-driven. A *loop range* is the body of a `for`
+//! (its header runs once) or the header-plus-body of a `while`/`loop`
+//! (the condition re-runs every iteration) inside a non-test function
+//! of a hot-loop file. Inside a loop range it flags:
+//!
+//! - **direct allocation seeds** — `Vec::new`-family constructors,
+//!   `with_capacity`, `.collect()`/`.to_vec()`, `vec!`/`format!`;
+//! - **resolved calls whose inferred effects contain
+//!   [`Effect::Allocates`]** — a helper that builds a `Vec` three calls
+//!   down allocates per iteration just the same, and the diagnostic
+//!   carries the full chain.
+//!
+//! Silence a justified site with
+//! `// ssdtrain-lint: allow(no-alloc-hot-loop): <why>`; an allow at a
+//! seed also releases every transitive caller.
+
+use super::Rule;
+use crate::diagnostics::Diagnostic;
+use crate::engine::effects::Effect;
+use crate::engine::items::FileItems;
+use crate::engine::LintContext;
+use crate::lexer::Token;
+use std::collections::HashSet;
+use std::ops::Range;
+
+/// The per-step loop modules: cache maintenance, the I/O engine, the
+/// tier stack, and the overlapped optimizer engine.
+const HOT_LOOP_FILES: [&str; 4] = [
+    "crates/core/src/cache.rs",
+    "crates/core/src/io.rs",
+    "crates/core/src/tier.rs",
+    "crates/train/src/opt_engine.rs",
+];
+
+pub struct NoAllocHotLoop;
+
+impl Rule for NoAllocHotLoop {
+    fn name(&self) -> &'static str {
+        "no-alloc-hot-loop"
+    }
+
+    fn description(&self) -> &'static str {
+        "allocation (direct or through calls) inside per-step loops of cache/io/tier/opt_engine"
+    }
+
+    fn rationale(&self) -> &'static str {
+        "The eviction scan, I/O submission loop, tier walk and optimizer sweep run per step \
+         over every block; an allocation inside them multiplies into thousands of allocator \
+         round-trips per step and contends on the allocator lock against the I/O threads. \
+         The effect analysis also catches the hidden case: a tidy-looking helper call that \
+         builds a `Vec` internally allocates per iteration exactly like an inline \
+         `Vec::new()` would."
+    }
+
+    fn example(&self) -> &'static str {
+        "    // crates/core/src/io.rs (hot-loop file)\n\
+             for req in &self.queue {\n\
+                 let staged: Vec<u8> = req.bytes.to_vec();   // <-- flagged: allocates per request\n\
+                 self.submit(&staged);\n\
+             }\n\
+         \n\
+         Fix: hoist the buffer out of the loop and `clear()` it per iteration,\n\
+         or pass a scratch buffer owned by the engine. A justified site takes\n\
+         `// ssdtrain-lint: allow(no-alloc-hot-loop): <why>` (at a seed, this also\n\
+         releases every caller)."
+    }
+
+    fn check(&self, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
+        for (fi, fc) in ctx.files.iter().enumerate() {
+            if !HOT_LOOP_FILES.contains(&fc.file.rel.as_str()) {
+                continue;
+            }
+            let toks = &fc.file.lexed.tokens;
+            for (k, f) in fc.items.functions.iter().enumerate() {
+                if f.is_test {
+                    continue;
+                }
+                let Some(body) = f.body.clone() else { continue };
+                let loops = loop_ranges(toks, &fc.items, &body);
+                if loops.is_empty() {
+                    continue;
+                }
+                let in_loop = |tok: usize| loops.iter().any(|r| r.contains(&tok));
+                let mut direct_toks: HashSet<usize> = HashSet::new();
+                for seed in ctx.effects.direct_seeds((fi, k)) {
+                    if !seed.feeds(Effect::Allocates) || !in_loop(seed.tok) {
+                        continue;
+                    }
+                    direct_toks.insert(seed.tok);
+                    out.push(Diagnostic::new(
+                        "no-alloc-hot-loop",
+                        fc.file.rel.clone(),
+                        seed.line,
+                        seed.col,
+                        format!(
+                            "`{}` allocates inside a hot loop (in `{}`); hoist the \
+                             allocation out of the loop or reuse a scratch buffer",
+                            seed.what, f.name
+                        ),
+                    ));
+                }
+                for site in ctx.graph.calls_of((fi, k)) {
+                    if !in_loop(site.name_tok) || direct_toks.contains(&site.name_tok) {
+                        continue;
+                    }
+                    let Some(callee) = site.callee else { continue };
+                    if !ctx.effects.has(callee, Effect::Allocates) {
+                        continue;
+                    }
+                    let Some(chain) = ctx.effect_chain(&f.name, callee, Effect::Allocates) else {
+                        continue;
+                    };
+                    let mut d = Diagnostic::new(
+                        "no-alloc-hot-loop",
+                        fc.file.rel.clone(),
+                        site.line,
+                        site.col,
+                        format!(
+                            "call to `{}` allocates (`{}`, seed at {}:{}) inside a hot loop \
+                             (in `{}`); hoist it out of the loop or pass a scratch buffer",
+                            ctx.fn_item(callee).name,
+                            chain.path,
+                            chain.seed_path,
+                            chain.seed_line,
+                            f.name,
+                        ),
+                    );
+                    d.related = chain.related;
+                    out.push(d);
+                }
+            }
+        }
+    }
+}
+
+/// Token ranges that re-run per iteration inside `body`: the brace body
+/// of each `for` (its header runs once per loop entry), and the
+/// header-plus-body of each `while`/`loop` (the condition re-evaluates
+/// every iteration). Nested loops contribute their own ranges.
+fn loop_ranges(toks: &[Token], items: &FileItems, body: &Range<usize>) -> Vec<Range<usize>> {
+    let mut out = Vec::new();
+    for i in body.clone() {
+        let t = &toks[i];
+        let is_for = t.is_ident("for");
+        let is_head = t.is_ident("while") || t.is_ident("loop");
+        if !is_for && !is_head {
+            continue;
+        }
+        // `impl Trait for Type` — not a loop.
+        if is_for && i > 0 && toks[i - 1].kind == crate::lexer::TokKind::Ident {
+            continue;
+        }
+        // The loop body is the first `{` at bracket depth 0 after the
+        // keyword (struct literals are illegal in loop headers, so it
+        // cannot be anything else).
+        let mut j = i + 1;
+        let mut depth = 0i32;
+        let mut open = None;
+        while j < body.end {
+            let t = &toks[j];
+            if t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct("{") {
+                open = Some(j);
+                break;
+            } else if depth == 0 && t.is_punct(";") {
+                break;
+            }
+            j += 1;
+        }
+        let Some(open) = open else { continue };
+        let Some(&close) = items.close_of.get(&open) else {
+            continue;
+        };
+        if is_for {
+            out.push(open + 1..close);
+        } else {
+            out.push(i + 1..close);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::workspace::{SourceFile, Workspace};
+
+    fn ws_of(files: &[(&str, &str)]) -> Workspace {
+        Workspace {
+            root: std::path::PathBuf::from("."),
+            files: files
+                .iter()
+                .map(|(rel, src)| SourceFile {
+                    rel: (*rel).to_owned(),
+                    lines: src.lines().map(str::to_owned).collect(),
+                    lexed: lex(src),
+                })
+                .collect(),
+        }
+    }
+
+    fn run(ws: &Workspace) -> Vec<Diagnostic> {
+        let ctx = LintContext::new(ws);
+        let mut out = Vec::new();
+        NoAllocHotLoop.check(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn direct_allocation_in_a_for_body_is_flagged() {
+        let ws = ws_of(&[(
+            "crates/core/src/io.rs",
+            "fn drain(reqs: &[R]) {\n\
+                 for r in reqs {\n\
+                     let staged = r.bytes.to_vec();\n\
+                 }\n\
+             }\n",
+        )]);
+        let d = run(&ws);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0]
+            .message
+            .contains("`.to_vec()` allocates inside a hot loop (in `drain`)"));
+    }
+
+    #[test]
+    fn allocation_in_a_for_header_runs_once_and_is_clean() {
+        let ws = ws_of(&[(
+            "crates/core/src/io.rs",
+            "fn drain(reqs: &[R]) {\n\
+                 for r in reqs.to_vec() {\n\
+                     submit(r);\n\
+                 }\n\
+             }\n\
+             fn submit(r: R) {}\n",
+        )]);
+        assert!(run(&ws).is_empty());
+    }
+
+    #[test]
+    fn while_headers_rerun_per_iteration_and_are_flagged() {
+        let ws = ws_of(&[(
+            "crates/core/src/cache.rs",
+            "fn spin(q: &Q) {\n\
+                 while q.snapshot().to_vec().is_empty() {\n\
+                     step();\n\
+                 }\n\
+             }\n\
+             fn step() {}\n",
+        )]);
+        let d = run(&ws);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains(".to_vec()"));
+    }
+
+    #[test]
+    fn transitive_allocation_through_a_helper_is_flagged_with_the_chain() {
+        let ws = ws_of(&[
+            (
+                "crates/core/src/tier.rs",
+                "fn sweep(keys: &[u64]) {\n\
+                     for k in keys {\n\
+                         stage(*k);\n\
+                     }\n\
+                 }\n",
+            ),
+            (
+                "crates/util/src/stage.rs",
+                "pub fn stage(k: u64) -> Vec<u8> { Vec::new() }\n",
+            ),
+        ]);
+        let d = run(&ws);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert!(d[0].message.contains("sweep → stage → Vec::new"), "{d:?}");
+        assert_eq!(d[0].related.len(), 1);
+        assert_eq!(d[0].related[0].message, "effect seed: Vec::new");
+    }
+
+    #[test]
+    fn allocation_outside_any_loop_is_clean() {
+        let ws = ws_of(&[(
+            "crates/core/src/cache.rs",
+            "fn rebuild(&mut self) {\n\
+                 let mut staged = Vec::new();\n\
+                 for k in &self.keys {\n\
+                     staged.push(*k);\n\
+                 }\n\
+             }\n",
+        )]);
+        assert!(run(&ws).is_empty());
+    }
+
+    #[test]
+    fn non_hot_files_are_out_of_scope() {
+        let ws = ws_of(&[(
+            "crates/core/src/placement.rs",
+            "fn plan(xs: &[u8]) {\n\
+                 for x in xs {\n\
+                     let v = vec![*x];\n\
+                 }\n\
+             }\n",
+        )]);
+        assert!(run(&ws).is_empty());
+    }
+
+    #[test]
+    fn allow_at_the_seed_releases_transitive_callers() {
+        let ws = ws_of(&[
+            (
+                "crates/core/src/tier.rs",
+                "fn sweep(keys: &[u64]) {\n\
+                     for k in keys {\n\
+                         stage(*k);\n\
+                     }\n\
+                 }\n",
+            ),
+            (
+                "crates/util/src/stage.rs",
+                "pub fn stage(k: u64) -> Vec<u8> {\n\
+                 // ssdtrain-lint: allow(no-alloc-hot-loop): amortised, grows once then reused\n\
+                 Vec::new()\n\
+                 }\n",
+            ),
+        ]);
+        assert!(run(&ws).is_empty());
+    }
+}

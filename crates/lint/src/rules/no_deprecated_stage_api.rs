@@ -30,6 +30,21 @@ impl Rule for NoDeprecatedStageApi {
         "callers must use the RAII StageScope, not set_stage/set_next_stage/stage_done"
     }
 
+    fn rationale(&self) -> &'static str {
+        "Forgetting the `stage_done` that pairs a manual `set_stage` silently corrupted the \
+         double-buffer eviction hints — blocks got evicted against the wrong stage's access \
+         pattern. The RAII `StageScope` closes the stage in `Drop`, so the bug class is \
+         unrepresentable; this rule keeps the removed manual shims from creeping back in."
+    }
+
+    fn example(&self) -> &'static str {
+        "    cache.set_stage(Stage::Backward);   // <-- flagged\n\
+             …\n\
+             cache.stage_done();                 // <-- flagged (and forgettable)\n\
+         \n\
+         Fix: let _scope = cache.stage_scope(Stage::Backward);"
+    }
+
     fn check(&self, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
         for file in &ctx.ws.files {
             if file.rel == DEFINING_FILE {
@@ -44,17 +59,17 @@ impl Rule for NoDeprecatedStageApi {
                 let qualified = i > 0 && (toks[i - 1].is_punct(".") || toks[i - 1].is_punct("::"));
                 let called = toks.get(i + 1).is_some_and(|n| n.is_punct("("));
                 if qualified && called {
-                    out.push(Diagnostic {
-                        rule: "no-deprecated-stage-api",
-                        path: file.rel.clone(),
-                        line: t.line,
-                        col: t.col,
-                        message: format!(
+                    out.push(Diagnostic::new(
+                        "no-deprecated-stage-api",
+                        file.rel.clone(),
+                        t.line,
+                        t.col,
+                        format!(
                             "deprecated `{}()` call; use `stage_scope()`/`announce_next()` \
                              so the stage is closed by RAII",
                             t.text
                         ),
-                    });
+                    ));
                 }
             }
         }

@@ -28,20 +28,33 @@ impl Rule for NoDeprecatedTargetApi {
         "the removed TargetKind enum must not come back; use OffloadBackend"
     }
 
+    fn rationale(&self) -> &'static str {
+        "The removed two-variant enum predated the placement/tier/device stack and could \
+         not express tiered backends, so code written against it silently lost the \
+         DRAM+SSD option. Any reappearance — even in a type alias or doc test — invites \
+         new callers onto the dead API."
+    }
+
+    fn example(&self) -> &'static str {
+        "    pub enum TargetKind { Cpu, Ssd }      // <-- flagged (any identifier use)\n\
+         \n\
+         Fix: builder.backend(OffloadBackend::DramSsd { .. })"
+    }
+
     fn check(&self, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
         for file in &ctx.ws.files {
             for t in &file.lexed.tokens {
                 if t.is_ident(REMOVED_TYPE) {
-                    out.push(Diagnostic {
-                        rule: "no-deprecated-target-api",
-                        path: file.rel.clone(),
-                        line: t.line,
-                        col: t.col,
-                        message: format!(
+                    out.push(Diagnostic::new(
+                        "no-deprecated-target-api",
+                        file.rel.clone(),
+                        t.line,
+                        t.col,
+                        format!(
                             "`{REMOVED_TYPE}` was removed; select backends with \
                              `SessionBuilder::backend(OffloadBackend)`"
                         ),
-                    });
+                    ));
                 }
             }
         }

@@ -34,6 +34,20 @@ impl Rule for NoWallClock {
         "std::time::{Instant,SystemTime} banned in simhw/core/trace; use the simulated clock"
     }
 
+    fn rationale(&self) -> &'static str {
+        "Every latency, bandwidth and step-time figure in the reproduction is a pure \
+         function of the configuration because all timing flows through `SimClock`. One \
+         wall-clock read makes step times machine-dependent, breaks golden traces, and \
+         silently invalidates any A/B comparison between placement policies."
+    }
+
+    fn example(&self) -> &'static str {
+        "    use std::time::Instant;          // <-- flagged\n\
+             let t0 = Instant::now();          // <-- flagged\n\
+         \n\
+         Fix: take a `&SimClock` (or a timestamp argument) and read `clock.now()`."
+    }
+
     fn check(&self, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
         for file in &ctx.ws.files {
             if !SCOPED_DIRS.iter().any(|d| in_dir(&file.rel, d)) {
@@ -81,14 +95,14 @@ fn punct_at(toks: &[Token], i: usize, p: &str) -> bool {
 }
 
 fn push(out: &mut Vec<Diagnostic>, rel: &str, at: &Token, what: &str) {
-    out.push(Diagnostic {
-        rule: "no-wall-clock",
-        path: rel.to_owned(),
-        line: at.line,
-        col: at.col,
-        message: format!(
+    out.push(Diagnostic::new(
+        "no-wall-clock",
+        rel.to_owned(),
+        at.line,
+        at.col,
+        format!(
             "wall-clock `std::time::{what}` in a simulated-time crate; timing must come \
              from `SimClock` so runs stay deterministic"
         ),
-    });
+    ));
 }

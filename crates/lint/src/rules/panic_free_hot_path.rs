@@ -8,9 +8,26 @@
 //! file: `#[test]` functions and `#[cfg(test)]` modules inside hot-path
 //! files probe failure edges on purpose and are exempt, while every
 //! non-test function is named in its diagnostic.
+//!
+//! Two layers:
+//!
+//! 1. **Direct scan** — every `unwrap`/`expect`/`panic!`/`todo!`/
+//!    `unreachable!` token inside a hot-path file, exactly as before the
+//!    interprocedural engine existed (no lost coverage).
+//! 2. **Transitive reachability** — a resolved call from a hot-path
+//!    function into a function *outside* the hot set whose inferred
+//!    effects contain [`Effect::MayPanicStrict`] is a hidden panic: the
+//!    direct scan cannot see it, so the call site is flagged with the
+//!    full `entry → helper → seed` chain and SARIF `relatedLocations`.
+//!    Indexing seeds are excluded (the strict channel) — they are
+//!    ubiquitous in the tensor kernels and carry their own bounds
+//!    reasoning. A seed silenced by `allow(panic-free-hot-path)` stops
+//!    the whole transitive tree, so one reasoned allow at the seed is
+//!    enough.
 
 use super::Rule;
 use crate::diagnostics::Diagnostic;
+use crate::engine::effects::Effect;
 use crate::engine::LintContext;
 
 /// The offload hot path: cache pack/unpack and recovery, the placement
@@ -41,11 +58,34 @@ impl Rule for PanicFreeHotPath {
     }
 
     fn description(&self) -> &'static str {
-        "unwrap/expect/panic!/todo!/unreachable! banned in non-test offload hot-path functions"
+        "unwrap/expect/panic!/todo!/unreachable! banned in non-test offload hot-path functions, \
+         directly or through calls"
+    }
+
+    fn rationale(&self) -> &'static str {
+        "The recovery policy guarantees that a failed store or load degrades the step \
+         (recompute, skip offload) instead of killing training. One panic anywhere on the \
+         store/load path voids that guarantee. The direct scan catches panics written in the \
+         hot files themselves; the interprocedural layer catches panics *reached* from the \
+         hot path through helper calls — a `pack_into` that ends in `.expect()` three crates \
+         away crashes the step just as surely as a local `unwrap()`."
+    }
+
+    fn example(&self) -> &'static str {
+        "    // crates/core/src/cache.rs (hot path)\n\
+             fn flush_all(&mut self) {\n\
+                 let block = fetch(self.key);   // <-- flagged: flush_all → fetch → .unwrap()\n\
+             }\n\
+             // crates/util/src/fetch.rs (not hot, but reached from it)\n\
+             fn fetch(key: u64) -> Block { TABLE.get(&key).unwrap().clone() }\n\
+         \n\
+         Fix: return `Result<_, OffloadError>` from the helper and propagate with `?`,\n\
+         or silence at the seed with a reasoned\n\
+         `// ssdtrain-lint: allow(panic-free-hot-path): <why this cannot fail>`."
     }
 
     fn check(&self, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
-        for fc in &ctx.files {
+        for (fi, fc) in ctx.files.iter().enumerate() {
             if !HOT_PATH.contains(&fc.file.rel.as_str()) {
                 continue;
             }
@@ -63,34 +103,173 @@ impl Rule for PanicFreeHotPath {
                 let next_paren = toks.get(i + 1).is_some_and(|n| n.is_punct("("));
                 let next_bang = toks.get(i + 1).is_some_and(|n| n.is_punct("!"));
                 if prev_dot && next_paren && BANNED_METHODS.iter().any(|m| t.is_ident(m)) {
-                    out.push(Diagnostic {
-                        rule: "panic-free-hot-path",
-                        path: fc.file.rel.clone(),
-                        line: t.line,
-                        col: t.col,
-                        message: format!(
+                    out.push(Diagnostic::new(
+                        "panic-free-hot-path",
+                        fc.file.rel.clone(),
+                        t.line,
+                        t.col,
+                        format!(
                             "`.{}()` in the offload hot path{}; propagate a typed \
                              `OffloadError`/`StepError` instead of panicking",
                             t.text,
                             in_fn()
                         ),
-                    });
+                    ));
                 }
                 if next_bang && BANNED_MACROS.iter().any(|m| t.is_ident(m)) {
-                    out.push(Diagnostic {
-                        rule: "panic-free-hot-path",
-                        path: fc.file.rel.clone(),
-                        line: t.line,
-                        col: t.col,
-                        message: format!(
+                    out.push(Diagnostic::new(
+                        "panic-free-hot-path",
+                        fc.file.rel.clone(),
+                        t.line,
+                        t.col,
+                        format!(
                             "`{}!` in the offload hot path{}; recovery must absorb or \
                              surface failures as typed errors",
                             t.text,
                             in_fn()
                         ),
-                    });
+                    ));
+                }
+            }
+
+            // Transitive layer: resolved calls out of the hot set into
+            // functions that (transitively) reach an explicit panic.
+            // Callees inside the hot set are already covered by the
+            // direct scan at their seed, so only escapes are new.
+            for (k, f) in fc.items.functions.iter().enumerate() {
+                if f.is_test {
+                    continue;
+                }
+                for site in ctx.graph.calls_of((fi, k)) {
+                    let Some(callee) = site.callee else { continue };
+                    if HOT_PATH.contains(&ctx.files[callee.0].file.rel.as_str()) {
+                        continue;
+                    }
+                    if !ctx.effects.has(callee, Effect::MayPanicStrict) {
+                        continue;
+                    }
+                    let Some(chain) = ctx.effect_chain(&f.name, callee, Effect::MayPanicStrict)
+                    else {
+                        continue;
+                    };
+                    let mut d = Diagnostic::new(
+                        "panic-free-hot-path",
+                        fc.file.rel.clone(),
+                        site.line,
+                        site.col,
+                        format!(
+                            "call to `{}` can panic (`{}`, seed at {}:{}); the offload hot \
+                             path must propagate typed errors, not abort",
+                            ctx.fn_item(callee).name,
+                            chain.path,
+                            chain.seed_path,
+                            chain.seed_line,
+                        ),
+                    );
+                    d.related = chain.related;
+                    out.push(d);
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::workspace::{SourceFile, Workspace};
+
+    fn ws_of(files: &[(&str, &str)]) -> Workspace {
+        Workspace {
+            root: std::path::PathBuf::from("."),
+            files: files
+                .iter()
+                .map(|(rel, src)| SourceFile {
+                    rel: (*rel).to_owned(),
+                    lines: src.lines().map(str::to_owned).collect(),
+                    lexed: lex(src),
+                })
+                .collect(),
+        }
+    }
+
+    fn run(ws: &Workspace) -> Vec<Diagnostic> {
+        let ctx = LintContext::new(ws);
+        let mut out = Vec::new();
+        PanicFreeHotPath.check(&ctx, &mut out);
+        out
+    }
+
+    #[test]
+    fn transitive_panic_across_files_is_flagged_with_the_chain() {
+        let ws = ws_of(&[
+            (
+                "crates/core/src/cache.rs",
+                "fn flush_all(k: u64) -> u8 { fetch(k) }\n",
+            ),
+            (
+                "crates/util/src/fetch.rs",
+                "pub fn fetch(k: u64) -> u8 { lookup(k).unwrap() }\n\
+                 fn lookup(k: u64) -> Option<u8> { None }\n",
+            ),
+        ]);
+        let out = run(&ws);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("flush_all → fetch → .unwrap()"));
+        assert!(out[0]
+            .message
+            .contains("seed at crates/util/src/fetch.rs:1"));
+        assert_eq!(out[0].path, "crates/core/src/cache.rs");
+        // Related locations: no intermediate hops, just the seed.
+        assert_eq!(out[0].related.len(), 1);
+        assert_eq!(out[0].related[0].message, "effect seed: .unwrap()");
+    }
+
+    #[test]
+    fn callees_inside_the_hot_set_report_at_the_seed_only() {
+        let ws = ws_of(&[(
+            "crates/core/src/io.rs",
+            "fn outer() { inner(); }\n\
+             fn inner() { panic!(\"boom\"); }\n",
+        )]);
+        let out = run(&ws);
+        // Only the direct macro finding — no duplicate at the call.
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("`panic!`"));
+    }
+
+    #[test]
+    fn indexing_reached_through_a_call_is_not_strict() {
+        let ws = ws_of(&[
+            (
+                "crates/core/src/tier.rs",
+                "fn pick_tier(v: &[u8]) -> u8 { head(v) }\n",
+            ),
+            (
+                "crates/util/src/sl.rs",
+                "pub fn head(v: &[u8]) -> u8 { v[0] }\n",
+            ),
+        ]);
+        assert!(run(&ws).is_empty());
+    }
+
+    #[test]
+    fn allow_at_the_seed_silences_the_whole_chain() {
+        let ws = ws_of(&[
+            (
+                "crates/core/src/cache.rs",
+                "fn flush_all(k: u64) -> u8 { fetch(k) }\n",
+            ),
+            (
+                "crates/util/src/fetch.rs",
+                "pub fn fetch(k: u64) -> u8 {\n\
+                 // ssdtrain-lint: allow(panic-free-hot-path): key proven present by caller\n\
+                 lookup(k).unwrap()\n\
+                 }\n\
+                 fn lookup(k: u64) -> Option<u8> { Some(1) }\n",
+            ),
+        ]);
+        assert!(run(&ws).is_empty());
     }
 }

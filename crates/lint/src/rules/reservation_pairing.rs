@@ -39,6 +39,26 @@ impl Rule for ReservationPairing {
         "every tier reserve must reach a commit/release (or escape) on all CFG paths"
     }
 
+    fn rationale(&self) -> &'static str {
+        "`reserve` debits the tier's capacity counter immediately; the bytes only come \
+         back at `write` (commit) or `release`. A placement dropped on an early `?` leaks \
+         capacity forever and slowly starves the tier — and the capacity tests only catch \
+         it when the leak sits on the tested path. The CFG walk demands settlement on \
+         *every* reachable exit, untested error paths included."
+    }
+
+    fn example(&self) -> &'static str {
+        "    fn store(&mut self, b: Block) -> Result<(), OffloadError> {\n\
+                 let p = self.tiers.reserve(b.bytes)?;\n\
+                 self.encode(&b)?;              // <-- early exit leaks `p`\n\
+                 self.tiers.write(p, &b);\n\
+                 Ok(())\n\
+             }\n\
+         \n\
+         Fix: release on the error path (match the encode result, `release(p)` before `?`),\n\
+         or reserve after the fallible work."
+    }
+
     fn check(&self, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
         for fc in &ctx.files {
             if !SCOPED_FILES.contains(&fc.file.rel.as_str()) {
@@ -70,17 +90,17 @@ impl Rule for ReservationPairing {
                     match facts::classify_binding(toks, &fc.items, &call, &body) {
                         // Returned / passed on: the caller owns it now.
                         Binding::Escapes => {}
-                        Binding::Discarded => out.push(Diagnostic {
-                            rule: "reservation-pairing",
-                            path: fc.file.rel.clone(),
-                            line: at.line,
-                            col: at.col,
-                            message: format!(
+                        Binding::Discarded => out.push(Diagnostic::new(
+                            "reservation-pairing",
+                            fc.file.rel.clone(),
+                            at.line,
+                            at.col,
+                            format!(
                                 "result of `.{}()` is discarded in `{}`; bind the placement \
                                  and commit it (`write`) or `release` it",
                                 call.name, f.name
                             ),
-                        }),
+                        )),
                         Binding::Bound {
                             names,
                             acq,
@@ -96,18 +116,18 @@ impl Rule for ReservationPairing {
                                 cfg.exit_reachable(acq, false, &settles)
                             };
                             if leak {
-                                out.push(Diagnostic {
-                                    rule: "reservation-pairing",
-                                    path: fc.file.rel.clone(),
-                                    line: at.line,
-                                    col: at.col,
-                                    message: format!(
+                                out.push(Diagnostic::new(
+                                    "reservation-pairing",
+                                    fc.file.rel.clone(),
+                                    at.line,
+                                    at.col,
+                                    format!(
                                         "reservation from `.{}()` in `{}` can reach a function \
                                          exit without being settled; commit or `release` it on \
                                          every path (early `?`/`return` paths included)",
                                         call.name, f.name
                                     ),
-                                });
+                                ));
                             }
                         }
                     }

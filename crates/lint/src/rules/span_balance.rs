@@ -27,6 +27,22 @@ impl Rule for SpanBalance {
         "every begin_span must reach end/cancel (or escape) on all CFG paths"
     }
 
+    fn rationale(&self) -> &'static str {
+        "A span's end timestamp comes from the simulated clock, which a `Drop` impl cannot \
+         read, so closing spans is a manual obligation. A span leaked on an early return \
+         leaves a `<name>.open` marker in the Chrome trace where a duration should be, and \
+         every profile built on that trace silently loses the step it cared about."
+    }
+
+    fn example(&self) -> &'static str {
+        "    let span = self.trace.begin_span(Cat::Step, \"fwd\", t0);\n\
+             self.run()?;                    // <-- early exit leaks the span\n\
+             span.end(self.clock.now());\n\
+         \n\
+         Fix: close on the error path too (match the result, `span.cancel()` before\n\
+         propagating), or pass the span to the helper so it escapes."
+    }
+
     fn check(&self, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
         for fc in &ctx.files {
             let toks = &fc.file.lexed.tokens;
@@ -52,17 +68,17 @@ impl Rule for SpanBalance {
                     let at = &toks[call.name_tok];
                     match facts::classify_binding(toks, &fc.items, &call, &body) {
                         Binding::Escapes => {}
-                        Binding::Discarded => out.push(Diagnostic {
-                            rule: "span-balance",
-                            path: fc.file.rel.clone(),
-                            line: at.line,
-                            col: at.col,
-                            message: format!(
+                        Binding::Discarded => out.push(Diagnostic::new(
+                            "span-balance",
+                            fc.file.rel.clone(),
+                            at.line,
+                            at.col,
+                            format!(
                                 "open span from `begin_span` is dropped immediately in `{}`; \
                                  bind it and call `.end(ts)` (or `.cancel()`)",
                                 f.name
                             ),
-                        }),
+                        )),
                         Binding::Bound {
                             names,
                             acq,
@@ -78,18 +94,18 @@ impl Rule for SpanBalance {
                                 cfg.exit_reachable(acq, false, &closes)
                             };
                             if leak {
-                                out.push(Diagnostic {
-                                    rule: "span-balance",
-                                    path: fc.file.rel.clone(),
-                                    line: at.line,
-                                    col: at.col,
-                                    message: format!(
+                                out.push(Diagnostic::new(
+                                    "span-balance",
+                                    fc.file.rel.clone(),
+                                    at.line,
+                                    at.col,
+                                    format!(
                                         "span opened by `begin_span` in `{}` can reach a \
                                          function exit without `.end`/`.cancel`; close it on \
                                          every path (early `?`/`return` paths included)",
                                         f.name
                                     ),
-                                });
+                                ));
                             }
                         }
                     }

@@ -30,6 +30,26 @@ impl Rule for TraceEmitCoverage {
         "every OffloadStats/ClassCounters field must be exported by export_to"
     }
 
+    fn rationale(&self) -> &'static str {
+        "`OffloadStats` is the ground truth the observability layer exports. A counter \
+         field added without touching `export_to` compiles, accumulates, and then silently \
+         never reaches a dashboard or golden metrics file — the signal exists but nobody \
+         can see it. Cross-checking fields against the export body makes the omission a \
+         lint failure instead of a missing graph."
+    }
+
+    fn example(&self) -> &'static str {
+        "    pub struct OffloadStats {\n\
+                 pub hits: u64,\n\
+                 pub spills: u64,        // <-- flagged: never mentioned in export_to\n\
+             }\n\
+             impl OffloadStats {\n\
+                 pub fn export_to(&self, reg: &mut Registry) { reg.gauge(\"hits\", self.hits); }\n\
+             }\n\
+         \n\
+         Fix: export the new field in `export_to` alongside the others."
+    }
+
     fn check(&self, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
         for file in &ctx.ws.files {
             for struct_name in STRUCTS {
@@ -40,32 +60,32 @@ impl Rule for TraceEmitCoverage {
                     // The struct exists but nothing exports it at all.
                     if let Some(at) = find_struct(&file.lexed.tokens, struct_name) {
                         let t = &file.lexed.tokens[at];
-                        out.push(Diagnostic {
-                            rule: "trace-emit-coverage",
-                            path: file.rel.clone(),
-                            line: t.line,
-                            col: t.col,
-                            message: format!(
+                        out.push(Diagnostic::new(
+                            "trace-emit-coverage",
+                            file.rel.clone(),
+                            t.line,
+                            t.col,
+                            format!(
                                 "`{struct_name}` has no `{EXPORT_FN}` in this file; counters \
                                  are never exported to the metrics registry"
                             ),
-                        });
+                        ));
                     }
                     continue;
                 };
                 for f in fields {
                     if !exported.contains(&f.text) {
-                        out.push(Diagnostic {
-                            rule: "trace-emit-coverage",
-                            path: file.rel.clone(),
-                            line: f.line,
-                            col: f.col,
-                            message: format!(
+                        out.push(Diagnostic::new(
+                            "trace-emit-coverage",
+                            file.rel.clone(),
+                            f.line,
+                            f.col,
+                            format!(
                                 "`{struct_name}.{}` is never mentioned in `{EXPORT_FN}`; \
                                  the counter will not reach the metrics registry",
                                 f.text
                             ),
-                        });
+                        ));
                     }
                 }
             }

@@ -21,6 +21,21 @@ impl Rule for TypedErrors {
         "no Box<dyn Error> or Result<_, String> in pub fn signatures"
     }
 
+    fn rationale(&self) -> &'static str {
+        "The recovery policy needs to *match* on failures — was this a target fault to \
+         retry, a capacity miss to spill, or a config error to abort? `Box<dyn Error>` \
+         erases the type and `Result<_, String>` erases everything, so the caller's \
+         recovery decision becomes string-parsing. Concrete error enums keep failures \
+         machine-matchable."
+    }
+
+    fn example(&self) -> &'static str {
+        "    pub fn store(&mut self, b: Block) -> Result<(), String> { … }     // <-- flagged\n\
+             pub fn load(&mut self, k: Key) -> Result<Block, Box<dyn Error>> { … } // <-- flagged\n\
+         \n\
+         Fix: return a concrete enum (`OffloadError`, `StepError`, `ConfigError`, …)."
+    }
+
     fn check(&self, ctx: &LintContext, out: &mut Vec<Diagnostic>) {
         for file in &ctx.ws.files {
             let toks = &file.lexed.tokens;
@@ -109,17 +124,17 @@ fn check_signature(rel: &str, name: &Token, sig: &[Token], out: &mut Vec<Diagnos
             && sig.get(i + 2).is_some_and(|n| n.is_ident("dyn"))
             && sig[i + 3..].iter().take(12).any(|n| n.is_ident("Error"))
         {
-            out.push(Diagnostic {
-                rule: "typed-errors",
-                path: rel.to_owned(),
-                line: t.line,
-                col: t.col,
-                message: format!(
+            out.push(Diagnostic::new(
+                "typed-errors",
+                rel.to_owned(),
+                t.line,
+                t.col,
+                format!(
                     "`pub fn {}` uses `Box<dyn Error>`; use a concrete error type \
                      (`OffloadError`, `StepError`, `ConfigError`, …) so callers can recover",
                     name.text
                 ),
-            });
+            ));
         }
         // `Result<_, String>` — a stringly-typed error channel.
         if t.is_ident("Result") && sig.get(i + 1).is_some_and(|n| n.is_punct("<")) {
@@ -130,17 +145,17 @@ fn check_signature(rel: &str, name: &Token, sig: &[Token], out: &mut Vec<Diagnos
                     .is_some_and(|t| t.text == "String")
                     && !err_arg.iter().any(|t| t.is_punct("<"));
                 if is_string {
-                    out.push(Diagnostic {
-                        rule: "typed-errors",
-                        path: rel.to_owned(),
-                        line: t.line,
-                        col: t.col,
-                        message: format!(
+                    out.push(Diagnostic::new(
+                        "typed-errors",
+                        rel.to_owned(),
+                        t.line,
+                        t.col,
+                        format!(
                             "`pub fn {}` returns `Result<_, String>`; define a typed error \
                              so failures stay machine-matchable",
                             name.text
                         ),
-                    });
+                    ));
                 }
             }
         }

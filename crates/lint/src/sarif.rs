@@ -64,13 +64,31 @@ pub fn render_sarif(report: &Report) -> String {
                 .iter()
                 .position(|(name, _)| *name == d.rule)
                 .expect("every diagnostic rule is in the catalogue");
+            let mut related = String::new();
+            if !d.related.is_empty() {
+                related.push_str(", \"relatedLocations\": [");
+                for (j, r) in d.related.iter().enumerate() {
+                    let rcomma = if j + 1 == d.related.len() { "" } else { ", " };
+                    let _ = write!(
+                        related,
+                        "{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {uri}}}, \
+                         \"region\": {{\"startLine\": {line}, \"startColumn\": {col}}}}}, \
+                         \"message\": {{\"text\": {msg}}}}}{rcomma}",
+                        uri = json_str(&r.path),
+                        line = r.line,
+                        col = r.col,
+                        msg = json_str(&r.message),
+                    );
+                }
+                related.push(']');
+            }
             let _ = writeln!(
                 out,
                 "        {{\"ruleId\": {rule}, \"ruleIndex\": {rule_index}, \
                  \"level\": \"error\", \"message\": {{\"text\": {msg}}}, \
                  \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": \
                  {{\"uri\": {uri}}}, \"region\": {{\"startLine\": {line}, \
-                 \"startColumn\": {col}}}}}}}]}}{comma}",
+                 \"startColumn\": {col}}}}}}}]{related}}}{comma}",
                 rule = json_str(d.rule),
                 msg = json_str(&d.message),
                 uri = json_str(&d.path),
@@ -110,31 +128,59 @@ mod tests {
 
     #[test]
     fn result_points_at_rule_path_and_region() {
-        let s = render_sarif(&report_with(vec![Diagnostic {
-            rule: "lock-discipline",
-            path: "crates/core/src/cache.rs".to_owned(),
-            line: 7,
-            col: 3,
-            message: "say \"hi\"".to_owned(),
-        }]));
+        let s = render_sarif(&report_with(vec![Diagnostic::new(
+            "lock-discipline",
+            "crates/core/src/cache.rs".to_owned(),
+            7,
+            3,
+            "say \"hi\"".to_owned(),
+        )]));
         assert!(s.contains("\"ruleId\": \"lock-discipline\""));
         assert!(s.contains("\"uri\": \"crates/core/src/cache.rs\""));
         assert!(s.contains("\"startLine\": 7, \"startColumn\": 3"));
         assert!(s.contains("say \\\"hi\\\""), "{s}");
+        assert!(!s.contains("relatedLocations"));
+    }
+
+    #[test]
+    fn chain_findings_carry_related_locations() {
+        let mut d = Diagnostic::new(
+            "panic-free-hot-path",
+            "crates/train/src/executor.rs".to_owned(),
+            4,
+            9,
+            "chain".to_owned(),
+        );
+        d.related.push(crate::diagnostics::RelatedLocation {
+            path: "crates/tensor/src/kernels.rs".to_owned(),
+            line: 88,
+            col: 30,
+            message: "effect seed: .expect()".to_owned(),
+        });
+        let s = render_sarif(&report_with(vec![d]));
+        assert!(
+            s.contains(
+                "\"relatedLocations\": [{\"physicalLocation\": {\"artifactLocation\": \
+                 {\"uri\": \"crates/tensor/src/kernels.rs\"}, \"region\": \
+                 {\"startLine\": 88, \"startColumn\": 30}}, \
+                 \"message\": {\"text\": \"effect seed: .expect()\"}}]"
+            ),
+            "{s}"
+        );
     }
 
     #[test]
     fn rule_index_resolves_into_the_catalogue() {
-        let s = render_sarif(&report_with(vec![Diagnostic {
-            rule: "suppression",
-            path: "a.rs".to_owned(),
-            line: 1,
-            col: 1,
-            message: "m".to_owned(),
-        }]));
+        let s = render_sarif(&report_with(vec![Diagnostic::new(
+            "suppression",
+            "a.rs".to_owned(),
+            1,
+            1,
+            "m".to_owned(),
+        )]));
         // The suppression pseudo-rule is the last catalogue entry:
-        // ten registry rules, so index 10.
-        assert!(s.contains("\"ruleIndex\": 10"), "{s}");
+        // eleven registry rules, so index 11.
+        assert!(s.contains("\"ruleIndex\": 11"), "{s}");
         assert!(s.contains("\"id\": \"suppression\""));
     }
 

@@ -71,13 +71,13 @@ pub fn parse(
                     rule,
                     effective_line,
                 }),
-                Err(why) => bad.push(Diagnostic {
-                    rule: "suppression",
-                    path: file.rel.clone(),
-                    line: comment.line,
-                    col: 1,
-                    message: format!("malformed `ssdtrain-lint:` comment: {why}"),
-                }),
+                Err(why) => bad.push(Diagnostic::new(
+                    "suppression",
+                    file.rel.clone(),
+                    comment.line,
+                    1,
+                    format!("malformed `ssdtrain-lint:` comment: {why}"),
+                )),
             }
         }
     }
@@ -123,8 +123,11 @@ fn parse_directive(directive: &str, rule_names: &[&'static str]) -> Result<Strin
         .ok_or_else(|| "unclosed `allow(` rule name".to_owned())?;
     let rule = rest[..close].trim();
     if !rule_names.contains(&rule) {
+        let hint = crate::rules::did_you_mean(rule, rule_names)
+            .map(|m| format!(" — did you mean `{m}`?"))
+            .unwrap_or_default();
         return Err(format!(
-            "unknown rule `{rule}` (known: {})",
+            "unknown rule `{rule}`{hint} (known: {})",
             rule_names.join(", ")
         ));
     }
@@ -220,6 +223,21 @@ mod tests {
         assert!(s.is_allowed("panic-free-hot-path", 2));
         assert_eq!(bad.len(), 1);
         assert!(bad[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn near_miss_rule_names_get_a_hint() {
+        let f = file("// ssdtrain-lint: allow(panic-free-hotpath): because\nx.unwrap();\n");
+        let mut bad = Vec::new();
+        parse(&f, &RULES, &mut bad);
+        assert_eq!(bad.len(), 1);
+        assert!(
+            bad[0]
+                .message
+                .contains("did you mean `panic-free-hot-path`?"),
+            "{}",
+            bad[0].message
+        );
     }
 
     #[test]

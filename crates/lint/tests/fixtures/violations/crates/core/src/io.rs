@@ -40,3 +40,18 @@ impl IoEngine {
         drop(q);
     }
 }
+
+impl IoEngine {
+    /// Advances the clock behind one hop — the wrapper the transitive
+    /// hold check must see through.
+    fn pump(&self) {
+        self.clock.advance_to(0);
+    }
+
+    /// Holds the `queue` guard across the wrapper (line 54).
+    fn drain_via(&self) {
+        let q = self.queue.lock();
+        self.pump();
+        drop(q);
+    }
+}

@@ -1,0 +1,22 @@
+//! Seeded fixture: `no-alloc-hot-loop` violations — one allocation
+//! sits directly inside the loop, one hides behind a resolved call.
+
+struct OptEngine;
+
+impl OptEngine {
+    /// Builds a label; the allocation the loop call below reaches.
+    fn make_label(&self, j: u64) -> String {
+        format!("stage{j}")
+    }
+
+    /// Allocates directly in the loop (line 16) and through
+    /// `make_label` (line 17).
+    fn run(&self, stages: u64) {
+        for j in 0..stages {
+            let scratch = vec![0u64; 4];
+            let label = self.make_label(j);
+            drop(scratch);
+            drop(label);
+        }
+    }
+}

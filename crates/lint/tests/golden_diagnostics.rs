@@ -65,6 +65,12 @@ fn each_rule_fires_at_its_seeded_anchor() {
         ("lock-discipline", "crates/core/src/io.rs", 39),
         ("reservation-pairing", "crates/core/src/tier.rs", 11),
         ("span-balance", "crates/train/src/session.rs", 10),
+        // Interprocedural rules: effects inferred through the call
+        // graph, reported at the hot-path/hot-loop call site.
+        ("lock-discipline", "crates/core/src/io.rs", 54),
+        ("panic-free-hot-path", "crates/core/src/placement.rs", 8),
+        ("no-alloc-hot-loop", "crates/train/src/opt_engine.rs", 16),
+        ("no-alloc-hot-loop", "crates/train/src/opt_engine.rs", 17),
     ];
     for (rule, path, line) in anchors {
         assert!(
@@ -119,7 +125,7 @@ fn violations_fixture_makes_binary_exit_one() {
 }
 
 #[test]
-fn list_rules_names_all_ten() {
+fn list_rules_names_all_eleven() {
     let out = Command::new(env!("CARGO_BIN_EXE_ssdtrain-lint"))
         .arg("--list-rules")
         .output()
@@ -137,6 +143,7 @@ fn list_rules_names_all_ten() {
         "lock-discipline",
         "reservation-pairing",
         "span-balance",
+        "no-alloc-hot-loop",
     ] {
         assert!(text.contains(rule), "--list-rules missing {rule}:\n{text}");
     }
@@ -160,6 +167,13 @@ fn sarif_output_is_wellformed_and_byte_stable() {
     assert!(
         text.contains("\"uri\": \"crates/core/src/io.rs\""),
         "{text}"
+    );
+    // Interprocedural findings carry their call chain as SARIF
+    // relatedLocations, one per hop, ending at the effect seed.
+    assert!(text.contains("\"relatedLocations\""), "{text}");
+    assert!(
+        text.contains("\"uri\": \"crates/core/src/encode.rs\""),
+        "chain hops should point into the helper module:\n{text}"
     );
     let second = run_once();
     assert_eq!(

@@ -1,0 +1,122 @@
+//! Property tests for the hand-written lexer: arbitrary fragment soup
+//! must never panic the scanner, and the emitted tokens must carry
+//! monotone, non-overlapping source positions. These are exactly the
+//! invariants every downstream pass (items, cfg, call graph) leans on.
+
+use proptest::prelude::*;
+use ssdtrain_lint::lexer::{lex, Lexed};
+
+/// Source fragments chosen to stress the scanner's tricky states:
+/// unterminated strings, raw-string heads, escapes, lifetimes vs char
+/// literals, comment openers, multibyte identifiers and lone quotes.
+fn fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("fn f() {}".to_string()),
+        Just("let x = 1;".to_string()),
+        Just("\n".to_string()),
+        Just(" ".to_string()),
+        Just("\"".to_string()),
+        Just("\"abc".to_string()),
+        Just("\"a\\\"b\"".to_string()),
+        Just("r#\"".to_string()),
+        Just("r#\"raw\"#".to_string()),
+        Just("b\"bytes\"".to_string()),
+        Just("'a".to_string()),
+        Just("'x'".to_string()),
+        Just("'\\n'".to_string()),
+        Just("//".to_string()),
+        Just("// line comment\n".to_string()),
+        Just("/*".to_string()),
+        Just("/* block */".to_string()),
+        Just("/// doc\n".to_string()),
+        Just("::<>->".to_string()),
+        Just("0x1f_u64".to_string()),
+        Just("1.5e-3".to_string()),
+        Just("self.mu.lock()".to_string()),
+        Just("väljärvi".to_string()),
+        Just("∆t".to_string()),
+        Just("\\".to_string()),
+        Just("#![allow(dead_code)]".to_string()),
+        Just("macro_rules! m".to_string()),
+    ]
+}
+
+/// Soup of fragments glued together — syntactically broken on purpose.
+fn soup() -> impl Strategy<Value = String> {
+    prop::collection::vec(fragment(), 0..40).prop_map(|v| v.concat())
+}
+
+/// Positions every downstream pass assumes: 1-based, monotone in
+/// source order, and non-overlapping for same-line neighbours.
+fn check_positions(src: &str, lexed: &Lexed) -> Result<(), String> {
+    let mut prev: Option<(u32, u32, usize, bool)> = None;
+    for tok in &lexed.tokens {
+        if tok.text.is_empty() {
+            return Err(format!("empty token text at {}:{}", tok.line, tok.col));
+        }
+        if tok.line == 0 || tok.col == 0 {
+            return Err(format!("zero-based position {}:{}", tok.line, tok.col));
+        }
+        if let Some((pl, pc, plen, single_line)) = prev {
+            if (tok.line, tok.col) <= (pl, pc) {
+                return Err(format!(
+                    "positions went backwards: {}:{} after {pl}:{pc} in {src:?}",
+                    tok.line, tok.col
+                ));
+            }
+            if single_line && tok.line == pl && (tok.col as usize) < pc as usize + plen {
+                return Err(format!(
+                    "token at {}:{} overlaps {plen}-byte neighbour at {pl}:{pc} in {src:?}",
+                    tok.line, tok.col
+                ));
+            }
+        }
+        prev = Some((tok.line, tok.col, tok.text.len(), !tok.text.contains('\n')));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexer_never_panics_and_positions_are_monotone(src in soup()) {
+        let lexed = lex(&src);
+        if let Err(msg) = check_positions(&src, &lexed) {
+            prop_assert!(false, "{}", msg);
+        }
+        for c in &lexed.comments {
+            prop_assert!(c.line >= 1, "comment with zero-based line in {src:?}");
+            prop_assert!(!c.text.is_empty(), "empty comment text in {src:?}");
+        }
+    }
+
+    #[test]
+    fn token_count_is_bounded_by_source_bytes(src in soup()) {
+        let lexed = lex(&src);
+        prop_assert!(
+            lexed.tokens.len() <= src.len(),
+            "{} tokens from {} bytes",
+            lexed.tokens.len(),
+            src.len()
+        );
+    }
+}
+
+/// Deterministic spot-checks for scanner states the soup may not hit
+/// every run: unterminated raw strings and a trailing backslash must
+/// reach end-of-input without panicking.
+#[test]
+fn pathological_tails_do_not_panic() {
+    for src in [
+        "r#\"never closed",
+        "r###\"deep\"##",
+        "\"escape at eof \\",
+        "'",
+        "b'",
+        "/* nested /* comment",
+        "ident\u{0000}after_nul",
+    ] {
+        let _ = lex(src);
+    }
+}

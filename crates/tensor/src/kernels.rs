@@ -76,6 +76,8 @@ impl Tensor {
         if !self.has_data() {
             return symbolic_like(self, self.shape().clone());
         }
+        // ssdtrain-lint: allow(no-alloc-hot-loop): the kernel's output
+        // tensor is the op's result; producing it is the point of the call
         let out = self.to_vec().iter().map(|x| x * s).collect();
         Tensor::from_vec(out, self.shape().clone(), self.device())
     }

@@ -304,6 +304,8 @@ impl TraceSink {
     pub fn span(&self, cat: TraceCategory, name: impl Into<String>, start: SimTime, end: SimTime) {
         if self.inner.is_some() {
             let dur_secs = end.since(start).max(0.0);
+            // ssdtrain-lint: allow(no-alloc-hot-loop): `Vec::new` defers its
+            // allocation until the first push, and this args list stays empty
             self.emit(EventKind::Span { dur_secs }, cat, name, start, Vec::new());
         }
     }
@@ -324,6 +326,8 @@ impl TraceSink {
                 cat,
                 name,
                 start,
+                // ssdtrain-lint: allow(no-alloc-hot-loop): one-element args
+                // vector, built only when tracing is enabled (gate above)
                 vec![("bytes", ArgValue::U64(bytes))],
             );
         }
@@ -350,6 +354,8 @@ impl TraceSink {
                 cat,
                 name,
                 ts,
+                // ssdtrain-lint: allow(no-alloc-hot-loop): one-element args
+                // vector, built only when tracing is enabled (gate above)
                 vec![("bytes", ArgValue::U64(bytes))],
             );
         }

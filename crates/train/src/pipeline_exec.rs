@@ -384,6 +384,8 @@ impl PipelineExec {
                 .model
                 .forward_head_loss(&stage.graph, &out, &batches[mb]);
             if loss.tensor().has_data() {
+                // ssdtrain-lint: allow(panic-free-hot-path): guarded by the
+                // `has_data` check one line up; `item` only panics without data
                 losses.push(loss.tensor().item());
             }
             out_vals[s][mb] = Some(loss);
@@ -440,6 +442,9 @@ impl PipelineExec {
                 })?
         };
         let n_ext = usize::from(!stage.first);
+        // ssdtrain-lint: allow(panic-free-hot-path): saved values are packed
+        // and unpacked under the same hooks configuration, so an opaque pack
+        // without unpack hooks (the panic in `backward_from`) cannot occur
         let ext = stage.graph.backward_from(&[out], vec![seed_grad], n_ext);
         if !stage.first {
             grads_back[s][mb] = Some(ext.into_iter().next().flatten().ok_or(

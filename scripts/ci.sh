@@ -20,6 +20,12 @@ cargo test -q --test proptest_invariants
 # across the in-memory, inline-offloaded and overlapped optimizer
 # paths, healthy or faulted. Run explicitly for the same reason.
 cargo test -q --test optimizer_offload
+# The lint's own contract: golden diagnostics over the seeded fixture
+# trees (regenerate with UPDATE_GOLDEN=1 after intentional rule
+# changes) plus the --explain CLI surface. Run explicitly so a harness
+# filter can never silently drop the analyzer's regression net.
+cargo test -q -p ssdtrain-lint --test golden_diagnostics
+cargo test -q -p ssdtrain-lint --test explain_cli
 # The checked-in bench report must keep the backends' step times
 # distinct and ordered (see the script header for the regeneration
 # command).
@@ -38,5 +44,14 @@ cargo run -p ssdtrain-lint --release -- --changed-only --format json
 cargo run -p ssdtrain-lint --release -- --format sarif > target/lint-run1.sarif
 cargo run -p ssdtrain-lint --release -- --format sarif > target/lint-run2.sarif
 cmp target/lint-run1.sarif target/lint-run2.sarif
+# Doc-drift gate: every rule the binary knows must have a row in the
+# DESIGN.md §7 catalogue, so the docs can never silently fall behind
+# the analyzer (new rules land with their rationale or CI fails).
+cargo run -q -p ssdtrain-lint --release -- --list-rules \
+  | awk '{print $1}' \
+  | while read -r rule; do
+      grep -q "^| \`$rule\`" DESIGN.md \
+        || { echo "DESIGN.md §7 is missing a catalogue row for rule \`$rule\`" >&2; exit 1; }
+    done
 cargo fmt --check
 RUSTDOCFLAGS="-D warnings" cargo doc -q --no-deps
