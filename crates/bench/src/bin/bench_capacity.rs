@@ -9,10 +9,10 @@
 //! `scripts/bench_check.sh` gates read that file.
 
 use ssdtrain::{OffloadClass, TensorCacheConfig};
-use ssdtrain_bench::{gb, print_table};
-use ssdtrain_models::{Arch, ModelConfig};
+use ssdtrain_bench::{gb, paper_testbed, print_table};
+use ssdtrain_models::Arch;
 use ssdtrain_simhw::SystemConfig;
-use ssdtrain_train::{OffloadBackend, SessionConfig, StepMetrics, TrainSession};
+use ssdtrain_train::{OffloadBackend, StepMetrics, TrainSession};
 
 const LAYERS: usize = 4;
 const BATCH: usize = 16;
@@ -34,17 +34,13 @@ fn system() -> SystemConfig {
 }
 
 fn session(backend: OffloadBackend, overlap: bool, hidden: usize) -> TrainSession {
-    let cfg = SessionConfig::builder()
-        .model(ModelConfig::paper_scale(Arch::Bert, hidden, LAYERS).with_tp(2))
-        .batch_size(BATCH)
-        .symbolic(true)
+    let cfg = paper_testbed(Arch::Bert, hidden, LAYERS, BATCH)
         .system(system())
         .cache(TensorCacheConfig::default())
         .offload(OffloadClass::Gradient, true)
         .offload(OffloadClass::OptimizerState, true)
         .overlap_optimizer(overlap)
         .momentum(0.9)
-        .seed(42)
         .backend(backend)
         .build()
         .expect("valid config");

@@ -5,10 +5,10 @@
 //! endurance headroom each backend leaves on the SSD array.
 
 use ssdtrain::{PlacementStrategy, TensorCacheConfig};
-use ssdtrain_bench::{gb, print_table};
-use ssdtrain_models::{Arch, ModelConfig};
+use ssdtrain_bench::{gb, paper_testbed, print_table};
+use ssdtrain_models::Arch;
 use ssdtrain_simhw::SystemConfig;
-use ssdtrain_train::{OffloadBackend, SessionConfig, StepMetrics, TrainSession};
+use ssdtrain_train::{OffloadBackend, StepMetrics, TrainSession};
 
 /// A steady month of training at the measured per-step traffic — long
 /// enough for the endurance split between backends to show.
@@ -26,12 +26,8 @@ fn run_backend(label: &'static str, backend: OffloadBackend) -> Row {
 }
 
 fn run_backend_with(label: &'static str, backend: OffloadBackend, cache: TensorCacheConfig) -> Row {
-    let cfg = SessionConfig::builder()
-        .model(ModelConfig::paper_scale(Arch::Bert, 8192, 4).with_tp(2))
-        .batch_size(16)
+    let cfg = paper_testbed(Arch::Bert, 8192, 4, 16)
         .strategy(PlacementStrategy::Offload)
-        .symbolic(true)
-        .seed(42)
         .backend(backend)
         .cache(cache)
         .build()

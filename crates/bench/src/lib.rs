@@ -19,7 +19,7 @@
 
 use ssdtrain::{chrome_trace_json, text_summary, PlacementStrategy, TraceSink};
 use ssdtrain_models::{Arch, ModelConfig};
-use ssdtrain_train::{SessionConfig, StepMetrics, TrainSession};
+use ssdtrain_train::{SessionBuilder, SessionConfig, StepMetrics, TrainSession};
 use std::path::{Path, PathBuf};
 
 /// Formats bytes as GiB with two decimals.
@@ -105,6 +105,20 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// The paper-testbed builder every bench binary starts from: a
+/// paper-scale (symbolic) model with TP=2 on the Table 3 machine, seed
+/// 42. Layer backend, cache and strategy choices on top and finish with
+/// `.build()` — `bench_tiering`, `bench_capacity` and `bench_io` all
+/// derive their sessions from this one helper so the testbed cannot
+/// drift between exhibits.
+pub fn paper_testbed(arch: Arch, hidden: usize, layers: usize, batch: usize) -> SessionBuilder {
+    SessionConfig::builder()
+        .model(ModelConfig::paper_scale(arch, hidden, layers).with_tp(2))
+        .batch_size(batch)
+        .symbolic(true)
+        .seed(42)
+}
+
 /// Builds a paper-scale (symbolic) session on the Table 3 testbed.
 pub fn paper_session(
     arch: Arch,
@@ -125,12 +139,8 @@ pub fn paper_session_traced(
     strategy: PlacementStrategy,
     sink: TraceSink,
 ) -> TrainSession {
-    let cfg = SessionConfig::builder()
-        .model(ModelConfig::paper_scale(arch, hidden, layers).with_tp(2))
-        .batch_size(batch)
+    let cfg = paper_testbed(arch, hidden, layers, batch)
         .strategy(strategy)
-        .symbolic(true)
-        .seed(42)
         .trace(sink)
         .build()
         .expect("valid config");

@@ -18,6 +18,7 @@
 //! forwarded was never actually released, and no event is emitted.
 
 use crate::adaptive::{AdaptivePlan, ModuleProfile, StepProfile};
+use crate::coalesce::{SegmentEntry, WriteCoalescer};
 use crate::config::{RecoveryPolicy, TensorCacheConfig};
 use crate::costmodel::{CostModel, TierPlan};
 use crate::error::OffloadError;
@@ -25,11 +26,11 @@ use crate::id::{storage_stamp, tensor_key, TensorKey};
 use crate::io::{IoEngine, JobId};
 use crate::placement::{OffloadClass, Placement, PlacementPolicy, PlacementQuery};
 use crate::stats::OffloadStats;
-use crate::target::OffloadTarget;
+use crate::target::{BatchItem, OffloadTarget};
 use crate::tier::{TierId, TierStack};
 use parking_lot::Mutex;
 use ssdtrain_autograd::{ModuleHooks, Packed, Phase, SavedTensorHooks, ScopeInfo};
-use ssdtrain_simhw::{GpuMemory, SimTime};
+use ssdtrain_simhw::{BufferArena, GpuMemory, PinnedSlab, SimTime};
 use ssdtrain_tensor::Tensor;
 use ssdtrain_trace::{ArgValue, TraceCategory, TraceSink};
 use std::collections::{HashMap, HashSet};
@@ -71,6 +72,11 @@ impl StageHint {
 enum RecState {
     /// In GPU memory (loaded back or forwarded).
     Resident,
+    /// Staged in the write coalescer's open segment for its tier; no
+    /// store job exists yet and the data is still resident. Consuming a
+    /// staged record evicts it from the segment — forwarding that never
+    /// even queued a job.
+    Staged,
     /// Store in flight; data still resident (release deferred).
     Storing { job: JobId },
     /// On the offload target; GPU memory already freed (at the store's
@@ -88,6 +94,44 @@ struct Record {
     scopes: HashSet<u64>,
     /// The tier holding (or about to hold) the bytes; demotion moves it.
     tier: TierId,
+    /// The sealed segment carrying this record's store, when the bytes
+    /// ride a coalesced job rather than a per-tensor one.
+    seg: Option<u64>,
+    /// Pinned staging slab the bytes occupy while a store is staged or
+    /// in flight; released exactly once when the staging retires.
+    slab: Option<PinnedSlab>,
+}
+
+/// A sealed segment whose store job is in flight: the per-segment index
+/// that lets commit and recovery keep member identity (one failed
+/// segment degrades per [`RecoveryPolicy`], not per tensor).
+struct SegmentState {
+    job: JobId,
+    tier: TierId,
+    entries: Vec<SegmentEntry>,
+}
+
+/// How `unpack` pre-handles a record on the coalesced path, decided
+/// under a short borrow so whole-segment actions can run on `Inner`.
+enum CoalescedHit {
+    /// Staged member consumed before its segment sealed: evicted from
+    /// the open segment — forwarding that never queued a job.
+    Evicted {
+        tier: TierId,
+        bytes: u64,
+        slab: Option<PinnedSlab>,
+        tensor: Tensor,
+    },
+    /// Member of a sealed segment consumed inside the forwarding window:
+    /// forwarded *without* cancelling — the segment job carries its
+    /// siblings and commit will skip this resident member.
+    Forwarded {
+        bytes: u64,
+        slab: Option<PinnedSlab>,
+        tensor: Tensor,
+    },
+    /// The member's segment must commit before the reload can begin.
+    Commit { seg: u64, end: SimTime },
 }
 
 /// Opaque handle to an offloaded state tensor (a gradient or optimizer
@@ -145,6 +189,16 @@ struct Inner {
     profiling: bool,
     fwd_start: SimTime,
     fwd_secs: f64,
+    /// Sealed segments whose coalesced store jobs are in flight,
+    /// committed (written through [`crate::TierStack::write_segment`])
+    /// or recovered as a unit; removal marks the segment committed.
+    segments: HashMap<u64, SegmentState>,
+    /// Groups already prefetched this step (group double-buffering must
+    /// never load a group twice).
+    groups_loaded: HashSet<(usize, usize)>,
+    /// Pinned staging slab per in-flight prefetch group; released when
+    /// backward consumption moves past the group.
+    group_slabs: HashMap<(usize, usize), PinnedSlab>,
 }
 
 impl Default for Inner {
@@ -162,6 +216,9 @@ impl Default for Inner {
             profiling: false,
             fwd_start: SimTime::ZERO,
             fwd_secs: 0.0,
+            segments: HashMap::new(),
+            groups_loaded: HashSet::new(),
+            group_slabs: HashMap::new(),
         }
     }
 }
@@ -219,6 +276,13 @@ pub struct TensorCache {
     tiers: Arc<TierStack>,
     io: IoEngine,
     mem: Arc<GpuMemory>,
+    /// Pinned host staging arena every offloaded byte passes through —
+    /// store staging slabs and group-prefetch landing buffers alike.
+    arena: BufferArena,
+    /// The write coalescer between `pack` and the per-tier store queues
+    /// (inert when [`TensorCacheConfig::coalesce_segment_bytes`] is 0).
+    /// Lock order: `inner` before `coalescer`, never the reverse.
+    coalescer: Mutex<WriteCoalescer>,
     inner: Mutex<Inner>,
     /// State slots (gradients, optimizer state); separate from `inner`
     /// because they survive the per-step record flush.
@@ -258,12 +322,15 @@ impl TensorCache {
         mem: Arc<GpuMemory>,
     ) -> Arc<TensorCache> {
         let placement = PlacementPolicy::from_config(&config);
+        let coalescer = Mutex::new(WriteCoalescer::new(config.coalesce_segment_bytes));
         Arc::new(TensorCache {
             config,
             placement,
             tiers,
             io,
             mem,
+            arena: BufferArena::new(),
+            coalescer,
             inner: Mutex::new(Inner::default()),
             state_slots: Mutex::new(HashMap::new()),
             next_state_slot: Mutex::new(0),
@@ -342,6 +409,12 @@ impl TensorCache {
     /// from the I/O engine so the snapshot and the trace agree.
     pub fn stats(&self) -> OffloadStats {
         let mut stats = self.stats.lock().clone();
+        let arena = self.arena.stats();
+        stats.arena_acquired_bytes = arena.acquired_bytes;
+        stats.arena_released_bytes = arena.released_bytes;
+        stats.arena_high_water_bytes = arena.high_water_bytes;
+        stats.arena_footprint_bytes = arena.footprint_bytes;
+        stats.arena_slab_reuses = arena.slab_reuses;
         stats.tiers = self.tiers.counters();
         let stalls = self.link_stalls.lock();
         for (tier, counters) in self.tiers.tier_ids().iter().zip(stats.tiers.iter_mut()) {
@@ -358,6 +431,17 @@ impl TensorCache {
     /// state load/store jobs without replaying them.
     pub fn cost_model(&self) -> CostModel {
         CostModel::from_parts(&self.io, &self.tiers)
+            .with_segment_bytes(self.config.coalesce_segment_bytes)
+    }
+
+    /// The pinned staging arena (high-water and reuse telemetry).
+    pub fn arena(&self) -> &BufferArena {
+        &self.arena
+    }
+
+    /// The write coalescer's conservation counters for this step.
+    pub fn coalesce_counts(&self) -> crate::coalesce::CoalesceCounts {
+        self.coalescer.lock().counts()
     }
 
     /// The adaptive plan currently applied.
@@ -391,10 +475,17 @@ impl TensorCache {
         // Leftover records were just flushed against the old queues; new
         // jobs must not queue behind the previous step's transfers.
         self.io.reset();
+        // The flush sealed and committed every staged byte; a fresh step
+        // starts with fresh conservation counters and a high-water mark
+        // tracking only the slabs that survived the boundary.
+        *self.coalescer.lock() = WriteCoalescer::new(self.config.coalesce_segment_bytes);
+        self.arena.begin_step();
         let mut inner = self.inner.lock();
         inner.stack.clear();
         inner.scopes.clear();
         inner.forward_order.clear();
+        inner.segments.clear();
+        inner.groups_loaded.clear();
         inner.phase = Phase::Forward;
         inner.fwd_start = self.io.clock().now();
         inner.fwd_secs = 0.0;
@@ -485,7 +576,8 @@ impl TensorCache {
     /// rated figure.
     fn replan(&self, profile: &StepProfile) -> AdaptivePlan {
         let plan = if self.config.adaptive {
-            let cost = CostModel::from_parts(&self.io, &self.tiers);
+            let cost = CostModel::from_parts(&self.io, &self.tiers)
+                .with_segment_bytes(self.config.coalesce_segment_bytes);
             if self.config.profile_guided && !cost.tiers().is_empty() {
                 let tier_plan = cost.plan(profile, self.config.bwd_fwd_ratio);
                 let plan = AdaptivePlan::decide_with_cost(
@@ -574,6 +666,78 @@ impl TensorCache {
         out
     }
 
+    /// The record ids and total bytes of prefetch group `gidx` — the
+    /// modules at forward-order positions `[gidx·G, (gidx+1)·G)` for
+    /// `G = prefetch_group_modules`.
+    fn group_records(&self, inner: &Inner, mb: usize, gidx: usize) -> (Vec<RecordId>, u64) {
+        let Some(order) = inner.forward_order.get(&mb) else {
+            return (Vec::new(), 0);
+        };
+        let g = self.config.prefetch_group_modules.max(1);
+        let start = gidx.saturating_mul(g);
+        if start >= order.len() {
+            return (Vec::new(), 0);
+        }
+        let end = start.saturating_add(g).min(order.len());
+        let mut ids = Vec::new();
+        let mut bytes = 0u64;
+        for seq in &order[start..end] {
+            let Some(meta) = inner.scopes.get(seq) else {
+                continue;
+            };
+            for id in &meta.records {
+                if !ids.contains(id) {
+                    ids.push(*id);
+                    bytes += inner.records.get(id).map_or(0, |r| r.bytes);
+                }
+            }
+        }
+        (ids, bytes)
+    }
+
+    /// Issues prefetch group `gidx` of micro-batch `mb` onto a fresh
+    /// arena staging slab — at most once per step (the double buffer
+    /// must never load a group twice; re-requests are no-ops).
+    fn prefetch_group(&self, mb: usize, gidx: usize) {
+        if !self.config.prefetch {
+            return;
+        }
+        let (ids, bytes) = {
+            let mut inner = self.inner.lock();
+            if !inner.groups_loaded.insert((mb, gidx)) {
+                return;
+            }
+            let (ids, bytes) = self.group_records(&inner, mb, gidx);
+            if ids.is_empty() {
+                return;
+            }
+            if let Some(slab) = self.arena.acquire(bytes) {
+                self.trace().instant_bytes(
+                    TraceCategory::Arena,
+                    "arena.acquire",
+                    self.io.clock().now(),
+                    bytes,
+                );
+                inner.group_slabs.insert((mb, gidx), slab);
+            }
+            (ids, bytes)
+        };
+        let mut stats = self.stats.lock();
+        stats.prefetch_groups += 1;
+        stats.prefetch_group_bytes += bytes;
+        drop(stats);
+        self.trace().instant_with(
+            TraceCategory::Prefetch,
+            "prefetch.group",
+            self.io.clock().now(),
+            vec![
+                ("group", ArgValue::U64(gidx as u64)),
+                ("bytes", ArgValue::U64(bytes)),
+            ],
+        );
+        self.prefetch_records(&ids);
+    }
+
     /// Enters `stage` and returns an RAII guard covering it: the
     /// Algorithm 1 line 9 entry actions (`tc.set_stage(cmd)`) run now,
     /// the line 15 exit actions (`tc.stage_done(cmd)`, draining I/O
@@ -642,6 +806,10 @@ impl TensorCache {
     /// critical-path contribution is `max(compute, store drain)` per
     /// stage instead of compute alone.
     pub fn drain_stores(&self) {
+        // A stage barrier flushes the pipeline: partial segments seal
+        // and submit before the drain is measured, so no staged byte
+        // outlives the stage that produced it.
+        self.seal_open_segments();
         let now0 = self.io.clock().now();
         let links = self.io.link_count();
         let mut drains = Vec::with_capacity(links);
@@ -744,6 +912,9 @@ impl TensorCache {
 
     /// Scheduler hint (Algorithm 1 line 13): the step is about to switch
     /// to backward propagation — prefetch the tail modules' activations.
+    /// In group mode ([`TensorCacheConfig::prefetch_group_modules`]) the
+    /// last `prefetch_depth` groups are issued instead, filling both
+    /// halves of the double buffer before backward starts consuming.
     pub fn prefetch_last_module(&self) {
         let (mb, len) = {
             let inner = self.inner.lock();
@@ -751,6 +922,22 @@ impl TensorCache {
             let len = inner.forward_order.get(&mb).map_or(0, |o| o.len());
             (mb, len)
         };
+        let g = self.config.prefetch_group_modules;
+        if self.config.prefetch && g > 0 {
+            if len == 0 {
+                return;
+            }
+            let last = (len - 1) / g;
+            for d in 0..self.config.prefetch_depth.max(1) {
+                if d > last {
+                    break;
+                }
+                // ssdtrain-lint: allow(no-alloc-hot-loop): issuing a group
+                // prefetch submits the group's reloads — the data path
+                self.prefetch_group(mb, last - d);
+            }
+            return;
+        }
         let ids = self.records_before(mb, len, self.config.prefetch_depth.max(1));
         self.prefetch_records(&ids);
     }
@@ -790,6 +977,7 @@ impl TensorCache {
     /// Releases every remaining record (end of step). Stores still in
     /// flight commit at their completion times.
     pub fn flush(&self) {
+        self.seal_open_segments();
         let ids: Vec<RecordId> = self.inner.lock().records.keys().copied().collect();
         for id in ids {
             // ssdtrain-lint: allow(no-alloc-hot-loop): releasing a record
@@ -799,6 +987,18 @@ impl TensorCache {
         let mut inner = self.inner.lock();
         inner.by_key.clear();
         inner.records.clear();
+        inner.segments.clear();
+        inner.groups_loaded.clear();
+        let slabs: Vec<PinnedSlab> = inner.group_slabs.drain().map(|(_, s)| s).collect();
+        drop(inner);
+        let now = self.io.clock().now();
+        let trace = self.trace();
+        for slab in slabs {
+            let len = slab.len;
+            if self.arena.release(slab) {
+                trace.instant_bytes(TraceCategory::Arena, "arena.release", now, len);
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -851,6 +1051,17 @@ impl TensorCache {
         let (start, end) = self.io.store_span(job);
         let trace = self.trace();
         trace.instant_bytes(TraceCategory::Store, "store.enqueue", start, bytes);
+        // State bytes pass through the pinned arena like activations do;
+        // the slab is held only across the eager write below.
+        let slab = self.arena.acquire(bytes);
+        if slab.is_some() {
+            trace.instant_bytes(
+                TraceCategory::Arena,
+                "arena.acquire",
+                self.io.clock().now(),
+                bytes,
+            );
+        }
         // State has no forwarding path: the payload crosses to the tier
         // now, so recovery runs here rather than at a deferred commit.
         let data = tensor.storage().to_bytes();
@@ -894,6 +1105,7 @@ impl TensorCache {
                     None => {
                         // Keep the tensor resident; the reservation and
                         // the dead store job are both returned.
+                        self.retire_slab(slab);
                         self.tiers.remove(placement.tier, &key, bytes);
                         let _ = self.io.try_cancel_store(job, self.io.clock().now());
                         let mut stats = self.stats.lock();
@@ -927,6 +1139,7 @@ impl TensorCache {
             }
         };
         self.mem.with_time(end, || tensor.storage().release());
+        self.retire_slab(slab);
         trace.span_bytes(TraceCategory::Store, "store", start, end, bytes);
         // Fallback bytes are counted under `fallback_bytes`, not
         // `offloaded_bytes`, exactly as the activation recovery does.
@@ -1030,6 +1243,257 @@ impl TensorCache {
         self.plan.lock().keeps(path)
     }
 
+    /// Releases a staging slab back to the arena, emitting the
+    /// `arena.release` instant the Arena trace lane is built from.
+    fn retire_slab(&self, slab: Option<PinnedSlab>) {
+        let Some(slab) = slab else { return };
+        let len = slab.len;
+        if self.arena.release(slab) {
+            self.trace().instant_bytes(
+                TraceCategory::Arena,
+                "arena.release",
+                self.io.clock().now(),
+                len,
+            );
+        }
+    }
+
+    /// Seals every open segment and submits their coalesced store jobs
+    /// (stage barriers and flushes call this so no staged byte outlives
+    /// the stage that produced it).
+    fn seal_open_segments(&self) {
+        let mut inner = self.inner.lock();
+        let sealed = self.coalescer.lock().seal_all();
+        for seg in sealed {
+            // ssdtrain-lint: allow(no-alloc-hot-loop): sealing submits the
+            // segment's store job — the data path, one call per segment
+            self.seal_segment(&mut inner, seg);
+        }
+    }
+
+    /// Submits one coalesced store job for a sealed segment and flips
+    /// its members `Staged` → `Storing`. One segment is one job on the
+    /// tier's link ([`OffloadStats::store_jobs`] counts segments, not
+    /// tensors) and will be one device write operation at commit; the
+    /// members' byte/class accounting stayed per-record at pack time, so
+    /// the trace identity `Σstore.enqueue − Σstore.cancel − recoveries
+    /// == offloaded_bytes` holds unchanged through the coalesced path.
+    fn seal_segment(&self, inner: &mut Inner, seg: crate::coalesce::SealedSegment) {
+        let total = seg.total_bytes();
+        if total == 0 {
+            return;
+        }
+        let link = self.tiers.link(seg.tier);
+        let job = self.io.submit_store_to(link, total);
+        let (start, end) = self.io.store_span(job);
+        let seg_secs = end.since(start);
+        for e in &seg.entries {
+            let scope = {
+                let Some(rec) = inner.records.get_mut(&e.record) else {
+                    continue;
+                };
+                rec.state = RecState::Storing { job };
+                rec.seg = Some(seg.id);
+                rec.scopes.iter().min().copied()
+            };
+            // Profiling sees the segment's link occupancy distributed
+            // over its members proportional to their bytes.
+            if let Some(s) = scope {
+                if let Some(meta) = inner.scopes.get_mut(&s) {
+                    meta.store_secs += seg_secs * e.bytes as f64 / total as f64;
+                }
+            }
+        }
+        let entries = seg.entries.len() as u64;
+        inner.segments.insert(
+            seg.id,
+            SegmentState {
+                job,
+                tier: seg.tier,
+                entries: seg.entries,
+            },
+        );
+        let mut stats = self.stats.lock();
+        stats.store_jobs += 1;
+        stats.coalesce_segments += 1;
+        stats.coalesced_bytes += total;
+        stats.class_mut(OffloadClass::Activation).stores += 1;
+        drop(stats);
+        self.trace().instant_with(
+            TraceCategory::Coalesce,
+            "coalesce.seal",
+            self.io.clock().now(),
+            // ssdtrain-lint: allow(no-alloc-hot-loop): once-per-segment
+            // telemetry; segments are bounded by bytes/segment_size
+            vec![
+                ("bytes", ArgValue::U64(total)),
+                ("entries", ArgValue::U64(entries)),
+            ],
+        );
+    }
+
+    /// Commits a sealed segment: one batched device write for every
+    /// member still riding the job (members forwarded after sealing are
+    /// skipped — their bytes never leave memory), memory freed at the
+    /// job's completion time. Idempotent: removal from the segment map
+    /// marks the segment committed. A failed batch write degrades the
+    /// *segment* per the configured [`RecoveryPolicy`], not per tensor.
+    fn commit_segment(&self, inner: &mut Inner, seg_id: u64) {
+        let Some(seg) = inner.segments.remove(&seg_id) else {
+            return;
+        };
+        let end = self.io.store_end(seg.job);
+        let mut members: Vec<(TensorKey, Option<Vec<u8>>, u64, RecordId)> =
+            // ssdtrain-lint: allow(no-alloc-hot-loop): assembling the batch
+            // serialises the payload being offloaded — the data path
+            Vec::with_capacity(seg.entries.len());
+        for e in &seg.entries {
+            let Some(rec) = inner.records.get_mut(&e.record) else {
+                continue;
+            };
+            if !matches!(rec.state, RecState::Storing { job } if job == seg.job) {
+                continue;
+            }
+            if rec.tensor.storage().strong_count() > 1 {
+                // Live references outside the cache: like the per-tensor
+                // commit, the tensor simply stays resident.
+                rec.state = RecState::Resident;
+                let slab = rec.slab.take();
+                self.retire_slab(slab);
+                continue;
+            }
+            // The real payload crosses the filesystem at commit (wall
+            // time); the simulated transfer finished at `end`.
+            let data = rec.tensor.storage().to_bytes();
+            members.push((rec.key.clone(), data, e.bytes, e.record));
+        }
+        if members.is_empty() {
+            return;
+        }
+        let items: Vec<BatchItem<'_>> = members
+            .iter()
+            // ssdtrain-lint: allow(no-alloc-hot-loop): borrow view over the
+            // batch being written — the data path
+            .map(|(k, d, b, _)| (k, d.as_deref(), *b))
+            .collect();
+        match self.tiers.write_segment(seg.tier, &items) {
+            Ok(()) => {
+                let total: u64 = members.iter().map(|(_, _, b, _)| *b).sum();
+                let (start, _) = self.io.store_span(seg.job);
+                for (_, _, _, id) in &members {
+                    let slab = {
+                        let Some(rec) = inner.records.get_mut(id) else {
+                            continue;
+                        };
+                        self.mem.with_time(end, || rec.tensor.storage().release());
+                        rec.state = RecState::Offloaded;
+                        rec.slab.take()
+                    };
+                    self.retire_slab(slab);
+                }
+                self.trace()
+                    .span_bytes(TraceCategory::Store, "store", start, end, total);
+            }
+            Err(err) => self.recover_failed_segment(inner, &seg, &members, end, err),
+        }
+    }
+
+    /// Segment-level recovery: the batched write failed before any
+    /// member's bytes landed ([`crate::OffloadTarget::write_batch`]
+    /// unwinds partial writes), so every member is still resident and
+    /// the step stays numerically exact. One failure, one policy
+    /// decision — [`RecoveryPolicy::FallbackTarget`] demotes the members
+    /// individually (the per-segment index keeps their identity), the
+    /// keep-resident policies absorb the whole segment at once.
+    fn recover_failed_segment(
+        &self,
+        inner: &mut Inner,
+        seg: &SegmentState,
+        members: &[(TensorKey, Option<Vec<u8>>, u64, RecordId)],
+        end: SimTime,
+        err: io::Error,
+    ) {
+        self.stats.lock().store_failures += 1;
+        let now = self.io.clock().now();
+        let trace = self.trace();
+        let mut fell_back = 0u64;
+        let mut kept = 0u64;
+        let mut fallback_dest: Option<TierId> = None;
+        for (key, data, bytes, id) in members {
+            let demoted = (self.config.recovery == RecoveryPolicy::FallbackTarget)
+                .then(|| {
+                    // ssdtrain-lint: allow(no-alloc-hot-loop): recovery slow path — demotion rewrites the failed member on the fallback device
+                    self.tiers.demote(
+                        seg.tier,
+                        key,
+                        data.as_deref(),
+                        *bytes,
+                        self.config.max_io_retries,
+                    )
+                })
+                .flatten();
+            let slab = {
+                let Some(rec) = inner.records.get_mut(id) else {
+                    continue;
+                };
+                match demoted {
+                    Some(dest) => {
+                        self.mem.with_time(end, || rec.tensor.storage().release());
+                        rec.state = RecState::Offloaded;
+                        rec.tier = dest;
+                        fell_back += bytes;
+                        fallback_dest = Some(dest);
+                    }
+                    None => {
+                        rec.state = RecState::Resident;
+                        kept += bytes;
+                    }
+                }
+                rec.slab.take()
+            };
+            self.retire_slab(slab);
+        }
+        if kept > 0 && fell_back == 0 {
+            // Nothing from this segment is in flight any more; return
+            // the dead job if it still sits in the queue.
+            let _ = self.io.try_cancel_store(seg.job, now);
+        }
+        let mut stats = self.stats.lock();
+        stats.offloaded_bytes -= fell_back + kept;
+        stats.fallback_bytes += fell_back;
+        stats.kept_resident_bytes += kept;
+        stats.class_mut(OffloadClass::Activation).offloaded_bytes -= fell_back + kept;
+        drop(stats);
+        if let Some(dest) = fallback_dest {
+            trace.instant_with(
+                TraceCategory::Recovery,
+                "recovery.fallback",
+                now,
+                vec![
+                    ("bytes", ArgValue::U64(fell_back)),
+                    ("target", ArgValue::from(self.tiers.name(dest))),
+                ],
+            );
+        }
+        if kept > 0 {
+            trace.instant_bytes(TraceCategory::Recovery, "recovery.keep_resident", now, kept);
+        }
+        if self.config.recovery == RecoveryPolicy::FailStep {
+            trace.instant(TraceCategory::Recovery, "recovery.fail_step", now);
+            let mut pending = self.pending_error.lock();
+            if pending.is_none() {
+                if let Some((key, _, _, _)) = members.first() {
+                    *pending = Some(OffloadError::Store {
+                        key: key.clone(),
+                        bytes: kept,
+                        target: self.tiers.name(seg.tier),
+                        source: err,
+                    });
+                }
+            }
+        }
+    }
+
     /// Commits a completed store: memory freed at the store's end time.
     ///
     /// Mirrors Python garbage collection (paper Section 3.2): the memory
@@ -1039,6 +1503,8 @@ impl TensorCache {
     fn commit_store(&self, rec: &mut Record, job: JobId) {
         if rec.tensor.storage().strong_count() > 1 {
             rec.state = RecState::Resident;
+            let slab = rec.slab.take();
+            self.retire_slab(slab);
             return;
         }
         let end = self.io.store_end(job);
@@ -1058,6 +1524,9 @@ impl TensorCache {
             }
             Err(err) => self.recover_failed_store(rec, job, err),
         }
+        // Whatever the outcome, the staging buffer's job is done.
+        let slab = rec.slab.take();
+        self.retire_slab(slab);
     }
 
     /// Recovery for a store the target refused. The payload only
@@ -1225,24 +1694,92 @@ impl TensorCache {
         let now = self.io.clock().now();
         let mut inner = self.inner.lock();
         for id in ids {
-            let Some(rec) = inner.records.get_mut(id) else {
-                continue;
+            let peek = match inner.records.get(id) {
+                Some(r) => (r.state, r.seg),
+                None => continue,
             };
-            match rec.state {
-                RecState::Storing { job } => {
+            match peek {
+                (RecState::Staged, _) => {
+                    // Prefetch reached a record whose bytes are still
+                    // staged: evict it from the open segment — the
+                    // tensor never left memory, forwarding that never
+                    // queued a job. The pack-time enqueue is balanced by
+                    // a cancel so the trace byte identity holds.
+                    let (tier, bytes, slab) = {
+                        let Some(rec) = inner.records.get_mut(id) else {
+                            continue;
+                        };
+                        rec.state = RecState::Resident;
+                        (rec.tier, rec.bytes, rec.slab.take())
+                    };
+                    self.coalescer.lock().evict(tier, *id);
+                    self.retire_slab(slab);
+                    let mut stats = self.stats.lock();
+                    stats.forwarded += 1;
+                    stats.forwarded_bytes += bytes;
+                    stats.cancelled_stores += 1;
+                    stats.cancelled_bytes += bytes;
+                    stats.offloaded_bytes -= bytes;
+                    stats.coalesce_evictions += 1;
+                    stats.class_mut(OffloadClass::Activation).offloaded_bytes -= bytes;
+                    drop(stats);
+                    let trace = self.trace();
+                    trace.instant_bytes(TraceCategory::Forwarding, "forward", now, bytes);
+                    trace.instant_bytes(TraceCategory::Store, "store.cancel", now, bytes);
+                    trace.instant_bytes(TraceCategory::Coalesce, "coalesce.evict", now, bytes);
+                    continue;
+                }
+                (RecState::Storing { job }, seg) => {
                     let end = self.io.store_end(job);
                     if now >= end {
-                        // ssdtrain-lint: allow(no-alloc-hot-loop): committing
-                        // the store serialises the payload being offloaded
-                        self.commit_store(rec, job);
+                        match seg {
+                            // ssdtrain-lint: allow(no-alloc-hot-loop): committing serialises the payload being offloaded — the data path, not bookkeeping
+                            Some(sid) => self.commit_segment(&mut inner, sid),
+                            None => {
+                                let Some(rec) = inner.records.get_mut(id) else {
+                                    continue;
+                                };
+                                // ssdtrain-lint: allow(no-alloc-hot-loop): committing serialises the payload being offloaded — the data path, not bookkeeping
+                                self.commit_store(rec, job);
+                            }
+                        }
                         // Immediately reload below.
+                    } else if seg.is_some() {
+                        // Sealed member inside the forwarding window:
+                        // forward *without* cancelling — the segment job
+                        // carries its siblings; commit skips this member.
+                        let (bytes, slab) = {
+                            let Some(rec) = inner.records.get_mut(id) else {
+                                continue;
+                            };
+                            rec.state = RecState::Resident;
+                            (rec.bytes, rec.slab.take())
+                        };
+                        self.retire_slab(slab);
+                        let mut stats = self.stats.lock();
+                        stats.forwarded += 1;
+                        stats.forwarded_bytes += bytes;
+                        drop(stats);
+                        self.trace().instant_bytes(
+                            TraceCategory::Forwarding,
+                            "forward",
+                            now,
+                            bytes,
+                        );
+                        continue;
                     } else {
                         // Still being stored: data forwarding at prefetch
                         // time (Section 3.3.2) — keep the in-memory
                         // reference so the store's completion never frees
                         // it, and cancel the job if it has not started.
-                        rec.state = RecState::Resident;
-                        let bytes = rec.bytes;
+                        let (bytes, slab) = {
+                            let Some(rec) = inner.records.get_mut(id) else {
+                                continue;
+                            };
+                            rec.state = RecState::Resident;
+                            (rec.bytes, rec.slab.take())
+                        };
+                        self.retire_slab(slab);
                         let cancelled = self.config.cancel_forwarded_stores
                             && self.io.try_cancel_store(job, now);
                         let mut stats = self.stats.lock();
@@ -1266,9 +1803,12 @@ impl TensorCache {
                         continue;
                     }
                 }
-                RecState::Resident | RecState::Loading { .. } => continue,
-                RecState::Offloaded => {}
+                (RecState::Resident | RecState::Loading { .. }, _) => continue,
+                (RecState::Offloaded, _) => {}
             }
+            let Some(rec) = inner.records.get_mut(id) else {
+                continue;
+            };
             if let RecState::Offloaded = rec.state {
                 self.trace().instant_bytes(
                     TraceCategory::Prefetch,
@@ -1303,6 +1843,46 @@ impl TensorCache {
 
     fn release_record(&self, id: RecordId) {
         let mut inner = self.inner.lock();
+        // Coalesced pre-handling, while the record is still in the map
+        // (segment commit needs every member resolvable by id).
+        let peek = match inner.records.get(&id) {
+            Some(r) => (r.state, r.seg, r.tier),
+            None => return,
+        };
+        match peek {
+            (RecState::Staged, _, tier) => {
+                // Released before its segment filled: the bytes never
+                // offload. Cancel the pack-time enqueue (no forwarding —
+                // nothing consumed the tensor).
+                self.coalescer.lock().evict(tier, id);
+                let (bytes, slab) = {
+                    let Some(rec) = inner.records.get_mut(&id) else {
+                        return;
+                    };
+                    rec.state = RecState::Resident;
+                    (rec.bytes, rec.slab.take())
+                };
+                self.retire_slab(slab);
+                let mut stats = self.stats.lock();
+                stats.cancelled_stores += 1;
+                stats.cancelled_bytes += bytes;
+                stats.offloaded_bytes -= bytes;
+                stats.coalesce_evictions += 1;
+                stats.class_mut(OffloadClass::Activation).offloaded_bytes -= bytes;
+                drop(stats);
+                let now = self.io.clock().now();
+                let trace = self.trace();
+                trace.instant_bytes(TraceCategory::Store, "store.cancel", now, bytes);
+                trace.instant_bytes(TraceCategory::Coalesce, "coalesce.evict", now, bytes);
+            }
+            (RecState::Storing { .. }, Some(sid), _) => {
+                // The paper's "excessive offloading" effect on the
+                // coalesced path: committing the whole segment settles
+                // this member (and its siblings) before release.
+                self.commit_segment(&mut inner, sid);
+            }
+            _ => {}
+        }
         let Some(mut rec) = inner.records.remove(&id) else {
             return;
         };
@@ -1314,7 +1894,8 @@ impl TensorCache {
         // its memory (the storage's own drop reports the eventual free).
         let exclusive = rec.tensor.storage().strong_count() == 1;
         match rec.state {
-            RecState::Resident => {
+            // Staged was evicted to Resident above; both free the bytes.
+            RecState::Resident | RecState::Staged => {
                 if exclusive {
                     rec.tensor.storage().release();
                 }
@@ -1340,6 +1921,10 @@ impl TensorCache {
             }
             RecState::Offloaded => {}
         }
+        // Catch-all: whatever path retired the record, its staging slab
+        // must go back to the arena exactly once.
+        let slab = rec.slab.take();
+        self.retire_slab(slab);
         // Drop the entry wherever it lives and return the admission
         // reservation — the single release point of a record's bytes.
         self.tiers.remove(rec.tier, &rec.key, rec.bytes);
@@ -1476,15 +2061,24 @@ impl SavedTensorHooks for TensorCache {
             return Packed::Tensor(tensor.clone());
         };
 
-        // New record: submit the store job (Figure 4 ①) on the admitting
-        // tier's link. The memory release is deferred until the store
+        // New record. The bytes enter the pinned staging arena either
+        // way; with coalescing enabled the record is *staged* into its
+        // tier's open segment (the store job is submitted when the
+        // segment seals — store jobs then count segments, not tensors),
+        // otherwise a per-tensor store job is submitted immediately
+        // (Figure 4 ①). The memory release is deferred until the store
         // commits.
-        let job = self
-            .io
-            .submit_store_to(self.tiers.link(placement.tier), bytes);
-        let store_secs = {
+        let slab = self.arena.acquire(bytes);
+        let slab_acquired = slab.is_some();
+        let staged = self.config.coalesce_segment_bytes > 0 && !inner.phase.in_backward();
+        let (state, store_secs) = if staged {
+            (RecState::Staged, 0.0)
+        } else {
+            let job = self
+                .io
+                .submit_store_to(self.tiers.link(placement.tier), bytes);
             let (start, end) = self.io.store_span(job);
-            end.since(start)
+            (RecState::Storing { job }, end.since(start))
         };
         let id = inner.next_id;
         inner.next_id += 1;
@@ -1494,6 +2088,8 @@ impl SavedTensorHooks for TensorCache {
             if let Some(meta) = inner.scopes.get_mut(&seq) {
                 meta.records.push(id);
                 meta.offload_bytes += bytes;
+                // A staged record's link occupancy is attributed when its
+                // segment seals.
                 meta.store_secs += store_secs;
             }
         }
@@ -1503,25 +2099,43 @@ impl SavedTensorHooks for TensorCache {
                 key: key.clone(),
                 tensor: tensor.clone(),
                 bytes,
-                state: RecState::Storing { job },
+                state,
                 scopes,
                 tier: placement.tier,
+                seg: None,
+                slab,
             },
         );
         inner.by_key.insert(key, id);
+        if staged {
+            let sealed =
+                self.coalescer
+                    .lock()
+                    .stage(placement.tier, id, bytes, OffloadClass::Activation);
+            if let Some(seg) = sealed {
+                self.seal_segment(&mut inner, seg);
+            }
+        }
         drop(inner);
         let mut stats = self.stats.lock();
         stats.offloaded_bytes += bytes;
-        stats.store_jobs += 1;
+        if !staged {
+            stats.store_jobs += 1;
+        }
         if placement.spilled {
             stats.spilled_bytes += bytes;
         }
         let c = stats.class_mut(OffloadClass::Activation);
         c.offloaded_bytes += bytes;
-        c.stores += 1;
+        if !staged {
+            c.stores += 1;
+        }
         drop(stats);
         let trace = self.trace();
         let now = self.io.clock().now();
+        if slab_acquired {
+            trace.instant_bytes(TraceCategory::Arena, "arena.acquire", now, bytes);
+        }
         trace.instant_bytes(TraceCategory::Store, "store.enqueue", now, bytes);
         if placement.spilled {
             trace.instant_with(
@@ -1545,11 +2159,114 @@ impl SavedTensorHooks for TensorCache {
         };
         let now = self.io.clock().now();
         let mut inner = self.inner.lock();
+        // Coalesced-path pre-handling: staged members and members of
+        // sealed segments need whole-segment treatment before the
+        // per-record state machine below runs.
+        let hit = match inner.records.get_mut(&id) {
+            Some(rec) => match rec.state {
+                RecState::Staged => {
+                    rec.state = RecState::Resident;
+                    Some(CoalescedHit::Evicted {
+                        tier: rec.tier,
+                        bytes: rec.bytes,
+                        slab: rec.slab.take(),
+                        tensor: rec.tensor.clone(),
+                    })
+                }
+                RecState::Storing { job } => match rec.seg {
+                    Some(seg) => {
+                        let end = self.io.store_end(job);
+                        if self.config.forwarding && now < end {
+                            rec.state = RecState::Resident;
+                            Some(CoalescedHit::Forwarded {
+                                bytes: rec.bytes,
+                                slab: rec.slab.take(),
+                                tensor: rec.tensor.clone(),
+                            })
+                        } else {
+                            Some(CoalescedHit::Commit { seg, end })
+                        }
+                    }
+                    None => None,
+                },
+                _ => None,
+            },
+            None => None,
+        };
+        match hit {
+            Some(CoalescedHit::Evicted {
+                tier,
+                bytes,
+                slab,
+                tensor,
+            }) => {
+                // The bytes never queued a job, so eviction is free
+                // forwarding regardless of `config.forwarding` — but the
+                // pack-time enqueue must be balanced by a cancel so the
+                // trace byte identity holds.
+                self.coalescer.lock().evict(tier, id);
+                drop(inner);
+                self.retire_slab(slab);
+                let mut stats = self.stats.lock();
+                stats.forwarded += 1;
+                stats.forwarded_bytes += bytes;
+                stats.cancelled_stores += 1;
+                stats.cancelled_bytes += bytes;
+                stats.offloaded_bytes -= bytes;
+                stats.coalesce_evictions += 1;
+                stats.class_mut(OffloadClass::Activation).offloaded_bytes -= bytes;
+                drop(stats);
+                let trace = self.trace();
+                trace.instant_bytes(TraceCategory::Forwarding, "forward", now, bytes);
+                trace.instant_bytes(TraceCategory::Store, "store.cancel", now, bytes);
+                trace.instant_bytes(TraceCategory::Coalesce, "coalesce.evict", now, bytes);
+                return tensor;
+            }
+            Some(CoalescedHit::Forwarded {
+                bytes,
+                slab,
+                tensor,
+            }) => {
+                drop(inner);
+                self.retire_slab(slab);
+                let mut stats = self.stats.lock();
+                stats.forwarded += 1;
+                stats.forwarded_bytes += bytes;
+                drop(stats);
+                self.trace()
+                    .instant_bytes(TraceCategory::Forwarding, "forward", now, bytes);
+                return tensor;
+            }
+            Some(CoalescedHit::Commit { seg, end }) => {
+                if now < end {
+                    // Forwarding disabled: the load cannot begin until
+                    // the segment's store finishes.
+                    // ssdtrain-lint: allow(lock-discipline): the segment must commit under the same guard right after the drain; the simulation is single-threaded, so the hold cannot block a peer
+                    let stall = self.io.clock().advance_to(end);
+                    self.stats.lock().stall_secs += stall;
+                    if stall > 0.0 {
+                        self.trace().span(
+                            TraceCategory::Stall,
+                            "stall.store_drain",
+                            end.plus_secs(-stall),
+                            end,
+                        );
+                    }
+                }
+                self.commit_segment(&mut inner, seg);
+                // Fall through: the member is now Offloaded (reload
+                // below) or Resident (recovery kept it).
+            }
+            None => {}
+        }
         let rec = inner
             .records
             .get_mut(&id)
             .unwrap_or_else(|| panic!("unpack of unknown record {id}")); // ssdtrain-lint: allow(panic-free-hot-path): unpack of an unregistered id is an engine-integration bug, not a recoverable runtime failure
         match rec.state {
+            // Staged records were evicted above; a record can only reach
+            // this arm resident-equivalent.
+            RecState::Staged => rec.tensor.clone(),
             RecState::Resident => rec.tensor.clone(),
             RecState::Storing { job } => {
                 let end = self.io.store_end(job);
@@ -1559,8 +2276,10 @@ impl SavedTensorHooks for TensorCache {
                     // has not started, cancel it (adaptive feature 1).
                     rec.state = RecState::Resident;
                     let bytes = rec.bytes;
+                    let slab = rec.slab.take();
                     let t = rec.tensor.clone();
                     drop(inner);
+                    self.retire_slab(slab);
                     let cancelled =
                         self.config.cancel_forwarded_stores && self.io.try_cancel_store(job, now);
                     let mut stats = self.stats.lock();
@@ -1754,6 +2473,44 @@ impl ModuleHooks for TensorCache {
                 None => return,
             }
         };
+        let g = self.config.prefetch_group_modules;
+        if self.config.prefetch && g > 0 {
+            // Group-based double buffering: while the current group is
+            // consumed the previous one loads on the second buffer —
+            // `prefetch_depth` groups stay in flight.
+            let cur = pos / g;
+            for d in 0..self.config.prefetch_depth.max(1) {
+                if d > cur {
+                    break;
+                }
+                // ssdtrain-lint: allow(no-alloc-hot-loop): issuing a group
+                // prefetch submits the group's reloads — the data path
+                self.prefetch_group(scope.micro_batch, cur - d);
+            }
+            // Groups above the current one were fully consumed; return
+            // their staging slabs so the double buffer stays two deep.
+            let slabs: Vec<PinnedSlab> = {
+                let mut inner = self.inner.lock();
+                let done: Vec<(usize, usize)> = inner
+                    .group_slabs
+                    .keys()
+                    .filter(|(mb, gi)| *mb == scope.micro_batch && *gi > cur)
+                    .copied()
+                    .collect();
+                done.iter()
+                    .filter_map(|k| inner.group_slabs.remove(k))
+                    .collect()
+            };
+            let now = self.io.clock().now();
+            let trace = self.trace();
+            for slab in slabs {
+                let len = slab.len;
+                if self.arena.release(slab) {
+                    trace.instant_bytes(TraceCategory::Arena, "arena.release", now, len);
+                }
+            }
+            return;
+        }
         let ids = self.records_before(scope.micro_batch, pos, self.config.prefetch_depth.max(1));
         self.prefetch_records(&ids);
     }

@@ -130,6 +130,23 @@ pub struct TensorCacheConfig {
     /// module's reload takes longer than a module's backward (small
     /// hidden sizes on fast GPUs).
     pub prefetch_depth: usize,
+    /// Group size, in modules, for group-based double-buffered backward
+    /// prefetch: the forward order is cut into groups of this many
+    /// modules, and while group *k* is consumed group *k−1* loads into
+    /// the second staging buffer (`prefetch_depth` groups stay in
+    /// flight — 2 is the classic double buffer). `0` (the default)
+    /// keeps the legacy per-module lookahead driven by
+    /// `prefetch_depth` alone.
+    #[serde(default)]
+    pub prefetch_group_modules: usize,
+    /// Coalesce small tensor stores into sequential segments of at most
+    /// this many bytes before they reach the I/O queues: one segment is
+    /// one store job and one device write operation, which is how the
+    /// paper keeps the SSD write path dense (WAF → 1). `0` (the
+    /// default) disables coalescing — every tensor is its own job, the
+    /// pre-coalescer behaviour.
+    #[serde(default)]
+    pub coalesce_segment_bytes: u64,
     /// Backward-to-forward time ratio assumed by the adaptive planner
     /// (the paper estimates backward ≈ 2× forward).
     pub bwd_fwd_ratio: f64,
@@ -157,6 +174,8 @@ impl Default for TensorCacheConfig {
             adaptive: true,
             prefetch: true,
             prefetch_depth: 2,
+            prefetch_group_modules: 0,
+            coalesce_segment_bytes: 0,
             bwd_fwd_ratio: 2.0,
             profile_guided: false,
             recovery: RecoveryPolicy::default(),
@@ -194,6 +213,14 @@ mod tests {
         assert_eq!(PlacementStrategy::Keep.to_string(), "keep");
         assert_eq!(PlacementStrategy::Offload.to_string(), "offload");
         assert_eq!(PlacementStrategy::Recompute.to_string(), "recompute");
+    }
+
+    #[test]
+    fn io_pipeline_knobs_default_off() {
+        let c = TensorCacheConfig::default();
+        assert_eq!(c.coalesce_segment_bytes, 0, "coalescing is opt-in");
+        assert_eq!(c.prefetch_group_modules, 0, "group prefetch is opt-in");
+        assert_eq!(c, TensorCacheConfig::default(), "defaults are stable");
     }
 
     #[test]

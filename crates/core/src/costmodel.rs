@@ -51,6 +51,12 @@ pub struct TierCost {
 pub struct CostModel {
     tiers: Vec<TierCost>,
     bus_write_bps: Option<f64>,
+    /// Fixed per-store-job submission cost, seconds (mirrors
+    /// [`IoEngine::store_job_overhead_secs`]).
+    store_job_overhead_secs: f64,
+    /// Coalescer segment size the drain is priced under (0 = one job
+    /// per tier, the pre-coalescer lower bound).
+    segment_bytes: u64,
 }
 
 /// A planned per-module tier assignment plus its modeled step times —
@@ -120,6 +126,36 @@ impl CostModel {
         CostModel {
             tiers,
             bus_write_bps: bus,
+            store_job_overhead_secs: io.store_job_overhead_secs(),
+            segment_bytes: 0,
+        }
+    }
+
+    /// Prices the store drain as if the coalescer sealed segments of
+    /// `bytes` (0 restores one-job-per-tier pricing). The cache passes
+    /// its configured `coalesce_segment_bytes` here so planning sees the
+    /// same job counts the simulator will charge overhead for.
+    pub fn with_segment_bytes(mut self, bytes: u64) -> CostModel {
+        self.segment_bytes = bytes;
+        self
+    }
+
+    /// The segment size the drain is priced under.
+    pub fn segment_bytes(&self) -> u64 {
+        self.segment_bytes
+    }
+
+    /// Store jobs needed to move `bytes` to one tier under the priced
+    /// segment size. With coalescing off the model prices the lower
+    /// bound of one job per non-empty tier — the per-tensor job count is
+    /// a runtime quantity only the simulator sees.
+    pub fn jobs_for(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            0
+        } else if self.segment_bytes > 0 {
+            bytes.div_ceil(self.segment_bytes)
+        } else {
+            1
         }
     }
 
@@ -137,13 +173,15 @@ impl CostModel {
     /// (indexed like [`CostModel::tiers`]; missing entries are zero).
     /// With a shared bus every job serialises, so the drain is the sum
     /// of per-tier transfer times; without one the links run in
-    /// parallel and the slowest tier bounds the drain.
+    /// parallel and the slowest tier bounds the drain. Each tier also
+    /// pays [`CostModel::jobs_for`] × the engine's per-job submission
+    /// overhead, which is what makes coalesced segments strictly cheaper
+    /// to drain than per-tensor jobs once the overhead is non-zero.
     pub fn store_drain_secs(&self, bytes_per_tier: &[u64]) -> f64 {
-        let per_tier = self
-            .tiers
-            .iter()
-            .enumerate()
-            .map(|(i, t)| bytes_per_tier.get(i).copied().unwrap_or(0) as f64 / t.write_bps);
+        let per_tier = self.tiers.iter().enumerate().map(|(i, t)| {
+            let bytes = bytes_per_tier.get(i).copied().unwrap_or(0);
+            bytes as f64 / t.write_bps + self.jobs_for(bytes) as f64 * self.store_job_overhead_secs
+        });
         if self.bus_write_bps.is_some() {
             per_tier.sum()
         } else {
@@ -440,6 +478,31 @@ mod tests {
         let m = two_tier_model(gb, Some(2e9));
         let p = profile(&[("l0", gb, 0.3), ("l1", gb / 2, 0.4), ("l2", gb, 0.3)]);
         assert_eq!(m.plan(&p, 2.0), m.plan(&p, 2.0));
+    }
+
+    #[test]
+    fn job_overhead_prices_segment_counts() {
+        let links = vec![TierLink::new("ssd", 1e9, 1e9)];
+        let io = IoEngine::tiered(SimClock::new(), links);
+        io.set_store_job_overhead(0.01);
+        let stack = TierStack::single(Arc::new(CpuTarget::new(1 << 40)));
+        let m = CostModel::from_parts(&io, &stack);
+        let bytes = [1_000_000_000u64];
+        // One job per tier without a segment size: 1 s transfer + 10 ms.
+        assert!((m.store_drain_secs(&bytes) - 1.01).abs() < 1e-12);
+        // Priced at 256 MB segments: ceil(1e9 / 256e6) = 4 jobs.
+        let seg = m.clone().with_segment_bytes(256_000_000);
+        assert_eq!(seg.jobs_for(bytes[0]), 4);
+        assert!((seg.store_drain_secs(&bytes) - 1.04).abs() < 1e-12);
+        assert_eq!(seg.jobs_for(0), 0, "empty tiers pay no overhead");
+    }
+
+    #[test]
+    fn zero_overhead_keeps_legacy_drain_times() {
+        let m = two_tier_model(u64::MAX, None);
+        let seg = m.clone().with_segment_bytes(1 << 20);
+        let split = [2_000_000_000, 1_000_000_000];
+        assert_eq!(m.store_drain_secs(&split), seg.store_drain_secs(&split));
     }
 
     #[test]

@@ -9,9 +9,9 @@
 
 use crate::id::TensorKey;
 use crate::io::IoEngine;
-use crate::target::OffloadTarget;
+use crate::target::{BatchItem, OffloadTarget};
 use parking_lot::Mutex;
-use ssdtrain_simhw::{FaultKind, FaultLog, FaultPlan, SimTime};
+use ssdtrain_simhw::{FaultKind, FaultLog, FaultPlan, SimTime, WearMeter};
 use ssdtrain_trace::{ArgValue, TraceCategory, TraceSink};
 use std::fmt;
 use std::io;
@@ -158,6 +158,22 @@ impl OffloadTarget for FaultyTarget {
     fn wear_fraction(&self) -> f64 {
         self.inner.wear_fraction()
     }
+
+    fn write_batch(&self, items: &[BatchItem<'_>]) -> io::Result<()> {
+        // Run the plan once per member so byte-threshold and nth-op
+        // triggers advance exactly as on the uncoalesced path; any
+        // member's fault fails the whole segment before a byte lands
+        // (segment-level degradation, per the recovery contract).
+        for (_, _, len) in items {
+            let fault = self.plan.lock().on_write(*len, self.inner.wear_fraction());
+            self.apply(fault, "write")?;
+        }
+        self.inner.write_batch(items)
+    }
+
+    fn wear_snapshot(&self) -> Option<WearMeter> {
+        self.inner.wear_snapshot()
+    }
 }
 
 impl fmt::Debug for FaultyTarget {
@@ -221,6 +237,23 @@ mod tests {
         assert_eq!(io.effective_write_bps(), 0.5e9);
         assert_eq!(io.effective_read_bps(), 1e9);
         assert_eq!(t.fault_log().slowdowns, 1);
+    }
+
+    #[test]
+    fn a_member_fault_fails_the_whole_batch_before_bytes_land() {
+        let plan =
+            FaultPlan::new(1).with_fault(FaultTrigger::NthOp { nth: 2 }, FaultKind::WriteError);
+        let t = FaultyTarget::new(Arc::new(CpuTarget::new(1 << 20)), plan);
+        let keys: Vec<TensorKey> = (0..4).map(key).collect();
+        let items: Vec<BatchItem<'_>> = keys.iter().map(|k| (k, None, 8u64)).collect();
+        // Member 2 faults -> the segment fails as one unit and nothing
+        // reached the inner target.
+        assert!(t.write_batch(&items).is_err());
+        assert_eq!(t.bytes_written(), 0);
+        assert_eq!(t.fault_log().write_faults, 1);
+        // The plan is exhausted; the retried segment lands whole.
+        assert!(t.write_batch(&items).is_ok());
+        assert_eq!(t.bytes_written(), 32);
     }
 
     #[test]

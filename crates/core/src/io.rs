@@ -190,6 +190,10 @@ pub struct IoEngine {
     links: Arc<Vec<LinkQueues>>,
     bus: Option<Arc<BusState>>,
     trace: Arc<Mutex<TraceSink>>,
+    /// Fixed seconds added to every store job's duration at submit time
+    /// (driver ioctl + DMA descriptor setup). Shared by clones; reflows
+    /// reuse `dur_secs`, so the overhead sticks to a job for life.
+    store_overhead: Arc<Mutex<f64>>,
 }
 
 impl IoEngine {
@@ -254,7 +258,20 @@ impl IoEngine {
                 })
             }),
             trace: Arc::new(Mutex::new(TraceSink::disabled())),
+            store_overhead: Arc::new(Mutex::new(0.0)),
         }
+    }
+
+    /// Sets the fixed per-store-job submission overhead in seconds
+    /// (negative values clamp to zero). Applies to stores submitted from
+    /// now on; already-queued jobs keep their pricing.
+    pub fn set_store_job_overhead(&self, secs: f64) {
+        *self.store_overhead.lock() = secs.max(0.0);
+    }
+
+    /// The configured per-store-job submission overhead, seconds.
+    pub fn store_job_overhead_secs(&self) -> f64 {
+        *self.store_overhead.lock()
     }
 
     /// Routes this engine's events into `sink`: load spans (category
@@ -365,6 +382,7 @@ impl IoEngine {
             Some(bus) => l.write_bps.min(bus.write_bps),
             None => l.write_bps,
         };
+        let overhead = *self.store_overhead.lock();
         let id = {
             let mut q = l.writes.lock();
             let prev_end = q
@@ -375,7 +393,7 @@ impl IoEngine {
                 .map(|j| j.end)
                 .unwrap_or(SimTime::ZERO);
             let start = now.max(prev_end);
-            let dur_secs = bytes as f64 * q.slowdown / eff_bps;
+            let dur_secs = overhead + bytes as f64 * q.slowdown / eff_bps;
             let end = start.plus_secs(dur_secs);
             q.jobs.push(WriteJob {
                 bytes,
@@ -870,6 +888,33 @@ mod tests {
             assert_eq!(io.writes_drain_at().as_secs(), 1.0);
             assert_eq!(io.bytes_written(), 1_000_000_000);
         }
+    }
+
+    #[test]
+    fn store_job_overhead_prices_per_job_not_per_byte() {
+        let (_c, io) = engine();
+        io.set_store_job_overhead(0.25);
+        let a = io.submit_store(1_000_000_000); // 0.25 + 1.0 s
+        let b = io.submit_store(1_000_000_000); // queued, same cost
+        assert_eq!(io.store_end(a).as_secs(), 1.25);
+        assert_eq!(io.store_end(b).as_secs(), 2.5);
+        // One coalesced job moves the same bytes for one overhead.
+        io.reset();
+        let c = io.submit_store(2_000_000_000);
+        assert_eq!(io.store_end(c).as_secs(), 2.25);
+        assert_eq!(io.store_job_overhead_secs(), 0.25);
+    }
+
+    #[test]
+    fn store_job_overhead_survives_cancellation_reflow() {
+        let (_c, io) = engine();
+        io.set_store_job_overhead(0.5);
+        let _a = io.submit_store(1_000_000_000); // 0 .. 1.5 s
+        let b = io.submit_store(1_000_000_000); // 1.5 .. 3.0 s
+        let c = io.submit_store(1_000_000_000); // 3.0 .. 4.5 s
+        assert!(io.try_cancel_store(b, SimTime::from_secs(0.5)));
+        // c keeps its 0.5 s overhead after pulling forward.
+        assert_eq!(io.store_end(c).as_secs(), 3.0);
     }
 
     #[test]

@@ -33,6 +33,7 @@
 
 pub mod adaptive;
 pub mod cache;
+pub mod coalesce;
 pub mod config;
 pub mod costmodel;
 pub mod error;

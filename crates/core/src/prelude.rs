@@ -20,6 +20,7 @@
 
 pub use crate::adaptive::{AdaptivePlan, ModuleProfile, StepProfile};
 pub use crate::cache::{StageHint, StageScope, StateSlot, TensorCache};
+pub use crate::coalesce::{CoalesceCounts, SealedSegment, SegmentEntry, WriteCoalescer};
 pub use crate::config::{PlacementStrategy, RecoveryPolicy, TensorCacheConfig};
 pub use crate::costmodel::{CostModel, TierCost, TierPlan};
 pub use crate::error::OffloadError;
@@ -27,7 +28,7 @@ pub use crate::fault::FaultyTarget;
 pub use crate::io::{IoEngine, TierLink};
 pub use crate::placement::{KeepReason, OffloadClass, Placement, PlacementPolicy, PlacementQuery};
 pub use crate::stats::{ClassCounters, OffloadStats};
-pub use crate::target::{CpuTarget, OffloadTarget, SsdTarget};
+pub use crate::target::{BatchItem, CpuTarget, OffloadTarget, SsdTarget};
 pub use crate::tier::{Tier, TierCounters, TierId, TierPlacement, TierRole, TierSpec, TierStack};
 
 pub use ssdtrain_trace::{
@@ -36,6 +37,7 @@ pub use ssdtrain_trace::{
 };
 
 pub use ssdtrain_simhw::{
-    Channel, FaultKind, FaultLog, FaultPlan, FaultTrigger, FootprintPoint, GpuMemory, GpuSpec,
-    MemoryReport, PeakObserver, SimClock, SimTime, SystemConfig, TransferObserver,
+    ArenaStats, BufferArena, Channel, FaultKind, FaultLog, FaultPlan, FaultTrigger, FootprintPoint,
+    GpuMemory, GpuSpec, MemoryReport, PeakObserver, PinnedSlab, SimClock, SimTime, SystemConfig,
+    TransferObserver, WearMeter,
 };

@@ -81,6 +81,49 @@ pub struct OffloadStats {
     /// Bytes kept resident because every placement tier was full (the
     /// [`crate::TierStack`] refused admission).
     pub placement_kept_bytes: u64,
+    /// Payload bytes staged through the pinned [`BufferArena`] this
+    /// step (slab acquisitions).
+    ///
+    /// [`BufferArena`]: ssdtrain_simhw::BufferArena
+    #[serde(default)]
+    pub arena_acquired_bytes: u64,
+    /// Payload bytes returned to the arena this step. The arena's
+    /// conservation invariant is `acquired == released + in_use` over
+    /// its own cumulative counters; per step the gap is bytes still
+    /// staged across the step boundary.
+    #[serde(default)]
+    pub arena_released_bytes: u64,
+    /// Peak bytes simultaneously staged in the arena this step — the
+    /// pinned host memory the configuration really needs.
+    #[serde(default)]
+    pub arena_high_water_bytes: u64,
+    /// Total pinned footprint of the arena (sum of all slab size
+    /// classes ever created; grows only when reuse misses).
+    #[serde(default)]
+    pub arena_footprint_bytes: u64,
+    /// Slab acquisitions served from the free lists instead of growing
+    /// the footprint (cumulative).
+    #[serde(default)]
+    pub arena_slab_reuses: u64,
+    /// Coalesced segments sealed and submitted this step (each is one
+    /// store job and one device write operation).
+    #[serde(default)]
+    pub coalesce_segments: u64,
+    /// Tensor bytes that travelled inside coalesced segments. Always
+    /// `<= offloaded_bytes`; equality means every store coalesced.
+    #[serde(default)]
+    pub coalesced_bytes: u64,
+    /// Members evicted from an open (unsealed) segment because they
+    /// were consumed or released before the segment filled — served
+    /// from memory like a forwarding hit.
+    #[serde(default)]
+    pub coalesce_evictions: u64,
+    /// Backward prefetch groups issued (group-based double buffering).
+    #[serde(default)]
+    pub prefetch_groups: u64,
+    /// Bytes covered by issued prefetch groups.
+    #[serde(default)]
+    pub prefetch_group_bytes: u64,
     /// Per-tier traffic, front tier first (empty until the cache takes
     /// its first snapshot).
     pub tiers: Vec<TierCounters>,
@@ -151,6 +194,19 @@ impl OffloadStats {
         registry.inc_counter("offload.kept_resident_bytes", self.kept_resident_bytes);
         registry.inc_counter("offload.spilled_bytes", self.spilled_bytes);
         registry.inc_counter("offload.placement_kept_bytes", self.placement_kept_bytes);
+        registry.inc_counter("offload.arena_acquired_bytes", self.arena_acquired_bytes);
+        registry.inc_counter("offload.arena_released_bytes", self.arena_released_bytes);
+        registry.inc_counter(
+            "offload.arena_high_water_bytes",
+            self.arena_high_water_bytes,
+        );
+        registry.inc_counter("offload.arena_footprint_bytes", self.arena_footprint_bytes);
+        registry.inc_counter("offload.arena_slab_reuses", self.arena_slab_reuses);
+        registry.inc_counter("offload.coalesce_segments", self.coalesce_segments);
+        registry.inc_counter("offload.coalesced_bytes", self.coalesced_bytes);
+        registry.inc_counter("offload.coalesce_evictions", self.coalesce_evictions);
+        registry.inc_counter("offload.prefetch_groups", self.prefetch_groups);
+        registry.inc_counter("offload.prefetch_group_bytes", self.prefetch_group_bytes);
         for (idx, tier) in self.tiers.iter().enumerate() {
             let prefix = format!("offload.tier{idx}.{}", tier.name);
             registry.inc_counter(&format!("{prefix}.bytes_written"), tier.bytes_written);

@@ -28,7 +28,7 @@
 //! surfacing at device-write time.
 
 use crate::id::TensorKey;
-use crate::target::OffloadTarget;
+use crate::target::{BatchItem, OffloadTarget};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -409,6 +409,39 @@ impl TierStack {
         Ok(())
     }
 
+    /// Writes a sealed segment — every member of `items` — to the
+    /// tier's device in one batched operation
+    /// ([`OffloadTarget::write_batch`]): one device store, `sum(len)`
+    /// bytes of write traffic. Members keep their per-key identity for
+    /// later reads and removes.
+    ///
+    /// # Errors
+    /// Propagates the device's I/O error; the device has already
+    /// unwound any partially written members, so the caller recovers at
+    /// segment granularity per its [`crate::RecoveryPolicy`].
+    pub fn write_segment(&self, tier: TierId, items: &[BatchItem<'_>]) -> io::Result<()> {
+        let device = {
+            let inner = self.inner.lock();
+            match inner.get(tier.0) {
+                Some((t, _)) => t.device.clone(),
+                None => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::NotFound,
+                        format!("{tier} does not exist"),
+                    ))
+                }
+            }
+        };
+        device.write_batch(items)?;
+        let total: u64 = items.iter().map(|(_, _, len)| *len).sum();
+        let mut inner = self.inner.lock();
+        if let Some((_, state)) = inner.get_mut(tier.0) {
+            state.counters.bytes_written += total;
+            state.counters.stores += 1;
+        }
+        Ok(())
+    }
+
     /// Reads the `len` bytes stored under `key` back from the tier
     /// (`Ok(None)` for symbolic entries), accounting the traffic on
     /// success.
@@ -697,6 +730,33 @@ mod tests {
         assert_eq!(stack.read(dest, &k, 60).ok(), Some(None));
         stack.remove(dest, &k, 60);
         assert_eq!(stack.reserved_bytes(dest), 0);
+    }
+
+    #[test]
+    fn write_segment_accounts_one_store_for_all_members() {
+        let stack = two_tier(100);
+        assert!(stack.reserve(12).is_some());
+        let keys: Vec<TensorKey> = (10..13).map(key).collect();
+        let items: Vec<BatchItem<'_>> = keys.iter().map(|k| (k, None, 4u64)).collect();
+        assert!(stack.write_segment(TierId(0), &items).is_ok());
+        let c = stack.counters();
+        assert_eq!(c[0].bytes_written, 12);
+        assert_eq!(c[0].stores, 1, "a segment is one device store");
+        // Members stay individually readable and removable.
+        assert_eq!(stack.read(TierId(0), &keys[1], 4).ok(), Some(None));
+        stack.remove(TierId(0), &keys[1], 4);
+        assert!(stack.read(TierId(0), &keys[1], 4).is_err());
+    }
+
+    #[test]
+    fn failed_segment_write_accounts_nothing() {
+        let stack = TierStack::new(vec![Tier::new("tiny", Arc::new(CpuTarget::new(6)), 0)]);
+        let keys: Vec<TensorKey> = (20..23).map(key).collect();
+        let items: Vec<BatchItem<'_>> = keys.iter().map(|k| (k, None, 4u64)).collect();
+        assert!(stack.write_segment(TierId(0), &items).is_err());
+        let c = stack.counters();
+        assert_eq!(c[0].bytes_written, 0);
+        assert_eq!(c[0].stores, 0);
     }
 
     #[test]

@@ -33,12 +33,15 @@ use crate::lexer::Token;
 use std::collections::HashSet;
 use std::ops::Range;
 
-/// The per-step loop modules: cache maintenance, the I/O engine, the
-/// tier stack, and the overlapped optimizer engine.
-const HOT_LOOP_FILES: [&str; 4] = [
+/// The per-step loop modules: cache maintenance, the write coalescer,
+/// the I/O engine, the tier stack, the pinned buffer arena, and the
+/// overlapped optimizer engine.
+const HOT_LOOP_FILES: [&str; 6] = [
     "crates/core/src/cache.rs",
+    "crates/core/src/coalesce.rs",
     "crates/core/src/io.rs",
     "crates/core/src/tier.rs",
+    "crates/simhw/src/arena.rs",
     "crates/train/src/opt_engine.rs",
 ];
 

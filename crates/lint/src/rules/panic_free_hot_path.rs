@@ -32,16 +32,19 @@ use crate::engine::LintContext;
 
 /// The offload hot path: cache pack/unpack and recovery, the placement
 /// policy and cost model, the tier stack, the I/O engine, the targets,
-/// fault injection, the training executors, and the overlapped
+/// fault injection, the pinned buffer arena and write coalescer every
+/// staged byte crosses, the training executors, and the overlapped
 /// optimizer engine.
-pub(crate) const HOT_PATH: [&str; 10] = [
+pub(crate) const HOT_PATH: [&str; 12] = [
     "crates/core/src/cache.rs",
+    "crates/core/src/coalesce.rs",
     "crates/core/src/placement.rs",
     "crates/core/src/costmodel.rs",
     "crates/core/src/tier.rs",
     "crates/core/src/io.rs",
     "crates/core/src/target.rs",
     "crates/core/src/fault.rs",
+    "crates/simhw/src/arena.rs",
     "crates/train/src/executor.rs",
     "crates/train/src/pipeline_exec.rs",
     "crates/train/src/opt_engine.rs",

@@ -1,0 +1,17 @@
+//! Seeded fixture: the write coalescer is hot-path and hot-loop — one
+//! panic site in `stage` (line 6) and one per-entry allocation inside
+//! the seal loop (line 13).
+
+pub fn stage(open: Option<u64>, bytes: u64) -> u64 {
+    open.unwrap() + bytes
+}
+
+/// Seals a segment: allocates a label per entry inside the drain loop.
+pub fn seal(entries: u64) {
+    let mut total = 0u64;
+    for e in 0..entries {
+        let label = format!("seg{e}");
+        total += label.len() as u64;
+    }
+    drop(total);
+}

@@ -1,0 +1,17 @@
+//! Seeded fixture: the pinned buffer arena is hot-path and hot-loop —
+//! one panic site in `acquire` (line 6) and one allocation inside the
+//! slab-reuse scan (line 13).
+
+pub fn acquire(free: Option<u64>) -> u64 {
+    free.expect("a free slab")
+}
+
+/// Scans the free list: clones the candidate set on every probe.
+pub fn reuse_scan(slabs: &[u64]) -> u64 {
+    let mut hits = 0u64;
+    for s in slabs {
+        let probe = slabs.to_vec();
+        hits += probe.len() as u64 + s;
+    }
+    hits
+}

@@ -71,6 +71,11 @@ fn each_rule_fires_at_its_seeded_anchor() {
         ("panic-free-hot-path", "crates/core/src/placement.rs", 8),
         ("no-alloc-hot-loop", "crates/train/src/opt_engine.rs", 16),
         ("no-alloc-hot-loop", "crates/train/src/opt_engine.rs", 17),
+        // The zero-copy I/O path modules are hot-path and hot-loop.
+        ("panic-free-hot-path", "crates/core/src/coalesce.rs", 6),
+        ("no-alloc-hot-loop", "crates/core/src/coalesce.rs", 13),
+        ("panic-free-hot-path", "crates/simhw/src/arena.rs", 6),
+        ("no-alloc-hot-loop", "crates/simhw/src/arena.rs", 13),
     ];
     for (rule, path, line) in anchors {
         assert!(

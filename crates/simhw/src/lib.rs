@@ -16,6 +16,9 @@
 //!   paper's Figure 7 memory-footprint curve and per-class peaks.
 //! * [`Channel`] — a FIFO bandwidth resource (PCIe write/read direction,
 //!   NVLink); jobs queue and the channel reports per-job start/finish.
+//! * [`BufferArena`] — the pinned host staging pool: size-classed slab
+//!   reuse with high-water and footprint accounting, so offload
+//!   configurations expose their real pinned-memory cost.
 //! * [`SsdSpec`] / [`WearMeter`] / [`Raid0`] — sequential-write bandwidth,
 //!   endurance in petabytes-written, write-amplification and retention
 //!   relaxation (paper Sections 2.3 and 3.4).
@@ -25,6 +28,7 @@
 //!   evaluation testbed (Table 3).
 
 pub mod allocator;
+pub mod arena;
 pub mod catalog;
 pub mod fault;
 pub mod gpu;
@@ -35,6 +39,7 @@ pub mod system;
 pub mod time;
 
 pub use allocator::{AllocatorStats, CachingAllocator};
+pub use arena::{ArenaStats, BufferArena, PinnedSlab, MIN_SLAB_BYTES};
 pub use fault::{FaultKind, FaultLog, FaultPlan, FaultRule, FaultTrigger};
 pub use gpu::GpuSpec;
 pub use link::{Channel, TransferObserver};

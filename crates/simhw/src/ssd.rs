@@ -61,6 +61,14 @@ impl SsdSpec {
 }
 
 /// Running wear accounting for one drive (or array) under a workload.
+///
+/// Besides the host-byte budget, the meter models *per-operation* write
+/// amplification: every write op costs a fixed media overhead
+/// (FTL mapping update plus the read-modify-write of a partially filled
+/// erase block), so many small writes wear the media faster than one
+/// coalesced write of the same payload. [`WearMeter::effective_waf`]
+/// reports `media_bytes / host_bytes` — the quantity the paper drives
+/// toward 1.0 with large sequential segments.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WearMeter {
     /// Host bytes written so far.
@@ -69,6 +77,13 @@ pub struct WearMeter {
     pub waf: f64,
     /// Endurance budget in host bytes at this WAF.
     pub endurance_bytes: f64,
+    /// Media bytes actually worn (host bytes + per-op overheads).
+    #[serde(default)]
+    pub media_bytes: u64,
+    /// Fixed media overhead charged per write *operation* (0 = the
+    /// pre-existing ideal model where media == host).
+    #[serde(default)]
+    pub write_overhead_bytes: u64,
 }
 
 impl WearMeter {
@@ -78,12 +93,42 @@ impl WearMeter {
             host_bytes: 0,
             waf,
             endurance_bytes,
+            media_bytes: 0,
+            write_overhead_bytes: 0,
         }
     }
 
-    /// Records a host write.
+    /// Sets the per-operation media overhead (builder style).
+    pub fn with_write_overhead(mut self, bytes: u64) -> WearMeter {
+        self.write_overhead_bytes = bytes;
+        self
+    }
+
+    /// Records one host write operation.
     pub fn record_write(&mut self, bytes: u64) {
+        self.record_batch(bytes, 1);
+    }
+
+    /// Records a coalesced batch: `bytes` of payload landing as `ops`
+    /// write operations. The per-op overhead is charged per *operation*,
+    /// so a batch that merges N tensors into one sequential segment pays
+    /// one overhead instead of N — this is where coalescing buys back
+    /// write amplification.
+    pub fn record_batch(&mut self, bytes: u64, ops: u64) {
         self.host_bytes += bytes;
+        self.media_bytes += bytes + ops * self.write_overhead_bytes;
+    }
+
+    /// Observed write amplification: media bytes per host byte. Equals
+    /// the configured `waf` baseline scale only when no writes happened
+    /// yet (returns `waf` on an untouched meter so dashboards have a
+    /// defined value).
+    pub fn effective_waf(&self) -> f64 {
+        if self.host_bytes == 0 {
+            self.waf
+        } else {
+            self.media_bytes as f64 / self.host_bytes as f64
+        }
     }
 
     /// Fraction of endurance consumed (0 = fresh, 1 = worn out).
@@ -220,6 +265,35 @@ mod tests {
         meter.record_write(250);
         meter.record_write(250);
         assert!((meter.wear_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_overhead_keeps_media_equal_to_host() {
+        let mut meter = WearMeter::new(1e12, 1.0);
+        meter.record_write(4096);
+        meter.record_batch(1 << 20, 7);
+        assert_eq!(meter.media_bytes, meter.host_bytes);
+        assert!((meter.effective_waf() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coalescing_pays_one_overhead_instead_of_n() {
+        let payload = 1u64 << 20;
+        let mut small = WearMeter::new(1e12, 1.0).with_write_overhead(4096);
+        for _ in 0..16 {
+            small.record_write(payload / 16);
+        }
+        let mut big = WearMeter::new(1e12, 1.0).with_write_overhead(4096);
+        big.record_batch(payload, 1);
+        assert_eq!(small.host_bytes, big.host_bytes);
+        assert_eq!(small.media_bytes - big.media_bytes, 15 * 4096);
+        assert!(small.effective_waf() > big.effective_waf());
+    }
+
+    #[test]
+    fn untouched_meter_reports_the_configured_waf() {
+        let meter = WearMeter::new(1e12, 2.5).with_write_overhead(4096);
+        assert!((meter.effective_waf() - 2.5).abs() < 1e-12);
     }
 
     #[test]

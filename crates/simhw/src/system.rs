@@ -48,6 +48,15 @@ pub struct SystemConfig {
     pub host_mem_bytes: u64,
     /// GPU↔SSD data path (Table 2's first axis).
     pub offload_path: OffloadPath,
+    /// Fixed per-store-job submission overhead, seconds (driver ioctl +
+    /// DMA descriptor setup). 0 = the pre-existing bandwidth-only model.
+    #[serde(default)]
+    pub store_job_overhead_secs: f64,
+    /// Per-write-operation media overhead charged on the SSD array's
+    /// wear meter, bytes (FTL mapping + partial erase-block RMW). 0 =
+    /// ideal WAF-1 sequential model.
+    #[serde(default)]
+    pub ssd_write_overhead_bytes: u64,
 }
 
 impl SystemConfig {
@@ -65,6 +74,8 @@ impl SystemConfig {
             ssd_array: Raid0::new(ssds::optane_p5800x(), 4),
             host_mem_bytes: 1024 * (1u64 << 30),
             offload_path: OffloadPath::Direct,
+            store_job_overhead_secs: 0.0,
+            ssd_write_overhead_bytes: 0,
         }
     }
 

@@ -175,6 +175,7 @@ pub fn text_summary(events: &[TraceEvent]) -> String {
 
         let cats = [
             TraceCategory::Store,
+            TraceCategory::Coalesce,
             TraceCategory::Load,
             TraceCategory::Prefetch,
             TraceCategory::Dedup,
@@ -185,6 +186,7 @@ pub fn text_summary(events: &[TraceEvent]) -> String {
             TraceCategory::Tier,
             TraceCategory::Link,
             TraceCategory::Alloc,
+            TraceCategory::Arena,
         ];
         for cat in cats {
             let mut agg = CatAgg::default();

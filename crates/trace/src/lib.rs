@@ -70,6 +70,11 @@ pub enum TraceCategory {
     /// Tier placement events (spill to a slower tier, full-stack
     /// refusal, demotion between tiers).
     Tier,
+    /// Pinned staging-arena traffic (slab acquire/release, high-water
+    /// counter samples).
+    Arena,
+    /// Write-coalescer lifecycle (segment seal/commit, member evictions).
+    Coalesce,
 }
 
 impl TraceCategory {
@@ -89,6 +94,8 @@ impl TraceCategory {
             TraceCategory::Stall => "stall",
             TraceCategory::Session => "session",
             TraceCategory::Tier => "tier",
+            TraceCategory::Arena => "arena",
+            TraceCategory::Coalesce => "coalesce",
         }
     }
 
@@ -97,14 +104,17 @@ impl TraceCategory {
     pub const fn lane(self) -> (u32, &'static str) {
         match self {
             TraceCategory::Session | TraceCategory::Stage => (0, "schedule"),
-            TraceCategory::Store | TraceCategory::Dedup | TraceCategory::Forwarding => {
-                (1, "store path")
-            }
+            TraceCategory::Store
+            | TraceCategory::Dedup
+            | TraceCategory::Forwarding
+            | TraceCategory::Coalesce => (1, "store path"),
             TraceCategory::Load | TraceCategory::Prefetch | TraceCategory::Stall => {
                 (2, "load path")
             }
             TraceCategory::Fault | TraceCategory::Recovery => (3, "faults"),
-            TraceCategory::Alloc | TraceCategory::Link => (4, "memory+links"),
+            TraceCategory::Alloc | TraceCategory::Link | TraceCategory::Arena => {
+                (4, "memory+links")
+            }
             TraceCategory::Tier => (5, "tiers"),
         }
     }

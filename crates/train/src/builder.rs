@@ -249,6 +249,55 @@ impl SessionBuilder {
         self
     }
 
+    /// Write-coalescing segment size shorthand: rewrites
+    /// `cache.coalesce_segment_bytes` in place. Zero (the default)
+    /// keeps the per-tensor store path; a positive value batches
+    /// forward-pass stores into sequential segments of roughly this
+    /// many bytes before they hit the tier queues.
+    pub fn coalesce_segment(mut self, bytes: u64) -> SessionBuilder {
+        self.cache.coalesce_segment_bytes = bytes;
+        self
+    }
+
+    /// Group-prefetch shorthand: rewrites
+    /// `cache.prefetch_group_modules` in place. Zero (the default)
+    /// keeps per-module prefetch; a positive value loads backward
+    /// activations in groups of this many modules on the double
+    /// buffer, `prefetch_depth` groups ahead of consumption.
+    pub fn prefetch_group(mut self, modules: usize) -> SessionBuilder {
+        self.cache.prefetch_group_modules = modules;
+        self
+    }
+
+    /// Prefetch lookahead shorthand: rewrites `cache.prefetch_depth`
+    /// in place (modules on the per-module path, groups on the
+    /// grouped path).
+    pub fn prefetch_depth(mut self, depth: usize) -> SessionBuilder {
+        self.cache.prefetch_depth = depth;
+        self
+    }
+
+    /// Per-store-job fixed cost shorthand: rewrites
+    /// `system.store_job_overhead_secs` in place. This is the knob
+    /// that makes coalescing pay off in simulated time — each queued
+    /// store job charges this submission overhead on top of its
+    /// bandwidth term.
+    pub fn store_job_overhead(mut self, secs: f64) -> SessionBuilder {
+        self.system.store_job_overhead_secs = secs;
+        self
+    }
+
+    /// Per-write-op media overhead shorthand: rewrites
+    /// `system.ssd_write_overhead_bytes` in place. Each store op
+    /// charges this many extra media bytes on the wear meter (mapping
+    /// granularity / page padding), so many small writes inflate the
+    /// effective write-amplification factor relative to few large
+    /// segments.
+    pub fn ssd_write_overhead(mut self, bytes: u64) -> SessionBuilder {
+        self.system.ssd_write_overhead_bytes = bytes;
+        self
+    }
+
     /// Shape-only execution (paper-scale runs).
     pub fn symbolic(mut self, symbolic: bool) -> SessionBuilder {
         self.symbolic = symbolic;
@@ -424,6 +473,29 @@ mod tests {
         assert_eq!(cfg.offload, OffloadClassSet::activation_only());
         assert!(!cfg.overlap_optimizer);
         assert_eq!(cfg.momentum, 0.0);
+    }
+
+    #[test]
+    fn io_pipeline_knobs_flow_into_the_config() {
+        let cfg = SessionConfig::builder()
+            .coalesce_segment(64 << 20)
+            .prefetch_group(2)
+            .prefetch_depth(3)
+            .store_job_overhead(1e-3)
+            .ssd_write_overhead(512 << 10)
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.cache.coalesce_segment_bytes, 64 << 20);
+        assert_eq!(cfg.cache.prefetch_group_modules, 2);
+        assert_eq!(cfg.cache.prefetch_depth, 3);
+        assert_eq!(cfg.system.store_job_overhead_secs, 1e-3);
+        assert_eq!(cfg.system.ssd_write_overhead_bytes, 512 << 10);
+        // Defaults keep the legacy per-tensor path.
+        let cfg = SessionConfig::builder().build().expect("valid");
+        assert_eq!(cfg.cache.coalesce_segment_bytes, 0);
+        assert_eq!(cfg.cache.prefetch_group_modules, 0);
+        assert_eq!(cfg.system.store_job_overhead_secs, 0.0);
+        assert_eq!(cfg.system.ssd_write_overhead_bytes, 0);
     }
 
     #[test]

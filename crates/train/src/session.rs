@@ -232,7 +232,11 @@ impl TrainSession {
         let (cache, faulty) = if wants_cache {
             let mut new_ssd = |tag: &str| -> std::io::Result<Arc<dyn OffloadTarget>> {
                 let dir = unique_spill_dir(tag);
-                let wear = cfg.system.ssd_array.wear_meter(1.0);
+                let wear = cfg
+                    .system
+                    .ssd_array
+                    .wear_meter(1.0)
+                    .with_write_overhead(cfg.system.ssd_write_overhead_bytes);
                 let t = Arc::new(SsdTarget::new(&dir, wear)?);
                 spill_dirs.push(dir);
                 Ok(t)
@@ -322,6 +326,7 @@ impl TrainSession {
             // dram's and ssd's on the step critical path. Single-link
             // backends are byte-identical with or without the bus.
             let io = IoEngine::tiered_with_bus(runtime.clock.clone(), links, cfg.system.pcie_bps);
+            io.set_store_job_overhead(cfg.system.store_job_overhead_secs);
             if let Some(ft) = &faulty {
                 ft.attach_io(io.clone());
                 ft.set_trace(cfg.trace.clone());
@@ -352,7 +357,11 @@ impl TrainSession {
                     match cfg.fallback.unwrap_or(OffloadBackend::Dram) {
                         OffloadBackend::Ssd => {
                             let dir = unique_spill_dir(&format!("{}-fb", cfg.model.tag()));
-                            let wear = cfg.system.ssd_array.wear_meter(1.0);
+                            let wear = cfg
+                                .system
+                                .ssd_array
+                                .wear_meter(1.0)
+                                .with_write_overhead(cfg.system.ssd_write_overhead_bytes);
                             let t = Arc::new(SsdTarget::new(&dir, wear)?);
                             spill_dirs.push(dir);
                             t

@@ -141,3 +141,68 @@ awk '
     printf "capacity gate ok: array-backed capacity above dram-only, overlap exposure below inline\n"
   }
 ' "$capacity"
+
+# I/O-path gate over results/BENCH_io.json: write coalescing must pay —
+# the coalesced arms' effective WAF and tiered step time strictly below
+# the per-tensor prefetching baseline — and the double-buffered group
+# prefetch must not stall the backward more than on-demand loads do.
+# Regenerate with:
+#   cargo run -p ssdtrain-bench --release --bin bench_io
+io=results/BENCH_io.json
+if [ ! -f "$io" ]; then
+    echo "FAIL: missing $io (run the bench_io binary first)" >&2
+    exit 1
+fi
+
+awk '
+  /"name":/ {
+    line = $0
+    sub(/.*"name": "/, "", line)
+    sub(/".*/, "", line)
+    name = line
+    v = $0; sub(/.*"step_secs": /, "", v); sub(/,.*/, "", v); step[name] = v + 0
+    v = $0; sub(/.*"waf": /, "", v); sub(/,.*/, "", v); waf[name] = v + 0
+    v = $0; sub(/.*"load_stall_secs": /, "", v); sub(/,.*/, "", v); stall[name] = v + 0
+    v = $0; sub(/.*"coalesce_segments": /, "", v); sub(/,.*/, "", v); segs[name] = v + 0
+    n++
+  }
+  END {
+    fail = 0
+    base = "per-tensor-depth2"
+    if (!(base in step) || !("per-tensor-ondemand" in step)) {
+      print "FAIL: io report is missing a per-tensor baseline arm"
+      exit 1
+    }
+    coalesced = 0
+    for (name in step) {
+      if (name ~ /^coalesced-/) {
+        coalesced++
+        if (!(segs[name] > 0)) {
+          printf "FAIL: %s sealed no segments — the coalescer never engaged\n", name
+          fail = 1
+        }
+        if (!(waf[name] < waf[base])) {
+          printf "FAIL: %s waf (%.6f) must be strictly below per-tensor (%.6f)\n", \
+                 name, waf[name], waf[base]
+          fail = 1
+        }
+        if (!(step[name] < step[base])) {
+          printf "FAIL: %s step (%.6f s) must be strictly below per-tensor (%.6f s)\n", \
+                 name, step[name], step[base]
+          fail = 1
+        }
+        if (!(stall[name] <= stall["per-tensor-ondemand"])) {
+          printf "FAIL: %s backward stall (%.6f s) must not exceed on-demand (%.6f s)\n", \
+                 name, stall[name], stall["per-tensor-ondemand"]
+          fail = 1
+        }
+      }
+    }
+    if (coalesced < 2) {
+      print "FAIL: io report needs at least two coalesced arms (segment-size axis)"
+      fail = 1
+    }
+    if (fail) exit 1
+    printf "io gate ok: %d arms, coalesced waf and step below per-tensor, group stall bounded\n", n
+  }
+' "$io"

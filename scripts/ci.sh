@@ -20,6 +20,9 @@ cargo test -q --test proptest_invariants
 # across the in-memory, inline-offloaded and overlapped optimizer
 # paths, healthy or faulted. Run explicitly for the same reason.
 cargo test -q --test optimizer_offload
+# The fault × recovery matrix must hold through the coalesced/prefetched
+# I/O path with bit-identical losses. Run explicitly for the same reason.
+cargo test -q --test fault_injection
 # The lint's own contract: golden diagnostics over the seeded fixture
 # trees (regenerate with UPDATE_GOLDEN=1 after intentional rule
 # changes) plus the --explain CLI surface. Run explicitly so a harness

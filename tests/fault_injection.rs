@@ -16,11 +16,15 @@ use ssdtrain_train::{SessionConfig, StepMetrics, TrainSession};
 
 const STEPS: usize = 3;
 
-fn session(fault: Option<FaultPlan>, recovery: RecoveryPolicy) -> TrainSession {
+fn session_with(
+    fault: Option<FaultPlan>,
+    recovery: RecoveryPolicy,
+    cache: TensorCacheConfig,
+) -> TrainSession {
     let mut builder = SessionConfig::builder()
         .model(ModelConfig::tiny_gpt())
         .batch_size(2)
-        .cache(TensorCacheConfig::offload_everything())
+        .cache(cache)
         .recovery(recovery)
         .seed(23);
     if let Some(plan) = fault {
@@ -28,6 +32,20 @@ fn session(fault: Option<FaultPlan>, recovery: RecoveryPolicy) -> TrainSession {
     }
     let cfg = builder.build().expect("valid config");
     TrainSession::new(cfg).expect("session construction")
+}
+
+fn session(fault: Option<FaultPlan>, recovery: RecoveryPolicy) -> TrainSession {
+    session_with(fault, recovery, TensorCacheConfig::offload_everything())
+}
+
+/// The zero-copy pipeline variant of the same run: stores coalesce into
+/// 1 MiB segments and backward consumes module groups of two on the
+/// double buffer.
+fn coalesced_session(fault: Option<FaultPlan>, recovery: RecoveryPolicy) -> TrainSession {
+    let mut cache = TensorCacheConfig::offload_everything();
+    cache.coalesce_segment_bytes = 1 << 20;
+    cache.prefetch_group_modules = 2;
+    session_with(fault, recovery, cache)
 }
 
 /// Runs `STEPS` steps, asserting every one succeeds, and returns the
@@ -157,6 +175,99 @@ fn fail_step_surfaces_structured_error_for_every_trigger() {
         assert!(
             saw_error,
             "{name}: fail-step policy should surface the fault"
+        );
+    }
+}
+
+#[test]
+fn coalesced_path_is_bit_identical_to_the_per_tensor_path() {
+    // The pipeline changes *when and how* bytes move, never *what*
+    // comes back: a healthy coalesced + group-prefetched run reproduces
+    // the per-tensor baseline bit for bit, while actually exercising
+    // the segment path.
+    let base = baseline_bits();
+    let mut s = coalesced_session(None, RecoveryPolicy::KeepResident);
+    let metrics = run(&mut s);
+    assert_eq!(
+        loss_bits(&metrics),
+        base,
+        "coalescing must not change numerics"
+    );
+    let segments: u64 = metrics.iter().map(|m| m.offload.coalesce_segments).sum();
+    let groups: u64 = metrics.iter().map(|m| m.offload.prefetch_groups).sum();
+    assert!(segments > 0, "the coalescer must actually seal segments");
+    assert!(groups > 0, "group prefetch must actually run");
+}
+
+#[test]
+fn coalesced_keep_resident_is_bit_identical_for_every_trigger() {
+    // A failed segment write degrades the whole segment (its members
+    // stay resident), per RecoveryPolicy — still bit-identical.
+    let base = baseline_bits();
+    for (name, plan) in write_fault_plans() {
+        let mut s = coalesced_session(Some(plan), RecoveryPolicy::KeepResident);
+        let metrics = run(&mut s);
+        assert_eq!(
+            loss_bits(&metrics),
+            base,
+            "{name}: coalesced keep-resident recovery must not change numerics"
+        );
+        let log = s.fault_log().expect("session has a fault plan");
+        assert!(log.write_faults >= 1, "{name}: the fault should fire");
+        let failures: u64 = metrics.iter().map(|m| m.offload.store_failures).sum();
+        let kept: u64 = metrics.iter().map(|m| m.offload.kept_resident_bytes).sum();
+        assert!(failures >= 1, "{name}: store_failures should be counted");
+        assert!(
+            kept > 0,
+            "{name}: the failed segment's members stay resident"
+        );
+    }
+}
+
+#[test]
+fn coalesced_fallback_target_is_bit_identical_for_every_trigger() {
+    let base = baseline_bits();
+    for (name, plan) in write_fault_plans() {
+        let mut s = coalesced_session(Some(plan), RecoveryPolicy::FallbackTarget);
+        let metrics = run(&mut s);
+        assert_eq!(
+            loss_bits(&metrics),
+            base,
+            "{name}: coalesced fallback recovery must not change numerics"
+        );
+        let fallback: u64 = metrics.iter().map(|m| m.offload.fallback_bytes).sum();
+        assert!(
+            fallback > 0,
+            "{name}: the failed segment's members should demote to the fallback"
+        );
+        let failures: u64 = metrics.iter().map(|m| m.offload.store_failures).sum();
+        assert!(failures >= 1, "{name}: store_failures should be counted");
+    }
+}
+
+#[test]
+fn coalesced_fail_step_surfaces_structured_error_for_every_trigger() {
+    for (name, plan) in write_fault_plans() {
+        let mut s = coalesced_session(Some(plan), RecoveryPolicy::FailStep);
+        let mut saw_error = false;
+        for _ in 0..STEPS {
+            match s.run_step() {
+                Ok(_) => {}
+                Err(err) => {
+                    saw_error = true;
+                    assert!(
+                        err.error.is_store(),
+                        "{name}: a segment write fault surfaces as a store error"
+                    );
+                    let m = err.metrics.as_ref().expect("degraded metrics attached");
+                    assert!(m.offload.store_failures >= 1, "{name}");
+                    assert!(m.loss.is_finite(), "{name}: loss stays numeric");
+                }
+            }
+        }
+        assert!(
+            saw_error,
+            "{name}: fail-step policy should surface the segment fault"
         );
     }
 }

@@ -695,3 +695,173 @@ proptest! {
         dev.clear_tracker();
     }
 }
+
+// ---------------------------------------------------------------------
+// Zero-copy I/O path: pinned arena, write coalescer, group prefetch
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn arena_slabs_never_alias_and_conserve_bytes(
+        ops in prop::collection::vec((1u64..1_000_000, any::<bool>()), 1..60),
+    ) {
+        use ssdtrain_simhw::BufferArena;
+        let arena = BufferArena::new();
+        let mut held = Vec::new();
+        for (len, release_first) in ops {
+            if release_first && !held.is_empty() {
+                let slab = held.remove(held.len() / 2);
+                prop_assert!(arena.release(slab));
+                // Double release is inert: the accounting must not move.
+                let before = arena.stats();
+                prop_assert!(!arena.release(slab));
+                prop_assert_eq!(arena.stats(), before);
+            }
+            let slab = arena.acquire(len).expect("non-zero request");
+            prop_assert!(slab.class_bytes >= slab.len);
+            prop_assert_eq!(slab.len, len);
+            held.push(slab);
+            // No two live slabs overlap, even across class reuse.
+            let mut ranges = arena.live_ranges();
+            ranges.sort_by_key(|r| r.start);
+            for w in ranges.windows(2) {
+                prop_assert!(w[0].end <= w[1].start, "aliasing: {:?} vs {:?}", &w[0], &w[1]);
+            }
+        }
+        // Conservation: acquired - released == in use == what we hold.
+        let stats = arena.stats();
+        prop_assert_eq!(stats.in_use_bytes, held.iter().map(|s| s.len).sum::<u64>());
+        prop_assert_eq!(stats.acquired_bytes - stats.released_bytes, stats.in_use_bytes);
+        prop_assert!(stats.high_water_bytes >= stats.in_use_bytes);
+        for slab in held.drain(..) {
+            prop_assert!(arena.release(slab));
+        }
+        let stats = arena.stats();
+        prop_assert_eq!(stats.acquired_bytes, stats.released_bytes);
+        prop_assert_eq!(stats.in_use_bytes, 0);
+    }
+
+    #[test]
+    fn coalescer_conserves_bytes_per_tier_and_class(
+        ops in prop::collection::vec(
+            (0usize..3, 1u64..4_000_000, 0usize..3, any::<bool>()),
+            1..80,
+        ),
+        segment in 1u64..8_000_000,
+    ) {
+        use ssdtrain::{OffloadClass, WriteCoalescer};
+        let stack = TierStack::new(vec![
+            Tier::new("a", Arc::new(CpuTarget::new(1 << 30)), 0),
+            Tier::new("b", Arc::new(CpuTarget::new(1 << 30)), 1),
+            Tier::new("c", Arc::new(CpuTarget::new(1 << 30)), 2),
+        ]);
+        let tiers = stack.tier_ids();
+        let mut c = WriteCoalescer::new(segment);
+        let mut sealed_bytes = 0u64;
+        let mut evicted_bytes = 0u64;
+        let mut staged = Vec::new(); // (tier, record) currently open
+        for (i, (t, bytes, class, evict_one)) in ops.iter().enumerate() {
+            let tier = tiers[*t];
+            let class = OffloadClass::ALL[*class];
+            let record = i as u64;
+            if let Some(seg) = c.stage(tier, record, *bytes, class) {
+                // A sealed segment's entry sum is its total, every
+                // entry belongs to the tier it sealed on, and its
+                // members leave the open set.
+                prop_assert_eq!(seg.tier, tier);
+                prop_assert_eq!(
+                    seg.entries.iter().map(|e| e.bytes).sum::<u64>(),
+                    seg.total_bytes()
+                );
+                prop_assert!(seg.total_bytes() >= segment);
+                sealed_bytes += seg.total_bytes();
+                staged.retain(|(st, sr)| !(
+                    *st == tier && seg.entries.iter().any(|e| e.record == *sr)
+                ));
+            } else {
+                staged.push((tier, record));
+            }
+            if *evict_one && !staged.is_empty() {
+                let (et, er) = staged.remove(staged.len() / 2);
+                let entry = c.evict(et, er).expect("staged entry evicts");
+                evicted_bytes += entry.bytes;
+                // A second eviction of the same record is inert.
+                prop_assert!(c.evict(et, er).is_none());
+            }
+        }
+        // Flush the tails and check global + per-tier + per-class
+        // conservation: staged == sealed + evicted + open(=0 now).
+        for seg in c.seal_all() {
+            sealed_bytes += seg.total_bytes();
+        }
+        prop_assert_eq!(c.total_open_bytes(), 0);
+        let total = c.counts();
+        prop_assert_eq!(total.staged_bytes, total.sealed_bytes + total.evicted_bytes);
+        prop_assert_eq!(total.sealed_bytes, sealed_bytes);
+        prop_assert_eq!(total.evicted_bytes, evicted_bytes);
+        let (mut tier_staged, mut tier_closed) = (0u64, 0u64);
+        for t in &tiers {
+            let tc = c.tier_counts(*t);
+            prop_assert_eq!(tc.staged_bytes, tc.sealed_bytes + tc.evicted_bytes);
+            tier_staged += tc.staged_bytes;
+            tier_closed += tc.sealed_bytes + tc.evicted_bytes;
+        }
+        prop_assert_eq!(tier_staged, total.staged_bytes);
+        prop_assert_eq!(tier_closed, total.staged_bytes);
+        let mut class_staged = 0u64;
+        for class in OffloadClass::ALL {
+            let cc = c.class_counts(class);
+            prop_assert_eq!(cc.staged_bytes, cc.sealed_bytes + cc.evicted_bytes);
+            class_staged += cc.staged_bytes;
+        }
+        prop_assert_eq!(class_staged, total.staged_bytes);
+    }
+}
+
+proptest! {
+    // Whole-session property: a handful of cases is plenty (each runs
+    // two numeric steps).
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn group_prefetch_never_loads_a_group_twice(
+        group in 1usize..4,
+        depth in 1usize..4,
+        seed in 0u64..1_000,
+    ) {
+        use ssdtrain::{ArgValue, TensorCacheConfig, TraceSink};
+        use ssdtrain_models::ModelConfig;
+        use ssdtrain_train::{OffloadBackend, SessionConfig, TrainSession};
+        let mut cache = TensorCacheConfig::offload_everything();
+        cache.prefetch_group_modules = group;
+        cache.prefetch_depth = depth;
+        let sink = TraceSink::enabled();
+        let cfg = SessionConfig::builder()
+            .model(ModelConfig::tiny_gpt())
+            .batch_size(2)
+            .cache(cache)
+            .seed(seed)
+            .backend(OffloadBackend::Ssd)
+            .trace(sink.clone())
+            .build()
+            .expect("valid config");
+        let mut s = TrainSession::new(cfg).expect("session");
+        for _ in 0..2 {
+            let m = s.run_step().expect("step").offload;
+            prop_assert!(m.prefetch_groups > 0, "group prefetch must engage");
+        }
+        // Per step, each group index is fetched at most once.
+        let mut seen = std::collections::HashSet::new();
+        for e in sink.events().iter().filter(|e| e.name == "prefetch.group") {
+            let gidx = match e.args.iter().find(|(k, _)| *k == "group") {
+                Some((_, ArgValue::U64(v))) => *v,
+                other => panic!("prefetch.group group arg: {other:?}"),
+            };
+            prop_assert!(
+                seen.insert((e.step, gidx)),
+                "group {gidx} fetched twice in step {}", e.step
+            );
+        }
+        prop_assert!(!seen.is_empty());
+    }
+}

@@ -217,6 +217,83 @@ fn trace_accounting_survives_fallback_rerouting() {
     assert_accounting(&sink.events(), &per_step);
 }
 
+/// Coalesced-path variant of the fixed-seed session: same model and
+/// seed, but stores ride 1 MiB segments and backward consumes groups of
+/// two modules on the double buffer.
+fn coalesced_session(
+    sink: TraceSink,
+    recovery: RecoveryPolicy,
+    fault: Option<FaultPlan>,
+    fallback: Option<OffloadBackend>,
+) -> TrainSession {
+    let mut cache = TensorCacheConfig::offload_everything();
+    cache.coalesce_segment_bytes = 1 << 20;
+    cache.prefetch_group_modules = 2;
+    let mut builder = SessionConfig::builder()
+        .model(ModelConfig::tiny_gpt())
+        .batch_size(2)
+        .cache(cache)
+        .recovery(recovery)
+        .seed(7)
+        .backend(OffloadBackend::Ssd)
+        .trace(sink);
+    if let Some(plan) = fault {
+        builder = builder.fault(plan);
+    }
+    if let Some(fb) = fallback {
+        builder = builder.fallback(fb);
+    }
+    TrainSession::new(builder.build().expect("valid config")).expect("session")
+}
+
+#[test]
+fn trace_accounting_holds_on_the_coalesced_path() {
+    // Segments batch many tensors into one store job, but the per-record
+    // byte identities must close exactly as on the per-tensor path.
+    let sink = TraceSink::enabled();
+    let mut s = coalesced_session(sink.clone(), RecoveryPolicy::KeepResident, None, None);
+    let per_step = run(&mut s);
+    assert!(per_step.iter().all(|m| m.offloaded_bytes > 0));
+    assert!(
+        per_step.iter().any(|m| m.coalesce_segments > 0),
+        "the coalescer must actually seal segments"
+    );
+    assert!(
+        per_step.iter().any(|m| m.prefetch_groups > 0),
+        "group prefetch must actually run"
+    );
+    assert_accounting(&sink.events(), &per_step);
+    let cats: BTreeSet<&str> = sink.events().iter().map(|e| e.cat.as_str()).collect();
+    assert!(cats.contains(TraceCategory::Coalesce.as_str()));
+    assert!(cats.contains(TraceCategory::Arena.as_str()));
+}
+
+#[test]
+fn trace_accounting_survives_faults_on_the_coalesced_path() {
+    // A failed segment write degrades the whole segment per the policy;
+    // the recovery lane must absorb exactly the bytes that leave the
+    // primary account — same identity, segment granularity.
+    for (recovery, fallback) in [
+        (RecoveryPolicy::KeepResident, None),
+        (RecoveryPolicy::FallbackTarget, Some(OffloadBackend::Dram)),
+    ] {
+        let plan = FaultPlan::new(42).with_recurring_fault(
+            FaultTrigger::ByteThreshold { bytes: 16 << 10 },
+            FaultKind::WriteError,
+        );
+        let sink = TraceSink::enabled();
+        let mut s = coalesced_session(sink.clone(), recovery, Some(plan), fallback);
+        let per_step = run(&mut s);
+        assert!(
+            per_step
+                .iter()
+                .any(|m| m.kept_resident_bytes > 0 || m.fallback_bytes > 0),
+            "{recovery:?}: the fault plan must actually fire"
+        );
+        assert_accounting(&sink.events(), &per_step);
+    }
+}
+
 #[test]
 fn tier_drain_spans_match_the_stall_counters() {
     // Per step, the `tier.drain.<link>` spans decompose the stall the
@@ -325,6 +402,7 @@ fn traced_run_covers_the_documented_categories() {
         TraceCategory::Fault,
         TraceCategory::Recovery,
         TraceCategory::Alloc,
+        TraceCategory::Arena,
     ] {
         assert!(
             cats.contains(required.as_str()),
